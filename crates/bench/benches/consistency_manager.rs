@@ -1,0 +1,50 @@
+//! Criterion bench: cost of applying one confirmed repair through the
+//! consistency manager (Appendix A.5), including suggestion regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_bench::{generate, DatasetId};
+use gdr_repair::{ChangeSource, Feedback, RepairState};
+
+fn bench_consistency_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_manager");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 2_000] {
+        let data = generate(DatasetId::Dataset1, tuples, 4);
+        let state = RepairState::new(data.dirty.clone(), &data.rules);
+        let updates = state.possible_updates_sorted();
+        group.bench_with_input(
+            BenchmarkId::new("confirm_one_update", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut state = state.clone();
+                    let update = updates[0].clone();
+                    state
+                        .apply_feedback(&update, Feedback::Confirm, ChangeSource::UserConfirmed)
+                        .unwrap();
+                    std::hint::black_box(state.pending_count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reject_one_update", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut state = state.clone();
+                    let update = updates[0].clone();
+                    state
+                        .apply_feedback(&update, Feedback::Reject, ChangeSource::UserConfirmed)
+                        .unwrap();
+                    std::hint::black_box(state.pending_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency_manager);
+criterion_main!(benches);

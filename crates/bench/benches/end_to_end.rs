@@ -1,0 +1,37 @@
+//! Criterion bench: one complete GDR interactive session (small instance) for
+//! the full strategy and the no-learning strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_bench::{generate, DatasetId};
+use gdr_core::{GdrConfig, GdrSession, Strategy};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let data = generate(DatasetId::Dataset1, 400, 9);
+    for strategy in [Strategy::GdrNoLearning, Strategy::Gdr] {
+        group.bench_with_input(
+            BenchmarkId::new("session_budget_50", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut session = GdrSession::new(
+                        data.dirty.clone(),
+                        &data.rules,
+                        data.clean.clone(),
+                        strategy,
+                        GdrConfig::fast(),
+                    );
+                    let report = session.run(Some(50)).unwrap();
+                    std::hint::black_box(report.final_improvement_pct)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

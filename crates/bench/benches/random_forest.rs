@@ -1,0 +1,56 @@
+//! Criterion bench: random-forest training and prediction at the sizes the
+//! GDR session uses (k = 10 trees, feedback-sized training sets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_learn::{Dataset, Example, FeatureValue, ForestConfig, RandomForest};
+
+fn training_set(examples: usize) -> Dataset {
+    let mut data = Dataset::new(6, 3);
+    for i in 0..examples {
+        let src = format!("H{}", i % 7);
+        let city = format!("City{}", i % 11);
+        let label = (i % 7) % 3;
+        data.push(Example::new(
+            vec![
+                FeatureValue::categorical(src),
+                FeatureValue::categorical(city),
+                FeatureValue::categorical(format!("4{}", 6300 + (i % 40))),
+                FeatureValue::categorical("IN"),
+                FeatureValue::categorical(format!("Suggestion{}", i % 5)),
+                FeatureValue::Numeric((i % 10) as f64 / 10.0),
+            ],
+            label,
+        ));
+    }
+    data
+}
+
+fn bench_random_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_forest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &examples in &[50usize, 200, 1_000] {
+        let data = training_set(examples);
+        group.bench_with_input(BenchmarkId::new("train_k10", examples), &examples, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(RandomForest::train(&data, &ForestConfig::default(), 7))
+            })
+        });
+        let forest = RandomForest::train(&data, &ForestConfig::default(), 7);
+        let probe = data.example(0).features.clone();
+        group.bench_with_input(
+            BenchmarkId::new("predict_with_votes", examples),
+            &examples,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box((forest.predict(&probe), forest.uncertainty(&probe)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_forest);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: candidate-update generation (Algorithm 1) for all dirty
+//! tuples of the hospital dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_bench::{generate, DatasetId};
+use gdr_repair::RepairState;
+
+fn bench_update_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 2_000] {
+        let data = generate(DatasetId::Dataset1, tuples, 2);
+        group.bench_with_input(
+            BenchmarkId::new("initial_possible_updates", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let state = RepairState::new(data.dirty.clone(), &data.rules);
+                    std::hint::black_box(state.pending_count())
+                })
+            },
+        );
+        let state = RepairState::new(data.dirty.clone(), &data.rules);
+        let dirty = state.dirty_tuples();
+        group.bench_with_input(
+            BenchmarkId::new("regenerate_one_tuple", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut state = state.clone();
+                    state.generate_updates_for_tuple(dirty[0]);
+                    std::hint::black_box(state.pending_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_generation);
+criterion_main!(benches);

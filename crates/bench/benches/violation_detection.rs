@@ -1,0 +1,30 @@
+//! Criterion bench: CFD violation detection (engine build + dirty-tuple scan)
+//! as the number of tuples grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_bench::{generate, DatasetId};
+use gdr_cfd::ViolationEngine;
+
+fn bench_violation_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_detection");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 2_000, 8_000] {
+        let data = generate(DatasetId::Dataset1, tuples, 1);
+        group.bench_with_input(BenchmarkId::new("build_engine", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let engine = ViolationEngine::build(&data.dirty, &data.rules);
+                std::hint::black_box(engine.total_violations())
+            })
+        });
+        let engine = ViolationEngine::build(&data.dirty, &data.rules);
+        group.bench_with_input(BenchmarkId::new("dirty_scan", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(engine.dirty_tuples().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_violation_detection);
+criterion_main!(benches);

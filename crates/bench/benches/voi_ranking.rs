@@ -1,0 +1,39 @@
+//! Criterion bench: the VOI group-benefit estimation (Eq. 6) over all
+//! candidate-update groups of one iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdr_bench::{generate, DatasetId};
+use gdr_core::{group_benefit, group_updates};
+use gdr_repair::RepairState;
+
+fn bench_voi_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voi_ranking");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &tuples in &[500usize, 2_000] {
+        let data = generate(DatasetId::Dataset1, tuples, 3);
+        let state = RepairState::new(data.dirty.clone(), &data.rules);
+        let updates = state.possible_updates_sorted();
+        let groups = group_updates(&updates);
+        group.bench_with_input(
+            BenchmarkId::new("rank_all_groups", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    let mut state = state.clone();
+                    let mut total = 0.0;
+                    for g in &groups {
+                        let probs: Vec<f64> = g.updates.iter().map(|u| u.score).collect();
+                        total += group_benefit(&mut state, g, &probs).unwrap();
+                    }
+                    std::hint::black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voi_ranking);
+criterion_main!(benches);

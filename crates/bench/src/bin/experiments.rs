@@ -1,0 +1,125 @@
+//! CLI that regenerates the paper's figures on the synthetic datasets.
+//!
+//! ```text
+//! experiments fig3 --dataset 1 [--tuples 3000] [--seed 42]
+//! experiments fig4 --dataset 2 [--tuples 2000] [--seed 42]
+//! experiments fig5 --dataset 1 [--tuples 2000] [--seed 42]
+//! experiments all  [--tuples 2000] [--seed 42]
+//! ```
+//!
+//! Output is CSV (`figure,series,x,y`) on stdout; progress notes go to
+//! stderr.  Run with `--release` — the learning strategies train random
+//! forests repeatedly.
+
+use std::process::ExitCode;
+
+use gdr_bench::{figure3, figure4, figure5, DatasetId, Figure, DEFAULT_BUDGET_STEPS};
+
+struct Args {
+    command: String,
+    dataset: Option<DatasetId>,
+    tuples: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        dataset: None,
+        tuples: 2000,
+        seed: 42,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dataset" => {
+                let value = args.next().ok_or("--dataset needs a value (1 or 2)")?;
+                parsed.dataset =
+                    Some(DatasetId::parse(&value).ok_or("--dataset must be 1 or 2")?);
+            }
+            "--tuples" => {
+                let value = args.next().ok_or("--tuples needs a value")?;
+                parsed.tuples = value.parse().map_err(|_| "--tuples must be an integer")?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = value.parse().map_err(|_| "--seed must be an integer")?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: experiments <fig3|fig4|fig5|all> [--dataset 1|2] [--tuples N] [--seed S]".to_string()
+}
+
+fn emit(figure: &Figure, with_header: bool) {
+    let csv = figure.to_csv();
+    if with_header {
+        print!("{csv}");
+    } else {
+        // Drop the header line when appending to an already-started document.
+        let mut lines = csv.lines();
+        lines.next();
+        for line in lines {
+            println!("{line}");
+        }
+    }
+}
+
+fn datasets_for(args: &Args) -> Vec<DatasetId> {
+    match args.dataset {
+        Some(d) => vec![d],
+        None => vec![DatasetId::Dataset1, DatasetId::Dataset2],
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut first = true;
+    let mut run = |figure: Figure| {
+        eprintln!("# finished {}", figure.name);
+        emit(&figure, first);
+        first = false;
+    };
+
+    match args.command.as_str() {
+        "fig3" => {
+            for dataset in datasets_for(&args) {
+                run(figure3(dataset, args.tuples, args.seed));
+            }
+        }
+        "fig4" => {
+            for dataset in datasets_for(&args) {
+                run(figure4(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+            }
+        }
+        "fig5" => {
+            for dataset in datasets_for(&args) {
+                run(figure5(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+            }
+        }
+        "all" => {
+            for dataset in datasets_for(&args) {
+                run(figure3(dataset, args.tuples, args.seed));
+                run(figure4(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+                run(figure5(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

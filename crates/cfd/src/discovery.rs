@@ -1,0 +1,416 @@
+//! Support-thresholded CFD discovery.
+//!
+//! For its second dataset the GDR paper does not hand-write rules; it runs
+//! the CFD-discovery technique of Fan et al. (ICDE 2009) "with a support
+//! threshold of 5%".  This module provides a from-scratch stand-in with the
+//! same interface contract: given a (mostly clean) instance it proposes
+//!
+//! * **constant CFDs** `(X → A, (x̄ ‖ a))`: for every LHS attribute set `X`
+//!   up to a configurable size, every pattern `x̄` whose support
+//!   `|σ_{X=x̄}(D)| / |D|` reaches the threshold and whose most frequent `A`
+//!   value reaches the confidence threshold becomes a rule, and
+//! * **variable CFDs** `(X → A, (−, …, − ‖ −))` (embedded plain FDs): emitted
+//!   when the FD holds with high confidence over the instance and the LHS is
+//!   not key-like (groups must contain at least two tuples on average,
+//!   otherwise the FD is trivially satisfied and useless for repair).
+//!
+//! The discovery is intentionally conservative — rules drive repairs, so a
+//! spurious rule is worse than a missing one.  Confidence is measured as the
+//! fraction of context tuples that already agree with the would-be rule.
+
+use std::collections::HashMap;
+
+use gdr_relation::{AttrId, Table, Value};
+
+use crate::pattern::PatternValue;
+use crate::rule::Cfd;
+use crate::Result;
+
+/// Tunable thresholds for [`discover_cfds`].
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Minimum fraction of tuples a constant pattern must cover
+    /// (the paper's Dataset 2 uses `0.05`).
+    pub min_support: f64,
+    /// Minimum fraction of covered tuples that must agree with the rule's
+    /// RHS for the rule to be emitted.
+    pub min_confidence: f64,
+    /// Maximum number of LHS attributes considered (1 or 2 are practical).
+    pub max_lhs_size: usize,
+    /// Also emit embedded plain FDs as variable CFDs.
+    pub discover_variable: bool,
+    /// Minimum average agreement-group size for a variable CFD; filters out
+    /// key-like LHS combinations that would never produce violations.
+    pub min_avg_group_size: f64,
+    /// Hard cap on the number of emitted rules (most supported first).
+    pub max_rules: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_support: 0.05,
+            min_confidence: 0.95,
+            max_lhs_size: 1,
+            discover_variable: true,
+            min_avg_group_size: 2.0,
+            max_rules: 200,
+        }
+    }
+}
+
+/// A discovered rule along with the evidence that produced it.
+#[derive(Debug, Clone)]
+struct Candidate {
+    rule: Cfd,
+    support: usize,
+}
+
+/// Discovers CFDs from a table.
+///
+/// Returns rules ordered by decreasing support, capped at
+/// [`DiscoveryConfig::max_rules`].
+pub fn discover_cfds(table: &Table, config: &DiscoveryConfig) -> Result<Vec<Cfd>> {
+    let n = table.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let attrs: Vec<AttrId> = table.schema().attr_ids().collect();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut counter = 0usize;
+
+    for lhs in lhs_combinations(&attrs, config.max_lhs_size) {
+        for &rhs in &attrs {
+            if lhs.contains(&rhs) {
+                continue;
+            }
+            let groups = group_by(table, &lhs, rhs);
+            discover_constant_rules(
+                table, &lhs, rhs, &groups, n, config, &mut counter, &mut candidates,
+            );
+            if config.discover_variable {
+                discover_variable_rule(
+                    table, &lhs, rhs, &groups, n, config, &mut counter, &mut candidates,
+                );
+            }
+        }
+    }
+
+    candidates.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.rule.name().cmp(b.rule.name())));
+    candidates.truncate(config.max_rules);
+    Ok(candidates.into_iter().map(|c| c.rule).collect())
+}
+
+/// All LHS attribute combinations of size `1..=max_size`, singletons first.
+fn lhs_combinations(attrs: &[AttrId], max_size: usize) -> Vec<Vec<AttrId>> {
+    let mut combos: Vec<Vec<AttrId>> = attrs.iter().map(|&a| vec![a]).collect();
+    if max_size >= 2 {
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                combos.push(vec![a, b]);
+            }
+        }
+    }
+    combos
+}
+
+type Groups = HashMap<Vec<Value>, HashMap<Value, usize>>;
+
+/// Groups tuples by their LHS projection, counting RHS values inside each
+/// group.  Tuples with a `Null` anywhere in the projection or RHS are skipped
+/// — missing data should neither support nor contradict a rule.
+fn group_by(table: &Table, lhs: &[AttrId], rhs: AttrId) -> Groups {
+    let mut groups: Groups = HashMap::new();
+    for (_, tuple) in table.iter() {
+        if lhs.iter().any(|&a| tuple.value(a).is_null()) || tuple.value(rhs).is_null() {
+            continue;
+        }
+        let key = tuple.project(lhs);
+        *groups
+            .entry(key)
+            .or_default()
+            .entry(tuple.value(rhs).clone())
+            .or_insert(0) += 1;
+    }
+    groups
+}
+
+#[allow(clippy::too_many_arguments)]
+fn discover_constant_rules(
+    table: &Table,
+    lhs: &[AttrId],
+    rhs: AttrId,
+    groups: &Groups,
+    n: usize,
+    config: &DiscoveryConfig,
+    counter: &mut usize,
+    out: &mut Vec<Candidate>,
+) {
+    let min_support_count = (config.min_support * n as f64).ceil() as usize;
+    // Deterministic iteration order for reproducible rule names.
+    let mut keys: Vec<&Vec<Value>> = groups.keys().collect();
+    keys.sort();
+    for key in keys {
+        let rhs_counts = &groups[key];
+        let group_size: usize = rhs_counts.values().sum();
+        if group_size < min_support_count.max(1) {
+            continue;
+        }
+        let Some((best_value, best_count)) = rhs_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        else {
+            continue;
+        };
+        let confidence = *best_count as f64 / group_size as f64;
+        if confidence < config.min_confidence {
+            continue;
+        }
+        *counter += 1;
+        let lhs_pattern: Vec<PatternValue> =
+            key.iter().cloned().map(PatternValue::Const).collect();
+        let rule = Cfd::new(
+            format!("disc{counter}"),
+            lhs.to_vec(),
+            lhs_pattern,
+            rhs,
+            PatternValue::Const(best_value.clone()),
+        );
+        if let Ok(rule) = rule {
+            let _ = table;
+            out.push(Candidate {
+                rule,
+                support: group_size,
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn discover_variable_rule(
+    table: &Table,
+    lhs: &[AttrId],
+    rhs: AttrId,
+    groups: &Groups,
+    n: usize,
+    config: &DiscoveryConfig,
+    counter: &mut usize,
+    out: &mut Vec<Candidate>,
+) {
+    if groups.is_empty() {
+        return;
+    }
+    let covered: usize = groups.values().map(|g| g.values().sum::<usize>()).sum();
+    if covered == 0 {
+        return;
+    }
+    let agreeing: usize = groups
+        .values()
+        .map(|g| g.values().max().copied().unwrap_or(0))
+        .sum();
+    let confidence = agreeing as f64 / covered as f64;
+    let avg_group = covered as f64 / groups.len() as f64;
+    let coverage = covered as f64 / n as f64;
+    if confidence < config.min_confidence
+        || avg_group < config.min_avg_group_size
+        || coverage < config.min_support
+    {
+        return;
+    }
+    *counter += 1;
+    let rule = Cfd::new(
+        format!("disc{counter}"),
+        lhs.to_vec(),
+        vec![PatternValue::Wildcard; lhs.len()],
+        rhs,
+        PatternValue::Wildcard,
+    );
+    if let Ok(rule) = rule {
+        let _ = table;
+        out.push(Candidate {
+            rule,
+            support: covered,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdr_relation::{Schema, Table};
+
+    /// A clean address-like table where ZIP functionally determines CT.
+    fn zip_city_table(rows_per_zip: usize) -> Table {
+        let schema = Schema::new(&["CT", "ZIP"]);
+        let mut table = Table::new("addr", schema);
+        let pairs = [
+            ("Michigan City", "46360"),
+            ("Fort Wayne", "46825"),
+            ("Westville", "46391"),
+        ];
+        for (city, zip) in pairs {
+            for _ in 0..rows_per_zip {
+                table.push_text_row(&[city, zip]).unwrap();
+            }
+        }
+        table
+    }
+
+    #[test]
+    fn discovers_constant_rules_with_support() {
+        let table = zip_city_table(10);
+        let config = DiscoveryConfig {
+            discover_variable: false,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        // ZIP → CT and CT → ZIP constant rules for each of the 3 patterns.
+        assert_eq!(rules.len(), 6);
+        assert!(rules.iter().all(|r| r.is_constant()));
+        // One of them must bind 46360 → Michigan City.
+        assert!(rules.iter().any(|r| {
+            r.lhs_pattern() == [PatternValue::constant("46360")]
+                && r.rhs_pattern() == &PatternValue::constant("Michigan City")
+        }));
+    }
+
+    #[test]
+    fn discovers_variable_fd() {
+        let table = zip_city_table(10);
+        let config = DiscoveryConfig {
+            min_support: 0.05,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        assert!(rules.iter().any(|r| !r.is_constant()));
+    }
+
+    #[test]
+    fn low_support_patterns_are_skipped() {
+        let mut table = zip_city_table(10);
+        // A single-row pattern: support 1/31 < 5%.
+        table.push_text_row(&["New Haven", "46774"]).unwrap();
+        let config = DiscoveryConfig {
+            discover_variable: false,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        assert!(!rules.iter().any(|r| {
+            r.lhs_pattern() == [PatternValue::constant("46774")]
+        }));
+    }
+
+    #[test]
+    fn low_confidence_blocks_rules() {
+        let schema = Schema::new(&["CT", "ZIP"]);
+        let mut table = Table::new("addr", schema);
+        // 46360 maps to two cities 60/40: confidence 0.6 < 0.95.
+        for _ in 0..6 {
+            table.push_text_row(&["Michigan City", "46360"]).unwrap();
+        }
+        for _ in 0..4 {
+            table.push_text_row(&["Westville", "46360"]).unwrap();
+        }
+        let rules = discover_cfds(&table, &DiscoveryConfig::default()).unwrap();
+        assert!(!rules
+            .iter()
+            .any(|r| r.is_constant() && r.lhs_pattern() == [PatternValue::constant("46360")]));
+    }
+
+    #[test]
+    fn noisy_data_still_yields_rules_with_lower_confidence_threshold() {
+        let mut table = zip_city_table(20);
+        table.push_text_row(&["Wrong City", "46360"]).unwrap();
+        let config = DiscoveryConfig {
+            min_confidence: 0.9,
+            discover_variable: false,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        assert!(rules.iter().any(|r| {
+            r.lhs_pattern() == [PatternValue::constant("46360")]
+                && r.rhs_pattern() == &PatternValue::constant("Michigan City")
+        }));
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let schema = Schema::new(&["CT", "ZIP"]);
+        let mut table = Table::new("addr", schema);
+        for _ in 0..10 {
+            table.push_text_row(&["Michigan City", "46360"]).unwrap();
+        }
+        for _ in 0..10 {
+            table.push_row(vec![Value::Null, Value::from("46360")]).unwrap();
+        }
+        let config = DiscoveryConfig {
+            discover_variable: false,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        // The null rows neither support a competing value nor lower confidence.
+        assert!(rules.iter().any(|r| {
+            r.lhs_pattern() == [PatternValue::constant("46360")]
+                && r.rhs_pattern() == &PatternValue::constant("Michigan City")
+        }));
+    }
+
+    #[test]
+    fn key_like_lhs_does_not_become_variable_rule() {
+        let schema = Schema::new(&["ID", "CT"]);
+        let mut table = Table::new("t", schema);
+        for i in 0..50 {
+            table
+                .push_text_row(&[format!("id{i}"), "Fort Wayne".to_string()])
+                .unwrap();
+        }
+        let rules = discover_cfds(&table, &DiscoveryConfig::default()).unwrap();
+        // ID → CT groups all have size 1: filtered by min_avg_group_size.
+        assert!(!rules
+            .iter()
+            .any(|r| !r.is_constant() && r.lhs() == [0] && r.rhs() == 1));
+    }
+
+    #[test]
+    fn two_attribute_lhs_combinations() {
+        let schema = Schema::new(&["STR", "CT", "ZIP"]);
+        let mut table = Table::new("addr", schema);
+        for _ in 0..10 {
+            table
+                .push_text_row(&["Coliseum Blvd", "Fort Wayne", "46825"])
+                .unwrap();
+            table
+                .push_text_row(&["Sherden RD", "Fort Wayne", "46835"])
+                .unwrap();
+        }
+        let config = DiscoveryConfig {
+            max_lhs_size: 2,
+            discover_variable: false,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        // Expect a rule with LHS {STR, CT} determining ZIP.
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs() == [0, 1] && r.rhs() == 2 && r.is_constant()));
+    }
+
+    #[test]
+    fn rule_cap_is_respected() {
+        let table = zip_city_table(10);
+        let config = DiscoveryConfig {
+            max_rules: 2,
+            ..DiscoveryConfig::default()
+        };
+        let rules = discover_cfds(&table, &config).unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_discovers_nothing() {
+        let table = Table::new("t", Schema::new(&["A", "B"]));
+        assert!(discover_cfds(&table, &DiscoveryConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+}

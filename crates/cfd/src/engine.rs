@@ -1,0 +1,696 @@
+//! Incremental CFD violation detection.
+//!
+//! The [`ViolationEngine`] maintains, for every rule of a [`RuleSet`], enough
+//! state to answer in (amortised) constant time the quantities the GDR
+//! framework needs at every step of its interactive loop:
+//!
+//! * which tuples are **dirty** (violate at least one rule) — step 1 and step
+//!   9 of the GDR process (Procedure 1),
+//! * the per-tuple violation count `vio(t, {φ})` of **Definition 1** —
+//!   `1` for a violated constant CFD and the number of conflicting partner
+//!   tuples for a variable CFD,
+//! * the per-rule aggregates used by the VOI formula (Eq. 2–6):
+//!   `vio(D, {φ})`, the number of satisfying tuples `|D ⊨ φ|`, and the
+//!   context size `|D(φ)|` that defines the default rule weights,
+//! * **what-if** evaluation: the same aggregates under a hypothetical
+//!   single-cell change, computed by applying the change, reading the
+//!   affected rules, and reverting — each step touching only the agreement
+//!   groups of the changed tuple.
+//!
+//! Variable CFDs are handled with per-rule hash groups keyed by the LHS
+//! projection of the tuples in the rule's context.  For a group with member
+//! multiset `{v → c_v}` over RHS values, the pairwise violation count of
+//! Definition 1 is `total² − Σ_v c_v²` and the group's tuples all satisfy the
+//! rule iff the group holds a single distinct RHS value.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use gdr_relation::{AttrId, Table, TupleId, Value};
+
+use crate::rule::{Cfd, RuleId};
+use crate::ruleset::RuleSet;
+use crate::Result;
+
+/// Aggregate statistics of one rule over the current database instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleStats {
+    /// `vio(D, {φ})` — the total violation count of Definition 1.
+    pub violations: usize,
+    /// `|D ⊨ φ|` — the number of tuples satisfying the rule.
+    pub satisfying: usize,
+    /// `|D(φ)|` — the number of tuples in the rule's context
+    /// (`t[X] ≍ tp[X]`).
+    pub context: usize,
+}
+
+/// State kept for a constant CFD.
+#[derive(Debug, Clone, Default)]
+struct ConstState {
+    violating: HashSet<TupleId>,
+    context: usize,
+}
+
+/// One LHS agreement group of a variable CFD.
+#[derive(Debug, Clone, Default)]
+struct Group {
+    /// Members bucketed by their RHS value.
+    members_by_rhs: HashMap<Value, HashSet<TupleId>>,
+    /// Total number of members (= Σ bucket sizes).
+    total: usize,
+}
+
+impl Group {
+    fn vio(&self) -> usize {
+        let sum_sq: usize = self.members_by_rhs.values().map(|m| m.len() * m.len()).sum();
+        self.total * self.total - sum_sq
+    }
+
+    fn satisfying(&self) -> usize {
+        if self.members_by_rhs.len() <= 1 {
+            self.total
+        } else {
+            0
+        }
+    }
+
+    fn insert(&mut self, rhs: Value, tuple: TupleId) {
+        self.members_by_rhs.entry(rhs).or_default().insert(tuple);
+        self.total += 1;
+    }
+
+    fn remove(&mut self, rhs: &Value, tuple: TupleId) {
+        if let Some(bucket) = self.members_by_rhs.get_mut(rhs) {
+            if bucket.remove(&tuple) {
+                self.total -= 1;
+                if bucket.is_empty() {
+                    self.members_by_rhs.remove(rhs);
+                }
+            }
+        }
+    }
+
+    fn rhs_count(&self, rhs: &Value) -> usize {
+        self.members_by_rhs.get(rhs).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+/// State kept for a variable CFD.
+#[derive(Debug, Clone, Default)]
+struct VarState {
+    /// LHS projection key of every tuple currently in the rule's context.
+    tuple_key: HashMap<TupleId, Vec<Value>>,
+    groups: HashMap<Vec<Value>, Group>,
+    /// Cached Σ over groups of `vio(group)`.
+    total_vio: usize,
+    /// Cached Σ over single-RHS groups of their size.
+    satisfying_in_context: usize,
+    /// Cached Σ over groups of their size (= context size).
+    context: usize,
+}
+
+impl VarState {
+    /// Removes a group's cached contribution before mutating it.
+    fn retract(&mut self, key: &[Value]) {
+        if let Some(group) = self.groups.get(key) {
+            self.total_vio -= group.vio();
+            self.satisfying_in_context -= group.satisfying();
+            self.context -= group.total;
+        }
+    }
+
+    /// Re-adds a group's contribution after mutation, dropping empty groups.
+    fn restore(&mut self, key: Vec<Value>) {
+        let remove = if let Some(group) = self.groups.get(&key) {
+            if group.total == 0 {
+                true
+            } else {
+                self.total_vio += group.vio();
+                self.satisfying_in_context += group.satisfying();
+                self.context += group.total;
+                false
+            }
+        } else {
+            false
+        };
+        if remove {
+            self.groups.remove(&key);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RuleState {
+    Constant(ConstState),
+    Variable(VarState),
+}
+
+/// Incremental violation-detection engine over one table and one rule set.
+#[derive(Debug, Clone)]
+pub struct ViolationEngine {
+    ruleset: RuleSet,
+    states: Vec<RuleState>,
+    n_rows: usize,
+}
+
+impl ViolationEngine {
+    /// Builds the engine by scanning the whole table once per rule.
+    pub fn build(table: &Table, ruleset: &RuleSet) -> ViolationEngine {
+        let states = ruleset
+            .rules()
+            .iter()
+            .map(|rule| {
+                if rule.is_constant() {
+                    RuleState::Constant(ConstState::default())
+                } else {
+                    RuleState::Variable(VarState::default())
+                }
+            })
+            .collect();
+        let mut engine = ViolationEngine {
+            ruleset: ruleset.clone(),
+            states,
+            n_rows: 0,
+        };
+        for (tid, _) in table.iter() {
+            engine.note_new_tuple(table, tid);
+        }
+        engine
+    }
+
+    /// The rule set the engine evaluates.
+    pub fn ruleset(&self) -> &RuleSet {
+        &self.ruleset
+    }
+
+    /// Number of rows the engine currently tracks.
+    pub fn row_count(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Registers a newly appended tuple (e.g. from an online data-entry feed,
+    /// §3 "Updates Consistency Manager") with every rule.
+    pub fn note_new_tuple(&mut self, table: &Table, tuple: TupleId) {
+        self.n_rows += 1;
+        for id in 0..self.ruleset.len() {
+            self.add_tuple(id, table, tuple);
+        }
+    }
+
+    /// Applies a cell change to both the table and the engine, returning the
+    /// previous value.  Only rules involving `attr` are touched.
+    pub fn apply_cell_change(
+        &mut self,
+        table: &mut Table,
+        tuple: TupleId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<Value> {
+        let affected = self.ruleset.rules_involving(attr);
+        for &rule in &affected {
+            self.remove_tuple(rule, table, tuple);
+        }
+        let old = table.set_cell(tuple, attr, value)?;
+        for &rule in &affected {
+            self.add_tuple(rule, table, tuple);
+        }
+        Ok(old)
+    }
+
+    /// Evaluates the per-rule statistics that *would* hold if `t[attr]` were
+    /// set to `value`, without leaving any permanent change behind.
+    ///
+    /// Returns `(rule, stats)` for every rule involving `attr` — these are
+    /// exactly the rules whose `vio`/`⊨` counts can differ from the current
+    /// instance, which is what the VOI gain formula (Eq. 6) needs.
+    pub fn stats_if(
+        &mut self,
+        table: &mut Table,
+        tuple: TupleId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<Vec<(RuleId, RuleStats)>> {
+        let affected = self.ruleset.rules_involving(attr);
+        let old = self.apply_cell_change(table, tuple, attr, value)?;
+        let stats = affected
+            .iter()
+            .map(|&rule| (rule, self.rule_stats(rule)))
+            .collect();
+        self.apply_cell_change(table, tuple, attr, old)?;
+        Ok(stats)
+    }
+
+    /// Aggregate statistics for one rule.
+    pub fn rule_stats(&self, rule: RuleId) -> RuleStats {
+        match &self.states[rule] {
+            RuleState::Constant(state) => RuleStats {
+                violations: state.violating.len(),
+                satisfying: self.n_rows - state.violating.len(),
+                context: state.context,
+            },
+            RuleState::Variable(state) => {
+                let violating_tuples = state.context - state.satisfying_in_context;
+                RuleStats {
+                    violations: state.total_vio,
+                    satisfying: self.n_rows - violating_tuples,
+                    context: state.context,
+                }
+            }
+        }
+    }
+
+    /// `vio(D, Σ)`: the sum of all rules' violation counts (Definition 1).
+    pub fn total_violations(&self) -> usize {
+        (0..self.ruleset.len())
+            .map(|rule| self.rule_stats(rule).violations)
+            .sum()
+    }
+
+    /// Per-tuple violation count `vio(t, {φ})` of Definition 1.
+    pub fn vio_tuple(&self, rule: RuleId, tuple: TupleId) -> usize {
+        match &self.states[rule] {
+            RuleState::Constant(state) => usize::from(state.violating.contains(&tuple)),
+            RuleState::Variable(state) => {
+                let Some(key) = state.tuple_key.get(&tuple) else {
+                    return 0;
+                };
+                let Some(group) = state.groups.get(key) else {
+                    return 0;
+                };
+                let own_rhs = group
+                    .members_by_rhs
+                    .iter()
+                    .find(|(_, members)| members.contains(&tuple))
+                    .map(|(rhs, _)| rhs);
+                match own_rhs {
+                    Some(rhs) => group.total - group.rhs_count(rhs),
+                    None => 0,
+                }
+            }
+        }
+    }
+
+    /// Does the tuple violate the rule?
+    pub fn tuple_violates(&self, rule: RuleId, tuple: TupleId) -> bool {
+        match &self.states[rule] {
+            RuleState::Constant(state) => state.violating.contains(&tuple),
+            RuleState::Variable(state) => {
+                let Some(key) = state.tuple_key.get(&tuple) else {
+                    return false;
+                };
+                state
+                    .groups
+                    .get(key)
+                    .map(|g| g.members_by_rhs.len() > 1)
+                    .unwrap_or(false)
+            }
+        }
+    }
+
+    /// The rules violated by a tuple (its `vioRuleList`).
+    pub fn violated_rules(&self, tuple: TupleId) -> Vec<RuleId> {
+        (0..self.ruleset.len())
+            .filter(|&rule| self.tuple_violates(rule, tuple))
+            .collect()
+    }
+
+    /// All tuples violating a specific rule, in ascending id order.
+    pub fn violating_tuples(&self, rule: RuleId) -> Vec<TupleId> {
+        let mut tuples: Vec<TupleId> = match &self.states[rule] {
+            RuleState::Constant(state) => state.violating.iter().copied().collect(),
+            RuleState::Variable(state) => state
+                .groups
+                .values()
+                .filter(|g| g.members_by_rhs.len() > 1)
+                .flat_map(|g| g.members_by_rhs.values().flatten().copied())
+                .collect(),
+        };
+        tuples.sort_unstable();
+        tuples
+    }
+
+    /// All dirty tuples (violating at least one rule), in ascending id order.
+    pub fn dirty_tuples(&self) -> Vec<TupleId> {
+        let mut dirty = BTreeSet::new();
+        for rule in 0..self.ruleset.len() {
+            dirty.extend(self.violating_tuples(rule));
+        }
+        dirty.into_iter().collect()
+    }
+
+    /// For a variable rule, the tuples that violate it *with* `tuple` (same
+    /// LHS agreement group, different RHS value).  Empty for constant rules
+    /// or tuples outside the rule's context.
+    pub fn conflict_partners(&self, rule: RuleId, tuple: TupleId) -> Vec<TupleId> {
+        let RuleState::Variable(state) = &self.states[rule] else {
+            return Vec::new();
+        };
+        let Some(key) = state.tuple_key.get(&tuple) else {
+            return Vec::new();
+        };
+        let Some(group) = state.groups.get(key) else {
+            return Vec::new();
+        };
+        let mut partners = Vec::new();
+        for (rhs, members) in &group.members_by_rhs {
+            if members.contains(&tuple) {
+                continue;
+            }
+            let _ = rhs;
+            partners.extend(members.iter().copied());
+        }
+        partners.sort_unstable();
+        partners
+    }
+
+    /// For a variable rule, every tuple agreeing with `tuple` on the rule's
+    /// LHS (including `tuple` itself).  Used by the repair generator to
+    /// propose RHS values taken from the agreement group.
+    pub fn agreement_group(&self, rule: RuleId, tuple: TupleId) -> Vec<TupleId> {
+        let RuleState::Variable(state) = &self.states[rule] else {
+            return Vec::new();
+        };
+        let Some(key) = state.tuple_key.get(&tuple) else {
+            return Vec::new();
+        };
+        let Some(group) = state.groups.get(key) else {
+            return Vec::new();
+        };
+        let mut members: Vec<TupleId> = group
+            .members_by_rhs
+            .values()
+            .flatten()
+            .copied()
+            .collect();
+        members.sort_unstable();
+        members
+    }
+
+    /// Rebuilds the engine from scratch.  Intended for tests and for callers
+    /// that mutated the table behind the engine's back.
+    pub fn rebuild(&mut self, table: &Table) {
+        *self = ViolationEngine::build(table, &self.ruleset);
+    }
+
+    /// Compares the incrementally maintained statistics against a fresh
+    /// rebuild; returns `true` when they agree for every rule.  Used by tests
+    /// and debug assertions.
+    pub fn agrees_with_rebuild(&self, table: &Table) -> bool {
+        let fresh = ViolationEngine::build(table, &self.ruleset);
+        (0..self.ruleset.len()).all(|rule| self.rule_stats(rule) == fresh.rule_stats(rule))
+            && self.dirty_tuples() == fresh.dirty_tuples()
+    }
+
+    fn rule(&self, rule: RuleId) -> &Cfd {
+        self.ruleset.rule(rule)
+    }
+
+    fn add_tuple(&mut self, rule_id: RuleId, table: &Table, tuple: TupleId) {
+        let rule = self.rule(rule_id).clone();
+        let t = table.tuple(tuple);
+        if !rule.in_context(t) {
+            return;
+        }
+        match &mut self.states[rule_id] {
+            RuleState::Constant(state) => {
+                state.context += 1;
+                let expected = rule
+                    .rhs_pattern()
+                    .as_const()
+                    .expect("constant rule has constant RHS pattern");
+                if t.value(rule.rhs()) != expected {
+                    state.violating.insert(tuple);
+                }
+            }
+            RuleState::Variable(state) => {
+                let key = t.project(rule.lhs());
+                let rhs = t.value(rule.rhs()).clone();
+                state.retract(&key);
+                state.groups.entry(key.clone()).or_default().insert(rhs, tuple);
+                state.restore(key.clone());
+                state.tuple_key.insert(tuple, key);
+            }
+        }
+    }
+
+    fn remove_tuple(&mut self, rule_id: RuleId, table: &Table, tuple: TupleId) {
+        let rule = self.rule(rule_id).clone();
+        let t = table.tuple(tuple);
+        match &mut self.states[rule_id] {
+            RuleState::Constant(state) => {
+                if rule.in_context(t) {
+                    state.context -= 1;
+                }
+                state.violating.remove(&tuple);
+            }
+            RuleState::Variable(state) => {
+                let Some(key) = state.tuple_key.remove(&tuple) else {
+                    return;
+                };
+                let rhs = t.value(rule.rhs()).clone();
+                state.retract(&key);
+                if let Some(group) = state.groups.get_mut(&key) {
+                    group.remove(&rhs, tuple);
+                }
+                state.restore(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rules;
+    use gdr_relation::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"])
+    }
+
+    fn rules_text() -> &'static str {
+        "\
+ZIP -> CT, STT : 46360 || Michigan City, IN
+ZIP -> CT, STT : 46825 || Fort Wayne, IN
+ZIP -> CT, STT : 46391 || Westville, IN
+STR, CT -> ZIP : _, Fort Wayne || _
+"
+    }
+
+    /// A small instance exercising both constant and variable violations.
+    ///
+    /// * t0 is clean.
+    /// * t1 violates the 46360 → Michigan City rule (CT = Westville).
+    /// * t2 and t3 agree on (STR, CT) = (Coliseum Blvd, Fort Wayne) but carry
+    ///   different zips → both violate the variable rule; t3's zip 46999 also
+    ///   falls outside every constant context.
+    /// * t4 is clean (Westville).
+    fn build_fixture() -> (Table, RuleSet, ViolationEngine) {
+        let schema = schema();
+        let mut table = Table::new("addr", schema.clone());
+        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
+        table.push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
+        table.push_text_row(&["H3", "Colfax Ave", "Westville", "IN", "46391"]).unwrap();
+        let mut ruleset = RuleSet::new(parse_rules(&schema, rules_text()).unwrap());
+        ruleset.weights_from_context(&table);
+        let engine = ViolationEngine::build(&table, &ruleset);
+        (table, ruleset, engine)
+    }
+
+    #[test]
+    fn dirty_tuples_are_identified() {
+        let (_, _, engine) = build_fixture();
+        assert_eq!(engine.dirty_tuples(), vec![1, 2, 3]);
+        assert_eq!(engine.row_count(), 5);
+    }
+
+    #[test]
+    fn constant_rule_stats() {
+        let (_, _, engine) = build_fixture();
+        // Rule 0 = ZIP 46360 → CT Michigan City: t1 violates.
+        let stats = engine.rule_stats(0);
+        assert_eq!(stats.violations, 1);
+        assert_eq!(stats.satisfying, 4);
+        assert_eq!(stats.context, 2);
+        // Rule 1 = ZIP 46360 → STT IN: nobody violates.
+        assert_eq!(engine.rule_stats(1).violations, 0);
+    }
+
+    #[test]
+    fn variable_rule_stats_count_pairs() {
+        let (_, _, engine) = build_fixture();
+        // The variable rule is the last one (index 6 after normalisation:
+        // 3 specs × 2 rules + 1).
+        let rule = 6;
+        assert!(!engine.ruleset().rule(rule).is_constant());
+        let stats = engine.rule_stats(rule);
+        // One group {t2, t3} with two distinct zips: vio = 2² − (1+1) = 2.
+        assert_eq!(stats.violations, 2);
+        // Both group members violate; everyone else satisfies.
+        assert_eq!(stats.satisfying, 3);
+        // Context = tuples with CT = Fort Wayne.
+        assert_eq!(stats.context, 2);
+        assert_eq!(engine.vio_tuple(rule, 2), 1);
+        assert_eq!(engine.vio_tuple(rule, 3), 1);
+        assert_eq!(engine.vio_tuple(rule, 0), 0);
+    }
+
+    #[test]
+    fn violated_rules_per_tuple() {
+        let (_, _, engine) = build_fixture();
+        assert_eq!(engine.violated_rules(0), Vec::<RuleId>::new());
+        assert_eq!(engine.violated_rules(1), vec![0]);
+        assert_eq!(engine.violated_rules(2), vec![6]);
+        assert_eq!(engine.violated_rules(3), vec![6]);
+    }
+
+    #[test]
+    fn conflict_partners_and_agreement_groups() {
+        let (_, _, engine) = build_fixture();
+        let rule = 6;
+        assert_eq!(engine.conflict_partners(rule, 2), vec![3]);
+        assert_eq!(engine.conflict_partners(rule, 3), vec![2]);
+        assert_eq!(engine.conflict_partners(rule, 0), Vec::<TupleId>::new());
+        assert_eq!(engine.agreement_group(rule, 2), vec![2, 3]);
+        // Constant rules have no agreement groups.
+        assert_eq!(engine.agreement_group(0, 1), Vec::<TupleId>::new());
+        assert_eq!(engine.conflict_partners(0, 1), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn total_violations_sums_rules() {
+        let (_, _, engine) = build_fixture();
+        // 1 (rule 0) + 2 (variable rule) = 3.
+        assert_eq!(engine.total_violations(), 3);
+    }
+
+    #[test]
+    fn applying_a_repair_removes_violations_incrementally() {
+        let (mut table, _, mut engine) = build_fixture();
+        // Fix t1's city.
+        let old = engine
+            .apply_cell_change(&mut table, 1, 2, Value::from("Michigan City"))
+            .unwrap();
+        assert_eq!(old, Value::from("Westville"));
+        assert_eq!(engine.rule_stats(0).violations, 0);
+        assert_eq!(engine.dirty_tuples(), vec![2, 3]);
+        assert!(engine.agrees_with_rebuild(&table));
+
+        // Fix t3's zip; the variable-rule group becomes single-valued.
+        engine
+            .apply_cell_change(&mut table, 3, 4, Value::from("46825"))
+            .unwrap();
+        assert_eq!(engine.dirty_tuples(), Vec::<TupleId>::new());
+        assert_eq!(engine.total_violations(), 0);
+        assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn applying_a_change_can_create_new_violations() {
+        let (mut table, _, mut engine) = build_fixture();
+        // Move the clean Westville tuple into the Fort Wayne context with a
+        // conflicting zip: the variable rule now has a bigger conflict.
+        engine
+            .apply_cell_change(&mut table, 4, 2, Value::from("Fort Wayne"))
+            .unwrap();
+        engine
+            .apply_cell_change(&mut table, 4, 1, Value::from("Coliseum Blvd"))
+            .unwrap();
+        let stats = engine.rule_stats(6);
+        // Group {t2, t3, t4} with zips {46825, 46999, 46391}: vio = 9 − 3 = 6.
+        assert_eq!(stats.violations, 6);
+        assert!(engine.dirty_tuples().contains(&4));
+        assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn what_if_is_side_effect_free() {
+        let (mut table, _, mut engine) = build_fixture();
+        let before_stats: Vec<RuleStats> =
+            (0..engine.ruleset().len()).map(|r| engine.rule_stats(r)).collect();
+        let before_version = table.version();
+
+        let what_if = engine
+            .stats_if(&mut table, 1, 2, Value::from("Michigan City"))
+            .unwrap();
+        // The change touches only rules involving CT.
+        let touched: Vec<RuleId> = what_if.iter().map(|(r, _)| *r).collect();
+        assert_eq!(touched, engine.ruleset().rules_involving(2));
+        // The 46360 → Michigan City rule would have zero violations.
+        let rule0 = what_if.iter().find(|(r, _)| *r == 0).unwrap().1;
+        assert_eq!(rule0.violations, 0);
+        assert_eq!(rule0.satisfying, 5);
+
+        // Nothing stuck: stats and table content identical to before (version
+        // counter does advance because the what-if applies and reverts).
+        let after_stats: Vec<RuleStats> =
+            (0..engine.ruleset().len()).map(|r| engine.rule_stats(r)).collect();
+        assert_eq!(before_stats, after_stats);
+        assert_eq!(table.cell(1, 2), &Value::from("Westville"));
+        assert!(table.version() >= before_version);
+        assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn what_if_on_lhs_attribute_moves_groups() {
+        let (mut table, _, mut engine) = build_fixture();
+        // Hypothetically change t3's street: it leaves the conflicting group,
+        // so the variable rule would have no violations.
+        let what_if = engine
+            .stats_if(&mut table, 3, 1, Value::from("Sherden RD"))
+            .unwrap();
+        let var = what_if.iter().find(|(r, _)| *r == 6).unwrap().1;
+        assert_eq!(var.violations, 0);
+        assert_eq!(var.context, 2);
+        // And the real state still shows the conflict.
+        assert_eq!(engine.rule_stats(6).violations, 2);
+    }
+
+    #[test]
+    fn note_new_tuple_extends_tracking() {
+        let (mut table, _, mut engine) = build_fixture();
+        let tid = table
+            .push_text_row(&["H9", "Coliseum Blvd", "Fort Wayne", "IN", "46111"])
+            .unwrap();
+        engine.note_new_tuple(&table, tid);
+        assert_eq!(engine.row_count(), 6);
+        // The new tuple conflicts with t2 and t3 on the variable rule.
+        assert!(engine.dirty_tuples().contains(&tid));
+        assert_eq!(engine.conflict_partners(6, tid), vec![2, 3]);
+        assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_state() {
+        let (mut table, _, mut engine) = build_fixture();
+        engine
+            .apply_cell_change(&mut table, 1, 2, Value::from("Michigan City"))
+            .unwrap();
+        let mut rebuilt = engine.clone();
+        rebuilt.rebuild(&table);
+        for rule in 0..engine.ruleset().len() {
+            assert_eq!(engine.rule_stats(rule), rebuilt.rule_stats(rule));
+        }
+    }
+
+    #[test]
+    fn empty_ruleset_reports_nothing() {
+        let schema = schema();
+        let mut table = Table::new("addr", schema);
+        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
+        let engine = ViolationEngine::build(&table, &RuleSet::new(vec![]));
+        assert_eq!(engine.dirty_tuples(), Vec::<TupleId>::new());
+        assert_eq!(engine.total_violations(), 0);
+    }
+
+    #[test]
+    fn rule_stats_satisfying_plus_violating_tuples_equals_rows() {
+        let (_, ruleset, engine) = build_fixture();
+        for rule in 0..ruleset.len() {
+            let stats = engine.rule_stats(rule);
+            let violating = engine.violating_tuples(rule).len();
+            assert_eq!(stats.satisfying + violating, engine.row_count());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for CFD construction, parsing, and evaluation.
+
+use std::fmt;
+
+use gdr_relation::RelationError;
+
+/// Errors produced while building or evaluating CFDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfdError {
+    /// A rule referenced an attribute that the schema does not contain.
+    UnknownAttribute {
+        /// The attribute name.
+        name: String,
+    },
+    /// The pattern tuple does not cover exactly the rule's attributes.
+    PatternArityMismatch {
+        /// Number of pattern entries supplied.
+        got: usize,
+        /// Number of attributes in `X ∪ Y`.
+        expected: usize,
+    },
+    /// A rule's RHS attribute also appears on its LHS.
+    RhsOverlapsLhs {
+        /// The offending attribute name.
+        name: String,
+    },
+    /// A rule has an empty left-hand side.
+    EmptyLhs,
+    /// A rule has an empty right-hand side.
+    EmptyRhs,
+    /// The textual rule syntax could not be parsed.
+    Parse {
+        /// 1-based line of the rule text.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An error bubbled up from the relational substrate.
+    Relation(RelationError),
+    /// A rule id was out of bounds for the rule set.
+    UnknownRule {
+        /// The offending rule id.
+        rule: usize,
+    },
+}
+
+impl fmt::Display for CfdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfdError::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
+            CfdError::PatternArityMismatch { got, expected } => write!(
+                f,
+                "pattern tuple has {got} entries but the rule has {expected} attributes"
+            ),
+            CfdError::RhsOverlapsLhs { name } => {
+                write!(f, "attribute `{name}` appears on both sides of the rule")
+            }
+            CfdError::EmptyLhs => write!(f, "rule has an empty left-hand side"),
+            CfdError::EmptyRhs => write!(f, "rule has an empty right-hand side"),
+            CfdError::Parse { line, detail } => write!(f, "rule parse error at line {line}: {detail}"),
+            CfdError::Relation(err) => write!(f, "relation error: {err}"),
+            CfdError::UnknownRule { rule } => write!(f, "unknown rule id {rule}"),
+        }
+    }
+}
+
+impl std::error::Error for CfdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CfdError::Relation(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CfdError {
+    fn from(err: RelationError) -> Self {
+        CfdError::Relation(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CfdError::EmptyLhs.to_string().contains("left-hand side"));
+        assert!(CfdError::UnknownAttribute { name: "Z".into() }
+            .to_string()
+            .contains("`Z`"));
+        assert!(CfdError::Parse {
+            line: 3,
+            detail: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn relation_error_wraps_with_source() {
+        let err: CfdError = RelationError::UnknownTuple { tuple: 4 }.into();
+        assert!(matches!(err, CfdError::Relation(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

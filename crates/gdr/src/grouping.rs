@@ -1,0 +1,130 @@
+//! Grouping suggested updates for batch inspection.
+//!
+//! §3, "Grouping Updates": "We use a grouping function where the tuples with
+//! the same update value in a given attribute are grouped together."  Groups
+//! serve two purposes: the user can inspect related suggestions in one batch
+//! (e.g. *all* tuples whose city should become "Michigan City"), and the
+//! learner receives correlated training examples.
+
+use std::collections::BTreeMap;
+
+use gdr_relation::{AttrId, Schema, Value};
+use gdr_repair::Update;
+
+/// A group of suggested updates sharing the target attribute and the
+/// suggested value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateGroup {
+    /// The attribute all members modify.
+    pub attr: AttrId,
+    /// The value all members suggest.
+    pub value: Value,
+    /// The member updates, ordered by tuple id.
+    pub updates: Vec<Update>,
+}
+
+impl UpdateGroup {
+    /// Number of member updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Returns `true` when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Human-readable label, e.g. `CT := 'Michigan City' (3 updates)`.
+    pub fn describe(&self, schema: &Schema) -> String {
+        format!(
+            "{} := '{}' ({} updates)",
+            schema.attr_name(self.attr),
+            self.value.render(),
+            self.updates.len()
+        )
+    }
+}
+
+/// Groups a set of suggested updates by `(attribute, suggested value)`.
+///
+/// Groups are returned in a deterministic order (by attribute, then value)
+/// and their members are ordered by tuple id; ranking happens downstream.
+pub fn group_updates(updates: &[Update]) -> Vec<UpdateGroup> {
+    let mut map: BTreeMap<(AttrId, Value), Vec<Update>> = BTreeMap::new();
+    for update in updates {
+        map.entry((update.attr, update.value.clone()))
+            .or_default()
+            .push(update.clone());
+    }
+    map.into_iter()
+        .map(|((attr, value), mut updates)| {
+            updates.sort_by_key(|u| u.tuple);
+            UpdateGroup {
+                attr,
+                value,
+                updates,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(tuple: usize, attr: usize, value: &str) -> Update {
+        Update::new(tuple, attr, Value::from(value), 0.5)
+    }
+
+    #[test]
+    fn groups_by_attribute_and_value() {
+        let updates = vec![
+            update(2, 3, "Michigan City"),
+            update(4, 3, "Michigan City"),
+            update(3, 3, "Michigan City"),
+            update(5, 5, "46825"),
+            update(8, 5, "46825"),
+            update(6, 3, "Westville"),
+        ];
+        let groups = group_updates(&updates);
+        assert_eq!(groups.len(), 3);
+        // Deterministic order: attr 3 before attr 5; values sorted within.
+        assert_eq!(groups[0].attr, 3);
+        assert_eq!(groups[0].value, Value::from("Michigan City"));
+        assert_eq!(
+            groups[0].updates.iter().map(|u| u.tuple).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(groups[1].value, Value::from("Westville"));
+        assert_eq!(groups[2].attr, 5);
+        assert_eq!(groups[2].len(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        assert!(group_updates(&[]).is_empty());
+    }
+
+    #[test]
+    fn same_value_different_attr_is_a_different_group() {
+        let updates = vec![update(0, 1, "46360"), update(0, 2, "46360")];
+        let groups = group_updates(&updates);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.len() == 1));
+        assert!(!groups[0].is_empty());
+    }
+
+    #[test]
+    fn describe_names_the_attribute() {
+        let schema = Schema::new(&["Name", "SRC", "STR", "CT", "STT", "ZIP"]);
+        let group = UpdateGroup {
+            attr: 3,
+            value: Value::from("Michigan City"),
+            updates: vec![update(2, 3, "Michigan City")],
+        };
+        let text = group.describe(&schema);
+        assert!(text.contains("CT"));
+        assert!(text.contains("Michigan City"));
+        assert!(text.contains("1 updates"));
+    }
+}

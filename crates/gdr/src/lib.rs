@@ -1,0 +1,65 @@
+//! # gdr-core — Guided Data Repair
+//!
+//! The primary contribution of the reproduced paper ("Guided Data Repair",
+//! Yakout, Elmagarmid, Neville, Ouzzani, Ilyas — PVLDB 4(5), 2011): an
+//! interactive repair framework that ranks groups of suggested updates by
+//! their expected *value of information* and, inside each group, orders
+//! updates by active-learning uncertainty so the user's feedback both repairs
+//! the database and trains per-attribute classifiers that can take over.
+//!
+//! The crate is organised around the components of the paper's Figure 2:
+//!
+//! * [`grouping`] — the grouping function (same attribute, same suggested
+//!   value) applied to the `PossibleUpdates` list,
+//! * [`voi`] — the VOI-based group benefit `E[g(c)]` of Eq. 6,
+//! * [`quality`] — the data-quality loss `L` of Eq. 2–3 measured against the
+//!   ground truth, plus quality-improvement bookkeeping,
+//! * [`metrics`] — precision / recall of the applied repairs (Appendix B.1),
+//! * [`model`] — the learning component: one random-forest committee per
+//!   attribute trained on `⟨t[A1..An], v, R(t[A], v), F⟩` examples,
+//! * [`oracle`] — the simulated user that answers from the ground truth
+//!   (§5, "User interaction simulation"),
+//! * [`session`] / [`strategy`] — the interactive loop of Procedure 1 under
+//!   the seven strategies evaluated in the paper (GDR, GDR-NoLearning,
+//!   GDR-S-Learning, Active-Learning, Greedy, Random, Automatic-Heuristic),
+//! * [`fixture`] — the running example of Figure 1 as an executable fixture.
+//!
+//! ```
+//! use gdr_core::fixture;
+//! use gdr_core::session::GdrSession;
+//! use gdr_core::strategy::Strategy;
+//! use gdr_core::config::GdrConfig;
+//!
+//! let (dirty, clean, rules) = fixture::figure1_instance();
+//! let mut session = GdrSession::new(dirty, &rules, clean, Strategy::GdrNoLearning,
+//!                                   GdrConfig::default());
+//! let report = session.run(None).unwrap();
+//! assert!(report.final_loss <= report.initial_loss);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fixture;
+pub mod grouping;
+pub mod metrics;
+pub mod model;
+pub mod oracle;
+pub mod quality;
+pub mod session;
+pub mod strategy;
+pub mod voi;
+
+pub use config::GdrConfig;
+pub use grouping::{group_updates, UpdateGroup};
+pub use metrics::RepairAccuracy;
+pub use model::ModelStore;
+pub use oracle::{GroundTruthOracle, UserOracle};
+pub use quality::QualityEvaluator;
+pub use session::{Checkpoint, GdrSession, SessionReport};
+pub use strategy::Strategy;
+pub use voi::{group_benefit, update_benefit_term};
+
+/// Result alias shared with the repair substrate.
+pub type Result<T> = gdr_repair::Result<T>;

@@ -1,0 +1,592 @@
+//! The interactive GDR session — Procedure 1 of the paper.
+//!
+//! A [`GdrSession`] owns the repair state (database + violation engine +
+//! `PossibleUpdates`), the per-attribute learning models, the quality
+//! evaluator, and a simulated user.  [`GdrSession::run`] executes the
+//! strategy-specific variant of the interactive loop:
+//!
+//! 1. group the candidate updates,
+//! 2. rank the groups (VOI benefit, group size, or random order),
+//! 3. let the user verify updates from the top group — ordered by learner
+//!    uncertainty for GDR, randomly for GDR-S-Learning, or exhaustively for
+//!    the no-learning strategies,
+//! 4. retrain the models every `n_s` answers and let them decide the rest of
+//!    the group,
+//! 5. apply all decisions through the consistency manager, regenerate
+//!    suggestions, and repeat until the feedback budget is exhausted or no
+//!    suggestions remain.
+//!
+//! Quality checkpoints (loss of Eq. 3 against the ground truth) are recorded
+//! after every user answer so the experiment harness can regenerate the
+//! curves of Figures 3–5.
+
+use gdr_cfd::RuleSet;
+use gdr_relation::Table;
+use gdr_repair::{run_heuristic_repair, ChangeSource, HeuristicConfig, RepairState, Update};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::config::GdrConfig;
+use crate::grouping::{group_updates, UpdateGroup};
+use crate::metrics::RepairAccuracy;
+use crate::model::ModelStore;
+use crate::oracle::{GroundTruthOracle, UserOracle};
+use crate::quality::QualityEvaluator;
+use crate::strategy::Strategy;
+use crate::voi::group_benefit;
+use crate::Result;
+
+/// A quality measurement taken during the session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Number of user verifications performed so far.
+    pub verifications: usize,
+    /// Loss `L` (Eq. 3) of the current instance against the ground truth.
+    pub loss: f64,
+    /// Quality improvement in percent relative to the initial instance.
+    pub improvement_pct: f64,
+}
+
+/// Summary of one session run.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The strategy that produced this report.
+    pub strategy: Strategy,
+    /// Number of dirty tuples in the initial instance (the paper's `E`).
+    pub initial_dirty_tuples: usize,
+    /// Loss of the initial instance.
+    pub initial_loss: f64,
+    /// Loss of the final instance.
+    pub final_loss: f64,
+    /// Quality improvement of the final instance, in percent.
+    pub final_improvement_pct: f64,
+    /// Number of updates verified by the user.
+    pub verifications: usize,
+    /// Number of updates decided automatically by the learner.
+    pub learner_decisions: usize,
+    /// Quality checkpoints in verification order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Precision / recall of the applied repairs.
+    pub accuracy: RepairAccuracy,
+}
+
+impl SessionReport {
+    /// The quality improvement reached by the time `verifications` answers
+    /// had been given (the last checkpoint at or below that count).
+    pub fn improvement_at(&self, verifications: usize) -> f64 {
+        self.checkpoints
+            .iter()
+            .filter(|c| c.verifications <= verifications)
+            .last()
+            .map(|c| c.improvement_pct)
+            .unwrap_or(0.0)
+    }
+}
+
+/// An interactive guided-repair session over one database instance.
+#[derive(Debug, Clone)]
+pub struct GdrSession {
+    state: RepairState,
+    initial_dirty: Table,
+    oracle: GroundTruthOracle,
+    evaluator: QualityEvaluator,
+    models: ModelStore,
+    strategy: Strategy,
+    config: GdrConfig,
+    rng: StdRng,
+    verifications: usize,
+    learner_decisions: usize,
+    checkpoints: Vec<Checkpoint>,
+    initial_dirty_tuples: usize,
+}
+
+impl GdrSession {
+    /// Builds a session from a dirty instance, its rules, and the ground
+    /// truth used both by the simulated user and the quality metric.
+    pub fn new(
+        dirty: Table,
+        rules: &RuleSet,
+        ground_truth: Table,
+        strategy: Strategy,
+        config: GdrConfig,
+    ) -> GdrSession {
+        let initial_dirty = dirty.snapshot("initial_dirty");
+        let evaluator = QualityEvaluator::new(&ground_truth, rules, &dirty);
+        let arity = dirty.schema().arity();
+        let state = RepairState::new(dirty, rules);
+        let initial_dirty_tuples = state.dirty_tuples().len();
+        let models = ModelStore::new(arity, config.forest.clone(), config.seed);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        GdrSession {
+            state,
+            initial_dirty,
+            oracle: GroundTruthOracle::new(ground_truth),
+            evaluator,
+            models,
+            strategy,
+            config,
+            rng,
+            verifications: 0,
+            learner_decisions: 0,
+            checkpoints: Vec::new(),
+            initial_dirty_tuples,
+        }
+    }
+
+    /// Read access to the current repair state (database, engine, updates).
+    pub fn state(&self) -> &RepairState {
+        &self.state
+    }
+
+    /// The simulated user.
+    pub fn oracle(&self) -> &GroundTruthOracle {
+        &self.oracle
+    }
+
+    /// Runs the session until the feedback budget (`None` = unlimited) is
+    /// exhausted or no candidate updates remain, and returns the report.
+    pub fn run(&mut self, budget: Option<usize>) -> Result<SessionReport> {
+        self.record_checkpoint();
+        match self.strategy {
+            Strategy::AutomaticHeuristic => {
+                run_heuristic_repair(&mut self.state, &HeuristicConfig::default())?;
+            }
+            Strategy::ActiveLearningOnly => self.run_pool(budget)?,
+            _ => self.run_grouped(budget)?,
+        }
+        self.record_checkpoint();
+        Ok(self.report())
+    }
+
+    /// The group-based strategies: GDR, GDR-NoLearning, GDR-S-Learning,
+    /// Greedy, Random.
+    fn run_grouped(&mut self, budget: Option<usize>) -> Result<()> {
+        self.state.refresh_updates();
+        let mut stalled_rounds = 0usize;
+        loop {
+            if self.budget_exhausted(budget) {
+                break;
+            }
+            let updates = self.state.possible_updates_sorted();
+            if updates.is_empty() {
+                // The generator ran out of admissible suggestions but dirty
+                // tuples may remain; the user then supplies the correct value
+                // directly (treated as confirming ⟨t, A, v′, 1⟩, §4.2).
+                if self.user_supplies_value()? {
+                    self.state.refresh_updates();
+                    continue;
+                }
+                break;
+            }
+            let mut ranked = self.rank_groups(group_updates(&updates))?;
+            if ranked.is_empty() {
+                break;
+            }
+            let (group, benefit, max_benefit) = ranked.remove(0);
+            let quota = self.group_quota(&group, benefit, max_benefit);
+            let actions = self.process_group(&group, quota, budget)?;
+            self.state.refresh_updates();
+            if actions == 0 {
+                stalled_rounds += 1;
+                if stalled_rounds >= 3 {
+                    break;
+                }
+            } else {
+                stalled_rounds = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// The pure active-learning strategy: one global pool ordered by
+    /// committee uncertainty, no grouping, no VOI.
+    fn run_pool(&mut self, budget: Option<usize>) -> Result<()> {
+        self.state.refresh_updates();
+        while !self.budget_exhausted(budget) {
+            let updates = self.state.possible_updates_sorted();
+            if updates.is_empty() {
+                if self.user_supplies_value()? {
+                    self.state.refresh_updates();
+                    continue;
+                }
+                break;
+            }
+            // Most uncertain first (§5.2, "Active-Learning" baseline).
+            let next = updates
+                .iter()
+                .map(|u| (self.models.uncertainty(self.state.table(), u), u.clone()))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(_, u)| u);
+            let Some(update) = next else { break };
+            self.verify_with_user(&update)?;
+            self.state.refresh_updates();
+        }
+        // After the budget is spent, the learned models decide the remaining
+        // suggestions automatically.
+        self.models.retrain_all();
+        self.learner_sweep()?;
+        Ok(())
+    }
+
+    /// Ranks groups according to the strategy; returns
+    /// `(group, benefit, max_benefit)` triples sorted best-first.
+    fn rank_groups(
+        &mut self,
+        groups: Vec<UpdateGroup>,
+    ) -> Result<Vec<(UpdateGroup, f64, f64)>> {
+        let mut scored: Vec<(UpdateGroup, f64)> = Vec::with_capacity(groups.len());
+        match self.strategy {
+            s if s.uses_voi() => {
+                for group in groups {
+                    let probabilities: Vec<f64> = group
+                        .updates
+                        .iter()
+                        .map(|u| {
+                            if self.strategy.uses_learner() {
+                                self.models.confirm_probability(self.state.table(), u)
+                            } else {
+                                u.score
+                            }
+                        })
+                        .collect();
+                    let benefit = group_benefit(&mut self.state, &group, &probabilities)?;
+                    scored.push((group, benefit));
+                }
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone())))
+                });
+            }
+            Strategy::Greedy => {
+                scored = groups.into_iter().map(|g| {
+                    let size = g.len() as f64;
+                    (g, size)
+                }).collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone())))
+                });
+            }
+            Strategy::RandomOrder => {
+                let mut shuffled = groups;
+                shuffled.shuffle(&mut self.rng);
+                scored = shuffled.into_iter().map(|g| (g, 0.0)).collect();
+            }
+            _ => {
+                scored = groups.into_iter().map(|g| (g, 0.0)).collect();
+            }
+        }
+        let max_benefit = scored
+            .iter()
+            .map(|(_, b)| *b)
+            .fold(f64::MIN, f64::max)
+            .max(0.0);
+        Ok(scored
+            .into_iter()
+            .map(|(g, b)| (g, b, max_benefit))
+            .collect())
+    }
+
+    /// The number of user verifications requested for a group — the paper's
+    /// `d_i = E · (1 − g(c_i)/g_max)`, floored by the configured minimum and
+    /// capped by the group size.  Strategies without a learner verify
+    /// everything.
+    fn group_quota(&self, group: &UpdateGroup, benefit: f64, max_benefit: f64) -> usize {
+        if !self.strategy.uses_learner() {
+            return group.len();
+        }
+        let e = self.initial_dirty_tuples as f64;
+        let ratio = if max_benefit > 0.0 {
+            (benefit / max_benefit).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let d = (e * (1.0 - ratio)).ceil() as usize;
+        d.max(self.config.min_verifications_per_group).min(group.len())
+    }
+
+    /// Lets the user verify up to `quota` updates of the group (ordered by
+    /// the strategy) and, for the learning strategies, lets the trained
+    /// models decide the remainder.  Returns the number of decisions made.
+    fn process_group(
+        &mut self,
+        group: &UpdateGroup,
+        quota: usize,
+        budget: Option<usize>,
+    ) -> Result<usize> {
+        let mut remaining: Vec<Update> = group.updates.clone();
+        let mut verified_in_group = 0usize;
+        let mut actions = 0usize;
+
+        // Phase 1: user verification, ordered per strategy.
+        while verified_in_group < quota
+            && !remaining.is_empty()
+            && !self.budget_exhausted(budget)
+        {
+            let index = match self.strategy {
+                Strategy::Gdr => {
+                    // Most uncertain first; the committee is re-consulted
+                    // after every retrain so the order adapts.
+                    remaining
+                        .iter()
+                        .enumerate()
+                        .map(|(i, u)| (i, self.models.uncertainty(self.state.table(), u)))
+                        .max_by(|a, b| {
+                            a.1.partial_cmp(&b.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| b.0.cmp(&a.0))
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                }
+                Strategy::GdrSLearning => self.rng.gen_range(0..remaining.len()),
+                _ => 0,
+            };
+            let update = remaining.remove(index);
+            if !self.is_still_pending(&update) {
+                continue;
+            }
+            self.verify_with_user(&update)?;
+            verified_in_group += 1;
+            actions += 1;
+        }
+
+        // Phase 2: the learned models decide the rest of the group.
+        if self.strategy.uses_learner() {
+            self.models.retrain_all();
+            for update in remaining {
+                if !self.is_still_pending(&update) {
+                    continue;
+                }
+                if !self.models.is_trained(update.attr)
+                    || self.models.training_size(update.attr) < self.config.learner_min_training
+                {
+                    continue;
+                }
+                let Some(prediction) = self.models.predict(self.state.table(), &update) else {
+                    continue;
+                };
+                self.state
+                    .apply_feedback(&update, prediction, ChangeSource::LearnerApplied)?;
+                self.learner_decisions += 1;
+                actions += 1;
+            }
+        }
+
+        Ok(actions)
+    }
+
+    /// One round of user interaction on a single update: ask the oracle,
+    /// record the answer as a training example, apply it through the
+    /// consistency manager, and take a quality checkpoint.
+    fn verify_with_user(&mut self, update: &Update) -> Result<()> {
+        let current = self.state.table().cell(update.tuple, update.attr).clone();
+        let feedback = self.oracle.feedback(update, &current);
+        if self.strategy.uses_learner() {
+            // The training example must describe the tuple *before* the
+            // repair is applied.
+            self.models
+                .add_feedback(self.state.table(), update, feedback);
+        }
+        self.state
+            .apply_feedback(update, feedback, ChangeSource::UserConfirmed)?;
+        self.verifications += 1;
+        if self.strategy.uses_learner() && self.verifications % self.config.ns_batch == 0 {
+            self.models.retrain_all();
+        }
+        if self.verifications % self.config.checkpoint_every == 0 {
+            self.record_checkpoint();
+        }
+        // A rejected suggestion may have an immediate replacement for the
+        // same cell; Feedback::Reject handling already regenerated it.
+        let _ = feedback;
+        Ok(())
+    }
+
+    /// Applies trained-model predictions to every remaining suggestion, in
+    /// passes, until no model is confident enough to decide anything more.
+    fn learner_sweep(&mut self) -> Result<()> {
+        for _ in 0..4 {
+            let mut progressed = false;
+            for update in self.state.possible_updates_sorted() {
+                if !self.is_still_pending(&update) {
+                    continue;
+                }
+                if !self.models.is_trained(update.attr)
+                    || self.models.training_size(update.attr) < self.config.learner_min_training
+                {
+                    continue;
+                }
+                let Some(prediction) = self.models.predict(self.state.table(), &update) else {
+                    continue;
+                };
+                self.state
+                    .apply_feedback(&update, prediction, ChangeSource::LearnerApplied)?;
+                self.learner_decisions += 1;
+                progressed = true;
+            }
+            self.state.refresh_updates();
+            if !progressed {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Models the user typing in the correct value for a still-dirty cell
+    /// when no suggestion covers it — the paper treats this as confirming
+    /// `⟨t, A, v′, 1⟩`.  Returns `false` when every wrong cell of every dirty
+    /// tuple is frozen (nothing the simulated user can still do).
+    fn user_supplies_value(&mut self) -> Result<bool> {
+        let arity = self.state.table().schema().arity();
+        for tuple in self.state.dirty_tuples() {
+            for attr in 0..arity {
+                if !self.state.is_changeable((tuple, attr)) {
+                    continue;
+                }
+                let Some(truth) = self.oracle.correct_value(tuple, attr) else {
+                    continue;
+                };
+                if self.state.table().cell(tuple, attr) == &truth {
+                    continue;
+                }
+                let update = Update::new(tuple, attr, truth, 1.0);
+                self.verify_with_user(&update)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn is_still_pending(&self, update: &Update) -> bool {
+        self.state
+            .pending_update(update.cell())
+            .map(|pending| pending.value == update.value)
+            .unwrap_or(false)
+    }
+
+    fn budget_exhausted(&self, budget: Option<usize>) -> bool {
+        budget.map(|b| self.verifications >= b).unwrap_or(false)
+    }
+
+    fn record_checkpoint(&mut self) {
+        let loss = self.evaluator.loss_of_engine(self.state.engine());
+        self.checkpoints.push(Checkpoint {
+            verifications: self.verifications,
+            loss,
+            improvement_pct: self.evaluator.improvement_pct(loss),
+        });
+    }
+
+    fn report(&self) -> SessionReport {
+        let final_loss = self.evaluator.loss_of_engine(self.state.engine());
+        let accuracy = RepairAccuracy::compute(
+            &self.initial_dirty,
+            self.state.table(),
+            self.oracle.truth(),
+        );
+        SessionReport {
+            strategy: self.strategy,
+            initial_dirty_tuples: self.initial_dirty_tuples,
+            initial_loss: self.evaluator.initial_loss(),
+            final_loss,
+            final_improvement_pct: self.evaluator.improvement_pct(final_loss),
+            verifications: self.verifications,
+            learner_decisions: self.learner_decisions,
+            checkpoints: self.checkpoints.clone(),
+            accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    fn run_strategy(strategy: Strategy, budget: Option<usize>) -> SessionReport {
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        session.run(budget).expect("session runs")
+    }
+
+    #[test]
+    fn no_learning_session_reaches_full_quality_with_unlimited_budget() {
+        let report = run_strategy(Strategy::GdrNoLearning, None);
+        assert!(report.verifications > 0);
+        assert_eq!(report.learner_decisions, 0);
+        assert!(
+            report.final_improvement_pct > 99.0,
+            "improvement = {}",
+            report.final_improvement_pct
+        );
+        assert!(report.final_loss <= 1e-9);
+        assert!(report.accuracy.precision() > 0.9);
+    }
+
+    #[test]
+    fn checkpoints_are_monotone_in_verifications() {
+        let report = run_strategy(Strategy::GdrNoLearning, None);
+        assert!(report
+            .checkpoints
+            .windows(2)
+            .all(|w| w[0].verifications <= w[1].verifications));
+        assert_eq!(report.checkpoints.first().unwrap().verifications, 0);
+        assert!(report.improvement_at(usize::MAX) >= report.improvement_at(0));
+    }
+
+    #[test]
+    fn budget_limits_user_effort() {
+        let report = run_strategy(Strategy::GdrNoLearning, Some(2));
+        assert!(report.verifications <= 2);
+    }
+
+    #[test]
+    fn heuristic_uses_no_feedback() {
+        let report = run_strategy(Strategy::AutomaticHeuristic, None);
+        assert_eq!(report.verifications, 0);
+        assert_eq!(report.learner_decisions, 0);
+        // It repairs something, but not necessarily correctly.
+        assert!(report.final_loss <= report.initial_loss);
+    }
+
+    #[test]
+    fn greedy_and_random_also_converge_given_unlimited_budget() {
+        for strategy in [Strategy::Greedy, Strategy::RandomOrder] {
+            let report = run_strategy(strategy, None);
+            assert!(
+                report.final_improvement_pct > 99.0,
+                "{strategy} reached only {}",
+                report.final_improvement_pct
+            );
+        }
+    }
+
+    #[test]
+    fn gdr_with_learning_terminates_and_improves() {
+        let report = run_strategy(Strategy::Gdr, Some(10));
+        assert!(report.verifications <= 10);
+        assert!(report.final_improvement_pct > 0.0);
+        assert!(report.initial_dirty_tuples > 0);
+    }
+
+    #[test]
+    fn active_learning_only_terminates_and_improves() {
+        let report = run_strategy(Strategy::ActiveLearningOnly, Some(8));
+        assert!(report.verifications <= 8);
+        assert!(report.final_improvement_pct > 0.0);
+    }
+
+    #[test]
+    fn reports_expose_improvement_at_checkpoints() {
+        let report = run_strategy(Strategy::GdrNoLearning, None);
+        let early = report.improvement_at(1);
+        let late = report.improvement_at(report.verifications);
+        assert!(late >= early);
+        assert!((late - report.final_improvement_pct).abs() < 1e-9);
+    }
+}

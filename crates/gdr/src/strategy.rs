@@ -1,0 +1,128 @@
+//! The repair strategies evaluated in the paper.
+
+use std::fmt;
+
+/// A strategy for involving (or not involving) the user, matching §5.1–5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full GDR: VOI-ranked groups, active-learning ordering inside each
+    /// group, learner takes over the rest of the group.
+    Gdr,
+    /// VOI-ranked groups, every update verified by the user, no learner.
+    GdrNoLearning,
+    /// VOI-ranked groups, user labels a *random* selection inside each group
+    /// (passive learning), learner decides the remainder.
+    GdrSLearning,
+    /// No grouping, no VOI: a single pool ordered by learner uncertainty; the
+    /// trained model decides whatever the feedback budget does not cover.
+    ActiveLearningOnly,
+    /// Groups ranked by size (largest first), every update verified.
+    Greedy,
+    /// Groups in random order, every update verified.
+    RandomOrder,
+    /// The fully automatic BatchRepair-style heuristic (no user).
+    AutomaticHeuristic,
+}
+
+impl Strategy {
+    /// All strategies, in the order the experiment harness reports them.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Gdr,
+        Strategy::GdrNoLearning,
+        Strategy::GdrSLearning,
+        Strategy::ActiveLearningOnly,
+        Strategy::Greedy,
+        Strategy::RandomOrder,
+        Strategy::AutomaticHeuristic,
+    ];
+
+    /// Does the strategy group updates and rank the groups?
+    pub fn uses_groups(self) -> bool {
+        !matches!(
+            self,
+            Strategy::ActiveLearningOnly | Strategy::AutomaticHeuristic
+        )
+    }
+
+    /// Does the strategy train and consult the learning component?
+    pub fn uses_learner(self) -> bool {
+        matches!(
+            self,
+            Strategy::Gdr | Strategy::GdrSLearning | Strategy::ActiveLearningOnly
+        )
+    }
+
+    /// Does the strategy rank groups with the VOI benefit (Eq. 6)?
+    pub fn uses_voi(self) -> bool {
+        matches!(
+            self,
+            Strategy::Gdr | Strategy::GdrNoLearning | Strategy::GdrSLearning
+        )
+    }
+
+    /// Does the strategy consume any user feedback at all?
+    pub fn uses_user(self) -> bool {
+        !matches!(self, Strategy::AutomaticHeuristic)
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Gdr => "GDR",
+            Strategy::GdrNoLearning => "GDR-NoLearning",
+            Strategy::GdrSLearning => "GDR-S-Learning",
+            Strategy::ActiveLearningOnly => "Active-Learning",
+            Strategy::Greedy => "Greedy",
+            Strategy::RandomOrder => "Random",
+            Strategy::AutomaticHeuristic => "Heuristic",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_the_paper() {
+        assert!(Strategy::Gdr.uses_groups());
+        assert!(Strategy::Gdr.uses_learner());
+        assert!(Strategy::Gdr.uses_voi());
+        assert!(Strategy::Gdr.uses_user());
+
+        assert!(Strategy::GdrNoLearning.uses_voi());
+        assert!(!Strategy::GdrNoLearning.uses_learner());
+
+        assert!(Strategy::GdrSLearning.uses_voi());
+        assert!(Strategy::GdrSLearning.uses_learner());
+
+        assert!(!Strategy::ActiveLearningOnly.uses_groups());
+        assert!(Strategy::ActiveLearningOnly.uses_learner());
+        assert!(!Strategy::ActiveLearningOnly.uses_voi());
+
+        assert!(Strategy::Greedy.uses_groups());
+        assert!(!Strategy::Greedy.uses_voi());
+        assert!(!Strategy::Greedy.uses_learner());
+
+        assert!(Strategy::RandomOrder.uses_groups());
+        assert!(!Strategy::RandomOrder.uses_voi());
+
+        assert!(!Strategy::AutomaticHeuristic.uses_user());
+        assert!(!Strategy::AutomaticHeuristic.uses_learner());
+    }
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: std::collections::HashSet<_> =
+            Strategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Strategy::ALL.len());
+        assert_eq!(Strategy::Gdr.to_string(), "GDR");
+        assert_eq!(Strategy::RandomOrder.to_string(), "Random");
+    }
+}

@@ -1,0 +1,221 @@
+//! VOI-based ranking of update groups (Eq. 6).
+//!
+//! The estimated data-quality gain of acquiring user feedback on a group
+//! `c = {r_1, …, r_J}` is
+//!
+//! ```text
+//! E[g(c)] = Σ_{φ_i ∈ Σ} w_i · Σ_{r_j ∈ c}
+//!              p̃_j · ( vio(D, {φ_i}) − vio(D^{r_j}, {φ_i}) ) / |D^{r_j} ⊨ φ_i|
+//! ```
+//!
+//! where `p̃_j` is the probability the update is correct (the learner's
+//! confirm probability once trained, the repair-evaluation score `s_j`
+//! before), `D^{r_j}` is the instance with `r_j` applied, and `|D^{r_j} ⊨
+//! φ_i|` its number of satisfying tuples.  Only rules involving the update's
+//! attribute can change, so each update contributes terms for just those
+//! rules — exactly what [`gdr_repair::RepairState::what_if_stats`] returns.
+
+use gdr_repair::{RepairState, Update};
+
+use crate::grouping::UpdateGroup;
+use crate::Result;
+
+/// One term of Eq. 6: the contribution of a single update to a single rule.
+///
+/// `vio_before`/`vio_after` are `vio(D, {φ})` and `vio(D^{r_j}, {φ})`;
+/// `satisfying_after` is `|D^{r_j} ⊨ φ|`.  A rule nobody satisfies after the
+/// update contributes nothing (the paper's formula would divide by zero; such
+/// a repair cannot reduce the loss of that rule anyway).
+pub fn update_benefit_term(
+    probability: f64,
+    vio_before: usize,
+    vio_after: usize,
+    satisfying_after: usize,
+) -> f64 {
+    if satisfying_after == 0 {
+        return 0.0;
+    }
+    probability * (vio_before as f64 - vio_after as f64) / satisfying_after as f64
+}
+
+/// Estimated benefit `E[g(c)]` of a group of updates (Eq. 6).
+///
+/// `probabilities` supplies `p̃_j` for each member of the group, in the same
+/// order as `group.updates`.
+pub fn group_benefit(
+    state: &mut RepairState,
+    group: &UpdateGroup,
+    probabilities: &[f64],
+) -> Result<f64> {
+    assert_eq!(
+        group.updates.len(),
+        probabilities.len(),
+        "one probability per group member is required"
+    );
+    let mut benefit = 0.0;
+    for (update, &p) in group.updates.iter().zip(probabilities) {
+        benefit += single_update_benefit(state, update, p)?;
+    }
+    Ok(benefit)
+}
+
+/// The Eq. 6 contribution of one update: `Σ_i w_i · p̃ · (vio − vio') / |D' ⊨ φ_i|`
+/// over the rules its attribute participates in.
+pub fn single_update_benefit(
+    state: &mut RepairState,
+    update: &Update,
+    probability: f64,
+) -> Result<f64> {
+    let before: Vec<(usize, usize)> = state
+        .ruleset()
+        .rules_involving(update.attr)
+        .into_iter()
+        .map(|rule| (rule, state.rule_stats(rule).violations))
+        .collect();
+    let after = state.what_if_stats(update)?;
+    let weights = state.ruleset().weights().to_vec();
+
+    let mut benefit = 0.0;
+    for (rule, stats_after) in after {
+        let vio_before = before
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        benefit += weights[rule]
+            * update_benefit_term(
+                probability,
+                vio_before,
+                stats_after.violations,
+                stats_after.satisfying,
+            );
+    }
+    Ok(benefit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_updates;
+    use gdr_cfd::{parser, RuleSet};
+    use gdr_relation::{Schema, Table, Value};
+
+    /// §4.1 worked example: three updates with p̃ = 0.9, 0.6, 0.6, each
+    /// removing one violation of a rule with weight 4/8 and leaving exactly
+    /// one satisfying tuple in the denominator, give a benefit of 1.05.
+    #[test]
+    fn paper_worked_example() {
+        let weight: f64 = 4.0 / 8.0;
+        let terms = [
+            update_benefit_term(0.9, 4, 3, 1),
+            update_benefit_term(0.6, 4, 3, 1),
+            update_benefit_term(0.6, 4, 3, 1),
+        ];
+        let benefit: f64 = weight * terms.iter().sum::<f64>();
+        assert!((benefit - 1.05).abs() < 1e-12, "benefit = {benefit}");
+    }
+
+    #[test]
+    fn term_is_zero_when_nothing_satisfies_after() {
+        assert_eq!(update_benefit_term(0.9, 4, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn term_can_be_negative_for_harmful_updates() {
+        assert!(update_benefit_term(0.5, 2, 5, 10) < 0.0);
+    }
+
+    fn fixture() -> (RepairState, Schema) {
+        let schema = Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"]);
+        let mut table = Table::new("addr", schema.clone());
+        // Three tuples whose city is wrong for zip 46360 and one clean tuple.
+        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H2", "Wabash St", "Westvile", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H2", "Ohio St", "Michigan Cty", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H1", "Franklin St", "Michigan City", "IN", "46360"]).unwrap();
+        // A separate, smaller problem: one Fort Wayne zip conflict.
+        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
+        table.push_text_row(&["H3", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
+        let mut rules = RuleSet::new(
+            parser::parse_rules(
+                &schema,
+                "ZIP -> CT : 46360 || Michigan City\nSTR, CT -> ZIP : _, Fort Wayne || _\n",
+            )
+            .unwrap(),
+        );
+        rules.weights_from_context(&table);
+        (RepairState::new(table, &rules), schema)
+    }
+
+    #[test]
+    fn better_groups_get_higher_benefit() {
+        let (mut state, _) = fixture();
+        let updates = state.possible_updates_sorted();
+        let groups = group_updates(&updates);
+        // Find the "CT := Michigan City" group (3 members) and the
+        // "ZIP := 46825" group (1 member).
+        let city_group = groups
+            .iter()
+            .find(|g| g.attr == 2 && g.value == Value::from("Michigan City"))
+            .expect("city group");
+        // The three zip-46360 tuples are in the group (LHS repairs of the
+        // Fort Wayne tuples may add members, which only raises its benefit).
+        assert!(city_group.len() >= 3);
+        for tuple in [0, 1, 2] {
+            assert!(city_group.updates.iter().any(|u| u.tuple == tuple));
+        }
+        let zip_group = groups
+            .iter()
+            .find(|g| g.attr == 4 && g.value == Value::from("46825"))
+            .expect("zip group");
+
+        let city_probs = vec![0.9; city_group.len()];
+        let zip_probs = vec![0.9; zip_group.len()];
+        let city_benefit = group_benefit(&mut state, city_group, &city_probs).unwrap();
+        let zip_benefit = group_benefit(&mut state, zip_group, &zip_probs).unwrap();
+        assert!(
+            city_benefit > zip_benefit,
+            "city {city_benefit} should beat zip {zip_benefit}"
+        );
+        assert!(city_benefit > 0.0);
+    }
+
+    #[test]
+    fn probability_scales_the_benefit() {
+        let (mut state, _) = fixture();
+        let updates = state.possible_updates_sorted();
+        let groups = group_updates(&updates);
+        let city_group = groups
+            .iter()
+            .find(|g| g.attr == 2 && g.value == Value::from("Michigan City"))
+            .unwrap()
+            .clone();
+        let high = group_benefit(&mut state, &city_group, &vec![1.0; city_group.len()]).unwrap();
+        let low = group_benefit(&mut state, &city_group, &vec![0.1; city_group.len()]).unwrap();
+        assert!(high > low);
+        assert!((high * 0.1 - low).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benefit_evaluation_leaves_no_side_effects() {
+        let (mut state, _) = fixture();
+        let before = state.table().clone();
+        let updates = state.possible_updates_sorted();
+        let groups = group_updates(&updates);
+        for group in &groups {
+            let probs = vec![0.5; group.len()];
+            group_benefit(&mut state, group, &probs).unwrap();
+        }
+        assert_eq!(before.diff_cells(state.table()).unwrap(), vec![]);
+        assert!(state.invariants_hold());
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per group member")]
+    fn mismatched_probability_vector_panics() {
+        let (mut state, _) = fixture();
+        let updates = state.possible_updates_sorted();
+        let groups = group_updates(&updates);
+        let _ = group_benefit(&mut state, &groups[0], &[]);
+    }
+}

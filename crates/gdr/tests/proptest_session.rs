@@ -1,0 +1,129 @@
+//! Property-based tests for the GDR session: for arbitrary small dirty
+//! instances the interactive loop must terminate, respect its budget, never
+//! worsen the final quality, and keep the repair-state invariants.
+
+use gdr_cfd::{parser, RuleSet};
+use gdr_core::{GdrConfig, GdrSession, Strategy};
+use gdr_relation::{Schema, Table, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"])
+}
+
+fn ruleset(schema: &Schema) -> RuleSet {
+    RuleSet::new(
+        parser::parse_rules(
+            schema,
+            "\
+ZIP -> CT, STT : 46360 || Michigan City, IN
+ZIP -> CT, STT : 46391 || Westville, IN
+ZIP -> CT, STT : 46825 || Fort Wayne, IN
+STR, CT -> ZIP : _, Fort Wayne || _
+",
+        )
+        .unwrap(),
+    )
+}
+
+const CLEAN_ROWS: &[[&str; 5]] = &[
+    ["H1", "Franklin St", "Michigan City", "IN", "46360"],
+    ["H2", "Wabash St", "Michigan City", "IN", "46360"],
+    ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+    ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+    ["H3", "Clinton St", "Fort Wayne", "IN", "46825"],
+    ["H1", "Colfax Ave", "Westville", "IN", "46391"],
+    ["H2", "Main St", "Westville", "IN", "46391"],
+    ["H3", "Valparaiso St", "Westville", "IN", "46391"],
+];
+
+fn corruption(attr: usize, pick: usize) -> &'static str {
+    let pool: &[&str] = match attr {
+        2 => &["FT Wayne", "Michigan Cty", "Westvile", "Fort Wayne", "Westville"],
+        4 => &["46999", "46391", "46360", "46820"],
+        _ => &["X"],
+    };
+    pool[pick % pool.len()]
+}
+
+fn instance(corruptions: &[(usize, usize, usize)]) -> (Table, Table, RuleSet) {
+    let schema = schema();
+    let mut clean = Table::new("clean", schema.clone());
+    for row in CLEAN_ROWS {
+        clean.push_text_row(row).unwrap();
+    }
+    let mut dirty = clean.snapshot("dirty");
+    for &(row, attr_pick, value_pick) in corruptions {
+        let row = row % dirty.len();
+        let attr = if attr_pick % 2 == 0 { 2 } else { 4 };
+        dirty
+            .set_cell(row, attr, Value::from(corruption(attr, value_pick)))
+            .unwrap();
+    }
+    let mut rules = ruleset(&schema);
+    rules.weights_from_context(&dirty);
+    (dirty, clean, rules)
+}
+
+fn strategy_from(pick: usize) -> Strategy {
+    Strategy::ALL[pick % Strategy::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any strategy terminates on any instance and never worsens quality.
+    #[test]
+    fn sessions_terminate_and_do_not_worsen_quality(
+        corruptions in proptest::collection::vec((0usize..8, 0usize..2, 0usize..5), 0..6),
+        strategy_pick in 0usize..7,
+        budget in proptest::option::of(0usize..20),
+    ) {
+        let (dirty, clean, rules) = instance(&corruptions);
+        let strategy = strategy_from(strategy_pick);
+        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let report = session.run(budget).unwrap();
+        prop_assert!(report.final_loss <= report.initial_loss + 1e-9);
+        if let Some(b) = budget {
+            prop_assert!(report.verifications <= b);
+        }
+        prop_assert!(session.state().invariants_hold());
+        prop_assert!((0.0..=100.0).contains(&report.final_improvement_pct));
+        prop_assert!(report.accuracy.precision() >= 0.0 && report.accuracy.precision() <= 1.0);
+        prop_assert!(report.accuracy.recall() >= 0.0 && report.accuracy.recall() <= 1.0);
+    }
+
+    /// With an unlimited budget and no learner (every answer comes straight
+    /// from the ground truth), the no-learning strategies always restore a
+    /// consistent database and perfect precision.
+    #[test]
+    fn unlimited_oracle_feedback_restores_consistency(
+        corruptions in proptest::collection::vec((0usize..8, 0usize..2, 0usize..5), 1..6),
+        strategy_pick in 0usize..3,
+    ) {
+        let strategy = [Strategy::GdrNoLearning, Strategy::Greedy, Strategy::RandomOrder]
+            [strategy_pick % 3];
+        let (dirty, clean, rules) = instance(&corruptions);
+        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let report = session.run(None).unwrap();
+        prop_assert!(report.final_loss <= 1e-9, "loss {}", report.final_loss);
+        prop_assert!(report.accuracy.precision() > 0.999);
+        prop_assert_eq!(report.learner_decisions, 0);
+    }
+
+    /// Checkpoints are ordered by verification count and the reported final
+    /// improvement matches the last checkpoint.
+    #[test]
+    fn checkpoints_are_consistent(
+        corruptions in proptest::collection::vec((0usize..8, 0usize..2, 0usize..5), 0..6),
+        strategy_pick in 0usize..7,
+    ) {
+        let (dirty, clean, rules) = instance(&corruptions);
+        let strategy = strategy_from(strategy_pick);
+        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let report = session.run(Some(10)).unwrap();
+        prop_assert!(report.checkpoints.windows(2).all(|w| w[0].verifications <= w[1].verifications));
+        let last = report.checkpoints.last().unwrap();
+        prop_assert!((last.improvement_pct - report.final_improvement_pct).abs() < 1e-9);
+    }
+}

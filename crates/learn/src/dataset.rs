@@ -1,0 +1,258 @@
+//! Feature vectors, examples, and growing training sets.
+//!
+//! The GDR training examples (§4.2, "Data Representation") have the form
+//! `⟨t[A1], …, t[An], v, R(t[Ai], v), F⟩`: the original tuple's attribute
+//! values and the suggested value are *categorical* features, the
+//! relationship function `R` (a string similarity) is a *numeric* feature,
+//! and the label `F` is the expected feedback.  [`FeatureValue`] models that
+//! mix; labels are plain `usize` indices so the crate stays independent of
+//! the repair vocabulary.
+
+use std::fmt;
+
+/// One feature of an example: categorical, numeric, or missing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureValue {
+    /// Unknown / not applicable.  Categorical tests treat it as "not equal";
+    /// numeric threshold tests route it to the right branch.
+    Missing,
+    /// A categorical value compared only by equality.
+    Categorical(String),
+    /// A numeric value compared against learned thresholds.
+    Numeric(f64),
+}
+
+impl FeatureValue {
+    /// Convenience constructor for categorical features.
+    pub fn categorical(value: impl Into<String>) -> FeatureValue {
+        FeatureValue::Categorical(value.into())
+    }
+
+    /// Returns the categorical contents, if any.
+    pub fn as_categorical(&self) -> Option<&str> {
+        match self {
+            FeatureValue::Categorical(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric contents, if any.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            FeatureValue::Numeric(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`FeatureValue::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, FeatureValue::Missing)
+    }
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureValue::Missing => write!(f, "?"),
+            FeatureValue::Categorical(s) => write!(f, "{s}"),
+            FeatureValue::Numeric(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A labelled training example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// The feature vector; its length must match the dataset's feature count.
+    pub features: Vec<FeatureValue>,
+    /// The class label as an index in `0..label_count`.
+    pub label: usize,
+}
+
+impl Example {
+    /// Builds an example.
+    pub fn new(features: Vec<FeatureValue>, label: usize) -> Example {
+        Example { features, label }
+    }
+}
+
+/// A growing set of labelled examples with a fixed feature/label arity.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    feature_count: usize,
+    label_count: usize,
+    examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for `feature_count` features and
+    /// `label_count` classes.
+    pub fn new(feature_count: usize, label_count: usize) -> Dataset {
+        Dataset {
+            feature_count,
+            label_count,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Number of features per example.
+    pub fn feature_count(&self) -> usize {
+        self.feature_count
+    }
+
+    /// Number of classes.
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Returns `true` when no examples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Adds an example.
+    ///
+    /// # Panics
+    /// Panics if the feature arity or the label is out of range — both are
+    /// programming errors in the caller's feature mapping.
+    pub fn push(&mut self, example: Example) {
+        assert_eq!(
+            example.features.len(),
+            self.feature_count,
+            "example has wrong feature arity"
+        );
+        assert!(
+            example.label < self.label_count,
+            "label {} out of range (label_count = {})",
+            example.label,
+            self.label_count
+        );
+        self.examples.push(example);
+    }
+
+    /// All examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// One example by index.
+    pub fn example(&self, index: usize) -> &Example {
+        &self.examples[index]
+    }
+
+    /// Label histogram over a subset of example indices.
+    pub fn label_counts(&self, indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.label_count];
+        for &i in indices {
+            counts[self.examples[i].label] += 1;
+        }
+        counts
+    }
+
+    /// The majority label over a subset (ties resolved toward the smaller
+    /// label index for determinism); `None` when the subset is empty.
+    pub fn majority_label(&self, indices: &[usize]) -> Option<usize> {
+        if indices.is_empty() {
+            return None;
+        }
+        let counts = self.label_counts(indices);
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(label, _)| label)
+    }
+
+    /// The distinct labels present in the dataset.
+    pub fn distinct_labels(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.label_count];
+        for e in &self.examples {
+            seen[e.label] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(2, 3);
+        d.push(Example::new(
+            vec![FeatureValue::categorical("a"), FeatureValue::Numeric(1.0)],
+            0,
+        ));
+        d.push(Example::new(
+            vec![FeatureValue::categorical("b"), FeatureValue::Numeric(2.0)],
+            1,
+        ));
+        d.push(Example::new(
+            vec![FeatureValue::categorical("a"), FeatureValue::Missing],
+            0,
+        ));
+        d
+    }
+
+    #[test]
+    fn feature_value_accessors() {
+        assert_eq!(FeatureValue::categorical("x").as_categorical(), Some("x"));
+        assert_eq!(FeatureValue::Numeric(2.5).as_numeric(), Some(2.5));
+        assert!(FeatureValue::Missing.is_missing());
+        assert_eq!(FeatureValue::Missing.as_categorical(), None);
+        assert_eq!(FeatureValue::categorical("x").as_numeric(), None);
+        assert_eq!(FeatureValue::Missing.to_string(), "?");
+        assert_eq!(FeatureValue::categorical("x").to_string(), "x");
+    }
+
+    #[test]
+    fn push_and_count() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.feature_count(), 2);
+        assert_eq!(d.label_count(), 3);
+        assert_eq!(d.example(1).label, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong feature arity")]
+    fn arity_is_checked() {
+        let mut d = Dataset::new(2, 2);
+        d.push(Example::new(vec![FeatureValue::Missing], 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_range_is_checked() {
+        let mut d = Dataset::new(1, 2);
+        d.push(Example::new(vec![FeatureValue::Missing], 5));
+    }
+
+    #[test]
+    fn label_counts_and_majority() {
+        let d = sample();
+        assert_eq!(d.label_counts(&[0, 1, 2]), vec![2, 1, 0]);
+        assert_eq!(d.majority_label(&[0, 1, 2]), Some(0));
+        assert_eq!(d.majority_label(&[1]), Some(1));
+        assert_eq!(d.majority_label(&[]), None);
+        // Tie goes to the smaller label.
+        assert_eq!(d.majority_label(&[0, 1]), Some(0));
+    }
+
+    #[test]
+    fn distinct_labels_lists_present_classes() {
+        let d = sample();
+        assert_eq!(d.distinct_labels(), vec![0, 1]);
+        assert_eq!(Dataset::new(1, 4).distinct_labels(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,55 @@
+//! # gdr-learn — a from-scratch learning substrate for guided data repair
+//!
+//! The GDR paper (§4.2) learns one classifier per attribute to predict the
+//! user's feedback (*confirm / reject / retain*) on suggested updates, using
+//! the WEKA random-forest implementation with `k = 10` trees, and drives
+//! active learning with the committee-disagreement entropy of the ensemble.
+//! No suitable offline Rust crate covers this workflow, so this crate
+//! re-implements the needed pieces from scratch:
+//!
+//! * [`dataset`] — mixed categorical/numeric feature vectors and growing
+//!   training sets,
+//! * [`tree`] — an entropy-based decision-tree learner with random attribute
+//!   subsampling at every split (the randomisation that makes a bagged
+//!   ensemble a *random forest*),
+//! * [`forest`] — bagging + majority vote over `k` trees, with access to the
+//!   per-tree votes,
+//! * [`uncertainty`] — the committee-entropy uncertainty score of §4.2
+//!   (entropy of the vote fractions, logarithm base = number of classes, so
+//!   the score lies in `[0, 1]`),
+//! * [`active`] — an incremental wrapper that accumulates labelled examples,
+//!   retrains on demand, and ranks an unlabelled pool by uncertainty.
+//!
+//! The crate is deliberately generic — labels are `usize` indices and
+//! features are [`FeatureValue`]s — so it can be tested independently of the
+//! repair machinery; the `gdr-core` crate maps updates and feedback onto it.
+//!
+//! ```
+//! use gdr_learn::{Dataset, Example, FeatureValue, ForestConfig, RandomForest};
+//!
+//! // Tiny two-class problem: label = 1 iff the first feature is "b".
+//! let mut data = Dataset::new(2, 2);
+//! for (f, label) in [("a", 0), ("b", 1), ("a", 0), ("b", 1), ("a", 0), ("b", 1)] {
+//!     data.push(Example::new(
+//!         vec![FeatureValue::categorical(f), FeatureValue::Numeric(1.0)],
+//!         label,
+//!     ));
+//! }
+//! let forest = RandomForest::train(&data, &ForestConfig::default(), 7);
+//! assert_eq!(forest.predict(&[FeatureValue::categorical("b"), FeatureValue::Numeric(0.0)]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod dataset;
+pub mod forest;
+pub mod tree;
+pub mod uncertainty;
+
+pub use active::ActiveLearner;
+pub use dataset::{Dataset, Example, FeatureValue};
+pub use forest::{ForestConfig, RandomForest};
+pub use tree::{DecisionTree, TreeConfig};
+pub use uncertainty::{committee_entropy, vote_fractions};

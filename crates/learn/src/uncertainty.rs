@@ -1,0 +1,108 @@
+//! Committee-disagreement uncertainty.
+//!
+//! §4.2 of the paper: "The learning benefit or the uncertainty of predictions
+//! of a committee can be quantified by the entropy on the fraction of
+//! committee members that predicted each of the class labels."  The worked
+//! example uses the logarithm base equal to the number of classes (3), so a
+//! committee voting `{confirm×3, reject×1, retain×1}` scores
+//! `−(3/5)·log₃(3/5) − (1/5)·log₃(1/5) − (1/5)·log₃(1/5) ≈ 0.86` and a
+//! `{confirm×1, reject×4}` committee scores `≈ 0.45`.
+
+/// Fractions of committee votes per label.
+///
+/// Returns a vector of length `label_count`; an empty vote slice yields all
+/// zeros.
+pub fn vote_fractions(votes: &[usize], label_count: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; label_count];
+    for &v in votes {
+        assert!(v < label_count, "vote {v} out of range");
+        counts[v] += 1;
+    }
+    let total = votes.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+/// Entropy of the committee's vote fractions with logarithm base
+/// `label_count`, i.e. normalised to `[0, 1]`.
+///
+/// A unanimous committee has uncertainty `0`; a committee split evenly over
+/// all labels has uncertainty `1`.
+pub fn committee_entropy(votes: &[usize], label_count: usize) -> f64 {
+    if votes.is_empty() || label_count < 2 {
+        return 0.0;
+    }
+    let fractions = vote_fractions(votes, label_count);
+    let log_base = (label_count as f64).ln();
+    -fractions
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * (p.ln() / log_base))
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // r1: {confirm, confirm, confirm, reject, retain} → 0.86.
+        let votes_r1 = [0, 0, 0, 1, 2];
+        let u1 = committee_entropy(&votes_r1, 3);
+        assert!((u1 - 0.86).abs() < 0.01, "expected ≈0.86, got {u1}");
+
+        // r2: {confirm, reject, reject, reject, reject} → 0.45.
+        let votes_r2 = [0, 1, 1, 1, 1];
+        let u2 = committee_entropy(&votes_r2, 3);
+        assert!((u2 - 0.45).abs() < 0.01, "expected ≈0.45, got {u2}");
+
+        // r1 is more uncertain, so it is shown to the user first.
+        assert!(u1 > u2);
+    }
+
+    #[test]
+    fn unanimous_committee_has_zero_uncertainty() {
+        assert_eq!(committee_entropy(&[1, 1, 1, 1], 3), 0.0);
+        assert_eq!(committee_entropy(&[0], 3), 0.0);
+    }
+
+    #[test]
+    fn uniform_split_has_maximal_uncertainty() {
+        let u = committee_entropy(&[0, 1, 2], 3);
+        assert!((u - 1.0).abs() < 1e-12);
+        let u2 = committee_entropy(&[0, 0, 1, 1], 2);
+        assert!((u2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_votes_and_degenerate_label_counts() {
+        assert_eq!(committee_entropy(&[], 3), 0.0);
+        assert_eq!(committee_entropy(&[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let f = vote_fractions(&[0, 0, 1, 2, 2, 2], 3);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f, vec![2.0 / 6.0, 1.0 / 6.0, 3.0 / 6.0]);
+    }
+
+    #[test]
+    fn empty_votes_give_zero_fractions() {
+        assert_eq!(vote_fractions(&[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_votes_panic() {
+        vote_fractions(&[5], 3);
+    }
+
+    #[test]
+    fn uncertainty_is_bounded() {
+        for votes in [[0usize, 0, 0, 0, 1], [0, 1, 1, 2, 2], [2, 2, 2, 2, 2]] {
+            let u = committee_entropy(&votes, 3);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

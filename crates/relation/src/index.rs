@@ -1,0 +1,241 @@
+//! Hash indices over table columns.
+//!
+//! Variable CFDs (standard FDs restricted by a pattern) are violated by
+//! *pairs* of tuples that agree on the rule's left-hand side but disagree on
+//! its right-hand side.  Detecting and counting such violations naively is
+//! quadratic; the [`AttrSetIndex`] groups tuples by their left-hand-side
+//! projection so the CFD engine can enumerate each agreement class once.
+//!
+//! The single-column [`ValueIndex`] is used by the repair generator
+//! (Algorithm 1, scenario 3) to find tuples matching a partial pattern and by
+//! the grouping function of the GDR core.
+
+use std::collections::HashMap;
+
+use crate::schema::AttrId;
+use crate::table::{Table, TupleId};
+use crate::value::Value;
+
+/// An index that groups tuple ids by their projection on a fixed attribute
+/// set.
+///
+/// The index is a snapshot: it records the [`Table::version`] at build time
+/// and callers can use [`AttrSetIndex::is_stale`] to decide when to rebuild.
+#[derive(Debug, Clone)]
+pub struct AttrSetIndex {
+    attrs: Vec<AttrId>,
+    groups: HashMap<Vec<Value>, Vec<TupleId>>,
+    built_at_version: u64,
+}
+
+impl AttrSetIndex {
+    /// Builds the index over the given attributes.
+    pub fn build(table: &Table, attrs: &[AttrId]) -> AttrSetIndex {
+        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for (id, tuple) in table.iter() {
+            groups.entry(tuple.project(attrs)).or_default().push(id);
+        }
+        AttrSetIndex {
+            attrs: attrs.to_vec(),
+            groups,
+            built_at_version: table.version(),
+        }
+    }
+
+    /// The attributes the index is keyed on.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Returns the ids of tuples whose projection equals `key`.
+    pub fn get(&self, key: &[Value]) -> &[TupleId] {
+        self.groups.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Returns the group containing a specific tuple of the indexed table.
+    pub fn group_of(&self, table: &Table, tuple: TupleId) -> &[TupleId] {
+        let key = table.tuple(tuple).project(&self.attrs);
+        self.get(&key)
+    }
+
+    /// Iterates `(projection, member ids)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
+        self.groups.iter()
+    }
+
+    /// Number of distinct projections.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` when the table has been modified since the index was
+    /// built.
+    pub fn is_stale(&self, table: &Table) -> bool {
+        table.version() != self.built_at_version
+    }
+}
+
+/// An index mapping each distinct value of one column to the tuples holding
+/// it, together with occurrence counts.
+#[derive(Debug, Clone)]
+pub struct ValueIndex {
+    attr: AttrId,
+    postings: HashMap<Value, Vec<TupleId>>,
+    built_at_version: u64,
+}
+
+impl ValueIndex {
+    /// Builds the index over one attribute.
+    pub fn build(table: &Table, attr: AttrId) -> ValueIndex {
+        let mut postings: HashMap<Value, Vec<TupleId>> = HashMap::new();
+        for (id, tuple) in table.iter() {
+            postings
+                .entry(tuple.value(attr).clone())
+                .or_default()
+                .push(id);
+        }
+        ValueIndex {
+            attr,
+            postings,
+            built_at_version: table.version(),
+        }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Tuples holding `value` in the indexed attribute.
+    pub fn tuples_with(&self, value: &Value) -> &[TupleId] {
+        self.postings
+            .get(value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of tuples holding `value`.
+    pub fn count(&self, value: &Value) -> usize {
+        self.tuples_with(value).len()
+    }
+
+    /// The most frequent non-null value, if any.  Ties are broken by the
+    /// value's natural order so the result is deterministic.
+    pub fn most_frequent(&self) -> Option<(&Value, usize)> {
+        self.postings
+            .iter()
+            .filter(|(v, _)| !v.is_null())
+            .map(|(v, ids)| (v, ids.len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+    }
+
+    /// Iterates `(value, tuple ids)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Vec<TupleId>)> {
+        self.postings.iter()
+    }
+
+    /// Number of distinct values (including `Null` if present).
+    pub fn distinct_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Returns `true` when the table has been modified since the index was
+    /// built.
+    pub fn is_stale(&self, table: &Table) -> bool {
+        table.version() != self.built_at_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::new(&["STR", "CT", "ZIP"]);
+        let mut t = Table::new("addr", schema);
+        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46805"]).unwrap();
+        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46825"]).unwrap();
+        t.push_text_row(&["Sherden RD", "Fort Wayne", "46825"]).unwrap();
+        t.push_text_row(&["Colfax Ave", "Westville", "46391"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn attr_set_index_groups_by_projection() {
+        let t = table();
+        let idx = AttrSetIndex::build(&t, &[0, 1]);
+        assert_eq!(idx.attrs(), &[0, 1]);
+        assert_eq!(idx.group_count(), 3);
+        let key = vec![Value::from("Coliseum Blvd"), Value::from("Fort Wayne")];
+        assert_eq!(idx.get(&key), &[0, 1]);
+        assert_eq!(idx.group_of(&t, 2), &[2]);
+        assert!(idx.get(&[Value::from("nope"), Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn attr_set_index_staleness() {
+        let mut t = table();
+        let idx = AttrSetIndex::build(&t, &[1]);
+        assert!(!idx.is_stale(&t));
+        t.set_cell(0, 1, Value::from("Westville")).unwrap();
+        assert!(idx.is_stale(&t));
+    }
+
+    #[test]
+    fn value_index_postings_and_counts() {
+        let t = table();
+        let idx = ValueIndex::build(&t, 2);
+        assert_eq!(idx.attr(), 2);
+        assert_eq!(idx.count(&Value::from("46825")), 2);
+        assert_eq!(idx.tuples_with(&Value::from("46391")), &[3]);
+        assert_eq!(idx.count(&Value::from("99999")), 0);
+        assert_eq!(idx.distinct_count(), 3);
+    }
+
+    #[test]
+    fn value_index_most_frequent_is_deterministic() {
+        let t = table();
+        let idx = ValueIndex::build(&t, 1);
+        let (value, count) = idx.most_frequent().unwrap();
+        assert_eq!(value, &Value::from("Fort Wayne"));
+        assert_eq!(count, 3);
+
+        // Tie between two zip values with count 1 → smaller value wins.
+        let schema = Schema::new(&["A"]);
+        let mut tie = Table::new("tie", schema);
+        tie.push_text_row(&["b"]).unwrap();
+        tie.push_text_row(&["a"]).unwrap();
+        let idx = ValueIndex::build(&tie, 0);
+        assert_eq!(idx.most_frequent().unwrap().0, &Value::from("a"));
+    }
+
+    #[test]
+    fn value_index_ignores_null_for_most_frequent() {
+        let schema = Schema::new(&["A"]);
+        let mut t = Table::new("nulls", schema);
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_text_row(&["x"]).unwrap();
+        let idx = ValueIndex::build(&t, 0);
+        assert_eq!(idx.most_frequent().unwrap().0, &Value::from("x"));
+        assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn value_index_staleness() {
+        let mut t = table();
+        let idx = ValueIndex::build(&t, 0);
+        assert!(!idx.is_stale(&t));
+        t.push_text_row(&["New St", "Fort Wayne", "46805"]).unwrap();
+        assert!(idx.is_stale(&t));
+    }
+
+    #[test]
+    fn empty_projection_groups_everything_together() {
+        let t = table();
+        let idx = AttrSetIndex::build(&t, &[]);
+        assert_eq!(idx.group_count(), 1);
+        assert_eq!(idx.get(&[]).len(), 4);
+    }
+}

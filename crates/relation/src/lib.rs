@@ -1,0 +1,58 @@
+//! # gdr-relation — in-memory relational substrate
+//!
+//! The GDR paper ("Guided Data Repair", Yakout et al., PVLDB 2011) stores its
+//! records in MySQL and queries them through JDBC.  This crate is the Rust
+//! replacement for that substrate: a small, dependency-free, in-memory
+//! relational layer purpose-built for constraint-based data repair.
+//!
+//! It provides
+//!
+//! * [`Value`] — a dynamically typed cell value (`Null`, `Int`, `Str`),
+//! * [`Schema`] / [`Attribute`] — a named, ordered attribute list,
+//! * [`Tuple`] — a row of values plus an optional importance weight,
+//! * [`Table`] — a schema + rows with cell-level read/write access,
+//! * [`index`] — hash indices over one or more attributes (used by the CFD
+//!   engine to find tuples agreeing on a rule's left-hand side),
+//! * [`csv`] — a minimal CSV reader/writer for loading and dumping datasets,
+//! * [`stats`] — per-attribute domain statistics (active domain, frequencies).
+//!
+//! The design goal is *clarity over generality*: data-repair workloads touch a
+//! single relation at a time (CFDs are intra-relation constraints), tables are
+//! fully materialised, and tuples are addressed by a stable [`TupleId`] so the
+//! repair machinery can hold references to cells across updates.
+//!
+//! ```
+//! use gdr_relation::{Schema, Table, Value};
+//!
+//! let schema = Schema::new(&["Name", "City", "Zip"]);
+//! let mut table = Table::new("customer", schema);
+//! let t0 = table.push_row(vec![
+//!     Value::from("Alice"),
+//!     Value::from("Michigan City"),
+//!     Value::from("46360"),
+//! ]).unwrap();
+//! assert_eq!(table.cell(t0, 1).as_str(), Some("Michigan City"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod index;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use error::RelationError;
+pub use index::{AttrSetIndex, ValueIndex};
+pub use schema::{AttrId, Attribute, Schema};
+pub use stats::{AttributeStats, TableStats};
+pub use table::{Table, TupleId};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;

@@ -1,0 +1,238 @@
+//! Per-attribute and per-table statistics.
+//!
+//! The repair generator needs the *active domain* of each attribute (the set
+//! of values occurring in the column) to propose left-hand-side repairs
+//! (Algorithm 1, scenario 3), and the CFD discovery procedure needs value
+//! frequencies to compute pattern support.  Both are provided here as a
+//! snapshot ([`TableStats`]) that can be rebuilt when the table changes.
+
+use std::collections::HashMap;
+
+use crate::schema::AttrId;
+use crate::table::{Table, TupleId};
+use crate::value::Value;
+
+/// Frequency statistics for one attribute.
+#[derive(Debug, Clone)]
+pub struct AttributeStats {
+    attr: AttrId,
+    counts: HashMap<Value, usize>,
+    null_count: usize,
+    total: usize,
+}
+
+impl AttributeStats {
+    /// Computes statistics for one column of a table.
+    pub fn compute(table: &Table, attr: AttrId) -> AttributeStats {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let mut null_count = 0usize;
+        for (_, tuple) in table.iter() {
+            let v = tuple.value(attr);
+            if v.is_null() {
+                null_count += 1;
+            } else {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        AttributeStats {
+            attr,
+            counts,
+            null_count,
+            total: table.len(),
+        }
+    }
+
+    /// The attribute these statistics describe.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Number of rows the statistics were computed over.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of `Null` cells in the column.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrences of a specific value.
+    pub fn frequency(&self, value: &Value) -> usize {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency (support) of a value in `[0, 1]`.
+    pub fn support(&self, value: &Value) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.frequency(value) as f64 / self.total as f64
+        }
+    }
+
+    /// The distinct non-null values of the column (the active domain), sorted
+    /// by decreasing frequency then by value for determinism.
+    pub fn domain_by_frequency(&self) -> Vec<(Value, usize)> {
+        let mut pairs: Vec<(Value, usize)> = self
+            .counts
+            .iter()
+            .map(|(v, c)| (v.clone(), *c))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs
+    }
+
+    /// The most frequent non-null value, if the column is not all-null.
+    pub fn mode(&self) -> Option<(Value, usize)> {
+        self.domain_by_frequency().into_iter().next()
+    }
+
+    /// Iterates over `(value, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, usize)> {
+        self.counts.iter().map(|(v, c)| (v, *c))
+    }
+}
+
+/// Statistics for every attribute of a table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    attributes: Vec<AttributeStats>,
+    row_count: usize,
+    built_at_version: u64,
+}
+
+impl TableStats {
+    /// Computes statistics for every column of the table.
+    pub fn compute(table: &Table) -> TableStats {
+        let attributes = table
+            .schema()
+            .attr_ids()
+            .map(|a| AttributeStats::compute(table, a))
+            .collect();
+        TableStats {
+            attributes,
+            row_count: table.len(),
+            built_at_version: table.version(),
+        }
+    }
+
+    /// Statistics for one attribute.
+    pub fn attribute(&self, attr: AttrId) -> &AttributeStats {
+        &self.attributes[attr]
+    }
+
+    /// Number of rows the statistics were computed over.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Returns `true` when the table changed since these statistics were
+    /// computed.
+    pub fn is_stale(&self, table: &Table) -> bool {
+        table.version() != self.built_at_version
+    }
+
+    /// Finds up to `limit` tuples whose `attr` value equals `value`.  Utility
+    /// used by example programs to show evidence for a statistic.
+    pub fn example_tuples(
+        table: &Table,
+        attr: AttrId,
+        value: &Value,
+        limit: usize,
+    ) -> Vec<TupleId> {
+        table
+            .iter()
+            .filter(|(_, t)| t.value(attr) == value)
+            .map(|(id, _)| id)
+            .take(limit)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::new(&["CT", "ZIP"]);
+        let mut t = Table::new("addr", schema);
+        t.push_text_row(&["Fort Wayne", "46825"]).unwrap();
+        t.push_text_row(&["Fort Wayne", "46805"]).unwrap();
+        t.push_text_row(&["Westville", "46391"]).unwrap();
+        t.push_row(vec![Value::Null, Value::from("46391")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn per_attribute_counts() {
+        let stats = AttributeStats::compute(&table(), 0);
+        assert_eq!(stats.attr(), 0);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.null_count(), 1);
+        assert_eq!(stats.distinct_count(), 2);
+        assert_eq!(stats.frequency(&Value::from("Fort Wayne")), 2);
+        assert_eq!(stats.frequency(&Value::from("Nowhere")), 0);
+    }
+
+    #[test]
+    fn support_is_relative_to_row_count() {
+        let stats = AttributeStats::compute(&table(), 0);
+        assert!((stats.support(&Value::from("Fort Wayne")) - 0.5).abs() < 1e-12);
+        assert_eq!(stats.support(&Value::from("Nowhere")), 0.0);
+    }
+
+    #[test]
+    fn support_of_empty_table_is_zero() {
+        let t = Table::new("empty", Schema::new(&["A"]));
+        let stats = AttributeStats::compute(&t, 0);
+        assert_eq!(stats.support(&Value::from("x")), 0.0);
+        assert!(stats.mode().is_none());
+    }
+
+    #[test]
+    fn domain_sorted_by_frequency_then_value() {
+        let stats = AttributeStats::compute(&table(), 1);
+        let domain = stats.domain_by_frequency();
+        assert_eq!(domain[0], (Value::from("46391"), 2));
+        assert_eq!(domain.len(), 3);
+        assert_eq!(stats.mode().unwrap().0, Value::from("46391"));
+    }
+
+    #[test]
+    fn table_stats_cover_all_attributes_and_detect_staleness() {
+        let mut t = table();
+        let stats = TableStats::compute(&t);
+        assert_eq!(stats.row_count(), 4);
+        assert_eq!(stats.attribute(1).distinct_count(), 3);
+        assert!(!stats.is_stale(&t));
+        t.set_cell(0, 0, Value::from("Changed")).unwrap();
+        assert!(stats.is_stale(&t));
+    }
+
+    #[test]
+    fn example_tuples_lists_matching_ids() {
+        let t = table();
+        let ids = TableStats::example_tuples(&t, 1, &Value::from("46391"), 10);
+        assert_eq!(ids, vec![2, 3]);
+        let limited = TableStats::example_tuples(&t, 1, &Value::from("46391"), 1);
+        assert_eq!(limited, vec![2]);
+    }
+
+    #[test]
+    fn iter_yields_all_values() {
+        let stats = AttributeStats::compute(&table(), 0);
+        let mut values: Vec<_> = stats.iter().map(|(v, c)| (v.clone(), c)).collect();
+        values.sort();
+        assert_eq!(
+            values,
+            vec![(Value::from("Fort Wayne"), 2), (Value::from("Westville"), 1)]
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Tables: a schema plus a vector of tuples with stable ids.
+
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// Stable identifier of a tuple within a [`Table`].
+///
+/// Tuple ids are positions in insertion order.  Tables never remove rows —
+/// data repair only modifies cell values — so a `TupleId` held by the repair
+/// machinery remains valid for the lifetime of the table.
+pub type TupleId = usize;
+
+/// An in-memory relation instance.
+///
+/// A `Table` owns its [`Schema`] and rows.  Cell updates go through
+/// [`Table::set_cell`], which bumps a modification counter ([`Table::version`])
+/// that downstream caches (violation indices, statistics) use to detect
+/// staleness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    version: u64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Creates an empty table and pre-allocates room for `capacity` rows.
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, capacity: usize) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::with_capacity(capacity),
+            version: 0,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Monotonically increasing counter bumped on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Appends a row given as raw values, validating arity.  Returns its id.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<TupleId> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                got: values.len(),
+                expected: self.schema.arity(),
+            });
+        }
+        self.version += 1;
+        let id = self.rows.len();
+        self.rows.push(Tuple::new(values));
+        Ok(id)
+    }
+
+    /// Appends an already constructed tuple, validating arity.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<TupleId> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                got: tuple.arity(),
+                expected: self.schema.arity(),
+            });
+        }
+        self.version += 1;
+        let id = self.rows.len();
+        self.rows.push(tuple);
+        Ok(id)
+    }
+
+    /// Appends a row of text fields (empty fields become `Null`).
+    pub fn push_text_row<S: AsRef<str>>(&mut self, fields: &[S]) -> Result<TupleId> {
+        let values = fields
+            .iter()
+            .map(|f| Value::from_text(f.as_ref()))
+            .collect();
+        self.push_row(values)
+    }
+
+    /// Returns the tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.rows[id]
+    }
+
+    /// Fallible tuple lookup.
+    pub fn try_tuple(&self, id: TupleId) -> Result<&Tuple> {
+        self.rows
+            .get(id)
+            .ok_or(RelationError::UnknownTuple { tuple: id })
+    }
+
+    /// Returns a single cell value.
+    pub fn cell(&self, id: TupleId, attr: AttrId) -> &Value {
+        self.rows[id].value(attr)
+    }
+
+    /// Fallible cell lookup (checks both tuple id and attribute id).
+    pub fn try_cell(&self, id: TupleId, attr: AttrId) -> Result<&Value> {
+        let tuple = self.try_tuple(id)?;
+        if attr >= self.schema.arity() {
+            return Err(RelationError::AttributeOutOfBounds {
+                index: attr,
+                arity: self.schema.arity(),
+            });
+        }
+        Ok(tuple.value(attr))
+    }
+
+    /// Overwrites a single cell, returning the previous value.
+    pub fn set_cell(&mut self, id: TupleId, attr: AttrId, value: Value) -> Result<Value> {
+        if id >= self.rows.len() {
+            return Err(RelationError::UnknownTuple { tuple: id });
+        }
+        if attr >= self.schema.arity() {
+            return Err(RelationError::AttributeOutOfBounds {
+                index: attr,
+                arity: self.schema.arity(),
+            });
+        }
+        self.version += 1;
+        Ok(self.rows[id].set_value(attr, value))
+    }
+
+    /// Sets a tuple's business-importance weight.
+    pub fn set_weight(&mut self, id: TupleId, weight: f64) -> Result<()> {
+        if id >= self.rows.len() {
+            return Err(RelationError::UnknownTuple { tuple: id });
+        }
+        self.version += 1;
+        self.rows[id].set_weight(weight);
+        Ok(())
+    }
+
+    /// Iterates `(TupleId, &Tuple)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.rows.iter().enumerate()
+    }
+
+    /// Iterates all tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
+        0..self.rows.len()
+    }
+
+    /// Collects the distinct values appearing in a column (its active domain),
+    /// excluding `Null`.
+    pub fn active_domain(&self, attr: AttrId) -> Vec<Value> {
+        let mut seen = std::collections::HashSet::new();
+        let mut domain = Vec::new();
+        for tuple in &self.rows {
+            let v = tuple.value(attr);
+            if !v.is_null() && seen.insert(v.clone()) {
+                domain.push(v.clone());
+            }
+        }
+        domain
+    }
+
+    /// Counts the tuples whose attribute `attr` equals `value`.
+    pub fn count_value(&self, attr: AttrId, value: &Value) -> usize {
+        self.rows.iter().filter(|t| t.value(attr) == value).count()
+    }
+
+    /// Returns the ids of all tuples satisfying a predicate over the tuple.
+    pub fn select<P: Fn(&Tuple) -> bool>(&self, predicate: P) -> Vec<TupleId> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| predicate(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Deep-copies the table under a new name.  Used to snapshot the dirty
+    /// instance before a repair session so that quality loss can be measured
+    /// against the original.
+    pub fn snapshot(&self, name: impl Into<String>) -> Table {
+        Table {
+            name: name.into(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            version: 0,
+        }
+    }
+
+    /// Counts the cells on which two instances of the same schema differ.
+    ///
+    /// This is the raw ingredient of the precision/recall metrics in the
+    /// paper's Appendix B.1.
+    pub fn diff_cells(&self, other: &Table) -> Result<Vec<(TupleId, AttrId)>> {
+        self.schema.ensure_same_as(&other.schema)?;
+        if self.len() != other.len() {
+            return Err(RelationError::SchemaMismatch {
+                detail: format!(
+                    "cannot diff tables with {} and {} rows",
+                    self.len(),
+                    other.len()
+                ),
+            });
+        }
+        let mut diffs = Vec::new();
+        for (id, tuple) in self.iter() {
+            for attr in self.schema.attr_ids() {
+                if tuple.value(attr) != other.tuple(id).value(attr) {
+                    diffs.push((id, attr));
+                }
+            }
+        }
+        Ok(diffs)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.len())?;
+        for (id, tuple) in self.iter().take(20) {
+            writeln!(f, "  t{id}: {tuple}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more rows)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> Table {
+        let schema = Schema::new(&["CT", "ZIP"]);
+        let mut table = Table::new("addr", schema);
+        table
+            .push_text_row(&["Michigan City", "46360"])
+            .unwrap();
+        table.push_text_row(&["Westville", "46391"]).unwrap();
+        table.push_text_row(&["Westville", "46360"]).unwrap();
+        table
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let table = small_table();
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        assert_eq!(table.cell(0, 1).as_str(), Some("46360"));
+        assert_eq!(table.tuple(2).value(0).as_str(), Some("Westville"));
+        assert_eq!(table.name(), "addr");
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut table = small_table();
+        let err = table.push_text_row(&["only one"]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { got: 1, expected: 2 }));
+        let err = table
+            .push_tuple(Tuple::new(vec![Value::Null; 3]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { got: 3, expected: 2 }));
+    }
+
+    #[test]
+    fn set_cell_updates_value_and_version() {
+        let mut table = small_table();
+        let v0 = table.version();
+        let old = table.set_cell(2, 0, Value::from("Michigan City")).unwrap();
+        assert_eq!(old.as_str(), Some("Westville"));
+        assert_eq!(table.cell(2, 0).as_str(), Some("Michigan City"));
+        assert!(table.version() > v0);
+    }
+
+    #[test]
+    fn set_cell_bounds_checked() {
+        let mut table = small_table();
+        assert!(matches!(
+            table.set_cell(99, 0, Value::Null),
+            Err(RelationError::UnknownTuple { tuple: 99 })
+        ));
+        assert!(matches!(
+            table.set_cell(0, 9, Value::Null),
+            Err(RelationError::AttributeOutOfBounds { index: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn try_cell_checks_both_dimensions() {
+        let table = small_table();
+        assert!(table.try_cell(0, 0).is_ok());
+        assert!(table.try_cell(10, 0).is_err());
+        assert!(table.try_cell(0, 10).is_err());
+        assert!(table.try_tuple(10).is_err());
+    }
+
+    #[test]
+    fn active_domain_excludes_nulls_and_dedups() {
+        let mut table = small_table();
+        table.push_row(vec![Value::Null, Value::from("46360")]).unwrap();
+        let mut domain = table.active_domain(0);
+        domain.sort();
+        assert_eq!(
+            domain,
+            vec![Value::from("Michigan City"), Value::from("Westville")]
+        );
+    }
+
+    #[test]
+    fn count_and_select() {
+        let table = small_table();
+        assert_eq!(table.count_value(0, &Value::from("Westville")), 2);
+        let ids = table.select(|t| t.value(1).as_str() == Some("46360"));
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut table = small_table();
+        let snap = table.snapshot("clean");
+        table.set_cell(0, 0, Value::from("X")).unwrap();
+        assert_eq!(snap.cell(0, 0).as_str(), Some("Michigan City"));
+        assert_eq!(snap.name(), "clean");
+        assert_eq!(snap.len(), table.len());
+    }
+
+    #[test]
+    fn diff_cells_finds_changed_positions() {
+        let mut dirty = small_table();
+        let clean = dirty.snapshot("clean");
+        dirty.set_cell(1, 0, Value::from("Fort Wayne")).unwrap();
+        dirty.set_cell(2, 1, Value::from("46825")).unwrap();
+        let mut diffs = dirty.diff_cells(&clean).unwrap();
+        diffs.sort();
+        assert_eq!(diffs, vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn diff_cells_rejects_mismatched_tables() {
+        let table = small_table();
+        let other_schema = Table::new("x", Schema::new(&["A", "B"]));
+        assert!(table.diff_cells(&other_schema).is_err());
+        let mut shorter = Table::new("y", Schema::new(&["CT", "ZIP"]));
+        shorter.push_text_row(&["a", "b"]).unwrap();
+        assert!(table.diff_cells(&shorter).is_err());
+    }
+
+    #[test]
+    fn weights_are_settable() {
+        let mut table = small_table();
+        table.set_weight(1, 3.0).unwrap();
+        assert_eq!(table.tuple(1).weight(), 3.0);
+        assert!(table.set_weight(50, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_contains_name_and_rows() {
+        let table = small_table();
+        let text = table.to_string();
+        assert!(text.contains("addr"));
+        assert!(text.contains("t0"));
+    }
+
+    #[test]
+    fn tuple_ids_cover_all_rows() {
+        let table = small_table();
+        assert_eq!(table.tuple_ids().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Tuples: rows of values plus an importance weight.
+
+use std::fmt;
+
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// A single row of a [`crate::Table`].
+///
+/// The GDR paper (Definition 1) notes that per-tuple violations "can be
+/// scaled further using a weight attached to the tuple denoting its
+/// importance for the business to be clean"; [`Tuple::weight`] carries that
+/// scale factor and defaults to `1.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+    weight: f64,
+}
+
+impl Tuple {
+    /// Creates a tuple with unit weight.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple {
+            values,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a tuple with an explicit importance weight.
+    pub fn with_weight(values: Vec<Value>, weight: f64) -> Tuple {
+        Tuple { values, weight }
+    }
+
+    /// Number of values in the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Business-importance weight used to scale violation counts.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Sets the business-importance weight.
+    pub fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
+    }
+
+    /// Value of attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics when `attr` is out of bounds; bounds are checked at the
+    /// [`crate::Table`] API boundary.
+    pub fn value(&self, attr: AttrId) -> &Value {
+        &self.values[attr]
+    }
+
+    /// Mutable access to the value of attribute `attr`.
+    pub fn value_mut(&mut self, attr: AttrId) -> &mut Value {
+        &mut self.values[attr]
+    }
+
+    /// All values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Replaces the value of attribute `attr`, returning the previous value.
+    pub fn set_value(&mut self, attr: AttrId, value: Value) -> Value {
+        std::mem::replace(&mut self.values[attr], value)
+    }
+
+    /// Projects the tuple onto the given attributes, cloning the values.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|&a| self.values[a].clone()).collect()
+    }
+
+    /// Returns `true` when the tuples agree (are equal) on every attribute in
+    /// `attrs`.  Used by the variable-CFD violation detector.
+    pub fn agrees_with(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|&a| self.values[a] == other.values[a])
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(values: &[&str]) -> Tuple {
+        Tuple::new(values.iter().map(|v| Value::from(*v)).collect())
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple(&["Jim", "H2", "Colfax Ave", "Westville", "IN", "46360"]);
+        assert_eq!(t.arity(), 6);
+        assert_eq!(t.value(3), &Value::from("Westville"));
+        assert_eq!(t.weight(), 1.0);
+    }
+
+    #[test]
+    fn weight_can_be_set() {
+        let mut t = Tuple::with_weight(vec![Value::Int(1)], 2.5);
+        assert_eq!(t.weight(), 2.5);
+        t.set_weight(0.5);
+        assert_eq!(t.weight(), 0.5);
+    }
+
+    #[test]
+    fn set_value_returns_old() {
+        let mut t = tuple(&["a", "b"]);
+        let old = t.set_value(1, Value::from("c"));
+        assert_eq!(old, Value::from("b"));
+        assert_eq!(t.value(1), &Value::from("c"));
+    }
+
+    #[test]
+    fn value_mut_allows_in_place_edit() {
+        let mut t = tuple(&["a"]);
+        *t.value_mut(0) = Value::from("z");
+        assert_eq!(t.value(0).as_str(), Some("z"));
+    }
+
+    #[test]
+    fn project_clones_selected_attributes() {
+        let t = tuple(&["a", "b", "c"]);
+        assert_eq!(t.project(&[2, 0]), vec![Value::from("c"), Value::from("a")]);
+        assert!(t.project(&[]).is_empty());
+    }
+
+    #[test]
+    fn agreement_on_attribute_sets() {
+        let t1 = tuple(&["x", "same", "1"]);
+        let t2 = tuple(&["y", "same", "2"]);
+        assert!(t1.agrees_with(&t2, &[1]));
+        assert!(!t1.agrees_with(&t2, &[0, 1]));
+        assert!(t1.agrees_with(&t2, &[]));
+    }
+
+    #[test]
+    fn display_renders_values() {
+        let t = Tuple::new(vec![Value::from("a"), Value::Null, Value::Int(3)]);
+        assert_eq!(t.to_string(), "(a, , 3)");
+    }
+
+    #[test]
+    fn from_vec() {
+        let t: Tuple = vec![Value::Int(1)].into();
+        assert_eq!(t.arity(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Dynamically typed cell values.
+//!
+//! Data-repair workloads are dominated by string-valued categorical
+//! attributes (cities, zip codes, diagnosis codes, ...), so [`Value`] keeps
+//! the representation simple: a tri-state of `Null`, 64-bit integer, and
+//! owned string.  Values are totally ordered and hashable so they can be used
+//! directly as keys of violation indices and of the active-domain statistics.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueType {
+    /// The SQL-style missing value.
+    Null,
+    /// A 64-bit signed integer.
+    Int,
+    /// A UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Null => write!(f, "null"),
+            ValueType::Int => write!(f, "int"),
+            ValueType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A single relational cell value.
+///
+/// Equality is *strict*: `Int(46360)` and `Str("46360")` are different values.
+/// Datasets loaded from CSV therefore default to `Str` for every non-empty
+/// field unless the caller opts into numeric parsing; this matches the GDR
+/// paper, where all repairs are string value modifications.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Missing / unknown value.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the type tag of the value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// Returns `true` when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the string contents when the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer contents when the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as text.
+    ///
+    /// `Null` renders as the empty string, which is also how it round-trips
+    /// through the CSV reader/writer.  For string values this borrows.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
+        }
+    }
+
+    /// Parses a text field the way the CSV loader does: an empty field is
+    /// `Null`, everything else is a `Str`.
+    pub fn from_text(text: &str) -> Value {
+        if text.is_empty() {
+            Value::Null
+        } else {
+            Value::Str(text.to_string())
+        }
+    }
+
+    /// Parses a text field, attempting integer interpretation first.
+    pub fn from_text_typed(text: &str) -> Value {
+        if text.is_empty() {
+            return Value::Null;
+        }
+        match text.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Str(text.to_string()),
+        }
+    }
+
+    /// Lexicographic/numeric size of the rendered value, used by the
+    /// edit-distance based repair-evaluation function (Eq. 7 of the paper).
+    pub fn rendered_len(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(i) => i.to_string().len(),
+            Value::Str(s) => s.chars().count(),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays exactly what [`Value::render`] produces.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<Option<&str>> for Value {
+    fn from(o: Option<&str>) -> Self {
+        match o {
+            Some(s) => Value::from(s),
+            None => Value::Null,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: `Null < Int < Str`; within a type, natural order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_empty_is_null() {
+        assert_eq!(Value::from_text(""), Value::Null);
+        assert!(Value::from_text("").is_null());
+    }
+
+    #[test]
+    fn from_text_keeps_digits_as_string() {
+        // Zip codes must stay strings so leading zeros and CFD pattern
+        // constants compare correctly.
+        assert_eq!(Value::from_text("46360"), Value::Str("46360".into()));
+    }
+
+    #[test]
+    fn from_text_typed_parses_integers() {
+        assert_eq!(Value::from_text_typed("42"), Value::Int(42));
+        assert_eq!(Value::from_text_typed("-7"), Value::Int(-7));
+        assert_eq!(
+            Value::from_text_typed("42a"),
+            Value::Str("42a".to_string())
+        );
+        assert_eq!(Value::from_text_typed(""), Value::Null);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Int(5).render(), "5");
+        assert_eq!(Value::from("Fort Wayne").render(), "Fort Wayne");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        assert_eq!(Value::Int(12).to_string(), "12");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+
+    #[test]
+    fn strict_equality_between_types() {
+        assert_ne!(Value::Int(46360), Value::from("46360"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_by_type() {
+        let mut values = vec![
+            Value::from("b"),
+            Value::Int(10),
+            Value::Null,
+            Value::from("a"),
+            Value::Int(2),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Null,
+                Value::Int(2),
+                Value::Int(10),
+                Value::from("a"),
+                Value::from("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_type_tags() {
+        assert_eq!(Value::Null.value_type(), ValueType::Null);
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::from("x").value_type(), ValueType::Str);
+        assert_eq!(ValueType::Str.to_string(), "str");
+    }
+
+    #[test]
+    fn rendered_len_counts_chars() {
+        assert_eq!(Value::Null.rendered_len(), 0);
+        assert_eq!(Value::Int(-12).rendered_len(), 3);
+        assert_eq!(Value::from("Wayne").rendered_len(), 5);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::from("x").as_int(), None);
+        assert_eq!(Value::default(), Value::Null);
+    }
+}

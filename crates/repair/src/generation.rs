@@ -1,0 +1,395 @@
+//! Candidate-update generation — `UpdateAttributeTuple` (Algorithm 1).
+//!
+//! For a dirty tuple `t` and an attribute `B`, the generator explores the
+//! three scenarios of Appendix A.4 over the rules `t` currently violates:
+//!
+//! 1. `B = RHS(φ)` of a violated **constant** CFD — suggest the pattern
+//!    constant `tp[A]`.
+//! 2. `B = RHS(φ)` of a violated **variable** CFD — suggest the RHS value of
+//!    a tuple `t'` that violates `φ` together with `t`
+//!    (`getValueForRHS`).
+//! 3. `B ∈ LHS(φ)` of a violated CFD — look for a value that maximises the
+//!    repair-evaluation score, drawing candidates first from the constants of
+//!    the rules and then from the tuples matching `t` on the rule's other
+//!    attributes (`getValueForLHS`).
+//!
+//! The best-scoring candidate that is not in the cell's `preventedList` and
+//! differs from the current value becomes the suggestion
+//! `⟨t, B, v, sim(t[B], v)⟩` recorded in `PossibleUpdates`.
+
+use std::collections::BTreeSet;
+
+use gdr_cfd::Cfd;
+use gdr_relation::{AttrId, TupleId, Value};
+
+use crate::similarity::value_similarity;
+use crate::state::RepairState;
+use crate::update::Update;
+
+impl RepairState {
+    /// Generates the initial `PossibleUpdates` list: Algorithm 1 is invoked
+    /// for every attribute of every dirty tuple (step 1 of the GDR process).
+    pub fn generate_initial_updates(&mut self) {
+        for tuple in self.dirty_tuples() {
+            self.generate_updates_for_tuple(tuple);
+        }
+    }
+
+    /// Runs `UpdateAttributeTuple(t, B)` for every attribute `B` of a tuple.
+    pub fn generate_updates_for_tuple(&mut self, tuple: TupleId) {
+        for attr in 0..self.table.schema().arity() {
+            self.generate_update(tuple, attr);
+        }
+    }
+
+    /// `UpdateAttributeTuple(t, B)` — Algorithm 1.
+    ///
+    /// Returns the recorded suggestion, or `None` when the cell is not
+    /// changeable, the tuple violates no rule involving `B`, or no admissible
+    /// candidate value exists.
+    pub fn generate_update(&mut self, tuple: TupleId, attr: AttrId) -> Option<Update> {
+        // Line 1: confirmed-correct cells are never touched again.
+        if !self.is_changeable((tuple, attr)) {
+            return None;
+        }
+        let violated = self.engine.violated_rules(tuple);
+        if violated.is_empty() {
+            self.drop_pending((tuple, attr));
+            return None;
+        }
+
+        let current = self.table.cell(tuple, attr).clone();
+        let mut best: Option<(Value, f64)> = None;
+        let consider = |candidate: Value, state: &RepairState| {
+            if candidate == current || state.is_prevented((tuple, attr), &candidate) {
+                return None;
+            }
+            Some((value_similarity(&current, &candidate), candidate))
+        };
+
+        for &rule_id in &violated {
+            let rule = self.engine.ruleset().rule(rule_id).clone();
+            if rule.rhs() == attr {
+                if rule.is_constant() {
+                    // Scenario 1: suggest the pattern constant.
+                    if let Some(constant) = rule.rhs_pattern().as_const() {
+                        if let Some((score, value)) = consider(constant.clone(), self) {
+                            replace_if_better(&mut best, value, score);
+                        }
+                    }
+                } else {
+                    // Scenario 2: suggest a conflicting partner's RHS value.
+                    for value in self.partner_rhs_values(rule_id, &rule, tuple) {
+                        if let Some((score, value)) = consider(value, self) {
+                            replace_if_better(&mut best, value, score);
+                        }
+                    }
+                }
+            } else if rule.lhs().contains(&attr) {
+                // Scenario 3: search rule constants and semantically related
+                // tuples for the best-scoring value.
+                for value in self.lhs_candidate_values(&rule, tuple, attr) {
+                    if let Some((score, value)) = consider(value, self) {
+                        replace_if_better(&mut best, value, score);
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((value, score)) => {
+                let update = Update::new(tuple, attr, value, score);
+                self.record_suggestion(update.clone());
+                Some(update)
+            }
+            None => {
+                self.drop_pending((tuple, attr));
+                None
+            }
+        }
+    }
+
+    /// Ensures every dirty tuple has fresh suggestions: regenerates updates
+    /// for dirty tuples whose cells lack a pending suggestion and discards
+    /// suggestions for tuples that became clean (step 9 of the GDR process).
+    pub fn refresh_updates(&mut self) {
+        let dirty: BTreeSet<TupleId> = self.dirty_tuples().into_iter().collect();
+        // Discard suggestions for clean tuples and for suggestions that
+        // became vacuous (equal to the current value) or forbidden.
+        let stale: Vec<_> = self
+            .possible
+            .iter()
+            .filter(|(cell, update)| {
+                !dirty.contains(&cell.0)
+                    || self.table.cell(update.tuple, update.attr) == &update.value
+                    || self.is_prevented(**cell, &update.value)
+            })
+            .map(|(cell, _)| *cell)
+            .collect();
+        for cell in stale {
+            self.drop_pending(cell);
+        }
+        // Generate suggestions for dirty cells that lack one.
+        for tuple in dirty {
+            for attr in 0..self.table.schema().arity() {
+                if self.possible.contains_key(&(tuple, attr)) {
+                    continue;
+                }
+                self.generate_update(tuple, attr);
+            }
+        }
+    }
+
+    /// `getValueForRHS` (scenario 2): the distinct RHS values held by the
+    /// tuples that violate the variable rule together with `t`, ordered for
+    /// determinism.
+    fn partner_rhs_values(&self, rule_id: usize, rule: &Cfd, tuple: TupleId) -> Vec<Value> {
+        let mut values: BTreeSet<Value> = BTreeSet::new();
+        for partner in self.engine.conflict_partners(rule_id, tuple) {
+            values.insert(self.table.cell(partner, rule.rhs()).clone());
+        }
+        values.into_iter().collect()
+    }
+
+    /// `getValueForLHS` (scenario 3): candidate values for an LHS attribute.
+    ///
+    /// Candidates are drawn from (a) the constants bound to `attr` in the
+    /// violated rule's own pattern ("first using the values in the CFDs") and
+    /// (b) the values of `attr` among tuples that agree with `t` on the
+    /// rule's remaining attributes (`t[X ∪ A − {B}]`) — the semantically
+    /// related tuples.  Candidates are deliberately *not* harvested from
+    /// unrelated rules: a constant that merely moves the tuple out of the
+    /// rule's context would "resolve" the violation without any evidence that
+    /// the value is right, and such suggestions would flood the update groups
+    /// with incorrect members.
+    fn lhs_candidate_values(&self, rule: &Cfd, tuple: TupleId, attr: AttrId) -> Vec<Value> {
+        let mut values: BTreeSet<Value> = BTreeSet::new();
+
+        // (a) constants bound to this attribute in the violated rule itself.
+        for (lhs_attr, pattern) in rule.lhs().iter().zip(rule.lhs_pattern()) {
+            if *lhs_attr == attr {
+                if let Some(constant) = pattern.as_const() {
+                    values.insert(constant.clone());
+                }
+            }
+        }
+        if rule.rhs() == attr {
+            if let Some(constant) = rule.rhs_pattern().as_const() {
+                values.insert(constant.clone());
+            }
+        }
+
+        // (b) values of `attr` among tuples agreeing with `t` on the rule's
+        // other attributes.
+        let other_attrs: Vec<AttrId> = rule
+            .attrs()
+            .into_iter()
+            .filter(|&a| a != attr)
+            .collect();
+        let reference = self.table.tuple(tuple);
+        for (_, candidate) in self.table.iter() {
+            if candidate.agrees_with(reference, &other_attrs) {
+                let v = candidate.value(attr);
+                if !v.is_null() {
+                    values.insert(v.clone());
+                }
+            }
+        }
+
+        values.into_iter().collect()
+    }
+}
+
+/// Keeps the higher-scoring candidate; ties favour the smaller value so the
+/// choice is deterministic.
+fn replace_if_better(best: &mut Option<(Value, f64)>, value: Value, score: f64) {
+    match best {
+        None => *best = Some((value, score)),
+        Some((best_value, best_score)) => {
+            if score > *best_score || (score == *best_score && value < *best_value) {
+                *best = Some((value, score));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::{ChangeSource, Feedback};
+    use gdr_cfd::{parser, RuleSet};
+    use gdr_relation::{Schema, Table};
+
+    fn schema() -> Schema {
+        Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"])
+    }
+
+    fn rules(schema: &Schema) -> RuleSet {
+        RuleSet::new(
+            parser::parse_rules(
+                schema,
+                "\
+ZIP -> CT, STT : 46360 || Michigan City, IN
+ZIP -> CT, STT : 46391 || Westville, IN
+ZIP -> CT, STT : 46825 || Fort Wayne, IN
+STR, CT -> ZIP : _, Fort Wayne || _
+",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn state_with_rows(rows: &[[&str; 5]]) -> RepairState {
+        let schema = schema();
+        let mut table = Table::new("addr", schema.clone());
+        for row in rows {
+            table.push_text_row(row).unwrap();
+        }
+        let rules = rules(&schema);
+        RepairState::new(table, &rules)
+    }
+
+    #[test]
+    fn scenario1_suggests_pattern_constant() {
+        // t0 violates ZIP 46360 → CT Michigan City.
+        let state = state_with_rows(&[["H2", "Main St", "Michigan Cty", "IN", "46360"]]);
+        let update = state.pending_update((0, 2)).expect("CT suggestion");
+        assert_eq!(update.value, Value::from("Michigan City"));
+        // The typo is close to the truth, so the score is high.
+        assert!(update.score > 0.8);
+    }
+
+    #[test]
+    fn scenario2_suggests_partner_value() {
+        // Two Fort Wayne tuples on the same street with different zips.
+        let state = state_with_rows(&[
+            ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+            ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"],
+        ]);
+        // Each tuple's ZIP suggestion is its partner's value.
+        let u0 = state.pending_update((0, 4)).expect("ZIP suggestion for t0");
+        let u1 = state.pending_update((1, 4)).expect("ZIP suggestion for t1");
+        assert_eq!(u0.value, Value::from("46999"));
+        assert_eq!(u1.value, Value::from("46825"));
+    }
+
+    #[test]
+    fn scenario3_suggests_lhs_change_from_agreeing_tuples() {
+        // t0's zip 46360 requires Michigan City; changing the LHS (ZIP) to
+        // the zip carried by other Westville tuples is also a repair.
+        let state = state_with_rows(&[
+            ["H2", "Main St", "Westville", "IN", "46360"],
+            ["H3", "Colfax Ave", "Westville", "IN", "46391"],
+        ]);
+        let update = state.pending_update((0, 4)).expect("ZIP suggestion");
+        // 46391 comes from the semantically related tuple t1 (same city).
+        assert_eq!(update.value, Value::from("46391"));
+    }
+
+    #[test]
+    fn scenario3_does_not_borrow_constants_from_unrelated_rules() {
+        // With no other Westville tuple in the database, there is no evidence
+        // for any particular zip, so no LHS repair is suggested — constants
+        // of unrelated rules (46391, 46825, ...) must not be proposed.
+        let state = state_with_rows(&[["H2", "Main St", "Westville", "IN", "46360"]]);
+        assert!(state.pending_update((0, 4)).is_none());
+        // The RHS repair (scenario 1) is still suggested.
+        assert!(state.pending_update((0, 2)).is_some());
+    }
+
+    #[test]
+    fn unchangeable_cells_are_skipped() {
+        let mut state = state_with_rows(&[["H2", "Main St", "Michigan Cty", "IN", "46360"]]);
+        state.mark_unchangeable((0, 2));
+        assert!(state.generate_update(0, 2).is_none());
+        assert!(state.pending_update((0, 2)).is_none());
+    }
+
+    #[test]
+    fn prevented_values_are_not_resuggested() {
+        let mut state = state_with_rows(&[["H2", "Main St", "Michigan Cty", "IN", "46360"]]);
+        state.mark_prevented((0, 2), Value::from("Michigan City"));
+        let update = state.generate_update(0, 2);
+        assert!(update.map(|u| u.value) != Some(Value::from("Michigan City")));
+    }
+
+    #[test]
+    fn clean_tuples_get_no_suggestions() {
+        let state = state_with_rows(&[["H1", "Main St", "Michigan City", "IN", "46360"]]);
+        assert_eq!(state.pending_count(), 0);
+        assert!(state.dirty_tuples().is_empty());
+    }
+
+    #[test]
+    fn suggestions_never_equal_current_value() {
+        let state = state_with_rows(&[
+            ["H2", "Main St", "Westville", "IN", "46360"],
+            ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+            ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"],
+        ]);
+        for update in state.possible_updates() {
+            assert_ne!(
+                state.table().cell(update.tuple, update.attr),
+                &update.value
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_discards_suggestions_for_clean_tuples() {
+        let mut state = state_with_rows(&[["H2", "Main St", "Michigan Cty", "IN", "46360"]]);
+        assert!(state.pending_count() > 0);
+        // Repair the tuple out-of-band, then refresh.
+        state
+            .force_value(0, 2, Value::from("Michigan City"), ChangeSource::Heuristic)
+            .unwrap();
+        state.refresh_updates();
+        assert_eq!(state.pending_count(), 0);
+        assert!(state.invariants_hold());
+    }
+
+    #[test]
+    fn refresh_generates_for_newly_dirty_tuples() {
+        let mut state = state_with_rows(&[
+            ["H1", "Main St", "Michigan City", "IN", "46360"],
+            ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+        ]);
+        assert_eq!(state.pending_count(), 0);
+        // An out-of-band change makes t0 dirty (wrong city for 46360).
+        state
+            .force_value(0, 2, Value::from("Fort Wayne"), ChangeSource::Heuristic)
+            .unwrap();
+        state.refresh_updates();
+        assert!(state.pending_count() > 0);
+        assert!(state.pending_update((0, 2)).is_some());
+    }
+
+    #[test]
+    fn rejecting_all_candidates_leaves_no_suggestion() {
+        let mut state = state_with_rows(&[["H2", "Main St", "Michigan Cty", "IN", "46360"]]);
+        // Reject every suggestion the generator can come up with for t0[CT].
+        for _ in 0..10 {
+            let Some(update) = state.pending_update((0, 2)).cloned() else {
+                break;
+            };
+            state
+                .apply_feedback(&update, Feedback::Reject, ChangeSource::UserConfirmed)
+                .unwrap();
+        }
+        // Eventually the generator runs out of admissible values for the cell.
+        assert!(state.pending_update((0, 2)).is_none());
+        assert!(state.invariants_hold());
+    }
+
+    #[test]
+    fn scores_are_within_bounds() {
+        let state = state_with_rows(&[
+            ["H2", "Main St", "Westville", "IN", "46360"],
+            ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"],
+            ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+        ]);
+        for update in state.possible_updates() {
+            assert!(update.score >= 0.0 && update.score <= 1.0);
+        }
+    }
+}

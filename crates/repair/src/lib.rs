@@ -1,0 +1,54 @@
+//! # gdr-repair — candidate-update generation and the consistency manager
+//!
+//! This crate is the constraint-repair substrate of the GDR reproduction
+//! (§3 and Appendix A of "Guided Data Repair", Yakout et al., PVLDB 2011):
+//!
+//! * [`similarity`] — the update-evaluation function of Eq. 7
+//!   (`sim(v, v') = 1 − dist(v, v')/max(|v|, |v'|)`),
+//! * [`Update`] / [`Feedback`] — suggested updates `⟨t, A, v, s⟩` and the
+//!   *confirm / reject / retain* feedback alphabet,
+//! * [`RepairState`] — the mutable repair context: it owns the database
+//!   instance and its [`gdr_cfd::ViolationEngine`], the `PossibleUpdates`
+//!   list, the per-cell `preventedList` and `Changeable` flags, and exposes
+//!   - `UpdateAttributeTuple` (Algorithm 1: the three repair scenarios),
+//!   - the consistency manager of Appendix A.5 (feedback application,
+//!     cascade repairs, revisit bookkeeping), and
+//!   - what-if evaluation of a candidate update for the VOI ranking,
+//! * [`heuristic`] — the fully automatic `BatchRepair`-style baseline used as
+//!   the *Automatic-Heuristic* comparison point in the paper's Figure 4.
+//!
+//! ```
+//! use gdr_relation::{Schema, Table, Value};
+//! use gdr_cfd::{parser, RuleSet};
+//! use gdr_repair::{Feedback, RepairState, ChangeSource};
+//!
+//! let schema = Schema::new(&["CT", "ZIP"]);
+//! let mut table = Table::new("addr", schema.clone());
+//! table.push_text_row(&["Michigan Cty", "46360"]).unwrap();
+//! let rules = RuleSet::new(
+//!     parser::parse_rules(&schema, "ZIP -> CT : 46360 || Michigan City").unwrap());
+//!
+//! let mut state = RepairState::new(table, &rules);
+//! let update = state.possible_updates().next().unwrap().clone();
+//! assert_eq!(update.value, Value::from("Michigan City"));
+//! state.apply_feedback(&update, Feedback::Confirm, ChangeSource::UserConfirmed).unwrap();
+//! assert!(state.dirty_tuples().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod generation;
+pub mod heuristic;
+pub mod similarity;
+pub mod state;
+pub mod update;
+
+pub use heuristic::{run_heuristic_repair, HeuristicConfig, HeuristicReport};
+pub use similarity::{edit_distance, string_similarity, value_similarity};
+pub use state::{FeedbackOutcome, RepairState};
+pub use update::{AppliedChange, Cell, ChangeSource, Feedback, Update};
+
+/// Result alias re-using the CFD error type (repairs are driven by rules).
+pub type Result<T> = std::result::Result<T, gdr_cfd::CfdError>;

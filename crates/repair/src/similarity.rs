@@ -1,0 +1,115 @@
+//! String similarity — the update-evaluation function of the paper.
+//!
+//! Appendix A.3, Eq. 7: for an update that replaces `v` by `v'`,
+//!
+//! ```text
+//! s(r) = sim(v, v') = 1 − dist(v, v') / max(|v|, |v'|)
+//! ```
+//!
+//! where `dist` is the edit distance.  "The intuition here is that, the more
+//! accurate v', the more it is close to v."  The same similarity is reused as
+//! the relationship feature `R(t[A], v)` of the learning component (§4.2).
+
+use gdr_relation::Value;
+
+/// Levenshtein edit distance between two strings, counted over characters.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.is_empty() {
+        return b_chars.len();
+    }
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    // Single-row dynamic program: prev[j] = distance(a[..i], b[..j]).
+    let mut prev: Vec<usize> = (0..=b_chars.len()).collect();
+    let mut current = vec![0usize; b_chars.len() + 1];
+    for (i, &ca) in a_chars.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            let deletion = prev[j + 1] + 1;
+            let insertion = current[j] + 1;
+            current[j + 1] = substitution.min(deletion).min(insertion);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b_chars.len()]
+}
+
+/// Eq. 7: `sim(v, v') = 1 − dist(v, v') / max(|v|, |v'|)`, in `[0, 1]`.
+///
+/// Two empty strings are identical, hence similarity `1`.
+pub fn string_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+/// Eq. 7 lifted to [`Value`]s: values are compared by their rendered text, so
+/// `Null` behaves like the empty string and integers like their decimal form.
+pub fn value_similarity(a: &Value, b: &Value) -> f64 {
+    string_similarity(&a.render(), &b.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric() {
+        assert_eq!(
+            edit_distance("Fort Wayne", "FT Wayne"),
+            edit_distance("FT Wayne", "Fort Wayne")
+        );
+    }
+
+    #[test]
+    fn edit_distance_counts_unicode_chars_not_bytes() {
+        assert_eq!(edit_distance("café", "cafe"), 1);
+        assert_eq!(edit_distance("ü", "u"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(string_similarity("", ""), 1.0);
+        assert_eq!(string_similarity("abc", "abc"), 1.0);
+        assert_eq!(string_similarity("abc", "xyz"), 0.0);
+        let s = string_similarity("Fort Wayne", "FT Wayne");
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn similar_city_names_score_high() {
+        // A data-entry abbreviation should stay close to the true value
+        // ("FT Wayne" → "Fort Wayne" needs 3 edits over 10 characters).
+        assert!(string_similarity("FT Wayne", "Fort Wayne") >= 0.7);
+        // Unrelated cities score low.
+        assert!(string_similarity("Westville", "Fort Wayne") < 0.4);
+    }
+
+    #[test]
+    fn value_similarity_renders_values() {
+        assert_eq!(value_similarity(&Value::Null, &Value::Null), 1.0);
+        assert_eq!(value_similarity(&Value::from("abc"), &Value::Null), 0.0);
+        assert_eq!(
+            value_similarity(&Value::Int(46360), &Value::from("46360")),
+            1.0
+        );
+        let s = value_similarity(&Value::from("46360"), &Value::from("46391"));
+        assert!((s - 0.6).abs() < 1e-12);
+    }
+}

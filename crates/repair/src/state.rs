@@ -1,0 +1,302 @@
+//! The mutable repair context shared by update generation, the consistency
+//! manager, and the GDR session loop.
+
+use std::collections::{HashMap, HashSet};
+
+use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
+use gdr_relation::{AttrId, Table, TupleId, Value};
+
+use crate::update::{AppliedChange, Cell, ChangeSource, Update};
+use crate::Result;
+
+/// Outcome of applying one piece of feedback through the consistency manager.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackOutcome {
+    /// Cell changes actually written to the database (the confirmed update
+    /// itself plus any cascade repairs forced by step 3(a)i of Appendix A.5).
+    pub applied: Vec<AppliedChange>,
+    /// Cells whose candidate updates were discarded and regenerated because
+    /// they depended on modified data (the `RevisitList` of Appendix A.5).
+    pub revisited: Vec<Cell>,
+}
+
+/// The repair state: database instance, violation engine, `PossibleUpdates`,
+/// `preventedList`, and `Changeable` flags (§3 and Appendix A.4–A.5).
+///
+/// `RepairState` owns the [`Table`] so that every mutation is forced through
+/// the consistency manager and the incremental violation engine stays in sync
+/// with the data.
+#[derive(Debug, Clone)]
+pub struct RepairState {
+    pub(crate) table: Table,
+    pub(crate) engine: ViolationEngine,
+    /// At most one pending suggestion per cell, keyed by `(tuple, attr)`.
+    pub(crate) possible: HashMap<Cell, Update>,
+    /// Values confirmed to be wrong for a cell (`⟨t, B⟩.preventedList`).
+    pub(crate) prevented: HashMap<Cell, HashSet<Value>>,
+    /// Cells confirmed to be correct (`⟨t, B⟩.Changeable = false`).
+    pub(crate) unchangeable: HashSet<Cell>,
+    /// Every change applied to the database, in order.
+    pub(crate) applied_log: Vec<AppliedChange>,
+}
+
+impl RepairState {
+    /// Builds the repair state: constructs the violation engine, identifies
+    /// the dirty tuples, and generates the initial `PossibleUpdates` list
+    /// (step 1 of the GDR process).
+    pub fn new(table: Table, ruleset: &RuleSet) -> RepairState {
+        let engine = ViolationEngine::build(&table, ruleset);
+        let mut state = RepairState {
+            table,
+            engine,
+            possible: HashMap::new(),
+            prevented: HashMap::new(),
+            unchangeable: HashSet::new(),
+            applied_log: Vec::new(),
+        };
+        state.generate_initial_updates();
+        state
+    }
+
+    /// The current database instance.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The violation engine over the current instance.
+    pub fn engine(&self) -> &ViolationEngine {
+        &self.engine
+    }
+
+    /// The rule set driving the repairs.
+    pub fn ruleset(&self) -> &RuleSet {
+        self.engine.ruleset()
+    }
+
+    /// Tuples violating at least one rule, in ascending id order.
+    pub fn dirty_tuples(&self) -> Vec<TupleId> {
+        self.engine.dirty_tuples()
+    }
+
+    /// Iterates the pending candidate updates (the `PossibleUpdates` list).
+    pub fn possible_updates(&self) -> impl Iterator<Item = &Update> {
+        self.possible.values()
+    }
+
+    /// The pending updates as a vector sorted by `(tuple, attr)` for
+    /// deterministic downstream processing.
+    pub fn possible_updates_sorted(&self) -> Vec<Update> {
+        let mut updates: Vec<Update> = self.possible.values().cloned().collect();
+        updates.sort_by_key(|u| (u.tuple, u.attr));
+        updates
+    }
+
+    /// Number of pending candidate updates.
+    pub fn pending_count(&self) -> usize {
+        self.possible.len()
+    }
+
+    /// The pending update for one cell, if any.
+    pub fn pending_update(&self, cell: Cell) -> Option<&Update> {
+        self.possible.get(&cell)
+    }
+
+    /// `⟨t, B⟩.Changeable`: `false` once the cell has been confirmed correct.
+    pub fn is_changeable(&self, cell: Cell) -> bool {
+        !self.unchangeable.contains(&cell)
+    }
+
+    /// Returns `true` when `value` was already confirmed wrong for the cell.
+    pub fn is_prevented(&self, cell: Cell, value: &Value) -> bool {
+        self.prevented
+            .get(&cell)
+            .map(|set| set.contains(value))
+            .unwrap_or(false)
+    }
+
+    /// Number of values confirmed wrong for the cell.
+    pub fn prevented_count(&self, cell: Cell) -> usize {
+        self.prevented.get(&cell).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Every change applied to the database so far, in application order.
+    pub fn applied_log(&self) -> &[AppliedChange] {
+        &self.applied_log
+    }
+
+    /// Total violation count of the current instance (`vio(D, Σ)`).
+    pub fn total_violations(&self) -> usize {
+        self.engine.total_violations()
+    }
+
+    /// Per-rule statistics of the current instance.
+    pub fn rule_stats(&self, rule: RuleId) -> RuleStats {
+        self.engine.rule_stats(rule)
+    }
+
+    /// Per-rule statistics *if* the candidate update were applied, restricted
+    /// to the rules that can be affected (those involving the update's
+    /// attribute).  This is the primitive the VOI gain formula consumes.
+    pub fn what_if_stats(&mut self, update: &Update) -> Result<Vec<(RuleId, RuleStats)>> {
+        self.engine.stats_if(
+            &mut self.table,
+            update.tuple,
+            update.attr,
+            update.value.clone(),
+        )
+    }
+
+    /// Applies a cell change directly (bypassing feedback semantics), keeping
+    /// the engine in sync and logging the change.  Used by the automatic
+    /// heuristic baseline and by cascade repairs.
+    pub fn force_value(
+        &mut self,
+        tuple: TupleId,
+        attr: AttrId,
+        value: Value,
+        source: ChangeSource,
+    ) -> Result<AppliedChange> {
+        let old = self
+            .engine
+            .apply_cell_change(&mut self.table, tuple, attr, value.clone())?;
+        let change = AppliedChange {
+            tuple,
+            attr,
+            old,
+            new: value,
+            source,
+        };
+        self.applied_log.push(change.clone());
+        self.possible.remove(&(tuple, attr));
+        Ok(change)
+    }
+
+    /// Removes the pending update for a cell, if any.
+    pub(crate) fn drop_pending(&mut self, cell: Cell) {
+        self.possible.remove(&cell);
+    }
+
+    /// Records a suggestion in the `PossibleUpdates` list (replacing any
+    /// previous suggestion for the same cell).
+    pub(crate) fn record_suggestion(&mut self, update: Update) {
+        self.possible.insert(update.cell(), update);
+    }
+
+    /// Marks a cell as confirmed-correct.
+    pub(crate) fn mark_unchangeable(&mut self, cell: Cell) {
+        self.unchangeable.insert(cell);
+        self.possible.remove(&cell);
+    }
+
+    /// Adds a value to a cell's prevented list.
+    pub(crate) fn mark_prevented(&mut self, cell: Cell, value: Value) {
+        self.prevented.entry(cell).or_default().insert(value);
+    }
+
+    /// Checks the two consistency-manager invariants of Appendix A.5 against
+    /// the current state; used by tests and debug assertions.
+    ///
+    /// 1. Every tuple that violates some rule is reported dirty (guaranteed
+    ///    by construction since dirtiness is derived from the engine, so this
+    ///    checks the engine against a rebuild), and
+    /// 2. no pending update targets an unchangeable cell, suggests a
+    ///    prevented value, or suggests the value the cell already holds.
+    pub fn invariants_hold(&self) -> bool {
+        if !self.engine.agrees_with_rebuild(&self.table) {
+            return false;
+        }
+        self.possible.iter().all(|(cell, update)| {
+            !self.unchangeable.contains(cell)
+                && !self.is_prevented(*cell, &update.value)
+                && self.table.cell(update.tuple, update.attr) != &update.value
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdr_cfd::parser;
+    use gdr_relation::Schema;
+
+    fn fixture() -> RepairState {
+        let schema = Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"]);
+        let mut table = Table::new("addr", schema.clone());
+        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
+        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
+        table.push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
+        let rules = RuleSet::new(
+            parser::parse_rules(
+                &schema,
+                "ZIP -> CT, STT : 46360 || Michigan City, IN\nSTR, CT -> ZIP : _, Fort Wayne || _\n",
+            )
+            .unwrap(),
+        );
+        RepairState::new(table, &rules)
+    }
+
+    #[test]
+    fn initial_state_identifies_dirty_tuples_and_updates() {
+        let state = fixture();
+        assert_eq!(state.dirty_tuples(), vec![1, 2, 3]);
+        assert!(state.pending_count() > 0);
+        assert!(state.invariants_hold());
+    }
+
+    #[test]
+    fn pending_updates_are_per_cell() {
+        let state = fixture();
+        // t1's city should have a suggestion toward the constant rule.
+        let update = state.pending_update((1, 2)).expect("suggestion for t1[CT]");
+        assert_eq!(update.value, Value::from("Michigan City"));
+        assert!(update.score >= 0.0 && update.score <= 1.0);
+    }
+
+    #[test]
+    fn force_value_applies_and_logs() {
+        let mut state = fixture();
+        let change = state
+            .force_value(1, 2, Value::from("Michigan City"), ChangeSource::Heuristic)
+            .unwrap();
+        assert_eq!(change.old, Value::from("Westville"));
+        assert_eq!(state.table().cell(1, 2), &Value::from("Michigan City"));
+        assert_eq!(state.applied_log().len(), 1);
+        assert!(!state.dirty_tuples().contains(&1));
+    }
+
+    #[test]
+    fn what_if_does_not_mutate() {
+        let mut state = fixture();
+        let update = Update::new(1, 2, Value::from("Michigan City"), 0.5);
+        let before = state.table().clone();
+        let stats = state.what_if_stats(&update).unwrap();
+        assert!(!stats.is_empty());
+        assert_eq!(before.diff_cells(state.table()).unwrap(), vec![]);
+        assert!(state.invariants_hold());
+    }
+
+    #[test]
+    fn changeable_and_prevented_flags() {
+        let mut state = fixture();
+        assert!(state.is_changeable((1, 2)));
+        state.mark_unchangeable((1, 2));
+        assert!(!state.is_changeable((1, 2)));
+        assert!(state.pending_update((1, 2)).is_none());
+
+        assert!(!state.is_prevented((3, 4), &Value::from("46825")));
+        state.mark_prevented((3, 4), Value::from("46825"));
+        assert!(state.is_prevented((3, 4), &Value::from("46825")));
+        assert_eq!(state.prevented_count((3, 4)), 1);
+        assert_eq!(state.prevented_count((0, 0)), 0);
+    }
+
+    #[test]
+    fn sorted_updates_are_deterministic() {
+        let state = fixture();
+        let a = state.possible_updates_sorted();
+        let b = state.possible_updates_sorted();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| (w[0].tuple, w[0].attr) <= (w[1].tuple, w[1].attr)));
+    }
+}

@@ -1,0 +1,59 @@
+//! Cleaning the census-like dataset (the paper's Dataset 2 scenario): errors
+//! are injected at random, the rules are *discovered* from data, and the
+//! trade-off between user effort and repair accuracy is reported as in
+//! Figure 5(b).
+//!
+//! ```text
+//! cargo run --release -p gdr-core --example census_cleaning
+//! ```
+
+use gdr_core::config::GdrConfig;
+use gdr_core::session::GdrSession;
+use gdr_core::strategy::Strategy;
+use gdr_datagen::census::{generate_census_dataset, CensusConfig};
+
+fn main() {
+    let data = generate_census_dataset(&CensusConfig {
+        tuples: 2_000,
+        dirty_fraction: 0.3,
+        discovery_support: 0.05,
+        seed: 5,
+    });
+    println!(
+        "Generated {} records, {} corrupted cells; discovered {} CFDs (support >= 5%)",
+        data.dirty.len(),
+        data.corrupted_cells.len(),
+        data.rules.len()
+    );
+
+    let initial_dirty =
+        gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules).dirty_tuples().len();
+    println!("Initial dirty tuples: {initial_dirty}\n");
+    println!("{:>10} | {:>11} | {:>9} | {:>6}", "effort %", "improvement", "precision", "recall");
+    println!("{}", "-".repeat(48));
+
+    for effort_pct in [10usize, 30, 50, 100] {
+        let budget = initial_dirty * effort_pct / 100;
+        let mut session = GdrSession::new(
+            data.dirty.clone(),
+            &data.rules,
+            data.clean.clone(),
+            Strategy::Gdr,
+            GdrConfig::default(),
+        );
+        let report = session.run(Some(budget)).expect("session");
+        println!(
+            "{:>10} | {:>10.1}% | {:>9.2} | {:>6.2}",
+            effort_pct,
+            report.final_improvement_pct,
+            report.accuracy.precision(),
+            report.accuracy.recall()
+        );
+    }
+
+    println!(
+        "\nBecause the errors are random (no correlation with the tuple content), the\n\
+         learned models help less than on the hospital data — precision grows more slowly\n\
+         with effort, as in the paper's Dataset 2 results."
+    );
+}

@@ -1,0 +1,68 @@
+//! Cleaning the hospital emergency-visit dataset (the paper's Dataset 1
+//! scenario): systematic, source-correlated errors, hand-written CFDs, and a
+//! comparison of guided repair against the fully automatic heuristic.
+//!
+//! ```text
+//! cargo run --release -p gdr-core --example hospital_cleaning
+//! ```
+
+use gdr_core::config::GdrConfig;
+use gdr_core::session::GdrSession;
+use gdr_core::strategy::Strategy;
+use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
+
+fn main() {
+    let data = generate_hospital_dataset(&HospitalConfig {
+        tuples: 2_000,
+        dirty_fraction: 0.3,
+        seed: 77,
+    });
+    println!(
+        "Generated {} visits ({} corrupted cells, {:.0}% dirty tuples), {} rules",
+        data.dirty.len(),
+        data.corrupted_cells.len(),
+        data.dirty_tuple_fraction() * 100.0,
+        data.rules.len()
+    );
+
+    // The user can afford to verify updates for 20% of the dirty tuples.
+    let initial_dirty =
+        gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules).dirty_tuples().len();
+    let budget = initial_dirty / 5;
+    println!("Initial dirty tuples: {initial_dirty}; feedback budget: {budget} answers\n");
+
+    for strategy in [
+        Strategy::Gdr,
+        Strategy::GdrNoLearning,
+        Strategy::AutomaticHeuristic,
+    ] {
+        let mut session = GdrSession::new(
+            data.dirty.clone(),
+            &data.rules,
+            data.clean.clone(),
+            strategy,
+            GdrConfig::default(),
+        );
+        let budget = if strategy == Strategy::AutomaticHeuristic {
+            None
+        } else {
+            Some(budget)
+        };
+        let report = session.run(budget).expect("session");
+        println!(
+            "{:<16} improvement {:>5.1}%   precision {:.2}  recall {:.2}   ({} user answers, {} learner decisions)",
+            strategy.label(),
+            report.final_improvement_pct,
+            report.accuracy.precision(),
+            report.accuracy.recall(),
+            report.verifications,
+            report.learner_decisions,
+        );
+    }
+
+    println!(
+        "\nWith the same limited budget, GDR's VOI ranking plus the learned models should\n\
+         recover most of the quality, while the automatic heuristic is stuck at its fixed\n\
+         accuracy — the shape of the paper's Figure 4(a)."
+    );
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! generation through rule checking, candidate generation, interactive
+//! repair, and evaluation.
+
+use gdr_cfd::ViolationEngine;
+use gdr_core::{GdrConfig, GdrSession, Strategy};
+use gdr_datagen::census::{generate_census_dataset, CensusConfig};
+use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
+use gdr_datagen::GeneratedDataset;
+use gdr_repair::{run_heuristic_repair, HeuristicConfig, RepairState};
+
+fn hospital(tuples: usize, seed: u64) -> GeneratedDataset {
+    generate_hospital_dataset(&HospitalConfig {
+        tuples,
+        dirty_fraction: 0.3,
+        seed,
+    })
+}
+
+fn census(tuples: usize, seed: u64) -> GeneratedDataset {
+    generate_census_dataset(&CensusConfig {
+        tuples,
+        dirty_fraction: 0.3,
+        discovery_support: 0.05,
+        seed,
+    })
+}
+
+fn run(data: &GeneratedDataset, strategy: Strategy, budget: Option<usize>) -> gdr_core::SessionReport {
+    let mut session = GdrSession::new(
+        data.dirty.clone(),
+        &data.rules,
+        data.clean.clone(),
+        strategy,
+        GdrConfig::fast(),
+    );
+    session.run(budget).expect("session run")
+}
+
+#[test]
+fn hospital_pipeline_with_unlimited_feedback_reaches_a_consistent_instance() {
+    let data = hospital(600, 21);
+    let report = run(&data, Strategy::GdrNoLearning, None);
+    assert!(report.verifications > 0);
+    assert!(
+        report.final_improvement_pct > 99.0,
+        "improvement = {}",
+        report.final_improvement_pct
+    );
+    // Everything the user confirmed came from the ground truth, so precision
+    // must be perfect and recall high (only rule-covered errors are fixed).
+    assert!(report.accuracy.precision() > 0.99);
+    assert!(report.accuracy.recall() > 0.5);
+}
+
+#[test]
+fn census_pipeline_runs_end_to_end_with_discovered_rules() {
+    let data = census(800, 3);
+    assert!(!data.rules.is_empty());
+    let report = run(&data, Strategy::GdrNoLearning, None);
+    assert!(report.final_improvement_pct > 95.0);
+    assert!(report.accuracy.precision() > 0.95);
+}
+
+#[test]
+fn automatic_heuristic_resolves_violations_but_with_lower_precision_than_gdr() {
+    let data = hospital(600, 4);
+    let mut state = RepairState::new(data.dirty.clone(), &data.rules);
+    let report = run_heuristic_repair(&mut state, &HeuristicConfig::default()).unwrap();
+    assert!(report.repairs_applied > 0);
+    // The heuristic resolves a good share of the violations (it thrashes on
+    // the abbreviation errors, which is exactly why its curve plateaus)...
+    let remaining = state.dirty_tuples().len();
+    let initial = ViolationEngine::build(&data.dirty, &data.rules)
+        .dirty_tuples()
+        .len();
+    assert!(remaining < initial, "remaining {remaining} of {initial}");
+    // ...but an oracle-guided session is strictly more accurate.
+    let guided = run(&data, Strategy::GdrNoLearning, None);
+    let heuristic_accuracy =
+        gdr_core::RepairAccuracy::compute(&data.dirty, state.table(), &data.clean);
+    assert!(guided.accuracy.precision() > heuristic_accuracy.precision());
+}
+
+#[test]
+fn budgeted_sessions_never_exceed_the_budget_and_report_monotone_checkpoints() {
+    let data = hospital(400, 8);
+    for strategy in [
+        Strategy::Gdr,
+        Strategy::GdrSLearning,
+        Strategy::ActiveLearningOnly,
+        Strategy::Greedy,
+        Strategy::RandomOrder,
+    ] {
+        let report = run(&data, strategy, Some(25));
+        assert!(
+            report.verifications <= 25,
+            "{strategy} used {} answers",
+            report.verifications
+        );
+        assert!(report
+            .checkpoints
+            .windows(2)
+            .all(|w| w[0].verifications <= w[1].verifications));
+        assert!(report.final_loss <= report.initial_loss + 1e-9);
+    }
+}
+
+#[test]
+fn learner_decisions_only_occur_for_learning_strategies() {
+    let data = hospital(400, 9);
+    let no_learning = run(&data, Strategy::GdrNoLearning, Some(40));
+    assert_eq!(no_learning.learner_decisions, 0);
+    let gdr = run(&data, Strategy::Gdr, Some(40));
+    // With systematic errors and 40 answers the models take over some work.
+    assert!(gdr.learner_decisions > 0, "learner never used");
+}
+
+#[test]
+fn corrupted_cells_match_rule_violations_on_covered_attributes() {
+    // Every zip/city/state corruption must be detectable through the rules
+    // (streets are only covered when a φ5 partner exists).
+    let data = hospital(500, 10);
+    let engine = ViolationEngine::build(&data.dirty, &data.rules);
+    let dirty_tuples: std::collections::HashSet<_> =
+        engine.dirty_tuples().into_iter().collect();
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for &(tuple, attr) in &data.corrupted_cells {
+        if attr == gdr_datagen::hospital::ATTR_CITY || attr == gdr_datagen::hospital::ATTR_ZIP {
+            total += 1;
+            if dirty_tuples.contains(&tuple) {
+                covered += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        covered as f64 / total as f64 > 0.9,
+        "only {covered}/{total} city/zip errors are caught by the rules"
+    );
+}
