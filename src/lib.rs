@@ -1,0 +1,20 @@
+//! # gdr — Guided Data Repair (facade crate)
+//!
+//! Re-exports the workspace crates so downstream users (and the repo-level
+//! integration tests and examples) can depend on a single package:
+//!
+//! * [`relation`] — in-memory relational substrate (interned, columnar),
+//! * [`cfd`] — conditional functional dependencies and violation detection,
+//! * [`repair`] — candidate-update generation and the consistency manager,
+//! * [`learn`] — the random-forest / active-learning substrate,
+//! * [`core`] — the interactive GDR session loop,
+//! * [`datagen`] — synthetic stand-ins for the paper's evaluation datasets.
+
+#![forbid(unsafe_code)]
+
+pub use gdr_cfd as cfd;
+pub use gdr_core as core;
+pub use gdr_datagen as datagen;
+pub use gdr_learn as learn;
+pub use gdr_relation as relation;
+pub use gdr_repair as repair;

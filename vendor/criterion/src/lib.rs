@@ -1,0 +1,356 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace uses (`Criterion::benchmark_group`, `sample_size`,
+//! `measurement_time`, `warm_up_time`, `bench_with_input`, `bench_function`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`).
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched.  This implementation measures wall-clock
+//! time with `std::time::Instant`, prints a human-readable summary per
+//! benchmark, and writes a machine-readable `BENCH_<group>.json` file so the
+//! repo can track its performance trajectory across PRs:
+//!
+//! * output directory: `$BENCH_OUT_DIR` when set, else the current directory;
+//! * schema: `{"group", "benchmarks": [{"id", "median_ns", "mean_ns",
+//!   "samples", "iters_per_sample"}]}`.
+//!
+//! Methodology: after a warm-up phase, each of `sample_size` samples times a
+//! fixed number of iterations calibrated so the whole measurement phase
+//! roughly fills `measurement_time`; the reported statistic is per-iteration
+//! nanoseconds.  This is cruder than criterion proper (no outlier analysis,
+//! no regression fit) but stable enough for the ≥2× comparisons the ROADMAP
+//! tracks.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter rendered as text.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs the routine repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // rough cost of one iteration along the way.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Calibrate iterations per sample so the measurement phase roughly
+        // fills `measurement_time`.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((budget / per_iter.max(1e-9)).round() as u64).max(1);
+        self.iters_per_sample = iters;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks a routine parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            iters_per_sample: 0,
+        };
+        f(&mut bencher, input);
+        self.record(id.id, bencher);
+        self
+    }
+
+    /// Benchmarks a routine with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchIdLike>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        self.record(id.into().0, bencher);
+        self
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        println!(
+            "{}/{:<40} time: [{}]  (mean {}, {} samples × {} iters)",
+            self.name,
+            id,
+            format_ns(median),
+            format_ns(mean),
+            sorted.len(),
+            bencher.iters_per_sample,
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        });
+    }
+
+    /// Finishes the group: writes `BENCH_<group>.json` to `$BENCH_OUT_DIR`
+    /// (default: current directory).
+    pub fn finish(self) {
+        let mut json = String::new();
+        json.push_str(&format!(
+            "{{\n  \"group\": \"{}\",\n  \"benchmarks\": [\n",
+            escape_json(&self.name)
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                escape_json(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.name));
+        if let Err(err) = fs::write(&path, json) {
+            eprintln!("criterion shim: could not write {}: {err}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+        let _ = self.criterion;
+    }
+}
+
+/// Helper so `bench_function` accepts both `&str` and [`BenchmarkId`].
+pub struct BenchIdLike(String);
+
+impl From<&str> for BenchIdLike {
+    fn from(s: &str) -> Self {
+        BenchIdLike(s.to_string())
+    }
+}
+
+impl From<BenchmarkId> for BenchIdLike {
+    fn from(id: BenchmarkId) -> Self {
+        BenchIdLike(id.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` for parity with criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("build", 500);
+        assert_eq!(id.id, "build/500");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn group_measures_and_writes_json() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        std::env::remove_var("BENCH_OUT_DIR");
+        let written = fs::read_to_string(dir.join("BENCH_shim_selftest.json")).unwrap();
+        assert!(written.contains("\"group\": \"shim_selftest\""));
+        assert!(written.contains("\"id\": \"sum/10\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,169 @@
+//! Case execution: configuration, the per-test RNG, and the case loop.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Failure raised by `prop_assert!`-style macros inside a proptest body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Real proptest's `Reject` constructor; treated like a failure here.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic construction from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from the inclusive range `[min, max]`.
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        min + (self.u128_below(max as u128 - min as u128 + 1) as usize)
+    }
+
+    /// Uniform draw from `0..span`.
+    pub fn u128_below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let hi = self.next_u64() as u128;
+        let lo = self.next_u64() as u128;
+        ((hi << 64) | lo) % span
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs the configured number of cases; panics (failing the enclosing
+/// `#[test]`) on the first case whose body returns an error.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(test_name.as_bytes());
+    for case in 0..config.cases {
+        let seed = base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(error) = body(&mut rng) {
+            panic!(
+                "proptest {test_name}: case {case}/{} (seed {seed:#018x}) failed: {error}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// FNV-1a hash used to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_cases_executes_every_case() {
+        let mut count = 0;
+        run_cases(ProptestConfig::with_cases(13), "self::counter", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed: boom")]
+    fn run_cases_panics_on_failure() {
+        run_cases(ProptestConfig::with_cases(5), "self::boom", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn usize_in_covers_inclusive_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.usize_in(0, 3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.usize_in(5, 5), 5);
+    }
+}
