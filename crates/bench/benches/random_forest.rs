@@ -32,11 +32,15 @@ fn bench_random_forest(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for &examples in &[50usize, 200, 1_000] {
         let data = training_set(examples);
-        group.bench_with_input(BenchmarkId::new("train_k10", examples), &examples, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(RandomForest::train(&data, &ForestConfig::default(), 7))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_k10", examples),
+            &examples,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(RandomForest::train(&data, &ForestConfig::default(), 7))
+                })
+            },
+        );
         let forest = RandomForest::train(&data, &ForestConfig::default(), 7);
         let probe = data.example(0).features.clone();
         group.bench_with_input(

@@ -35,8 +35,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--dataset" => {
                 let value = args.next().ok_or("--dataset needs a value (1 or 2)")?;
-                parsed.dataset =
-                    Some(DatasetId::parse(&value).ok_or("--dataset must be 1 or 2")?);
+                parsed.dataset = Some(DatasetId::parse(&value).ok_or("--dataset must be 1 or 2")?);
             }
             "--tuples" => {
                 let value = args.next().ok_or("--tuples needs a value")?;
@@ -101,19 +100,39 @@ fn main() -> ExitCode {
         }
         "fig4" => {
             for dataset in datasets_for(&args) {
-                run(figure4(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+                run(figure4(
+                    dataset,
+                    args.tuples,
+                    args.seed,
+                    DEFAULT_BUDGET_STEPS,
+                ));
             }
         }
         "fig5" => {
             for dataset in datasets_for(&args) {
-                run(figure5(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+                run(figure5(
+                    dataset,
+                    args.tuples,
+                    args.seed,
+                    DEFAULT_BUDGET_STEPS,
+                ));
             }
         }
         "all" => {
             for dataset in datasets_for(&args) {
                 run(figure3(dataset, args.tuples, args.seed));
-                run(figure4(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
-                run(figure5(dataset, args.tuples, args.seed, DEFAULT_BUDGET_STEPS));
+                run(figure4(
+                    dataset,
+                    args.tuples,
+                    args.seed,
+                    DEFAULT_BUDGET_STEPS,
+                ));
+                run(figure5(
+                    dataset,
+                    args.tuples,
+                    args.seed,
+                    DEFAULT_BUDGET_STEPS,
+                ));
             }
         }
         other => {

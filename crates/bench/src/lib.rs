@@ -178,7 +178,11 @@ pub fn figure3(dataset: DatasetId, tuples: usize, seed: u64) -> Figure {
     Figure {
         name: format!(
             "Figure 3({})",
-            if dataset == DatasetId::Dataset1 { "a" } else { "b" }
+            if dataset == DatasetId::Dataset1 {
+                "a"
+            } else {
+                "b"
+            }
         ),
         x_label: "Feedback (% of verified updates)".to_string(),
         y_label: "Quality improvement (%)".to_string(),
@@ -232,7 +236,11 @@ pub fn figure4(dataset: DatasetId, tuples: usize, seed: u64, budget_steps: &[f64
     Figure {
         name: format!(
             "Figure 4({})",
-            if dataset == DatasetId::Dataset1 { "a" } else { "b" }
+            if dataset == DatasetId::Dataset1 {
+                "a"
+            } else {
+                "b"
+            }
         ),
         x_label: "Feedback (% of initial dirty tuples)".to_string(),
         y_label: "Quality improvement (%)".to_string(),
@@ -264,7 +272,11 @@ pub fn figure5(dataset: DatasetId, tuples: usize, seed: u64, budget_steps: &[f64
     Figure {
         name: format!(
             "Figure 5({})",
-            if dataset == DatasetId::Dataset1 { "a" } else { "b" }
+            if dataset == DatasetId::Dataset1 {
+                "a"
+            } else {
+                "b"
+            }
         ),
         x_label: "Feedback (% of initial dirty tuples)".to_string(),
         y_label: "Precision / Recall".to_string(),

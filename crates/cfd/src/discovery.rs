@@ -86,17 +86,35 @@ pub fn discover_cfds(table: &Table, config: &DiscoveryConfig) -> Result<Vec<Cfd>
             }
             let groups = group_by(table, &lhs, rhs);
             discover_constant_rules(
-                table, &lhs, rhs, &groups, n, config, &mut counter, &mut candidates,
+                table,
+                &lhs,
+                rhs,
+                &groups,
+                n,
+                config,
+                &mut counter,
+                &mut candidates,
             );
             if config.discover_variable {
                 discover_variable_rule(
-                    table, &lhs, rhs, &groups, n, config, &mut counter, &mut candidates,
+                    table,
+                    &lhs,
+                    rhs,
+                    &groups,
+                    n,
+                    config,
+                    &mut counter,
+                    &mut candidates,
                 );
             }
         }
     }
 
-    candidates.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.rule.name().cmp(b.rule.name())));
+    candidates.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.rule.name().cmp(b.rule.name()))
+    });
     candidates.truncate(config.max_rules);
     Ok(candidates.into_iter().map(|c| c.rule).collect())
 }
@@ -167,8 +185,7 @@ fn discover_constant_rules(
             continue;
         }
         *counter += 1;
-        let lhs_pattern: Vec<PatternValue> =
-            key.iter().cloned().map(PatternValue::Const).collect();
+        let lhs_pattern: Vec<PatternValue> = key.iter().cloned().map(PatternValue::Const).collect();
         let rule = Cfd::new(
             format!("disc{counter}"),
             lhs.to_vec(),
@@ -295,9 +312,9 @@ mod tests {
             ..DiscoveryConfig::default()
         };
         let rules = discover_cfds(&table, &config).unwrap();
-        assert!(!rules.iter().any(|r| {
-            r.lhs_pattern() == [PatternValue::constant("46774")]
-        }));
+        assert!(!rules
+            .iter()
+            .any(|r| { r.lhs_pattern() == [PatternValue::constant("46774")] }));
     }
 
     #[test]
@@ -341,7 +358,9 @@ mod tests {
             table.push_text_row(&["Michigan City", "46360"]).unwrap();
         }
         for _ in 0..10 {
-            table.push_row(vec![Value::Null, Value::from("46360")]).unwrap();
+            table
+                .push_row(vec![Value::Null, Value::from("46360")])
+                .unwrap();
         }
         let config = DiscoveryConfig {
             discover_variable: false,

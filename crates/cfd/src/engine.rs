@@ -1,4 +1,4 @@
-//! Incremental CFD violation detection.
+//! Incremental CFD violation detection over interned ids.
 //!
 //! The [`ViolationEngine`] maintains, for every rule of a [`RuleSet`], enough
 //! state to answer in (amortised) constant time the quantities the GDR
@@ -17,6 +17,24 @@
 //!   affected rules, and reverting — each step touching only the agreement
 //!   groups of the changed tuple.
 //!
+//! ## Everything below the boundary is a [`ValueId`]
+//!
+//! The engine works entirely in interned-id space: agreement groups of a
+//! variable CFD are keyed by [`SmallKey`]s (inline arrays of the LHS ids, no
+//! allocation for rules of up to 4 LHS attributes), group members are
+//! bucketed by RHS [`ValueId`], and pattern constants are resolved to ids
+//! once and cached.  [`ViolationEngine::apply_cell_change_id`] and
+//! [`ViolationEngine::stats_if`] therefore hash and compare only integers —
+//! no `String` is cloned, hashed, or even looked at on those paths.
+//!
+//! The constant-resolution cache is keyed on [`Table::dict_generation`],
+//! which moves only when a *new distinct value* enters a column; pattern
+//! constants are re-hashed only then.  A constant absent from a column's
+//! dictionary can equal no cell (every cell's value is interned), so it
+//! resolves to [`ResolvedEntry::Absent`] and all comparisons against it are
+//! `false` — and because dictionaries are append-only, a binding, once made,
+//! never changes.
+//!
 //! Variable CFDs are handled with per-rule hash groups keyed by the LHS
 //! projection of the tuples in the rule's context.  For a group with member
 //! multiset `{v → c_v}` over RHS values, the pairwise violation count of
@@ -25,8 +43,9 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use gdr_relation::{AttrId, Table, TupleId, Value};
+use gdr_relation::{AttrId, SmallKey, Table, TupleId, Value, ValueId};
 
+use crate::pattern::PatternValue;
 use crate::rule::{Cfd, RuleId};
 use crate::ruleset::RuleSet;
 use crate::Result;
@@ -43,6 +62,66 @@ pub struct RuleStats {
     pub context: usize,
 }
 
+/// A pattern entry resolved against a table's dictionaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolvedEntry {
+    /// The `'−'` wildcard: matches every cell.
+    Wildcard,
+    /// A constant bound to its interned id: matches cells holding that id.
+    Const(ValueId),
+    /// A constant that has never occurred in the column: matches no cell.
+    Absent,
+}
+
+impl ResolvedEntry {
+    #[inline]
+    fn matches(self, cell: ValueId) -> bool {
+        match self {
+            ResolvedEntry::Wildcard => true,
+            ResolvedEntry::Const(id) => id == cell,
+            ResolvedEntry::Absent => false,
+        }
+    }
+}
+
+/// One rule's pattern resolved to id space.
+#[derive(Debug, Clone)]
+struct ResolvedRule {
+    /// Aligned with the rule's LHS attribute list.
+    lhs: Vec<ResolvedEntry>,
+    /// The RHS constant for constant rules; `Wildcard` for variable rules.
+    rhs: ResolvedEntry,
+}
+
+impl ResolvedRule {
+    fn resolve(rule: &Cfd, table: &Table) -> ResolvedRule {
+        let resolve_entry = |attr: AttrId, entry: &PatternValue| match entry {
+            PatternValue::Wildcard => ResolvedEntry::Wildcard,
+            PatternValue::Const(value) => match table.lookup_id(attr, value) {
+                Some(id) => ResolvedEntry::Const(id),
+                None => ResolvedEntry::Absent,
+            },
+        };
+        ResolvedRule {
+            lhs: rule
+                .lhs()
+                .iter()
+                .zip(rule.lhs_pattern())
+                .map(|(&attr, entry)| resolve_entry(attr, entry))
+                .collect(),
+            rhs: resolve_entry(rule.rhs(), rule.rhs_pattern()),
+        }
+    }
+
+    /// `t[X] ≍ tp[X]` in id space.
+    #[inline]
+    fn in_context(&self, table: &Table, tuple: TupleId, lhs: &[AttrId]) -> bool {
+        lhs.iter()
+            .zip(&self.lhs)
+            .all(|(&attr, entry)| entry.matches(table.cell_id(tuple, attr)))
+    }
+}
+
 /// State kept for a constant CFD.
 #[derive(Debug, Clone, Default)]
 struct ConstState {
@@ -53,15 +132,19 @@ struct ConstState {
 /// One LHS agreement group of a variable CFD.
 #[derive(Debug, Clone, Default)]
 struct Group {
-    /// Members bucketed by their RHS value.
-    members_by_rhs: HashMap<Value, HashSet<TupleId>>,
+    /// Members bucketed by their RHS value id.
+    members_by_rhs: HashMap<ValueId, HashSet<TupleId>>,
     /// Total number of members (= Σ bucket sizes).
     total: usize,
 }
 
 impl Group {
     fn vio(&self) -> usize {
-        let sum_sq: usize = self.members_by_rhs.values().map(|m| m.len() * m.len()).sum();
+        let sum_sq: usize = self
+            .members_by_rhs
+            .values()
+            .map(|m| m.len() * m.len())
+            .sum();
         self.total * self.total - sum_sq
     }
 
@@ -73,24 +156,24 @@ impl Group {
         }
     }
 
-    fn insert(&mut self, rhs: Value, tuple: TupleId) {
+    fn insert(&mut self, rhs: ValueId, tuple: TupleId) {
         self.members_by_rhs.entry(rhs).or_default().insert(tuple);
         self.total += 1;
     }
 
-    fn remove(&mut self, rhs: &Value, tuple: TupleId) {
-        if let Some(bucket) = self.members_by_rhs.get_mut(rhs) {
+    fn remove(&mut self, rhs: ValueId, tuple: TupleId) {
+        if let Some(bucket) = self.members_by_rhs.get_mut(&rhs) {
             if bucket.remove(&tuple) {
                 self.total -= 1;
                 if bucket.is_empty() {
-                    self.members_by_rhs.remove(rhs);
+                    self.members_by_rhs.remove(&rhs);
                 }
             }
         }
     }
 
-    fn rhs_count(&self, rhs: &Value) -> usize {
-        self.members_by_rhs.get(rhs).map(|m| m.len()).unwrap_or(0)
+    fn rhs_count(&self, rhs: ValueId) -> usize {
+        self.members_by_rhs.get(&rhs).map(|m| m.len()).unwrap_or(0)
     }
 }
 
@@ -98,8 +181,8 @@ impl Group {
 #[derive(Debug, Clone, Default)]
 struct VarState {
     /// LHS projection key of every tuple currently in the rule's context.
-    tuple_key: HashMap<TupleId, Vec<Value>>,
-    groups: HashMap<Vec<Value>, Group>,
+    tuple_key: HashMap<TupleId, SmallKey>,
+    groups: HashMap<SmallKey, Group>,
     /// Cached Σ over groups of `vio(group)`.
     total_vio: usize,
     /// Cached Σ over single-RHS groups of their size.
@@ -110,7 +193,7 @@ struct VarState {
 
 impl VarState {
     /// Removes a group's cached contribution before mutating it.
-    fn retract(&mut self, key: &[Value]) {
+    fn retract(&mut self, key: &SmallKey) {
         if let Some(group) = self.groups.get(key) {
             self.total_vio -= group.vio();
             self.satisfying_in_context -= group.satisfying();
@@ -119,8 +202,8 @@ impl VarState {
     }
 
     /// Re-adds a group's contribution after mutation, dropping empty groups.
-    fn restore(&mut self, key: Vec<Value>) {
-        let remove = if let Some(group) = self.groups.get(&key) {
+    fn restore(&mut self, key: &SmallKey) {
+        let remove = if let Some(group) = self.groups.get(key) {
             if group.total == 0 {
                 true
             } else {
@@ -133,7 +216,7 @@ impl VarState {
             false
         };
         if remove {
-            self.groups.remove(&key);
+            self.groups.remove(key);
         }
     }
 }
@@ -149,6 +232,13 @@ enum RuleState {
 pub struct ViolationEngine {
     ruleset: RuleSet,
     states: Vec<RuleState>,
+    /// Pattern constants resolved to ids, re-resolved only when the table's
+    /// dictionary generation moves.
+    resolved: Vec<ResolvedRule>,
+    resolved_at_generation: Option<u64>,
+    /// Rules involving each attribute, precomputed so the per-change hot
+    /// path allocates nothing.
+    involving: Vec<Vec<RuleId>>,
     n_rows: usize,
 }
 
@@ -166,14 +256,21 @@ impl ViolationEngine {
                 }
             })
             .collect();
+        let involving = (0..table.schema().arity())
+            .map(|attr| ruleset.rules_involving(attr))
+            .collect();
         let mut engine = ViolationEngine {
             ruleset: ruleset.clone(),
             states,
+            resolved: Vec::new(),
+            resolved_at_generation: None,
+            involving,
             n_rows: 0,
         };
-        for (tid, _) in table.iter() {
+        for tid in table.tuple_ids() {
             engine.note_new_tuple(table, tid);
         }
+        engine.refresh_resolution(table);
         engine
     }
 
@@ -187,9 +284,26 @@ impl ViolationEngine {
         self.n_rows
     }
 
+    /// Re-resolves the pattern constants when (and only when) a new distinct
+    /// value has entered some column since the last resolution.
+    fn refresh_resolution(&mut self, table: &Table) {
+        let generation = table.dict_generation();
+        if self.resolved_at_generation == Some(generation) {
+            return;
+        }
+        self.resolved = self
+            .ruleset
+            .rules()
+            .iter()
+            .map(|rule| ResolvedRule::resolve(rule, table))
+            .collect();
+        self.resolved_at_generation = Some(generation);
+    }
+
     /// Registers a newly appended tuple (e.g. from an online data-entry feed,
     /// §3 "Updates Consistency Manager") with every rule.
     pub fn note_new_tuple(&mut self, table: &Table, tuple: TupleId) {
+        self.refresh_resolution(table);
         self.n_rows += 1;
         for id in 0..self.ruleset.len() {
             self.add_tuple(id, table, tuple);
@@ -197,23 +311,42 @@ impl ViolationEngine {
     }
 
     /// Applies a cell change to both the table and the engine, returning the
-    /// previous value.  Only rules involving `attr` are touched.
+    /// id of the previous value.  Only rules involving `attr` are touched,
+    /// and the whole path works on interned ids — decode the returned id via
+    /// [`Table::id_value`] if the old value itself is needed.
     pub fn apply_cell_change(
         &mut self,
         table: &mut Table,
         tuple: TupleId,
         attr: AttrId,
         value: Value,
-    ) -> Result<Value> {
-        let affected = self.ruleset.rules_involving(attr);
-        for &rule in &affected {
+    ) -> Result<ValueId> {
+        table.try_cell(tuple, attr)?;
+        let new_id = table.intern_value(attr, value);
+        Ok(self.apply_cell_change_id(table, tuple, attr, new_id))
+    }
+
+    /// Id-space core of [`ViolationEngine::apply_cell_change`]: removes the
+    /// tuple from the affected rules, swaps the cell id, re-adds it, and
+    /// returns the previous id.
+    pub fn apply_cell_change_id(
+        &mut self,
+        table: &mut Table,
+        tuple: TupleId,
+        attr: AttrId,
+        new_id: ValueId,
+    ) -> ValueId {
+        self.refresh_resolution(table);
+        for i in 0..self.involving[attr].len() {
+            let rule = self.involving[attr][i];
             self.remove_tuple(rule, table, tuple);
         }
-        let old = table.set_cell(tuple, attr, value)?;
-        for &rule in &affected {
+        let old_id = table.set_cell_id(tuple, attr, new_id);
+        for i in 0..self.involving[attr].len() {
+            let rule = self.involving[attr][i];
             self.add_tuple(rule, table, tuple);
         }
-        Ok(old)
+        old_id
     }
 
     /// Evaluates the per-rule statistics that *would* hold if `t[attr]` were
@@ -221,21 +354,23 @@ impl ViolationEngine {
     ///
     /// Returns `(rule, stats)` for every rule involving `attr` — these are
     /// exactly the rules whose `vio`/`⊨` counts can differ from the current
-    /// instance, which is what the VOI gain formula (Eq. 6) needs.
+    /// instance, which is what the VOI gain formula (Eq. 6) needs.  The
+    /// apply/revert round trip runs entirely on interned ids.
     pub fn stats_if(
         &mut self,
         table: &mut Table,
         tuple: TupleId,
         attr: AttrId,
-        value: Value,
+        value: &Value,
     ) -> Result<Vec<(RuleId, RuleStats)>> {
-        let affected = self.ruleset.rules_involving(attr);
-        let old = self.apply_cell_change(table, tuple, attr, value)?;
-        let stats = affected
+        table.try_cell(tuple, attr)?;
+        let new_id = table.intern_value_ref(attr, value);
+        let old_id = self.apply_cell_change_id(table, tuple, attr, new_id);
+        let stats = self.involving[attr]
             .iter()
             .map(|&rule| (rule, self.rule_stats(rule)))
             .collect();
-        self.apply_cell_change(table, tuple, attr, old)?;
+        self.apply_cell_change_id(table, tuple, attr, old_id);
         Ok(stats)
     }
 
@@ -280,7 +415,7 @@ impl ViolationEngine {
                     .members_by_rhs
                     .iter()
                     .find(|(_, members)| members.contains(&tuple))
-                    .map(|(rhs, _)| rhs);
+                    .map(|(&rhs, _)| rhs);
                 match own_rhs {
                     Some(rhs) => group.total - group.rhs_count(rhs),
                     None => 0,
@@ -351,11 +486,10 @@ impl ViolationEngine {
             return Vec::new();
         };
         let mut partners = Vec::new();
-        for (rhs, members) in &group.members_by_rhs {
+        for members in group.members_by_rhs.values() {
             if members.contains(&tuple) {
                 continue;
             }
-            let _ = rhs;
             partners.extend(members.iter().copied());
         }
         partners.sort_unstable();
@@ -375,12 +509,7 @@ impl ViolationEngine {
         let Some(group) = state.groups.get(key) else {
             return Vec::new();
         };
-        let mut members: Vec<TupleId> = group
-            .members_by_rhs
-            .values()
-            .flatten()
-            .copied()
-            .collect();
+        let mut members: Vec<TupleId> = group.members_by_rhs.values().flatten().copied().collect();
         members.sort_unstable();
         members
     }
@@ -400,44 +529,52 @@ impl ViolationEngine {
             && self.dirty_tuples() == fresh.dirty_tuples()
     }
 
-    fn rule(&self, rule: RuleId) -> &Cfd {
-        self.ruleset.rule(rule)
-    }
-
     fn add_tuple(&mut self, rule_id: RuleId, table: &Table, tuple: TupleId) {
-        let rule = self.rule(rule_id).clone();
-        let t = table.tuple(tuple);
-        if !rule.in_context(t) {
+        let ViolationEngine {
+            ruleset,
+            states,
+            resolved,
+            ..
+        } = self;
+        let rule = ruleset.rule(rule_id);
+        let res = &resolved[rule_id];
+        if !res.in_context(table, tuple, rule.lhs()) {
             return;
         }
-        match &mut self.states[rule_id] {
+        match &mut states[rule_id] {
             RuleState::Constant(state) => {
                 state.context += 1;
-                let expected = rule
-                    .rhs_pattern()
-                    .as_const()
-                    .expect("constant rule has constant RHS pattern");
-                if t.value(rule.rhs()) != expected {
+                if !res.rhs.matches(table.cell_id(tuple, rule.rhs())) {
                     state.violating.insert(tuple);
                 }
             }
             RuleState::Variable(state) => {
-                let key = t.project(rule.lhs());
-                let rhs = t.value(rule.rhs()).clone();
+                let key = table.project_key(tuple, rule.lhs());
+                let rhs = table.cell_id(tuple, rule.rhs());
                 state.retract(&key);
-                state.groups.entry(key.clone()).or_default().insert(rhs, tuple);
-                state.restore(key.clone());
+                state
+                    .groups
+                    .entry(key.clone())
+                    .or_default()
+                    .insert(rhs, tuple);
+                state.restore(&key);
                 state.tuple_key.insert(tuple, key);
             }
         }
     }
 
     fn remove_tuple(&mut self, rule_id: RuleId, table: &Table, tuple: TupleId) {
-        let rule = self.rule(rule_id).clone();
-        let t = table.tuple(tuple);
-        match &mut self.states[rule_id] {
+        let ViolationEngine {
+            ruleset,
+            states,
+            resolved,
+            ..
+        } = self;
+        let rule = ruleset.rule(rule_id);
+        let res = &resolved[rule_id];
+        match &mut states[rule_id] {
             RuleState::Constant(state) => {
-                if rule.in_context(t) {
+                if res.in_context(table, tuple, rule.lhs()) {
                     state.context -= 1;
                 }
                 state.violating.remove(&tuple);
@@ -446,12 +583,12 @@ impl ViolationEngine {
                 let Some(key) = state.tuple_key.remove(&tuple) else {
                     return;
                 };
-                let rhs = t.value(rule.rhs()).clone();
+                let rhs = table.cell_id(tuple, rule.rhs());
                 state.retract(&key);
                 if let Some(group) = state.groups.get_mut(&key) {
-                    group.remove(&rhs, tuple);
+                    group.remove(rhs, tuple);
                 }
-                state.restore(key);
+                state.restore(&key);
             }
         }
     }
@@ -487,11 +624,21 @@ STR, CT -> ZIP : _, Fort Wayne || _
     fn build_fixture() -> (Table, RuleSet, ViolationEngine) {
         let schema = schema();
         let mut table = Table::new("addr", schema.clone());
-        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
-        table.push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
-        table.push_text_row(&["H3", "Colfax Ave", "Westville", "IN", "46391"]).unwrap();
+        table
+            .push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Main St", "Westville", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"])
+            .unwrap();
+        table
+            .push_text_row(&["H3", "Colfax Ave", "Westville", "IN", "46391"])
+            .unwrap();
         let mut ruleset = RuleSet::new(parse_rules(&schema, rules_text()).unwrap());
         ruleset.weights_from_context(&table);
         let engine = ViolationEngine::build(&table, &ruleset);
@@ -572,7 +719,7 @@ STR, CT -> ZIP : _, Fort Wayne || _
         let old = engine
             .apply_cell_change(&mut table, 1, 2, Value::from("Michigan City"))
             .unwrap();
-        assert_eq!(old, Value::from("Westville"));
+        assert_eq!(table.id_value(2, old), &Value::from("Westville"));
         assert_eq!(engine.rule_stats(0).violations, 0);
         assert_eq!(engine.dirty_tuples(), vec![2, 3]);
         assert!(engine.agrees_with_rebuild(&table));
@@ -607,12 +754,13 @@ STR, CT -> ZIP : _, Fort Wayne || _
     #[test]
     fn what_if_is_side_effect_free() {
         let (mut table, _, mut engine) = build_fixture();
-        let before_stats: Vec<RuleStats> =
-            (0..engine.ruleset().len()).map(|r| engine.rule_stats(r)).collect();
+        let before_stats: Vec<RuleStats> = (0..engine.ruleset().len())
+            .map(|r| engine.rule_stats(r))
+            .collect();
         let before_version = table.version();
 
         let what_if = engine
-            .stats_if(&mut table, 1, 2, Value::from("Michigan City"))
+            .stats_if(&mut table, 1, 2, &Value::from("Michigan City"))
             .unwrap();
         // The change touches only rules involving CT.
         let touched: Vec<RuleId> = what_if.iter().map(|(r, _)| *r).collect();
@@ -624,8 +772,9 @@ STR, CT -> ZIP : _, Fort Wayne || _
 
         // Nothing stuck: stats and table content identical to before (version
         // counter does advance because the what-if applies and reverts).
-        let after_stats: Vec<RuleStats> =
-            (0..engine.ruleset().len()).map(|r| engine.rule_stats(r)).collect();
+        let after_stats: Vec<RuleStats> = (0..engine.ruleset().len())
+            .map(|r| engine.rule_stats(r))
+            .collect();
         assert_eq!(before_stats, after_stats);
         assert_eq!(table.cell(1, 2), &Value::from("Westville"));
         assert!(table.version() >= before_version);
@@ -638,13 +787,61 @@ STR, CT -> ZIP : _, Fort Wayne || _
         // Hypothetically change t3's street: it leaves the conflicting group,
         // so the variable rule would have no violations.
         let what_if = engine
-            .stats_if(&mut table, 3, 1, Value::from("Sherden RD"))
+            .stats_if(&mut table, 3, 1, &Value::from("Sherden RD"))
             .unwrap();
         let var = what_if.iter().find(|(r, _)| *r == 6).unwrap().1;
         assert_eq!(var.violations, 0);
         assert_eq!(var.context, 2);
         // And the real state still shows the conflict.
         assert_eq!(engine.rule_stats(6).violations, 2);
+    }
+
+    #[test]
+    fn what_if_with_a_brand_new_value_resolves_constants() {
+        let (mut table, _, mut engine) = build_fixture();
+        // "Sherden RD" is not in the STR dictionary yet: the what-if interns
+        // it, triggers re-resolution, and must still revert cleanly.
+        assert!(table.lookup_id(1, &Value::from("Sherden RD")).is_none());
+        let before: Vec<RuleStats> = (0..engine.ruleset().len())
+            .map(|r| engine.rule_stats(r))
+            .collect();
+        engine
+            .stats_if(&mut table, 3, 1, &Value::from("Sherden RD"))
+            .unwrap();
+        let after: Vec<RuleStats> = (0..engine.ruleset().len())
+            .map(|r| engine.rule_stats(r))
+            .collect();
+        assert_eq!(before, after);
+        assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn absent_constants_resolve_once_their_value_appears() {
+        // A rule whose constant never occurs in the data is unsatisfiable on
+        // the RHS but also context-less; once a cell takes the constant's
+        // LHS value, the cached resolution must catch up.
+        let schema = schema();
+        let mut table = Table::new("addr", schema.clone());
+        table
+            .push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"])
+            .unwrap();
+        let ruleset = RuleSet::new(parse_rules(&schema, "ZIP -> CT : 46999 || Nowhere\n").unwrap());
+        let mut engine = ViolationEngine::build(&table, &ruleset);
+        assert_eq!(engine.rule_stats(0).context, 0);
+        // Move the tuple into the rule's context: CT "Nowhere" still absent,
+        // so the tuple violates.
+        engine
+            .apply_cell_change(&mut table, 0, 4, Value::from("46999"))
+            .unwrap();
+        assert_eq!(engine.rule_stats(0).context, 1);
+        assert_eq!(engine.rule_stats(0).violations, 1);
+        assert!(engine.agrees_with_rebuild(&table));
+        // Repair to the constant: the constant is interned at this moment.
+        engine
+            .apply_cell_change(&mut table, 0, 2, Value::from("Nowhere"))
+            .unwrap();
+        assert_eq!(engine.rule_stats(0).violations, 0);
+        assert!(engine.agrees_with_rebuild(&table));
     }
 
     #[test]
@@ -678,7 +875,9 @@ STR, CT -> ZIP : _, Fort Wayne || _
     fn empty_ruleset_reports_nothing() {
         let schema = schema();
         let mut table = Table::new("addr", schema);
-        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
+        table
+            .push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"])
+            .unwrap();
         let engine = ViolationEngine::build(&table, &RuleSet::new(vec![]));
         assert_eq!(engine.dirty_tuples(), Vec::<TupleId>::new());
         assert_eq!(engine.total_violations(), 0);

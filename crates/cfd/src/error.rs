@@ -57,7 +57,9 @@ impl fmt::Display for CfdError {
             }
             CfdError::EmptyLhs => write!(f, "rule has an empty left-hand side"),
             CfdError::EmptyRhs => write!(f, "rule has an empty right-hand side"),
-            CfdError::Parse { line, detail } => write!(f, "rule parse error at line {line}: {detail}"),
+            CfdError::Parse { line, detail } => {
+                write!(f, "rule parse error at line {line}: {detail}")
+            }
             CfdError::Relation(err) => write!(f, "relation error: {err}"),
             CfdError::UnknownRule { rule } => write!(f, "unknown rule id {rule}"),
         }

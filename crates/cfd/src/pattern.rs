@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use gdr_relation::{AttrId, Tuple, Value};
+use gdr_relation::{AttrId, Row, Value};
 
 /// One entry of a pattern tuple: a constant or the `'−'` wildcard.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -110,7 +110,7 @@ impl Pattern {
     }
 
     /// The `≍` operator lifted to tuples: `t ≍ tp` iff every entry matches.
-    pub fn matches(&self, tuple: &Tuple) -> bool {
+    pub fn matches<R: Row>(&self, tuple: &R) -> bool {
         self.entries
             .iter()
             .all(|(attr, entry)| entry.matches(tuple.value(*attr)))
@@ -149,7 +149,7 @@ impl fmt::Display for Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdr_relation::Value;
+    use gdr_relation::{Tuple, Value};
 
     fn tuple(values: &[&str]) -> Tuple {
         Tuple::new(values.iter().map(|v| Value::from(*v)).collect())

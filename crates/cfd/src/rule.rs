@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use gdr_relation::{AttrId, Schema, Tuple, Value};
+use gdr_relation::{AttrId, Row, Schema, Value};
 
 use crate::error::CfdError;
 use crate::pattern::{Pattern, PatternValue};
@@ -163,8 +163,10 @@ impl Cfd {
         )
     }
 
-    /// `t[X] ≍ tp[X]`: the tuple falls in the rule's context.
-    pub fn in_context(&self, tuple: &Tuple) -> bool {
+    /// `t[X] ≍ tp[X]`: the tuple falls in the rule's context.  Generic over
+    /// [`Row`] so owned [`gdr_relation::Tuple`]s and borrowed
+    /// [`gdr_relation::TupleRef`]s both work.
+    pub fn in_context<R: Row>(&self, tuple: &R) -> bool {
         self.lhs
             .iter()
             .zip(self.lhs_pattern.iter())
@@ -172,7 +174,7 @@ impl Cfd {
     }
 
     /// Context membership with a hypothetical single-cell override.
-    pub fn in_context_with(&self, tuple: &Tuple, attr: AttrId, value: &Value) -> bool {
+    pub fn in_context_with<R: Row>(&self, tuple: &R, attr: AttrId, value: &Value) -> bool {
         self.lhs
             .iter()
             .zip(self.lhs_pattern.iter())
@@ -187,7 +189,7 @@ impl Cfd {
     /// `t ⊨ φ` iff `t[X] ≍ tp[X]` implies `t[A] = tp[A]`.  Variable rules
     /// cannot be decided on a single tuple; use the
     /// [`crate::ViolationEngine`] for those.
-    pub fn constant_satisfied_by(&self, tuple: &Tuple) -> Option<bool> {
+    pub fn constant_satisfied_by<R: Row>(&self, tuple: &R) -> Option<bool> {
         let constant = self.rhs_pattern.as_const()?;
         if !self.in_context(tuple) {
             return Some(true);
@@ -262,8 +264,7 @@ impl CfdSpec {
         let lhs_pattern: Vec<Option<&str>> =
             self.lhs_pattern.iter().map(|p| p.as_deref()).collect();
         let mut rules = Vec::with_capacity(self.rhs.len());
-        for (i, (rhs_name, rhs_pattern)) in
-            self.rhs.iter().zip(self.rhs_pattern.iter()).enumerate()
+        for (i, (rhs_name, rhs_pattern)) in self.rhs.iter().zip(self.rhs_pattern.iter()).enumerate()
         {
             let name = if self.rhs.len() == 1 {
                 self.name.clone()
@@ -286,7 +287,7 @@ impl CfdSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdr_relation::Schema;
+    use gdr_relation::{Schema, Tuple};
 
     fn schema() -> Schema {
         Schema::new(&["Name", "SRC", "STR", "CT", "STT", "ZIP"])
@@ -443,7 +444,10 @@ mod tests {
         let mut no_rhs = base.clone();
         no_rhs.rhs.clear();
         no_rhs.rhs_pattern.clear();
-        assert!(matches!(no_rhs.normalize(&schema()), Err(CfdError::EmptyRhs)));
+        assert!(matches!(
+            no_rhs.normalize(&schema()),
+            Err(CfdError::EmptyRhs)
+        ));
 
         let mut bad_pattern = base.clone();
         bad_pattern.lhs_pattern.push(None);
@@ -475,7 +479,10 @@ mod tests {
         let rule = phi_5();
         let pattern = rule.lhs_as_pattern();
         assert_eq!(pattern.len(), 2);
-        assert!(pattern.entry(3).unwrap().matches(&Value::from("Fort Wayne")));
+        assert!(pattern
+            .entry(3)
+            .unwrap()
+            .matches(&Value::from("Fort Wayne")));
         assert!(pattern.entry(2).unwrap().is_wildcard());
     }
 }

@@ -168,7 +168,10 @@ mod tests {
         assert_eq!(set.weight(0), 1.0);
         assert_eq!(set.rule(1).name(), "phi2");
         assert!(set.try_rule(1).is_ok());
-        assert!(matches!(set.try_rule(9), Err(CfdError::UnknownRule { rule: 9 })));
+        assert!(matches!(
+            set.try_rule(9),
+            Err(CfdError::UnknownRule { rule: 9 })
+        ));
     }
 
     #[test]

@@ -78,6 +78,53 @@ proptest! {
         prop_assert!(engine.agrees_with_rebuild(&table));
     }
 
+    /// Edits that introduce brand-new values — growing the per-attribute
+    /// dictionaries and forcing the engine's cached constant → id bindings
+    /// to re-resolve — still agree with a from-scratch rebuild.
+    #[test]
+    fn incremental_equals_rebuild_with_novel_values(
+        table in table_strategy(),
+        edits in proptest::collection::vec((0usize..40, 0usize..4, 0usize..7), 0..25),
+    ) {
+        let mut table = table;
+        let ruleset = rules(table.schema());
+        let mut engine = ViolationEngine::build(&table, &ruleset);
+        for (i, (row, attr, val)) in edits.into_iter().enumerate() {
+            let row = row % table.len();
+            let pool = value_pool(attr);
+            let value = if val < pool.len() {
+                Value::from(pool[val])
+            } else {
+                // A value never seen in any column (nor in any rule).
+                Value::from(format!("novel-{attr}-{i}"))
+            };
+            engine.apply_cell_change(&mut table, row, attr, value).unwrap();
+            prop_assert!(engine.agrees_with_rebuild(&table));
+        }
+    }
+
+    /// What-if probes with brand-new values intern and revert cleanly.
+    #[test]
+    fn what_if_with_novel_values_is_pure(
+        table in table_strategy(),
+        probes in proptest::collection::vec((0usize..40, 0usize..4), 1..12),
+    ) {
+        let mut table = table;
+        let ruleset = rules(table.schema());
+        let mut engine = ViolationEngine::build(&table, &ruleset);
+        let snapshot = table.clone();
+        let before: Vec<_> = (0..ruleset.len()).map(|r| engine.rule_stats(r)).collect();
+        for (i, (row, attr)) in probes.into_iter().enumerate() {
+            let row = row % table.len();
+            let value = Value::from(format!("fresh-{attr}-{i}"));
+            engine.stats_if(&mut table, row, attr, &value).unwrap();
+        }
+        let after: Vec<_> = (0..ruleset.len()).map(|r| engine.rule_stats(r)).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(snapshot.diff_cells(&table).unwrap(), vec![]);
+        prop_assert!(engine.agrees_with_rebuild(&table));
+    }
+
     /// What-if evaluation never changes observable state.
     #[test]
     fn what_if_is_pure(
@@ -93,7 +140,7 @@ proptest! {
             let row = row % table.len();
             let pool = value_pool(attr);
             let value = Value::from(pool[val % pool.len()]);
-            engine.stats_if(&mut table, row, attr, value).unwrap();
+            engine.stats_if(&mut table, row, attr, &value).unwrap();
         }
         let after: Vec<_> = (0..ruleset.len()).map(|r| engine.rule_stats(r)).collect();
         prop_assert_eq!(before, after);

@@ -55,10 +55,29 @@ pub const ATTR_RELATIONSHIP: usize = 7;
 pub const ATTR_MARITAL: usize = 3;
 
 const EDUCATIONS: &[&str] = &[
-    "Bachelors", "HS-grad", "Masters", "Some-college", "Assoc-voc", "Doctorate", "11th",
+    "Bachelors",
+    "HS-grad",
+    "Masters",
+    "Some-college",
+    "Assoc-voc",
+    "Doctorate",
+    "11th",
 ];
-const COUNTRIES: &[&str] = &["United-States", "Mexico", "Philippines", "Germany", "Canada", "India"];
-const RACES: &[&str] = &["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"];
+const COUNTRIES: &[&str] = &[
+    "United-States",
+    "Mexico",
+    "Philippines",
+    "Germany",
+    "Canada",
+    "India",
+];
+const RACES: &[&str] = &[
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+];
 const SEX_VALUES: &[&str] = &["Male", "Female"];
 
 /// `(occupation, workclass)` pairs — occupation functionally determines
@@ -268,12 +287,14 @@ mod tests {
         let data = small();
         // At least one rule must relate occupation and workclass, and one
         // must relate relationship and marital status.
-        let has_occupation_rule = data.rules.rules().iter().any(|r| {
-            r.attrs().contains(&ATTR_OCCUPATION) && r.attrs().contains(&ATTR_WORKCLASS)
-        });
-        let has_relationship_rule = data.rules.rules().iter().any(|r| {
-            r.attrs().contains(&ATTR_RELATIONSHIP) && r.attrs().contains(&ATTR_MARITAL)
-        });
+        let has_occupation_rule =
+            data.rules.rules().iter().any(|r| {
+                r.attrs().contains(&ATTR_OCCUPATION) && r.attrs().contains(&ATTR_WORKCLASS)
+            });
+        let has_relationship_rule =
+            data.rules.rules().iter().any(|r| {
+                r.attrs().contains(&ATTR_RELATIONSHIP) && r.attrs().contains(&ATTR_MARITAL)
+            });
         assert!(has_occupation_rule);
         assert!(has_relationship_rule);
     }

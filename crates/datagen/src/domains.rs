@@ -147,7 +147,12 @@ mod tests {
                     .iter()
                     .filter(|l| l.city == locality.city && l.streets.contains(street))
                     .collect();
-                assert_eq!(holders.len(), 1, "street {street} ambiguous in {}", locality.city);
+                assert_eq!(
+                    holders.len(),
+                    1,
+                    "street {street} ambiguous in {}",
+                    locality.city
+                );
             }
         }
     }

@@ -197,7 +197,11 @@ mod tests {
     fn corrupt_never_returns_the_original() {
         let mut rng = rng();
         let domain = ["Fort Wayne", "Westville", "Michigan City"];
-        for kind in [ErrorKind::Typo, ErrorKind::DomainSwap, ErrorKind::Abbreviation] {
+        for kind in [
+            ErrorKind::Typo,
+            ErrorKind::DomainSwap,
+            ErrorKind::Abbreviation,
+        ] {
             for _ in 0..10 {
                 let out = corrupt(&Value::from("Fort Wayne"), kind, &domain, &mut rng);
                 assert_ne!(out, Value::from("Fort Wayne"));
@@ -216,6 +220,9 @@ mod tests {
     fn corruption_is_deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        assert_eq!(apply_typo("Fort Wayne", &mut a), apply_typo("Fort Wayne", &mut b));
+        assert_eq!(
+            apply_typo("Fort Wayne", &mut a),
+            apply_typo("Fort Wayne", &mut b)
+        );
     }
 }

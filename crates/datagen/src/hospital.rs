@@ -173,7 +173,11 @@ pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
                 vec![(ATTR_CITY, ErrorKind::Abbreviation, vec![])]
             }
             ErrorProfile::ZipSwapped => {
-                vec![(ATTR_ZIP, ErrorKind::DomainSwap, neighbour_zips(locality, &zip_domain))]
+                vec![(
+                    ATTR_ZIP,
+                    ErrorKind::DomainSwap,
+                    neighbour_zips(locality, &zip_domain),
+                )]
             }
             ErrorProfile::StreetTypos => {
                 vec![(ATTR_STREET, ErrorKind::Typo, vec![])]
@@ -238,9 +242,7 @@ pub fn hospital_rules_text() -> String {
     for city in cities {
         let zip_count = LOCALITIES.iter().filter(|l| l.city == city).count();
         if zip_count >= 2 {
-            text.push_str(&format!(
-                "StreetAddress, City -> Zip : _, {city} || _\n"
-            ));
+            text.push_str(&format!("StreetAddress, City -> Zip : _, {city} || _\n"));
         }
     }
     text

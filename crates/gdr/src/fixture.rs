@@ -110,8 +110,8 @@ pub fn figure1_instance() -> (Table, Table, RuleSet) {
 mod tests {
     use super::*;
     use gdr_cfd::ViolationEngine;
-    use gdr_repair::RepairState;
     use gdr_relation::Value;
+    use gdr_repair::RepairState;
 
     #[test]
     fn clean_instance_satisfies_every_rule() {

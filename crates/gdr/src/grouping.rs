@@ -92,7 +92,11 @@ mod tests {
         assert_eq!(groups[0].attr, 3);
         assert_eq!(groups[0].value, Value::from("Michigan City"));
         assert_eq!(
-            groups[0].updates.iter().map(|u| u.tuple).collect::<Vec<_>>(),
+            groups[0]
+                .updates
+                .iter()
+                .map(|u| u.tuple)
+                .collect::<Vec<_>>(),
             vec![2, 3, 4]
         );
         assert_eq!(groups[1].value, Value::from("Westville"));

@@ -113,7 +113,9 @@ mod tests {
         let dirty = dirty();
         let mut repaired = dirty.snapshot("repaired");
         // One correct repair, one wrong "repair", one error untouched.
-        repaired.set_cell(0, 0, Value::from("Michigan City")).unwrap();
+        repaired
+            .set_cell(0, 0, Value::from("Michigan City"))
+            .unwrap();
         repaired.set_cell(1, 1, Value::from("46805")).unwrap();
         let acc = RepairAccuracy::compute(&dirty, &repaired, &truth);
         assert_eq!(acc.updated, 2);

@@ -55,22 +55,33 @@ impl ModelStore {
 
     /// Builds the feature vector `⟨t[A_1..A_n], v, R(t[A_i], v)⟩` for an
     /// update against the *current* table instance.
+    ///
+    /// The tuple features are the row's interned [`gdr_relation::ValueId`]s
+    /// carried as [`FeatureValue::Symbol`]s — no string is rendered or
+    /// cloned for them, and feature `i` always draws from attribute `i`'s
+    /// dictionary, so a symbol keeps its meaning across training rounds
+    /// (dictionaries are append-only).  The suggested value `v` is carried
+    /// as canonical text instead: it may not be interned yet at feedback
+    /// time, and an id-or-text mix would make equal suggestions look
+    /// distinct to the learner once the value is interned later.  Its
+    /// rendering is shared work with the similarity feature, so this costs
+    /// one small allocation per example.
     pub fn features_for(&self, table: &Table, update: &Update) -> Vec<FeatureValue> {
-        let tuple = table.tuple(update.tuple);
-        let mut features: Vec<FeatureValue> = tuple
-            .values()
-            .iter()
-            .map(|v| {
-                if v.is_null() {
-                    FeatureValue::Missing
-                } else {
-                    FeatureValue::categorical(v.render().into_owned())
-                }
-            })
-            .collect();
-        features.push(FeatureValue::categorical(update.value.render().into_owned()));
+        let arity = table.schema().arity();
+        let mut features: Vec<FeatureValue> = Vec::with_capacity(arity + 2);
+        for attr in 0..arity {
+            let id = table.cell_id(update.tuple, attr);
+            if table.id_value(attr, id).is_null() {
+                features.push(FeatureValue::Missing);
+            } else {
+                features.push(FeatureValue::Symbol(id.raw()));
+            }
+        }
+        features.push(FeatureValue::categorical(
+            update.value.render().into_owned(),
+        ));
         features.push(FeatureValue::Numeric(value_similarity(
-            tuple.value(update.attr),
+            table.cell(update.tuple, update.attr),
             &update.value,
         )));
         features
@@ -148,7 +159,11 @@ mod tests {
         // Source H2 systematically has a wrong city; source H1 is fine.
         for i in 0..30 {
             let src = if i % 2 == 0 { "H2" } else { "H1" };
-            let city = if src == "H2" { "Westville" } else { "Michigan City" };
+            let city = if src == "H2" {
+                "Westville"
+            } else {
+                "Michigan City"
+            };
             t.push_text_row(&[src, city, "46360"]).unwrap();
         }
         t
@@ -165,10 +180,39 @@ mod tests {
         let update = Update::new(0, 1, Value::from("Michigan City"), 0.4);
         let features = store.features_for(&table, &update);
         assert_eq!(features.len(), 5); // 3 attrs + suggested value + similarity
-        assert_eq!(features[0].as_categorical(), Some("H2"));
+                                       // Tuple features carry the interned ids of the row's cells...
+        assert_eq!(features[0].as_symbol(), Some(table.cell_id(0, 0).raw()));
+        // ...while the suggested value is canonical text, so examples taken
+        // before and after the value is interned stay comparable.
         assert_eq!(features[3].as_categorical(), Some("Michigan City"));
         let sim = features[4].as_numeric().unwrap();
-        assert!(sim >= 0.0 && sim <= 1.0);
+        assert!((0.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn suggested_value_feature_is_stable_across_interning() {
+        let mut table = table();
+        let store = store();
+        let update = Update::new(0, 1, Value::from("Nowhere Else"), 0.1);
+        // Not interned yet...
+        let before = store.features_for(&table, &update);
+        // ...now interned (e.g. the update was applied elsewhere)...
+        table.intern_value(1, Value::from("Nowhere Else"));
+        let after = store.features_for(&table, &update);
+        // ...and the suggested-value feature must not change representation.
+        assert_eq!(before[3], after[3]);
+        assert_eq!(before[3].as_categorical(), Some("Nowhere Else"));
+    }
+
+    #[test]
+    fn equal_cells_share_feature_symbols() {
+        let table = table();
+        let store = store();
+        // Rows 0 and 2 both come from source H2 with city Westville.
+        let a = store.features_for(&table, &Update::new(0, 1, Value::from("X"), 0.4));
+        let b = store.features_for(&table, &Update::new(2, 1, Value::from("X"), 0.4));
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
     }
 
     #[test]

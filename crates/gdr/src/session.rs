@@ -78,8 +78,7 @@ impl SessionReport {
     pub fn improvement_at(&self, verifications: usize) -> f64 {
         self.checkpoints
             .iter()
-            .filter(|c| c.verifications <= verifications)
-            .last()
+            .rfind(|c| c.verifications <= verifications)
             .map(|c| c.improvement_pct)
             .unwrap_or(0.0)
     }
@@ -232,10 +231,7 @@ impl GdrSession {
 
     /// Ranks groups according to the strategy; returns
     /// `(group, benefit, max_benefit)` triples sorted best-first.
-    fn rank_groups(
-        &mut self,
-        groups: Vec<UpdateGroup>,
-    ) -> Result<Vec<(UpdateGroup, f64, f64)>> {
+    fn rank_groups(&mut self, groups: Vec<UpdateGroup>) -> Result<Vec<(UpdateGroup, f64, f64)>> {
         let mut scored: Vec<(UpdateGroup, f64)> = Vec::with_capacity(groups.len());
         match self.strategy {
             s if s.uses_voi() => {
@@ -257,18 +253,25 @@ impl GdrSession {
                 scored.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1)
                         .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone())))
+                        .then_with(|| {
+                            (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone()))
+                        })
                 });
             }
             Strategy::Greedy => {
-                scored = groups.into_iter().map(|g| {
-                    let size = g.len() as f64;
-                    (g, size)
-                }).collect();
+                scored = groups
+                    .into_iter()
+                    .map(|g| {
+                        let size = g.len() as f64;
+                        (g, size)
+                    })
+                    .collect();
                 scored.sort_by(|a, b| {
                     b.1.partial_cmp(&a.1)
                         .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone())))
+                        .then_with(|| {
+                            (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone()))
+                        })
                 });
             }
             Strategy::RandomOrder => {
@@ -306,7 +309,8 @@ impl GdrSession {
             0.0
         };
         let d = (e * (1.0 - ratio)).ceil() as usize;
-        d.max(self.config.min_verifications_per_group).min(group.len())
+        d.max(self.config.min_verifications_per_group)
+            .min(group.len())
     }
 
     /// Lets the user verify up to `quota` updates of the group (ordered by
@@ -323,10 +327,7 @@ impl GdrSession {
         let mut actions = 0usize;
 
         // Phase 1: user verification, ordered per strategy.
-        while verified_in_group < quota
-            && !remaining.is_empty()
-            && !self.budget_exhausted(budget)
-        {
+        while verified_in_group < quota && !remaining.is_empty() && !self.budget_exhausted(budget) {
             let index = match self.strategy {
                 Strategy::Gdr => {
                     // Most uncertain first; the committee is re-consulted
@@ -384,8 +385,10 @@ impl GdrSession {
     /// record the answer as a training example, apply it through the
     /// consistency manager, and take a quality checkpoint.
     fn verify_with_user(&mut self, update: &Update) -> Result<()> {
-        let current = self.state.table().cell(update.tuple, update.attr).clone();
-        let feedback = self.oracle.feedback(update, &current);
+        let feedback = {
+            let current = self.state.table().cell(update.tuple, update.attr);
+            self.oracle.feedback(update, current)
+        };
         if self.strategy.uses_learner() {
             // The training example must describe the tuple *before* the
             // repair is applied.
@@ -395,10 +398,13 @@ impl GdrSession {
         self.state
             .apply_feedback(update, feedback, ChangeSource::UserConfirmed)?;
         self.verifications += 1;
-        if self.strategy.uses_learner() && self.verifications % self.config.ns_batch == 0 {
+        if self.strategy.uses_learner() && self.verifications.is_multiple_of(self.config.ns_batch) {
             self.models.retrain_all();
         }
-        if self.verifications % self.config.checkpoint_every == 0 {
+        if self
+            .verifications
+            .is_multiple_of(self.config.checkpoint_every)
+        {
             self.record_checkpoint();
         }
         // A rejected suggestion may have an immediate replacement for the
@@ -484,11 +490,8 @@ impl GdrSession {
 
     fn report(&self) -> SessionReport {
         let final_loss = self.evaluator.loss_of_engine(self.state.engine());
-        let accuracy = RepairAccuracy::compute(
-            &self.initial_dirty,
-            self.state.table(),
-            self.oracle.truth(),
-        );
+        let accuracy =
+            RepairAccuracy::compute(&self.initial_dirty, self.state.table(), self.oracle.truth());
         SessionReport {
             strategy: self.strategy,
             initial_dirty_tuples: self.initial_dirty_tuples,

@@ -129,13 +129,25 @@ mod tests {
         let schema = Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"]);
         let mut table = Table::new("addr", schema.clone());
         // Three tuples whose city is wrong for zip 46360 and one clean tuple.
-        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H2", "Wabash St", "Westvile", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H2", "Ohio St", "Michigan Cty", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H1", "Franklin St", "Michigan City", "IN", "46360"]).unwrap();
+        table
+            .push_text_row(&["H2", "Main St", "Westville", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Wabash St", "Westvile", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Ohio St", "Michigan Cty", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H1", "Franklin St", "Michigan City", "IN", "46360"])
+            .unwrap();
         // A separate, smaller problem: one Fort Wayne zip conflict.
-        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
-        table.push_text_row(&["H3", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
+        table
+            .push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"])
+            .unwrap();
+        table
+            .push_text_row(&["H3", "Coliseum Blvd", "Fort Wayne", "IN", "46999"])
+            .unwrap();
         let mut rules = RuleSet::new(
             parser::parse_rules(
                 &schema,

@@ -39,7 +39,13 @@ const CLEAN_ROWS: &[[&str; 5]] = &[
 
 fn corruption(attr: usize, pick: usize) -> &'static str {
     let pool: &[&str] = match attr {
-        2 => &["FT Wayne", "Michigan Cty", "Westvile", "Fort Wayne", "Westville"],
+        2 => &[
+            "FT Wayne",
+            "Michigan Cty",
+            "Westvile",
+            "Fort Wayne",
+            "Westville",
+        ],
         4 => &["46999", "46391", "46360", "46820"],
         _ => &["X"],
     };

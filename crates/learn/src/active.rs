@@ -145,7 +145,10 @@ mod tests {
         assert!(!l.is_trained());
         assert_eq!(l.predict(&[cat("H1"), FeatureValue::Numeric(0.0)]), None);
         assert_eq!(l.uncertainty(&[cat("H1"), FeatureValue::Numeric(0.0)]), 1.0);
-        assert_eq!(l.label_probability(&[cat("H1"), FeatureValue::Numeric(0.0)], 1), None);
+        assert_eq!(
+            l.label_probability(&[cat("H1"), FeatureValue::Numeric(0.0)], 1),
+            None
+        );
     }
 
     #[test]

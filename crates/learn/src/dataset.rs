@@ -10,14 +10,22 @@
 
 use std::fmt;
 
-/// One feature of an example: categorical, numeric, or missing.
+/// One feature of an example: categorical, symbolic, numeric, or missing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FeatureValue {
-    /// Unknown / not applicable.  Categorical tests treat it as "not equal";
+    /// Unknown / not applicable.  Equality tests treat it as "not equal";
     /// numeric threshold tests route it to the right branch.
     Missing,
-    /// A categorical value compared only by equality.
+    /// A categorical value compared only by equality, carried as text.
     Categorical(String),
+    /// A categorical value compared only by equality, carried as an opaque
+    /// `u32` symbol — e.g. an interned `ValueId` from the relation layer.
+    /// Symbols are only meaningful *within one feature position*: equal
+    /// symbols at the same position mean equal values; symbols at different
+    /// positions are unrelated.  Building a `Symbol` feature allocates
+    /// nothing, which is why the GDR session featurises with these instead
+    /// of re-rendering strings per training round.
+    Symbol(u32),
     /// A numeric value compared against learned thresholds.
     Numeric(f64),
 }
@@ -32,6 +40,14 @@ impl FeatureValue {
     pub fn as_categorical(&self) -> Option<&str> {
         match self {
             FeatureValue::Categorical(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol contents, if any.
+    pub fn as_symbol(&self) -> Option<u32> {
+        match self {
+            FeatureValue::Symbol(s) => Some(*s),
             _ => None,
         }
     }
@@ -55,6 +71,7 @@ impl fmt::Display for FeatureValue {
         match self {
             FeatureValue::Missing => write!(f, "?"),
             FeatureValue::Categorical(s) => write!(f, "{s}"),
+            FeatureValue::Symbol(s) => write!(f, "#{s}"),
             FeatureValue::Numeric(x) => write!(f, "{x}"),
         }
     }
@@ -212,6 +229,10 @@ mod tests {
         assert_eq!(FeatureValue::categorical("x").as_numeric(), None);
         assert_eq!(FeatureValue::Missing.to_string(), "?");
         assert_eq!(FeatureValue::categorical("x").to_string(), "x");
+        assert_eq!(FeatureValue::Symbol(4).as_symbol(), Some(4));
+        assert_eq!(FeatureValue::Symbol(4).as_categorical(), None);
+        assert_eq!(FeatureValue::categorical("x").as_symbol(), None);
+        assert_eq!(FeatureValue::Symbol(4).to_string(), "#4");
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl RandomForest {
     /// Panics when the dataset is empty — callers are expected to guard with
     /// [`Dataset::is_empty`] (the active learner does).
     pub fn train(dataset: &Dataset, config: &ForestConfig, seed: u64) -> RandomForest {
-        assert!(!dataset.is_empty(), "cannot train a forest on an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot train a forest on an empty dataset"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let n = dataset.len();
         let bag_size = ((n as f64 * config.sample_fraction).round() as usize).clamp(1, n);
@@ -153,7 +156,11 @@ mod tests {
             d.push(Example::new(
                 vec![
                     cat(src),
-                    cat(if i % 3 == 0 { "Fort Wayne" } else { "Westville" }),
+                    cat(if i % 3 == 0 {
+                        "Fort Wayne"
+                    } else {
+                        "Westville"
+                    }),
                     FeatureValue::Numeric((i % 7) as f64),
                 ],
                 label,

@@ -46,8 +46,10 @@ impl Default for TreeConfig {
 /// A binary split test on one feature.
 #[derive(Debug, Clone, PartialEq)]
 enum SplitTest {
-    /// `feature == value`.
+    /// `feature == value` over text-carried categoricals.
     CategoricalEquals(usize, String),
+    /// `feature == symbol` over symbol-carried categoricals.
+    SymbolEquals(usize, u32),
     /// `feature <= threshold` (missing values fail the test).
     NumericAtMost(usize, f64),
 }
@@ -57,6 +59,9 @@ impl SplitTest {
         match self {
             SplitTest::CategoricalEquals(feature, value) => {
                 features[*feature].as_categorical() == Some(value.as_str())
+            }
+            SplitTest::SymbolEquals(feature, symbol) => {
+                features[*feature].as_symbol() == Some(*symbol)
             }
             SplitTest::NumericAtMost(feature, threshold) => features[*feature]
                 .as_numeric()
@@ -101,7 +106,10 @@ impl DecisionTree {
         config: &TreeConfig,
         seed: u64,
     ) -> DecisionTree {
-        assert!(dataset.label_count() > 0, "dataset needs at least one class");
+        assert!(
+            dataset.label_count() > 0,
+            "dataset needs at least one class"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let root = build_node(dataset, indices, config, &mut rng, 0);
         DecisionTree {
@@ -252,6 +260,7 @@ fn best_split(
 /// Enumerates the candidate binary tests for one feature at one node.
 fn candidate_tests(dataset: &Dataset, indices: &[usize], feature: usize) -> Vec<SplitTest> {
     let mut categorical: Vec<String> = Vec::new();
+    let mut symbols: Vec<u32> = Vec::new();
     let mut numeric: Vec<f64> = Vec::new();
     for &i in indices {
         match &dataset.example(i).features[feature] {
@@ -260,6 +269,7 @@ fn candidate_tests(dataset: &Dataset, indices: &[usize], feature: usize) -> Vec<
                     categorical.push(s.clone());
                 }
             }
+            FeatureValue::Symbol(s) => symbols.push(*s),
             FeatureValue::Numeric(x) => numeric.push(*x),
             FeatureValue::Missing => {}
         }
@@ -268,6 +278,13 @@ fn candidate_tests(dataset: &Dataset, indices: &[usize], feature: usize) -> Vec<
         .into_iter()
         .map(|v| SplitTest::CategoricalEquals(feature, v))
         .collect();
+    symbols.sort_unstable();
+    symbols.dedup();
+    tests.extend(
+        symbols
+            .into_iter()
+            .map(|s| SplitTest::SymbolEquals(feature, s)),
+    );
     numeric.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     numeric.dedup();
     for pair in numeric.windows(2) {
@@ -319,7 +336,10 @@ mod tests {
             ("b", 1),
             ("a", 0),
         ] {
-            d.push(Example::new(vec![cat(f), FeatureValue::Numeric(0.0)], label));
+            d.push(Example::new(
+                vec![cat(f), FeatureValue::Numeric(0.0)],
+                label,
+            ));
         }
         d
     }
@@ -439,6 +459,27 @@ mod tests {
         // Subset containing only label-1 examples.
         let tree = DecisionTree::train_on(&d, &[1, 3, 5], &TreeConfig::default(), 0);
         assert_eq!(tree.predict(&[cat("a"), FeatureValue::Numeric(0.0)]), 1);
+    }
+
+    #[test]
+    fn learns_a_symbol_rule() {
+        // Same shape as the categorical rule, but with interned symbols.
+        let mut d = Dataset::new(1, 2);
+        for (s, label) in [(7u32, 0), (9, 1), (7, 0), (9, 1), (3, 0), (9, 1)] {
+            d.push(Example::new(vec![FeatureValue::Symbol(s)], label));
+        }
+        let config = TreeConfig {
+            features_per_split: Some(1),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::train(&d, &config, 5);
+        assert!(tree.split_count() >= 1);
+        assert_eq!(tree.predict(&[FeatureValue::Symbol(9)]), 1);
+        assert_eq!(tree.predict(&[FeatureValue::Symbol(7)]), 0);
+        // Unseen symbol falls to the majority side.
+        assert_eq!(tree.predict(&[FeatureValue::Symbol(1000)]), 0);
+        // Missing fails every symbol test.
+        assert_eq!(tree.predict(&[FeatureValue::Missing]), 0);
     }
 
     #[test]

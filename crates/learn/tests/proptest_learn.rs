@@ -14,7 +14,11 @@ fn dataset_strategy() -> impl Strategy<Value = Dataset> {
             let mut d = Dataset::new(2, 3);
             for (cat, num, noise) in rows {
                 let base_label = cat % 3;
-                let label = if noise { (base_label + 1) % 3 } else { base_label };
+                let label = if noise {
+                    (base_label + 1) % 3
+                } else {
+                    base_label
+                };
                 d.push(Example::new(
                     vec![
                         FeatureValue::categorical(format!("v{cat}")),

@@ -30,10 +30,12 @@ pub fn parse_csv(name: &str, text: &str) -> Result<Table> {
     let schema = Schema::new(&header);
     let mut table = Table::with_capacity(name, schema, records.len());
     for (i, record) in records.iter().enumerate() {
-        table.push_text_row(record).map_err(|e| RelationError::Csv {
-            line: i + 2,
-            detail: e.to_string(),
-        })?;
+        table
+            .push_text_row(record)
+            .map_err(|e| RelationError::Csv {
+                line: i + 2,
+                detail: e.to_string(),
+            })?;
     }
     Ok(table)
 }
@@ -62,7 +64,7 @@ pub fn to_csv(table: &Table) -> String {
         .collect();
     write_record(&mut out, header.iter().map(|s| s.to_string()));
     for (_, tuple) in table.iter() {
-        write_record(&mut out, tuple.values().iter().map(|v| v.render().into_owned()));
+        write_record(&mut out, tuple.iter().map(|v| v.render().into_owned()));
     }
     out
 }
@@ -262,10 +264,7 @@ mod tests {
 
     #[test]
     fn missing_header_is_an_error() {
-        assert!(matches!(
-            parse_csv("t", ""),
-            Err(RelationError::Csv { .. })
-        ));
+        assert!(matches!(parse_csv("t", ""), Err(RelationError::Csv { .. })));
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! *pairs* of tuples that agree on the rule's left-hand side but disagree on
 //! its right-hand side.  Detecting and counting such violations naively is
 //! quadratic; the [`AttrSetIndex`] groups tuples by their left-hand-side
-//! projection so the CFD engine can enumerate each agreement class once.
+//! projection so agreement classes can be enumerated once.
 //!
-//! The single-column [`ValueIndex`] is used by the repair generator
-//! (Algorithm 1, scenario 3) to find tuples matching a partial pattern and by
-//! the grouping function of the GDR core.
+//! Both indices are built in **id space**: grouping hashes interned
+//! [`crate::ValueId`]s, not values, so building touches no [`Value`] per row.
+//! Value-keyed lookups remain available at the public boundary (one
+//! dictionary translation per query).
+//!
+//! The single-column [`ValueIndex`] maps each distinct value of one column
+//! to the tuples holding it, used by example programs and the dataset
+//! generators.
 
 use std::collections::HashMap;
 
+use crate::intern::SmallKey;
 use crate::schema::AttrId;
 use crate::table::{Table, TupleId};
 use crate::value::Value;
@@ -24,20 +30,38 @@ use crate::value::Value;
 #[derive(Debug, Clone)]
 pub struct AttrSetIndex {
     attrs: Vec<AttrId>,
-    groups: HashMap<Vec<Value>, Vec<TupleId>>,
+    groups: HashMap<SmallKey, Vec<TupleId>>,
+    /// Decoded projection per distinct group, for value-keyed lookups.
+    by_values: HashMap<Vec<Value>, SmallKey>,
     built_at_version: u64,
 }
 
 impl AttrSetIndex {
     /// Builds the index over the given attributes.
     pub fn build(table: &Table, attrs: &[AttrId]) -> AttrSetIndex {
-        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-        for (id, tuple) in table.iter() {
-            groups.entry(tuple.project(attrs)).or_default().push(id);
+        let mut groups: HashMap<SmallKey, Vec<TupleId>> = HashMap::new();
+        for id in table.tuple_ids() {
+            groups
+                .entry(table.project_key(id, attrs))
+                .or_default()
+                .push(id);
         }
+        let by_values = groups
+            .keys()
+            .map(|key| {
+                let values: Vec<Value> = key
+                    .as_slice()
+                    .iter()
+                    .zip(attrs)
+                    .map(|(&vid, &attr)| table.id_value(attr, vid).clone())
+                    .collect();
+                (values, key.clone())
+            })
+            .collect();
         AttrSetIndex {
             attrs: attrs.to_vec(),
             groups,
+            by_values,
             built_at_version: table.version(),
         }
     }
@@ -49,18 +73,28 @@ impl AttrSetIndex {
 
     /// Returns the ids of tuples whose projection equals `key`.
     pub fn get(&self, key: &[Value]) -> &[TupleId] {
+        self.by_values
+            .get(key)
+            .and_then(|k| self.groups.get(k))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Returns the ids of tuples whose projection equals the id key.
+    pub fn get_key(&self, key: &SmallKey) -> &[TupleId] {
         self.groups.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Returns the group containing a specific tuple of the indexed table.
     pub fn group_of(&self, table: &Table, tuple: TupleId) -> &[TupleId] {
-        let key = table.tuple(tuple).project(&self.attrs);
-        self.get(&key)
+        self.get_key(&table.project_key(tuple, &self.attrs))
     }
 
-    /// Iterates `(projection, member ids)` pairs.
+    /// Iterates `(projection, member ids)` pairs (projections decoded).
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
-        self.groups.iter()
+        self.by_values
+            .iter()
+            .map(|(values, key)| (values, &self.groups[key]))
     }
 
     /// Number of distinct projections.
@@ -85,15 +119,20 @@ pub struct ValueIndex {
 }
 
 impl ValueIndex {
-    /// Builds the index over one attribute.
+    /// Builds the index over one attribute.  Postings are accumulated per
+    /// interned id (no value hashing per row) and decoded once per distinct
+    /// value.
     pub fn build(table: &Table, attr: AttrId) -> ValueIndex {
-        let mut postings: HashMap<Value, Vec<TupleId>> = HashMap::new();
-        for (id, tuple) in table.iter() {
-            postings
-                .entry(tuple.value(attr).clone())
-                .or_default()
-                .push(id);
+        let mut by_id: Vec<Vec<TupleId>> = vec![Vec::new(); table.dict_len(attr)];
+        for (row, &vid) in table.column_ids(attr).iter().enumerate() {
+            by_id[vid.index()].push(row);
         }
+        let postings = by_id
+            .into_iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+            .map(|(i, rows)| (table.dict_values(attr)[i].clone(), rows))
+            .collect();
         ValueIndex {
             attr,
             postings,
@@ -154,10 +193,14 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::new(&["STR", "CT", "ZIP"]);
         let mut t = Table::new("addr", schema);
-        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46805"]).unwrap();
-        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46825"]).unwrap();
-        t.push_text_row(&["Sherden RD", "Fort Wayne", "46825"]).unwrap();
-        t.push_text_row(&["Colfax Ave", "Westville", "46391"]).unwrap();
+        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46805"])
+            .unwrap();
+        t.push_text_row(&["Coliseum Blvd", "Fort Wayne", "46825"])
+            .unwrap();
+        t.push_text_row(&["Sherden RD", "Fort Wayne", "46825"])
+            .unwrap();
+        t.push_text_row(&["Colfax Ave", "Westville", "46391"])
+            .unwrap();
         t
     }
 
@@ -171,6 +214,15 @@ mod tests {
         assert_eq!(idx.get(&key), &[0, 1]);
         assert_eq!(idx.group_of(&t, 2), &[2]);
         assert!(idx.get(&[Value::from("nope"), Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn attr_set_index_id_keys_match_value_keys() {
+        let t = table();
+        let idx = AttrSetIndex::build(&t, &[1]);
+        let key = t.project_key(0, &[1]);
+        assert_eq!(idx.get_key(&key), &[0, 1, 2]);
+        assert_eq!(idx.get(&[Value::from("Fort Wayne")]), &[0, 1, 2]);
     }
 
     #[test]
@@ -201,7 +253,7 @@ mod tests {
         assert_eq!(value, &Value::from("Fort Wayne"));
         assert_eq!(count, 3);
 
-        // Tie between two zip values with count 1 → smaller value wins.
+        // Tie between two values with count 1 → smaller value wins.
         let schema = Schema::new(&["A"]);
         let mut tie = Table::new("tie", schema);
         tie.push_text_row(&["b"]).unwrap();
@@ -220,6 +272,17 @@ mod tests {
         let idx = ValueIndex::build(&t, 0);
         assert_eq!(idx.most_frequent().unwrap().0, &Value::from("x"));
         assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn value_index_omits_zero_count_dictionary_entries() {
+        let schema = Schema::new(&["A"]);
+        let mut t = Table::new("gone", schema);
+        t.push_text_row(&["old"]).unwrap();
+        t.set_cell(0, 0, Value::from("new")).unwrap();
+        let idx = ValueIndex::build(&t, 0);
+        assert_eq!(idx.count(&Value::from("old")), 0);
+        assert_eq!(idx.distinct_count(), 1);
     }
 
     #[test]

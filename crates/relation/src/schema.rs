@@ -205,7 +205,10 @@ mod tests {
         let err = schema.attribute(17).unwrap_err();
         assert!(matches!(
             err,
-            RelationError::AttributeOutOfBounds { index: 17, arity: 6 }
+            RelationError::AttributeOutOfBounds {
+                index: 17,
+                arity: 6
+            }
         ));
     }
 

@@ -22,16 +22,22 @@ pub struct AttributeStats {
 }
 
 impl AttributeStats {
-    /// Computes statistics for one column of a table.
+    /// Computes statistics for one column of a table in O(dictionary): the
+    /// table already tracks per-id occurrence counts, so only the distinct
+    /// values present are decoded (one clone per distinct value, none per
+    /// row).
     pub fn compute(table: &Table, attr: AttrId) -> AttributeStats {
         let mut counts: HashMap<Value, usize> = HashMap::new();
         let mut null_count = 0usize;
-        for (_, tuple) in table.iter() {
-            let v = tuple.value(attr);
-            if v.is_null() {
-                null_count += 1;
+        for (slot, value) in table.dict_values(attr).iter().enumerate() {
+            let occurrences = table.id_count(attr, crate::intern::ValueId::from_index(slot));
+            if occurrences == 0 {
+                continue;
+            }
+            if value.is_null() {
+                null_count += occurrences;
             } else {
-                *counts.entry(v.clone()).or_insert(0) += 1;
+                counts.insert(value.clone(), occurrences);
             }
         }
         AttributeStats {
@@ -79,11 +85,8 @@ impl AttributeStats {
     /// The distinct non-null values of the column (the active domain), sorted
     /// by decreasing frequency then by value for determinism.
     pub fn domain_by_frequency(&self) -> Vec<(Value, usize)> {
-        let mut pairs: Vec<(Value, usize)> = self
-            .counts
-            .iter()
-            .map(|(v, c)| (v.clone(), *c))
-            .collect();
+        let mut pairs: Vec<(Value, usize)> =
+            self.counts.iter().map(|(v, c)| (v.clone(), *c)).collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         pairs
     }
@@ -146,10 +149,15 @@ impl TableStats {
         value: &Value,
         limit: usize,
     ) -> Vec<TupleId> {
+        let Some(vid) = table.lookup_id(attr, value) else {
+            return Vec::new();
+        };
         table
+            .column_ids(attr)
             .iter()
-            .filter(|(_, t)| t.value(attr) == value)
-            .map(|(id, _)| id)
+            .enumerate()
+            .filter(|(_, &id)| id == vid)
+            .map(|(row, _)| row)
             .take(limit)
             .collect()
     }
@@ -232,7 +240,10 @@ mod tests {
         values.sort();
         assert_eq!(
             values,
-            vec![(Value::from("Fort Wayne"), 2), (Value::from("Westville"), 1)]
+            vec![
+                (Value::from("Fort Wayne"), 2),
+                (Value::from("Westville"), 1)
+            ]
         );
     }
 }

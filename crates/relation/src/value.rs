@@ -37,9 +37,10 @@ impl fmt::Display for ValueType {
 /// Datasets loaded from CSV therefore default to `Str` for every non-empty
 /// field unless the caller opts into numeric parsing; this matches the GDR
 /// paper, where all repairs are string value modifications.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Value {
     /// Missing / unknown value.
+    #[default]
     Null,
     /// Integer value.
     Int(i64),
@@ -122,12 +123,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
-
 impl fmt::Display for Value {
     /// Displays exactly what [`Value::render`] produces.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -205,10 +200,7 @@ mod tests {
     fn from_text_typed_parses_integers() {
         assert_eq!(Value::from_text_typed("42"), Value::Int(42));
         assert_eq!(Value::from_text_typed("-7"), Value::Int(-7));
-        assert_eq!(
-            Value::from_text_typed("42a"),
-            Value::Str("42a".to_string())
-        );
+        assert_eq!(Value::from_text_typed("42a"), Value::Str("42a".to_string()));
         assert_eq!(Value::from_text_typed(""), Value::Null);
     }
 

@@ -16,18 +16,15 @@ fn field_strategy() -> impl Strategy<Value = String> {
 fn table_strategy(max_rows: usize) -> impl Strategy<Value = Table> {
     (2usize..5, 0usize..=max_rows).prop_flat_map(|(arity, rows)| {
         let names: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
-        proptest::collection::vec(
-            proptest::collection::vec(field_strategy(), arity),
-            rows,
-        )
-        .prop_map(move |rows| {
-            let schema = Schema::new(&names);
-            let mut table = Table::new("prop", schema);
-            for row in rows {
-                table.push_text_row(&row).unwrap();
-            }
-            table
-        })
+        proptest::collection::vec(proptest::collection::vec(field_strategy(), arity), rows)
+            .prop_map(move |rows| {
+                let schema = Schema::new(&names);
+                let mut table = Table::new("prop", schema);
+                for row in rows {
+                    table.push_text_row(&row).unwrap();
+                }
+                table
+            })
     })
 }
 

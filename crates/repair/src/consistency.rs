@@ -76,11 +76,7 @@ impl RepairState {
     }
 
     /// Steps 3–6: the suggested value is correct; apply it and propagate.
-    fn apply_confirm(
-        &mut self,
-        update: &Update,
-        source: ChangeSource,
-    ) -> Result<FeedbackOutcome> {
+    fn apply_confirm(&mut self, update: &Update, source: ChangeSource) -> Result<FeedbackOutcome> {
         let cell = update.cell();
         let mut applied: Vec<AppliedChange> = Vec::new();
 
@@ -103,7 +99,7 @@ impl RepairState {
 
         // Apply the confirmed value through the violation engine and freeze
         // the cell.
-        let old = self.engine.apply_cell_change(
+        let old_id = self.engine.apply_cell_change(
             &mut self.table,
             update.tuple,
             update.attr,
@@ -112,7 +108,7 @@ impl RepairState {
         let change = AppliedChange {
             tuple: update.tuple,
             attr: update.attr,
-            old,
+            old: self.table.id_value(update.attr, old_id).clone(),
             new: update.value.clone(),
             source,
         };
@@ -347,11 +343,13 @@ STR, CT -> ZIP : _, Fort Wayne || _
         // its only LHS cell (the just-confirmed ZIP) is frozen, step 3(a)i
         // forces the constant RHS "Fort Wayne" — consistent with the *new*
         // context, not the old Westville one.
-        assert!(outcome
-            .applied
-            .iter()
-            .any(|c| c.new == Value::from("Fort Wayne")
-                && c.source == ChangeSource::CascadeForced));
+        assert!(
+            outcome
+                .applied
+                .iter()
+                .any(|c| c.new == Value::from("Fort Wayne")
+                    && c.source == ChangeSource::CascadeForced)
+        );
         assert_eq!(state.table().cell(0, 2), &Value::from("Fort Wayne"));
         assert!(state.dirty_tuples().is_empty());
         assert!(state.invariants_hold());

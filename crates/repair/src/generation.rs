@@ -20,7 +20,7 @@
 use std::collections::BTreeSet;
 
 use gdr_cfd::Cfd;
-use gdr_relation::{AttrId, TupleId, Value};
+use gdr_relation::{AttrId, TupleId, Value, ValueId};
 
 use crate::similarity::value_similarity;
 use crate::state::RepairState;
@@ -42,7 +42,10 @@ impl RepairState {
         }
     }
 
-    /// `UpdateAttributeTuple(t, B)` — Algorithm 1.
+    /// `UpdateAttributeTuple(t, B)` — Algorithm 1, evaluated in interned-id
+    /// space: candidates are gathered as [`ValueId`]s, filtered against the
+    /// current id and the prevented-id set, and decoded exactly once (for
+    /// the similarity score and the recorded suggestion).
     ///
     /// Returns the recorded suggestion, or `None` when the cell is not
     /// changeable, the tuple violates no rule involving `B`, or no admissible
@@ -58,46 +61,59 @@ impl RepairState {
             return None;
         }
 
-        let current = self.table.cell(tuple, attr).clone();
-        let mut best: Option<(Value, f64)> = None;
-        let consider = |candidate: Value, state: &RepairState| {
-            if candidate == current || state.is_prevented((tuple, attr), &candidate) {
-                return None;
-            }
-            Some((value_similarity(&current, &candidate), candidate))
-        };
-
+        let mut candidates: Vec<ValueId> = Vec::new();
         for &rule_id in &violated {
-            let rule = self.engine.ruleset().rule(rule_id).clone();
+            let rule = self.engine.ruleset().rule(rule_id);
             if rule.rhs() == attr {
                 if rule.is_constant() {
-                    // Scenario 1: suggest the pattern constant.
+                    // Scenario 1: suggest the pattern constant (interned on
+                    // demand — the constant may not occur in the data yet).
                     if let Some(constant) = rule.rhs_pattern().as_const() {
-                        if let Some((score, value)) = consider(constant.clone(), self) {
-                            replace_if_better(&mut best, value, score);
-                        }
+                        let constant = constant.clone();
+                        candidates.push(self.table.intern_value(attr, constant));
                     }
                 } else {
                     // Scenario 2: suggest a conflicting partner's RHS value.
-                    for value in self.partner_rhs_values(rule_id, &rule, tuple) {
-                        if let Some((score, value)) = consider(value, self) {
-                            replace_if_better(&mut best, value, score);
-                        }
+                    for partner in self.engine.conflict_partners(rule_id, tuple) {
+                        candidates.push(self.table.cell_id(partner, rule.rhs()));
                     }
                 }
             } else if rule.lhs().contains(&attr) {
                 // Scenario 3: search rule constants and semantically related
                 // tuples for the best-scoring value.
-                for value in self.lhs_candidate_values(&rule, tuple, attr) {
-                    if let Some((score, value)) = consider(value, self) {
-                        replace_if_better(&mut best, value, score);
-                    }
+                self.lhs_candidate_ids(rule_id, tuple, attr, &mut candidates);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let current_id = self.table.cell_id(tuple, attr);
+        let mut best: Option<(ValueId, f64)> = None;
+        for candidate in candidates {
+            if candidate == current_id || self.is_prevented_id((tuple, attr), candidate) {
+                continue;
+            }
+            let score = value_similarity(
+                self.table.id_value(attr, current_id),
+                self.table.id_value(attr, candidate),
+            );
+            let better = match best {
+                None => true,
+                Some((best_id, best_score)) => {
+                    score > best_score
+                        || (score == best_score
+                            && self.table.id_value(attr, candidate)
+                                < self.table.id_value(attr, best_id))
                 }
+            };
+            if better {
+                best = Some((candidate, score));
             }
         }
 
         match best {
-            Some((value, score)) => {
+            Some((id, score)) => {
+                let value = self.table.id_value(attr, id).clone();
                 let update = Update::new(tuple, attr, value, score);
                 self.record_suggestion(update.clone());
                 Some(update)
@@ -140,75 +156,57 @@ impl RepairState {
         }
     }
 
-    /// `getValueForRHS` (scenario 2): the distinct RHS values held by the
-    /// tuples that violate the variable rule together with `t`, ordered for
-    /// determinism.
-    fn partner_rhs_values(&self, rule_id: usize, rule: &Cfd, tuple: TupleId) -> Vec<Value> {
-        let mut values: BTreeSet<Value> = BTreeSet::new();
-        for partner in self.engine.conflict_partners(rule_id, tuple) {
-            values.insert(self.table.cell(partner, rule.rhs()).clone());
-        }
-        values.into_iter().collect()
-    }
-
-    /// `getValueForLHS` (scenario 3): candidate values for an LHS attribute.
+    /// `getValueForLHS` (scenario 3): candidate ids for an LHS attribute.
     ///
     /// Candidates are drawn from (a) the constants bound to `attr` in the
     /// violated rule's own pattern ("first using the values in the CFDs") and
     /// (b) the values of `attr` among tuples that agree with `t` on the
     /// rule's remaining attributes (`t[X ∪ A − {B}]`) — the semantically
-    /// related tuples.  Candidates are deliberately *not* harvested from
-    /// unrelated rules: a constant that merely moves the tuple out of the
-    /// rule's context would "resolve" the violation without any evidence that
-    /// the value is right, and such suggestions would flood the update groups
-    /// with incorrect members.
-    fn lhs_candidate_values(&self, rule: &Cfd, tuple: TupleId, attr: AttrId) -> Vec<Value> {
-        let mut values: BTreeSet<Value> = BTreeSet::new();
+    /// related tuples, found by comparing interned ids row by row.
+    /// Candidates are deliberately *not* harvested from unrelated rules: a
+    /// constant that merely moves the tuple out of the rule's context would
+    /// "resolve" the violation without any evidence that the value is right,
+    /// and such suggestions would flood the update groups with incorrect
+    /// members.
+    fn lhs_candidate_ids(
+        &mut self,
+        rule_id: usize,
+        tuple: TupleId,
+        attr: AttrId,
+        candidates: &mut Vec<ValueId>,
+    ) {
+        let rule: &Cfd = self.engine.ruleset().rule(rule_id);
 
         // (a) constants bound to this attribute in the violated rule itself.
+        let mut constants: Vec<Value> = Vec::new();
         for (lhs_attr, pattern) in rule.lhs().iter().zip(rule.lhs_pattern()) {
             if *lhs_attr == attr {
                 if let Some(constant) = pattern.as_const() {
-                    values.insert(constant.clone());
+                    constants.push(constant.clone());
                 }
             }
         }
-        if rule.rhs() == attr {
-            if let Some(constant) = rule.rhs_pattern().as_const() {
-                values.insert(constant.clone());
-            }
-        }
-
         // (b) values of `attr` among tuples agreeing with `t` on the rule's
-        // other attributes.
-        let other_attrs: Vec<AttrId> = rule
-            .attrs()
-            .into_iter()
-            .filter(|&a| a != attr)
+        // other attributes (pure id comparisons).
+        let other_attrs: Vec<AttrId> = rule.attrs().into_iter().filter(|&a| a != attr).collect();
+        let reference: Vec<ValueId> = other_attrs
+            .iter()
+            .map(|&a| self.table.cell_id(tuple, a))
             .collect();
-        let reference = self.table.tuple(tuple);
-        for (_, candidate) in self.table.iter() {
-            if candidate.agrees_with(reference, &other_attrs) {
-                let v = candidate.value(attr);
-                if !v.is_null() {
-                    values.insert(v.clone());
+        for row in self.table.tuple_ids() {
+            let agrees = other_attrs
+                .iter()
+                .zip(&reference)
+                .all(|(&a, &want)| self.table.cell_id(row, a) == want);
+            if agrees {
+                let id = self.table.cell_id(row, attr);
+                if !self.table.id_value(attr, id).is_null() {
+                    candidates.push(id);
                 }
             }
         }
-
-        values.into_iter().collect()
-    }
-}
-
-/// Keeps the higher-scoring candidate; ties favour the smaller value so the
-/// choice is deterministic.
-fn replace_if_better(best: &mut Option<(Value, f64)>, value: Value, score: f64) {
-    match best {
-        None => *best = Some((value, score)),
-        Some((best_value, best_score)) => {
-            if score > *best_score || (score == *best_score && value < *best_value) {
-                *best = Some((value, score));
-            }
+        for constant in constants {
+            candidates.push(self.table.intern_value(attr, constant));
         }
     }
 }
@@ -328,10 +326,7 @@ STR, CT -> ZIP : _, Fort Wayne || _
             ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"],
         ]);
         for update in state.possible_updates() {
-            assert_ne!(
-                state.table().cell(update.tuple, update.attr),
-                &update.value
-            );
+            assert_ne!(state.table().cell(update.tuple, update.attr), &update.value);
         }
     }
 

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, HashSet};
 
 use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
-use gdr_relation::{AttrId, Table, TupleId, Value};
+use gdr_relation::{AttrId, Table, TupleId, Value, ValueId};
 
 use crate::update::{AppliedChange, Cell, ChangeSource, Update};
 use crate::Result;
@@ -32,8 +32,10 @@ pub struct RepairState {
     pub(crate) engine: ViolationEngine,
     /// At most one pending suggestion per cell, keyed by `(tuple, attr)`.
     pub(crate) possible: HashMap<Cell, Update>,
-    /// Values confirmed to be wrong for a cell (`⟨t, B⟩.preventedList`).
-    pub(crate) prevented: HashMap<Cell, HashSet<Value>>,
+    /// Values confirmed to be wrong for a cell (`⟨t, B⟩.preventedList`),
+    /// stored as interned ids of the cell's attribute.  Prevented values are
+    /// interned on insertion, so membership tests are integer hashing.
+    pub(crate) prevented: HashMap<Cell, HashSet<ValueId>>,
     /// Cells confirmed to be correct (`⟨t, B⟩.Changeable = false`).
     pub(crate) unchangeable: HashSet<Cell>,
     /// Every change applied to the database, in order.
@@ -107,10 +109,23 @@ impl RepairState {
     }
 
     /// Returns `true` when `value` was already confirmed wrong for the cell.
+    ///
+    /// A value never interned for the cell's attribute cannot have been
+    /// prevented (prevention interns), so an absent dictionary entry is a
+    /// definitive `false`.
     pub fn is_prevented(&self, cell: Cell, value: &Value) -> bool {
+        match self.table.lookup_id(cell.1, value) {
+            Some(id) => self.is_prevented_id(cell, id),
+            None => false,
+        }
+    }
+
+    /// Id-space variant of [`RepairState::is_prevented`] for the update
+    /// generator's hot path.
+    pub fn is_prevented_id(&self, cell: Cell, id: ValueId) -> bool {
         self.prevented
             .get(&cell)
-            .map(|set| set.contains(value))
+            .map(|set| set.contains(&id))
             .unwrap_or(false)
     }
 
@@ -138,12 +153,8 @@ impl RepairState {
     /// to the rules that can be affected (those involving the update's
     /// attribute).  This is the primitive the VOI gain formula consumes.
     pub fn what_if_stats(&mut self, update: &Update) -> Result<Vec<(RuleId, RuleStats)>> {
-        self.engine.stats_if(
-            &mut self.table,
-            update.tuple,
-            update.attr,
-            update.value.clone(),
-        )
+        self.engine
+            .stats_if(&mut self.table, update.tuple, update.attr, &update.value)
     }
 
     /// Applies a cell change directly (bypassing feedback semantics), keeping
@@ -156,13 +167,13 @@ impl RepairState {
         value: Value,
         source: ChangeSource,
     ) -> Result<AppliedChange> {
-        let old = self
+        let old_id = self
             .engine
             .apply_cell_change(&mut self.table, tuple, attr, value.clone())?;
         let change = AppliedChange {
             tuple,
             attr,
-            old,
+            old: self.table.id_value(attr, old_id).clone(),
             new: value,
             source,
         };
@@ -188,9 +199,11 @@ impl RepairState {
         self.possible.remove(&cell);
     }
 
-    /// Adds a value to a cell's prevented list.
+    /// Adds a value to a cell's prevented list (interning it into the cell's
+    /// attribute dictionary so later membership tests are id comparisons).
     pub(crate) fn mark_prevented(&mut self, cell: Cell, value: Value) {
-        self.prevented.entry(cell).or_default().insert(value);
+        let id = self.table.intern_value(cell.1, value);
+        self.prevented.entry(cell).or_default().insert(id);
     }
 
     /// Checks the two consistency-manager invariants of Appendix A.5 against
@@ -222,10 +235,18 @@ mod tests {
     fn fixture() -> RepairState {
         let schema = Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"]);
         let mut table = Table::new("addr", schema.clone());
-        table.push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H2", "Main St", "Westville", "IN", "46360"]).unwrap();
-        table.push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"]).unwrap();
-        table.push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"]).unwrap();
+        table
+            .push_text_row(&["H1", "Main St", "Michigan City", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Main St", "Westville", "IN", "46360"])
+            .unwrap();
+        table
+            .push_text_row(&["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"])
+            .unwrap();
+        table
+            .push_text_row(&["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"])
+            .unwrap();
         let rules = RuleSet::new(
             parser::parse_rules(
                 &schema,
@@ -297,6 +318,8 @@ mod tests {
         let a = state.possible_updates_sorted();
         let b = state.possible_updates_sorted();
         assert_eq!(a, b);
-        assert!(a.windows(2).all(|w| (w[0].tuple, w[0].attr) <= (w[1].tuple, w[1].attr)));
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].tuple, w[0].attr) <= (w[1].tuple, w[1].attr)));
     }
 }

@@ -26,10 +26,14 @@ fn main() {
         data.rules.len()
     );
 
-    let initial_dirty =
-        gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules).dirty_tuples().len();
+    let initial_dirty = gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules)
+        .dirty_tuples()
+        .len();
     println!("Initial dirty tuples: {initial_dirty}\n");
-    println!("{:>10} | {:>11} | {:>9} | {:>6}", "effort %", "improvement", "precision", "recall");
+    println!(
+        "{:>10} | {:>11} | {:>9} | {:>6}",
+        "effort %", "improvement", "precision", "recall"
+    );
     println!("{}", "-".repeat(48));
 
     for effort_pct in [10usize, 30, 50, 100] {

@@ -26,8 +26,9 @@ fn main() {
     );
 
     // The user can afford to verify updates for 20% of the dirty tuples.
-    let initial_dirty =
-        gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules).dirty_tuples().len();
+    let initial_dirty = gdr_cfd::ViolationEngine::build(&data.dirty, &data.rules)
+        .dirty_tuples()
+        .len();
     let budget = initial_dirty / 5;
     println!("Initial dirty tuples: {initial_dirty}; feedback budget: {budget} answers\n");
 

@@ -60,8 +60,14 @@ fn main() {
     println!("  verifications        : {}", report.verifications);
     println!("  initial loss         : {:.4}", report.initial_loss);
     println!("  final loss           : {:.4}", report.final_loss);
-    println!("  quality improvement  : {:.1}%", report.final_improvement_pct);
-    println!("  precision / recall   : {:.2} / {:.2}",
-        report.accuracy.precision(), report.accuracy.recall());
+    println!(
+        "  quality improvement  : {:.1}%",
+        report.final_improvement_pct
+    );
+    println!(
+        "  precision / recall   : {:.2} / {:.2}",
+        report.accuracy.precision(),
+        report.accuracy.recall()
+    );
     println!("\nRepaired instance:\n{}", session.state().table());
 }

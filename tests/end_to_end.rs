@@ -26,7 +26,11 @@ fn census(tuples: usize, seed: u64) -> GeneratedDataset {
     })
 }
 
-fn run(data: &GeneratedDataset, strategy: Strategy, budget: Option<usize>) -> gdr_core::SessionReport {
+fn run(
+    data: &GeneratedDataset,
+    strategy: Strategy,
+    budget: Option<usize>,
+) -> gdr_core::SessionReport {
     let mut session = GdrSession::new(
         data.dirty.clone(),
         &data.rules,
@@ -122,8 +126,7 @@ fn corrupted_cells_match_rule_violations_on_covered_attributes() {
     // (streets are only covered when a φ5 partner exists).
     let data = hospital(500, 10);
     let engine = ViolationEngine::build(&data.dirty, &data.rules);
-    let dirty_tuples: std::collections::HashSet<_> =
-        engine.dirty_tuples().into_iter().collect();
+    let dirty_tuples: std::collections::HashSet<_> = engine.dirty_tuples().into_iter().collect();
     let mut covered = 0usize;
     let mut total = 0usize;
     for &(tuple, attr) in &data.corrupted_cells {

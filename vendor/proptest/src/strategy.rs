@@ -20,10 +20,7 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map {
-            inner: self,
-            map,
-        }
+        Map { inner: self, map }
     }
 
     /// Feeds generated values into a function producing a follow-up strategy
@@ -34,10 +31,7 @@ pub trait Strategy {
         S: Strategy,
         F: Fn(Self::Value) -> S,
     {
-        FlatMap {
-            inner: self,
-            map,
-        }
+        FlatMap { inner: self, map }
     }
 
     /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
@@ -255,11 +249,7 @@ fn parse_pattern(pattern: &str) -> Vec<Segment> {
             !alphabet.is_empty() && min <= max,
             "degenerate segment in pattern {pattern:?}"
         );
-        segments.push(Segment {
-            alphabet,
-            min,
-            max,
-        });
+        segments.push(Segment { alphabet, min, max });
     }
     segments
 }
