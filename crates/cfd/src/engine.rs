@@ -62,6 +62,19 @@ pub struct RuleStats {
     pub context: usize,
 }
 
+/// Result of [`ViolationEngine::stats_if_guarded`]: the hypothetical
+/// statistics plus the validity guards of the evaluation.
+#[derive(Debug, Clone)]
+pub struct GuardedWhatIf {
+    /// `(rule, stats-if-applied)` for every rule involving the changed
+    /// attribute, in `rules_involving` order.
+    pub stats: Vec<(RuleId, RuleStats)>,
+    /// Aligned with `stats`: the agreement-group keys the change touches in
+    /// each variable rule, with their generations at evaluation time (empty
+    /// for constant rules).
+    pub touched_groups: Vec<Vec<(SmallKey, u64)>>,
+}
+
 /// A pattern entry resolved against a table's dictionaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ResolvedEntry {
@@ -189,6 +202,11 @@ struct VarState {
     satisfying_in_context: usize,
     /// Cached Σ over groups of their size (= context size).
     context: usize,
+    /// Change stamp per agreement-group key, moved whenever the group's
+    /// membership or bucket structure changes by a *real* mutation.  Keys are
+    /// never removed, so a stamp survives the group emptying and re-forming —
+    /// downstream caches compare stamps for equality only.
+    group_generation: HashMap<SmallKey, u64>,
 }
 
 impl VarState {
@@ -240,6 +258,20 @@ pub struct ViolationEngine {
     /// path allocates nothing.
     involving: Vec<Vec<RuleId>>,
     n_rows: usize,
+    /// Monotonically increasing per-rule change stamps: `stats_generation[r]`
+    /// moves whenever rule `r`'s incremental state (and therefore its
+    /// [`RuleStats`]) may have changed.  What-if evaluation suppresses every
+    /// stamp, so observers never see a generation move without a real change.
+    /// Downstream caches (the VOI benefit memo) key on these.
+    stats_generation: Vec<u64>,
+    /// Change stamp per row, moved whenever one of the row's cells is
+    /// actually written.
+    row_generation: Vec<u64>,
+    /// Source of all stamps; increases on every real mutation.
+    generation_counter: u64,
+    /// `true` while a what-if round trip is in flight: the apply/revert pair
+    /// leaves every statistic exactly as it found it, so no stamp may move.
+    suppress_generations: bool,
 }
 
 impl ViolationEngine {
@@ -266,6 +298,10 @@ impl ViolationEngine {
             resolved_at_generation: None,
             involving,
             n_rows: 0,
+            stats_generation: vec![0; ruleset.len()],
+            row_generation: Vec::new(),
+            generation_counter: 0,
+            suppress_generations: false,
         };
         for tid in table.tuple_ids() {
             engine.note_new_tuple(table, tid);
@@ -282,6 +318,72 @@ impl ViolationEngine {
     /// Number of rows the engine currently tracks.
     pub fn row_count(&self) -> usize {
         self.n_rows
+    }
+
+    /// Ids of the rules involving an attribute, without allocating (the
+    /// precomputed per-attribute list the change path itself iterates).
+    pub fn rules_involving(&self, attr: AttrId) -> &[RuleId] {
+        &self.involving[attr]
+    }
+
+    /// The change stamp of one rule's statistics.  Strictly increases every
+    /// time the rule's incremental state is perturbed by a *real* change
+    /// ([`ViolationEngine::apply_cell_change`] / `note_new_tuple` /
+    /// `rebuild`); what-if evaluation ([`ViolationEngine::stats_if`]) leaves
+    /// it untouched.  Equal stamps guarantee equal [`RuleStats`] *and* an
+    /// unchanged agreement-group structure, so any quantity derived from the
+    /// rule's state may be cached under this key.
+    pub fn stats_generation(&self, rule: RuleId) -> u64 {
+        self.stats_generation[rule]
+    }
+
+    /// The combined change stamp of every rule involving `attr` (their
+    /// maximum): moves whenever *any* statistic a what-if on `attr` reads may
+    /// have changed.  Coarse — the interactive loop uses it to decide which
+    /// groups to *rescore*; the fine-grained validity of individual cached
+    /// benefit terms is keyed on [`ViolationEngine::row_generation`] and
+    /// [`ViolationEngine::group_generation`] instead.
+    pub fn attr_stats_generation(&self, attr: AttrId) -> u64 {
+        self.involving[attr]
+            .iter()
+            .map(|&rule| self.stats_generation[rule])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The change stamp of one row: moves whenever one of the row's cells is
+    /// actually written (what-ifs excluded).
+    pub fn row_generation(&self, tuple: TupleId) -> u64 {
+        self.row_generation.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// The change stamp of one agreement group of a variable rule: moves
+    /// whenever the group's membership or bucket structure changes.  A key
+    /// that was never touched reports 0.  Constant rules have no groups and
+    /// always report 0.
+    pub fn group_generation(&self, rule: RuleId, key: &SmallKey) -> u64 {
+        match &self.states[rule] {
+            RuleState::Variable(state) => state.group_generation.get(key).copied().unwrap_or(0),
+            RuleState::Constant(_) => 0,
+        }
+    }
+
+    /// Stamps every rule involving `attr`, and the row itself, with a fresh
+    /// generation (no-op while a what-if is in flight).
+    fn bump_generations(&mut self, tuple: TupleId, attr: AttrId) {
+        if self.suppress_generations {
+            return;
+        }
+        self.generation_counter += 1;
+        let stamp = self.generation_counter;
+        for i in 0..self.involving[attr].len() {
+            let rule = self.involving[attr][i];
+            self.stats_generation[rule] = stamp;
+        }
+        if tuple >= self.row_generation.len() {
+            self.row_generation.resize(tuple + 1, 0);
+        }
+        self.row_generation[tuple] = stamp;
     }
 
     /// Re-resolves the pattern constants when (and only when) a new distinct
@@ -305,6 +407,13 @@ impl ViolationEngine {
     pub fn note_new_tuple(&mut self, table: &Table, tuple: TupleId) {
         self.refresh_resolution(table);
         self.n_rows += 1;
+        // A new row changes every rule's satisfying/context counts.
+        self.generation_counter += 1;
+        self.stats_generation.fill(self.generation_counter);
+        if tuple >= self.row_generation.len() {
+            self.row_generation.resize(tuple + 1, 0);
+        }
+        self.row_generation[tuple] = self.generation_counter;
         for id in 0..self.ruleset.len() {
             self.add_tuple(id, table, tuple);
         }
@@ -337,6 +446,9 @@ impl ViolationEngine {
         new_id: ValueId,
     ) -> ValueId {
         self.refresh_resolution(table);
+        // Stamp first so the agreement groups touched by the removes/adds
+        // below are marked with this mutation's generation.
+        self.bump_generations(tuple, attr);
         for i in 0..self.involving[attr].len() {
             let rule = self.involving[attr][i];
             self.remove_tuple(rule, table, tuple);
@@ -363,15 +475,121 @@ impl ViolationEngine {
         attr: AttrId,
         value: &Value,
     ) -> Result<Vec<(RuleId, RuleStats)>> {
+        Ok(self.stats_if_guarded(table, tuple, attr, value)?.stats)
+    }
+
+    /// [`ViolationEngine::stats_if`] plus, per involved rule, the validity
+    /// guards of the result: the agreement-group keys the hypothetical change
+    /// touches (the tuple's current group and, for an LHS change, the group
+    /// it would move into) with their current generations.  The what-if
+    /// result of a *variable* rule is a pure function of those groups'
+    /// structure, the tuple's row, and the rule's aggregate statistics, so a
+    /// cached result may be reused as a **delta** against fresh aggregates
+    /// for as long as every guard generation (and the row generation) is
+    /// unchanged.  Constant rules depend only on the row and the aggregates;
+    /// their guard list is empty.
+    pub fn stats_if_guarded(
+        &mut self,
+        table: &mut Table,
+        tuple: TupleId,
+        attr: AttrId,
+        value: &Value,
+    ) -> Result<GuardedWhatIf> {
         table.try_cell(tuple, attr)?;
         let new_id = table.intern_value_ref(attr, value);
+        // The round trip leaves every statistic exactly as it found it, so
+        // no generation stamp may move — hypothetical evaluation must never
+        // invalidate generation-keyed caches.
+        self.suppress_generations = true;
+        let keys_before: Vec<Option<SmallKey>> = self.involving[attr]
+            .iter()
+            .map(|&rule| match &self.states[rule] {
+                RuleState::Variable(state) => state.tuple_key.get(&tuple).cloned(),
+                RuleState::Constant(_) => None,
+            })
+            .collect();
         let old_id = self.apply_cell_change_id(table, tuple, attr, new_id);
-        let stats = self.involving[attr]
+        let stats: Vec<(RuleId, RuleStats)> = self.involving[attr]
             .iter()
             .map(|&rule| (rule, self.rule_stats(rule)))
             .collect();
+        let keys_after: Vec<Option<SmallKey>> = self.involving[attr]
+            .iter()
+            .map(|&rule| match &self.states[rule] {
+                RuleState::Variable(state) => state.tuple_key.get(&tuple).cloned(),
+                RuleState::Constant(_) => None,
+            })
+            .collect();
         self.apply_cell_change_id(table, tuple, attr, old_id);
-        Ok(stats)
+        self.suppress_generations = false;
+
+        let touched_groups = self.involving[attr]
+            .iter()
+            .zip(keys_before)
+            .zip(keys_after)
+            .map(|((&rule, before), after)| {
+                let mut guards: Vec<(SmallKey, u64)> = Vec::new();
+                for key in [before, after].into_iter().flatten() {
+                    if guards.iter().any(|(k, _)| *k == key) {
+                        continue;
+                    }
+                    let generation = self.group_generation(rule, &key);
+                    guards.push((key, generation));
+                }
+                guards
+            })
+            .collect();
+        Ok(GuardedWhatIf {
+            stats,
+            touched_groups,
+        })
+    }
+
+    /// Single-rule variant of [`ViolationEngine::stats_if_guarded`]: the
+    /// hypothetical statistics of `rule` alone, touching no other rule's
+    /// state.  Used to refresh one stale delta of a cached what-if without
+    /// paying for the rules whose guards are still valid; the result is
+    /// identical to the corresponding entry of the full evaluation.
+    pub fn stats_if_rule_guarded(
+        &mut self,
+        table: &mut Table,
+        tuple: TupleId,
+        attr: AttrId,
+        value: &Value,
+        rule: RuleId,
+    ) -> Result<(RuleStats, Vec<(SmallKey, u64)>)> {
+        table.try_cell(tuple, attr)?;
+        debug_assert!(
+            self.involving[attr].contains(&rule),
+            "single-rule what-if on a rule not involving the attribute"
+        );
+        let new_id = table.intern_value_ref(attr, value);
+        self.refresh_resolution(table);
+        self.suppress_generations = true;
+        let key_of = |engine: &ViolationEngine| match &engine.states[rule] {
+            RuleState::Variable(state) => state.tuple_key.get(&tuple).cloned(),
+            RuleState::Constant(_) => None,
+        };
+        let key_before = key_of(self);
+        self.remove_tuple(rule, table, tuple);
+        let old_id = table.set_cell_id(tuple, attr, new_id);
+        self.add_tuple(rule, table, tuple);
+        let stats = self.rule_stats(rule);
+        let key_after = key_of(self);
+        self.remove_tuple(rule, table, tuple);
+        table.set_cell_id(tuple, attr, old_id);
+        self.add_tuple(rule, table, tuple);
+        self.suppress_generations = false;
+
+        let mut guards: Vec<(SmallKey, u64)> = Vec::new();
+        for key in [key_before, key_after].into_iter().flatten() {
+            if guards.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let generation = self.group_generation(rule, &key);
+            guards.push((key, generation));
+        }
+        Ok((stats, guards))
     }
 
     /// Aggregate statistics for one rule.
@@ -517,7 +735,21 @@ impl ViolationEngine {
     /// Rebuilds the engine from scratch.  Intended for tests and for callers
     /// that mutated the table behind the engine's back.
     pub fn rebuild(&mut self, table: &Table) {
+        // Keep the generation stream monotone across rebuilds so caches keyed
+        // on pre-rebuild stamps can never collide with post-rebuild state.
+        let stamp = self.generation_counter + 1;
         *self = ViolationEngine::build(table, &self.ruleset);
+        self.generation_counter = self.generation_counter.max(stamp);
+        let counter = self.generation_counter;
+        self.stats_generation.fill(counter);
+        self.row_generation.fill(counter);
+        for state in &mut self.states {
+            if let RuleState::Variable(state) = state {
+                for generation in state.group_generation.values_mut() {
+                    *generation = counter;
+                }
+            }
+        }
     }
 
     /// Compares the incrementally maintained statistics against a fresh
@@ -534,6 +766,8 @@ impl ViolationEngine {
             ruleset,
             states,
             resolved,
+            generation_counter,
+            suppress_generations,
             ..
         } = self;
         let rule = ruleset.rule(rule_id);
@@ -551,6 +785,11 @@ impl ViolationEngine {
             RuleState::Variable(state) => {
                 let key = table.project_key(tuple, rule.lhs());
                 let rhs = table.cell_id(tuple, rule.rhs());
+                if !*suppress_generations {
+                    state
+                        .group_generation
+                        .insert(key.clone(), *generation_counter);
+                }
                 state.retract(&key);
                 state
                     .groups
@@ -568,6 +807,8 @@ impl ViolationEngine {
             ruleset,
             states,
             resolved,
+            generation_counter,
+            suppress_generations,
             ..
         } = self;
         let rule = ruleset.rule(rule_id);
@@ -584,6 +825,11 @@ impl ViolationEngine {
                     return;
                 };
                 let rhs = table.cell_id(tuple, rule.rhs());
+                if !*suppress_generations {
+                    state
+                        .group_generation
+                        .insert(key.clone(), *generation_counter);
+                }
                 state.retract(&key);
                 if let Some(group) = state.groups.get_mut(&key) {
                     group.remove(rhs, tuple);
@@ -856,6 +1102,59 @@ STR, CT -> ZIP : _, Fort Wayne || _
         assert!(engine.dirty_tuples().contains(&tid));
         assert_eq!(engine.conflict_partners(6, tid), vec![2, 3]);
         assert!(engine.agrees_with_rebuild(&table));
+    }
+
+    #[test]
+    fn stats_generations_move_only_on_real_changes() {
+        let (mut table, _, mut engine) = build_fixture();
+        let gens: Vec<u64> = (0..engine.ruleset().len())
+            .map(|r| engine.stats_generation(r))
+            .collect();
+        // What-if evaluation restores every stamp it perturbed.
+        engine
+            .stats_if(&mut table, 1, 2, &Value::from("Michigan City"))
+            .unwrap();
+        let after_what_if: Vec<u64> = (0..engine.ruleset().len())
+            .map(|r| engine.stats_generation(r))
+            .collect();
+        assert_eq!(gens, after_what_if);
+
+        // A real change moves exactly the rules involving the attribute.
+        engine
+            .apply_cell_change(&mut table, 1, 2, Value::from("Michigan City"))
+            .unwrap();
+        let involved = engine.rules_involving(2).to_vec();
+        for (rule, &gen_before) in gens.iter().enumerate() {
+            if involved.contains(&rule) {
+                assert!(engine.stats_generation(rule) > gen_before, "rule {rule}");
+            } else {
+                assert_eq!(engine.stats_generation(rule), gen_before, "rule {rule}");
+            }
+        }
+        // The per-attribute stamp is the max over the involving rules.
+        let expect = engine
+            .rules_involving(2)
+            .iter()
+            .map(|&r| engine.stats_generation(r))
+            .max()
+            .unwrap();
+        assert_eq!(engine.attr_stats_generation(2), expect);
+    }
+
+    #[test]
+    fn new_tuples_and_rebuilds_stamp_every_rule() {
+        let (mut table, _, mut engine) = build_fixture();
+        let before = engine.attr_stats_generation(0);
+        let tid = table
+            .push_text_row(&["H9", "Main St", "Westville", "IN", "46391"])
+            .unwrap();
+        engine.note_new_tuple(&table, tid);
+        for rule in 0..engine.ruleset().len() {
+            assert!(engine.stats_generation(rule) > before);
+        }
+        let pre_rebuild = engine.stats_generation(0);
+        engine.rebuild(&table);
+        assert!(engine.stats_generation(0) > pre_rebuild);
     }
 
     #[test]

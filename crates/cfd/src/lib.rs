@@ -49,7 +49,7 @@ pub mod rule;
 pub mod ruleset;
 
 pub use discovery::{discover_cfds, DiscoveryConfig};
-pub use engine::{RuleStats, ViolationEngine};
+pub use engine::{GuardedWhatIf, RuleStats, ViolationEngine};
 pub use error::CfdError;
 pub use pattern::{Pattern, PatternValue};
 pub use rule::{Cfd, CfdSpec, RuleId};

@@ -52,14 +52,17 @@ pub mod strategy;
 pub mod voi;
 
 pub use config::GdrConfig;
-pub use grouping::{group_updates, UpdateGroup};
+pub use grouping::{group_updates, GroupIndex, GroupKey, IndexedGroup, UpdateGroup};
 pub use metrics::RepairAccuracy;
 pub use model::ModelStore;
 pub use oracle::{GroundTruthOracle, UserOracle};
 pub use quality::QualityEvaluator;
 pub use session::{Checkpoint, GdrSession, SessionReport};
 pub use strategy::Strategy;
-pub use voi::{group_benefit, update_benefit_term};
+pub use voi::{
+    group_benefit, single_update_benefit, update_benefit_term, BenefitCache, BenefitCacheSnapshot,
+    BenefitKey, VoiRanker,
+};
 
 /// Result alias shared with the repair substrate.
 pub type Result<T> = gdr_repair::Result<T>;

@@ -29,13 +29,13 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::config::GdrConfig;
-use crate::grouping::{group_updates, UpdateGroup};
+use crate::grouping::UpdateGroup;
 use crate::metrics::RepairAccuracy;
 use crate::model::ModelStore;
 use crate::oracle::{GroundTruthOracle, UserOracle};
 use crate::quality::QualityEvaluator;
 use crate::strategy::Strategy;
-use crate::voi::group_benefit;
+use crate::voi::VoiRanker;
 use crate::Result;
 
 /// A quality measurement taken during the session.
@@ -92,6 +92,7 @@ pub struct GdrSession {
     oracle: GroundTruthOracle,
     evaluator: QualityEvaluator,
     models: ModelStore,
+    ranker: VoiRanker,
     strategy: Strategy,
     config: GdrConfig,
     rng: StdRng,
@@ -124,6 +125,7 @@ impl GdrSession {
             oracle: GroundTruthOracle::new(ground_truth),
             evaluator,
             models,
+            ranker: VoiRanker::new(),
             strategy,
             config,
             rng,
@@ -168,8 +170,7 @@ impl GdrSession {
             if self.budget_exhausted(budget) {
                 break;
             }
-            let updates = self.state.possible_updates_sorted();
-            if updates.is_empty() {
+            if self.state.pending_count() == 0 {
                 // The generator ran out of admissible suggestions but dirty
                 // tuples may remain; the user then supplies the correct value
                 // directly (treated as confirming ⟨t, A, v′, 1⟩, §4.2).
@@ -179,11 +180,9 @@ impl GdrSession {
                 }
                 break;
             }
-            let mut ranked = self.rank_groups(group_updates(&updates))?;
-            if ranked.is_empty() {
+            let Some((group, benefit, max_benefit)) = self.select_top_group()? else {
                 break;
-            }
-            let (group, benefit, max_benefit) = ranked.remove(0);
+            };
             let quota = self.group_quota(&group, benefit, max_benefit);
             let actions = self.process_group(&group, quota, budget)?;
             self.state.refresh_updates();
@@ -204,20 +203,27 @@ impl GdrSession {
     fn run_pool(&mut self, budget: Option<usize>) -> Result<()> {
         self.state.refresh_updates();
         while !self.budget_exhausted(budget) {
-            let updates = self.state.possible_updates_sorted();
-            if updates.is_empty() {
+            if self.state.pending_count() == 0 {
                 if self.user_supplies_value()? {
                     self.state.refresh_updates();
                     continue;
                 }
                 break;
             }
-            // Most uncertain first (§5.2, "Active-Learning" baseline).
-            let next = updates
-                .iter()
-                .map(|u| (self.models.uncertainty(self.state.table(), u), u.clone()))
-                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(_, u)| u);
+            // Most uncertain first (§5.2, "Active-Learning" baseline); ties
+            // broken toward the largest `(tuple, attr)` so the borrowed,
+            // unordered iteration picks the same update the sorted snapshot
+            // used to.  Only the chosen update is cloned.
+            let next = self
+                .state
+                .possible_updates()
+                .map(|u| (self.models.uncertainty(self.state.table(), u), u))
+                .max_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| (a.1.tuple, a.1.attr).cmp(&(b.1.tuple, b.1.attr)))
+                })
+                .map(|(_, u)| u.clone());
             let Some(update) = next else { break };
             self.verify_with_user(&update)?;
             self.state.refresh_updates();
@@ -229,69 +235,60 @@ impl GdrSession {
         Ok(())
     }
 
-    /// Ranks groups according to the strategy; returns
-    /// `(group, benefit, max_benefit)` triples sorted best-first.
-    fn rank_groups(&mut self, groups: Vec<UpdateGroup>) -> Result<Vec<(UpdateGroup, f64, f64)>> {
-        let mut scored: Vec<(UpdateGroup, f64)> = Vec::with_capacity(groups.len());
-        match self.strategy {
+    /// Selects the strategy's next group: syncs the persistent group index
+    /// with the repair state's change journal, rescores only the invalidated
+    /// groups, and reads the top of the max-ordered ranking.  Returns
+    /// `(group, benefit, max_benefit)`.
+    fn select_top_group(&mut self) -> Result<Option<(UpdateGroup, f64, f64)>> {
+        let GdrSession {
+            state,
+            ranker,
+            models,
+            strategy,
+            rng,
+            ..
+        } = self;
+        let strategy = *strategy;
+        ranker.sync(state);
+        match strategy {
             s if s.uses_voi() => {
-                for group in groups {
-                    let probabilities: Vec<f64> = group
-                        .updates
-                        .iter()
-                        .map(|u| {
-                            if self.strategy.uses_learner() {
-                                self.models.confirm_probability(self.state.table(), u)
-                            } else {
-                                u.score
-                            }
-                        })
-                        .collect();
-                    let benefit = group_benefit(&mut self.state, &group, &probabilities)?;
-                    scored.push((group, benefit));
+                if s.uses_learner() {
+                    // Committee probabilities move with every retrain and
+                    // every row write, outside the journal's view — every
+                    // score is stale, but the expensive what-if terms stay
+                    // cached; only the Σ p̃·w·term products are redone.
+                    ranker.mark_all_dirty();
+                    ranker.rescore_benefits(state, |st, u| {
+                        models.confirm_probability(st.table(), u)
+                    })?;
+                } else {
+                    ranker.rescore_benefits(state, |_, u| u.score)?;
                 }
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| {
-                            (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone()))
-                        })
-                });
+                Ok(ranker
+                    .best_group()
+                    .map(|(group, benefit)| (group, benefit, ranker.max_benefit())))
             }
             Strategy::Greedy => {
-                scored = groups
-                    .into_iter()
-                    .map(|g| {
-                        let size = g.len() as f64;
-                        (g, size)
-                    })
-                    .collect();
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| {
-                            (a.0.attr, a.0.value.clone()).cmp(&(b.0.attr, b.0.value.clone()))
-                        })
-                });
+                ranker.rescore_sizes();
+                Ok(ranker
+                    .best_group()
+                    .map(|(group, benefit)| (group, benefit, ranker.max_benefit())))
             }
             Strategy::RandomOrder => {
-                let mut shuffled = groups;
-                shuffled.shuffle(&mut self.rng);
-                scored = shuffled.into_iter().map(|g| (g, 0.0)).collect();
+                ranker.rescore_zero();
+                let mut groups = ranker.groups_in_default_order();
+                groups.shuffle(rng);
+                Ok(groups.into_iter().next().map(|group| (group, 0.0, 0.0)))
             }
             _ => {
-                scored = groups.into_iter().map(|g| (g, 0.0)).collect();
+                ranker.rescore_zero();
+                Ok(ranker
+                    .groups_in_default_order()
+                    .into_iter()
+                    .next()
+                    .map(|group| (group, 0.0, 0.0)))
             }
         }
-        let max_benefit = scored
-            .iter()
-            .map(|(_, b)| *b)
-            .fold(f64::MIN, f64::max)
-            .max(0.0);
-        Ok(scored
-            .into_iter()
-            .map(|(g, b)| (g, b, max_benefit))
-            .collect())
     }
 
     /// The number of user verifications requested for a group — the paper's
@@ -418,10 +415,24 @@ impl GdrSession {
     fn learner_sweep(&mut self) -> Result<()> {
         for _ in 0..4 {
             let mut progressed = false;
-            for update in self.state.possible_updates_sorted() {
-                if !self.is_still_pending(&update) {
+            // Snapshot only `(cell, value)` through the borrowing iterator;
+            // the full update is cloned just before it is applied.
+            let mut pending: Vec<(gdr_repair::Cell, gdr_relation::Value)> = self
+                .state
+                .possible_updates()
+                .map(|u| (u.cell(), u.value.clone()))
+                .collect();
+            pending.sort_by_key(|(cell, _)| *cell);
+            for (cell, value) in pending {
+                // Applying earlier decisions may have retired or replaced
+                // this suggestion; act only if it is still the same one.
+                let Some(update) = self.state.pending_update(cell) else {
+                    continue;
+                };
+                if update.value != value {
                     continue;
                 }
+                let update = update.clone();
                 if !self.models.is_trained(update.attr)
                     || self.models.training_size(update.attr) < self.config.learner_min_training
                 {

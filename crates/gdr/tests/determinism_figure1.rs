@@ -1,0 +1,139 @@
+//! Golden determinism test: the incremental VOI re-ranking refactor must
+//! leave every strategy's observable behaviour on the Figure 1 fixture
+//! exactly as it was with the from-scratch per-round ranking.
+//!
+//! The expected checkpoint sequences below were captured from the
+//! pre-refactor implementation (tag `baseline-pre-incremental-voi`) with
+//! `GdrConfig::fast()` and a budget of 12; losses and improvement
+//! percentages are asserted bit-exactly.
+
+use gdr_core::{fixture, GdrConfig, GdrSession, SessionReport, Strategy};
+
+fn run(strategy: Strategy) -> SessionReport {
+    let (dirty, clean, rules) = fixture::figure1_instance();
+    let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+    session.run(Some(12)).expect("session runs")
+}
+
+fn assert_checkpoints(strategy: Strategy, expected: &[(usize, f64, f64)]) {
+    let report = run(strategy);
+    let got: Vec<(usize, f64, f64)> = report
+        .checkpoints
+        .iter()
+        .map(|c| (c.verifications, c.loss, c.improvement_pct))
+        .collect();
+    assert_eq!(got, expected, "{strategy} checkpoints diverged");
+    assert_eq!(report.learner_decisions, 0, "{strategy}");
+    assert_eq!(report.verifications, 11, "{strategy}");
+    assert_eq!(report.final_loss, 0.0, "{strategy}");
+}
+
+#[test]
+fn gdr_checkpoints_match_pre_refactor_baseline() {
+    assert_checkpoints(
+        Strategy::Gdr,
+        &[
+            (0, 0.359375, 0.0),
+            (1, 0.359375, 0.0),
+            (2, 0.359375, 0.0),
+            (3, 0.296875, 17.391304347826086),
+            (4, 0.234375, 34.78260869565217),
+            (5, 0.234375, 34.78260869565217),
+            (6, 0.203125, 43.47826086956522),
+            (7, 0.203125, 43.47826086956522),
+            (8, 0.203125, 43.47826086956522),
+            (9, 0.203125, 43.47826086956522),
+            (10, 0.140625, 60.869565217391305),
+            (11, 0.0, 100.0),
+            (11, 0.0, 100.0),
+        ],
+    );
+}
+
+#[test]
+fn gdr_no_learning_checkpoints_match_pre_refactor_baseline() {
+    assert_checkpoints(
+        Strategy::GdrNoLearning,
+        &[
+            (0, 0.359375, 0.0),
+            (1, 0.359375, 0.0),
+            (2, 0.359375, 0.0),
+            (3, 0.296875, 17.391304347826086),
+            (4, 0.234375, 34.78260869565217),
+            (5, 0.234375, 34.78260869565217),
+            (6, 0.203125, 43.47826086956522),
+            (7, 0.203125, 43.47826086956522),
+            (8, 0.203125, 43.47826086956522),
+            (9, 0.203125, 43.47826086956522),
+            (10, 0.140625, 60.869565217391305),
+            (11, 0.0, 100.0),
+            (11, 0.0, 100.0),
+        ],
+    );
+}
+
+#[test]
+fn gdr_s_learning_checkpoints_match_pre_refactor_baseline() {
+    assert_checkpoints(
+        Strategy::GdrSLearning,
+        &[
+            (0, 0.359375, 0.0),
+            (1, 0.359375, 0.0),
+            (2, 0.359375, 0.0),
+            (3, 0.359375, 0.0),
+            (4, 0.296875, 17.391304347826086),
+            (5, 0.234375, 34.78260869565217),
+            (6, 0.203125, 43.47826086956522),
+            (7, 0.203125, 43.47826086956522),
+            (8, 0.203125, 43.47826086956522),
+            (9, 0.203125, 43.47826086956522),
+            (10, 0.140625, 60.869565217391305),
+            (11, 0.0, 100.0),
+            (11, 0.0, 100.0),
+        ],
+    );
+}
+
+#[test]
+fn greedy_checkpoints_match_pre_refactor_baseline() {
+    assert_checkpoints(
+        Strategy::Greedy,
+        &[
+            (0, 0.359375, 0.0),
+            (1, 0.296875, 17.391304347826086),
+            (2, 0.234375, 34.78260869565217),
+            (3, 0.234375, 34.78260869565217),
+            (4, 0.234375, 34.78260869565217),
+            (5, 0.234375, 34.78260869565217),
+            (6, 0.203125, 43.47826086956522),
+            (7, 0.203125, 43.47826086956522),
+            (8, 0.203125, 43.47826086956522),
+            (9, 0.203125, 43.47826086956522),
+            (10, 0.140625, 60.869565217391305),
+            (11, 0.0, 100.0),
+            (11, 0.0, 100.0),
+        ],
+    );
+}
+
+#[test]
+fn random_order_checkpoints_match_pre_refactor_baseline() {
+    assert_checkpoints(
+        Strategy::RandomOrder,
+        &[
+            (0, 0.359375, 0.0),
+            (1, 0.359375, 0.0),
+            (2, 0.359375, 0.0),
+            (3, 0.359375, 0.0),
+            (4, 0.296875, 17.391304347826086),
+            (5, 0.234375, 34.78260869565217),
+            (6, 0.234375, 34.78260869565217),
+            (7, 0.203125, 43.47826086956522),
+            (8, 0.203125, 43.47826086956522),
+            (9, 0.203125, 43.47826086956522),
+            (10, 0.140625, 60.869565217391305),
+            (11, 0.0, 100.0),
+            (11, 0.0, 100.0),
+        ],
+    );
+}

@@ -86,10 +86,9 @@ impl RepairState {
         // (invariant (ii) of Appendix A.5).
         let pre_change_partners: Vec<(usize, Vec<TupleId>)> = self
             .engine
-            .ruleset()
             .rules_involving(update.attr)
-            .into_iter()
-            .map(|rule_id| {
+            .iter()
+            .map(|&rule_id| {
                 (
                     rule_id,
                     self.engine.conflict_partners(rule_id, update.tuple),
@@ -114,6 +113,7 @@ impl RepairState {
         };
         self.applied_log.push(change.clone());
         applied.push(change);
+        self.note_cell_change(update.tuple, update.attr);
         self.mark_unchangeable(cell);
 
         // Step 3: walk the rules involving the modified attribute.

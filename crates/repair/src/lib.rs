@@ -47,7 +47,7 @@ pub mod update;
 
 pub use heuristic::{run_heuristic_repair, HeuristicConfig, HeuristicReport};
 pub use similarity::{edit_distance, string_similarity, value_similarity};
-pub use state::{FeedbackOutcome, RepairState};
+pub use state::{ChangeJournal, FeedbackOutcome, RepairState, SuggestionEvent};
 pub use update::{AppliedChange, Cell, ChangeSource, Feedback, Update};
 
 /// Result alias re-using the CFD error type (repairs are driven by rules).

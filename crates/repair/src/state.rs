@@ -1,13 +1,50 @@
 //! The mutable repair context shared by update generation, the consistency
 //! manager, and the GDR session loop.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
 use gdr_relation::{AttrId, Table, TupleId, Value, ValueId};
 
 use crate::update::{AppliedChange, Cell, ChangeSource, Update};
 use crate::Result;
+
+/// One mutation of the `PossibleUpdates` list, in occurrence order.
+///
+/// Replacing a cell's suggestion is journalled as a `Removed` of the old
+/// update followed by an `Added` of the new one, so a consumer replaying the
+/// events against a snapshot of the list always reconstructs the current
+/// list exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuggestionEvent {
+    /// A suggestion entered the `PossibleUpdates` list.
+    Added(Update),
+    /// A suggestion left the `PossibleUpdates` list.
+    Removed(Update),
+}
+
+/// Everything that changed since the last ranking epoch — the delta the
+/// interactive loop's incremental re-ranking consumes instead of rescanning
+/// the world (see the invalidation protocol in `gdr_core::voi`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeJournal {
+    /// The ranking epoch this journal accumulated under.  Epochs advance on
+    /// every [`RepairState::take_journal`].
+    pub epoch: u64,
+    /// Cells written to the database, in application order (duplicates kept).
+    pub changed_cells: Vec<Cell>,
+    /// Rules whose [`RuleStats`] were perturbed by those writes.
+    pub perturbed_rules: BTreeSet<RuleId>,
+    /// Mutations of the `PossibleUpdates` list, in occurrence order.
+    pub suggestion_events: Vec<SuggestionEvent>,
+}
+
+impl ChangeJournal {
+    /// `true` when nothing changed during the epoch.
+    pub fn is_empty(&self) -> bool {
+        self.changed_cells.is_empty() && self.suggestion_events.is_empty()
+    }
+}
 
 /// Outcome of applying one piece of feedback through the consistency manager.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +77,9 @@ pub struct RepairState {
     pub(crate) unchangeable: HashSet<Cell>,
     /// Every change applied to the database, in order.
     pub(crate) applied_log: Vec<AppliedChange>,
+    /// Cell writes, rule perturbations, and suggestion add/retire events
+    /// accumulated since the last [`RepairState::take_journal`].
+    pub(crate) journal: ChangeJournal,
 }
 
 impl RepairState {
@@ -55,6 +95,7 @@ impl RepairState {
             prevented: HashMap::new(),
             unchangeable: HashSet::new(),
             applied_log: Vec::new(),
+            journal: ChangeJournal::default(),
         };
         state.generate_initial_updates();
         state
@@ -149,12 +190,88 @@ impl RepairState {
         self.engine.rule_stats(rule)
     }
 
+    /// Ids of the rules involving an attribute, without allocating.
+    pub fn rules_involving(&self, attr: AttrId) -> &[RuleId] {
+        self.engine.rules_involving(attr)
+    }
+
+    /// The change stamp of one rule's statistics (see
+    /// [`ViolationEngine::stats_generation`]).
+    pub fn stats_generation(&self, rule: RuleId) -> u64 {
+        self.engine.stats_generation(rule)
+    }
+
+    /// The combined change stamp of the rules involving `attr` — the validity
+    /// key for caches of attribute-local what-if results (see
+    /// [`ViolationEngine::attr_stats_generation`]).
+    pub fn attr_stats_generation(&self, attr: AttrId) -> u64 {
+        self.engine.attr_stats_generation(attr)
+    }
+
+    /// The changes accumulated since the last ranking epoch.
+    pub fn journal(&self) -> &ChangeJournal {
+        &self.journal
+    }
+
+    /// Closes the current ranking epoch: returns the accumulated journal and
+    /// starts a fresh one with the next epoch number.
+    pub fn take_journal(&mut self) -> ChangeJournal {
+        let next = ChangeJournal {
+            epoch: self.journal.epoch + 1,
+            ..ChangeJournal::default()
+        };
+        std::mem::replace(&mut self.journal, next)
+    }
+
+    /// Records a database write in the journal: the cell plus the rules whose
+    /// statistics the write perturbed.
+    pub(crate) fn note_cell_change(&mut self, tuple: TupleId, attr: AttrId) {
+        self.journal.changed_cells.push((tuple, attr));
+        self.journal
+            .perturbed_rules
+            .extend(self.engine.rules_involving(attr).iter().copied());
+    }
+
     /// Per-rule statistics *if* the candidate update were applied, restricted
     /// to the rules that can be affected (those involving the update's
     /// attribute).  This is the primitive the VOI gain formula consumes.
     pub fn what_if_stats(&mut self, update: &Update) -> Result<Vec<(RuleId, RuleStats)>> {
         self.engine
             .stats_if(&mut self.table, update.tuple, update.attr, &update.value)
+    }
+
+    /// [`RepairState::what_if_stats`] plus the validity guards the VOI
+    /// benefit cache stores (see [`ViolationEngine::stats_if_guarded`]).
+    pub fn what_if_stats_guarded(&mut self, update: &Update) -> Result<gdr_cfd::GuardedWhatIf> {
+        self.engine
+            .stats_if_guarded(&mut self.table, update.tuple, update.attr, &update.value)
+    }
+
+    /// Single-rule variant of [`RepairState::what_if_stats_guarded`] (see
+    /// [`ViolationEngine::stats_if_rule_guarded`]).
+    pub fn what_if_rule_guarded(
+        &mut self,
+        update: &Update,
+        rule: RuleId,
+    ) -> Result<(RuleStats, Vec<(gdr_relation::SmallKey, u64)>)> {
+        self.engine.stats_if_rule_guarded(
+            &mut self.table,
+            update.tuple,
+            update.attr,
+            &update.value,
+            rule,
+        )
+    }
+
+    /// The change stamp of one row (see [`ViolationEngine::row_generation`]).
+    pub fn row_generation(&self, tuple: TupleId) -> u64 {
+        self.engine.row_generation(tuple)
+    }
+
+    /// The change stamp of one agreement group (see
+    /// [`ViolationEngine::group_generation`]).
+    pub fn group_generation(&self, rule: RuleId, key: &gdr_relation::SmallKey) -> u64 {
+        self.engine.group_generation(rule, key)
     }
 
     /// Applies a cell change directly (bypassing feedback semantics), keeping
@@ -178,25 +295,39 @@ impl RepairState {
             source,
         };
         self.applied_log.push(change.clone());
-        self.possible.remove(&(tuple, attr));
+        self.note_cell_change(tuple, attr);
+        self.drop_pending((tuple, attr));
         Ok(change)
     }
 
-    /// Removes the pending update for a cell, if any.
+    /// Removes the pending update for a cell, if any, journalling the
+    /// retirement.
     pub(crate) fn drop_pending(&mut self, cell: Cell) {
-        self.possible.remove(&cell);
+        if let Some(old) = self.possible.remove(&cell) {
+            self.journal
+                .suggestion_events
+                .push(SuggestionEvent::Removed(old));
+        }
     }
 
     /// Records a suggestion in the `PossibleUpdates` list (replacing any
-    /// previous suggestion for the same cell).
+    /// previous suggestion for the same cell), journalling the replacement.
+    /// Re-recording an identical suggestion is a no-op.
     pub(crate) fn record_suggestion(&mut self, update: Update) {
+        if self.possible.get(&update.cell()) == Some(&update) {
+            return;
+        }
+        self.drop_pending(update.cell());
+        self.journal
+            .suggestion_events
+            .push(SuggestionEvent::Added(update.clone()));
         self.possible.insert(update.cell(), update);
     }
 
     /// Marks a cell as confirmed-correct.
     pub(crate) fn mark_unchangeable(&mut self, cell: Cell) {
         self.unchangeable.insert(cell);
-        self.possible.remove(&cell);
+        self.drop_pending(cell);
     }
 
     /// Adds a value to a cell's prevented list (interning it into the cell's
@@ -229,6 +360,7 @@ impl RepairState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::update::Feedback;
     use gdr_cfd::parser;
     use gdr_relation::Schema;
 
@@ -310,6 +442,93 @@ mod tests {
         assert!(state.is_prevented((3, 4), &Value::from("46825")));
         assert_eq!(state.prevented_count((3, 4)), 1);
         assert_eq!(state.prevented_count((0, 0)), 0);
+    }
+
+    #[test]
+    fn journal_records_writes_and_suggestion_churn() {
+        let mut state = fixture();
+        // Construction generated the initial suggestions into epoch 0.
+        assert_eq!(state.journal().epoch, 0);
+        let initial_adds = state
+            .journal()
+            .suggestion_events
+            .iter()
+            .filter(|e| matches!(e, SuggestionEvent::Added(_)))
+            .count();
+        assert_eq!(initial_adds, state.pending_count());
+        assert!(state.journal().changed_cells.is_empty());
+
+        // Closing the epoch hands the delta over and starts a fresh one.
+        let journal = state.take_journal();
+        assert_eq!(journal.epoch, 0);
+        assert_eq!(state.journal().epoch, 1);
+        assert!(state.journal().is_empty());
+
+        // A write journals the cell, the perturbed rules, and the retirement
+        // of the cell's suggestion.
+        state
+            .force_value(1, 2, Value::from("Michigan City"), ChangeSource::Heuristic)
+            .unwrap();
+        let journal = state.journal();
+        assert_eq!(journal.changed_cells, vec![(1, 2)]);
+        assert_eq!(
+            journal.perturbed_rules.iter().copied().collect::<Vec<_>>(),
+            state.rules_involving(2).to_vec()
+        );
+        assert!(journal
+            .suggestion_events
+            .iter()
+            .any(|e| matches!(e, SuggestionEvent::Removed(u) if u.cell() == (1, 2))));
+    }
+
+    #[test]
+    fn replaying_suggestion_events_reconstructs_the_pending_list() {
+        let mut state = fixture();
+        let mut replayed: HashMap<Cell, Update> = HashMap::new();
+        let apply = |replayed: &mut HashMap<Cell, Update>, journal: &ChangeJournal| {
+            for event in &journal.suggestion_events {
+                match event {
+                    SuggestionEvent::Added(u) => {
+                        replayed.insert(u.cell(), u.clone());
+                    }
+                    SuggestionEvent::Removed(u) => {
+                        let gone = replayed.remove(&u.cell());
+                        assert_eq!(gone.as_ref(), Some(u));
+                    }
+                }
+            }
+        };
+        apply(&mut replayed, &state.take_journal());
+        assert_eq!(replayed, state.possible);
+
+        // Drive a few feedback rounds and keep replaying the deltas.
+        for _ in 0..4 {
+            let Some(update) = state.possible_updates_sorted().into_iter().next() else {
+                break;
+            };
+            state
+                .apply_feedback(&update, Feedback::Confirm, ChangeSource::UserConfirmed)
+                .unwrap();
+            state.refresh_updates();
+            apply(&mut replayed, &state.take_journal());
+            assert_eq!(replayed, state.possible);
+        }
+    }
+
+    #[test]
+    fn what_if_does_not_touch_journal_or_generations() {
+        let mut state = fixture();
+        state.take_journal();
+        let gens: Vec<u64> = (0..state.ruleset().len())
+            .map(|r| state.stats_generation(r))
+            .collect();
+        let update = Update::new(1, 2, Value::from("Michigan City"), 0.5);
+        state.what_if_stats(&update).unwrap();
+        assert!(state.journal().is_empty());
+        let after: Vec<u64> = (0..state.ruleset().len())
+            .map(|r| state.stats_generation(r))
+            .collect();
+        assert_eq!(gens, after);
     }
 
     #[test]
