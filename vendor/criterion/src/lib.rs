@@ -88,6 +88,50 @@ impl Bencher {
             self.samples.push(elapsed * 1e9 / iters as f64);
         }
     }
+
+    /// Runs `routine` on fresh inputs produced by `setup`, timing only the
+    /// routine.  Use this when each iteration needs a pristine copy of some
+    /// state (e.g. a cloned `RepairState`) whose construction cost must not
+    /// pollute the measurement.
+    ///
+    /// Iterations per sample are calibrated against the *combined*
+    /// setup + routine cost so the wall-clock budget stays bounded even when
+    /// setup dominates, but each recorded sample is the summed routine-only
+    /// time divided by the iteration count.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        // Warm-up: run until the warm-up budget is spent, tracking the
+        // routine-only and combined per-iteration costs separately.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            std::hint::black_box(t.elapsed());
+            warm_iters += 1;
+        }
+        let combined_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((budget / combined_per_iter.max(1e-9)).round() as u64).max(1);
+        self.iters_per_sample = iters;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut routine_ns = 0.0f64;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                routine_ns += start.elapsed().as_secs_f64() * 1e9;
+            }
+            self.samples.push(routine_ns / iters as f64);
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
