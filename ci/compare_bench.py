@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare criterion-shim bench JSON against the checked-in baselines.
+
+Usage:
+    python3 ci/compare_bench.py --current-dir bench-out [--baseline-dir .]
+        BENCH_violation_detection.json BENCH_voi_ranking.json ...
+
+Each named file is loaded from both directories (schema: ``{"group",
+"benchmarks": [{"id", "median_ns", ...}]}``, written by ``vendor/criterion``)
+and every current benchmark id is compared against its baseline median.
+
+Policy:
+
+* A current id **missing from its baseline is a hard failure** — new
+  benchmarks must be added to the checked-in ``BENCH_*.json`` in the same
+  change, otherwise they would silently escape the regression gate.
+* Baseline ids missing from the current run are reported but tolerated
+  (renames/retirements update the baseline in the same change; a warning
+  keeps them visible).
+* A benchmark regresses when ``current / baseline > tolerance``.  CI runners
+  are noisy, so the default tolerance only flags order-of-magnitude
+  regressions; ``TOLERANCES`` overrides it per benchmark id for entries that
+  need a tighter or looser leash.
+
+To regenerate a baseline after an intentional perf change, from the repo
+root::
+
+    BENCH_OUT_DIR=$(pwd) cargo bench --bench <name>
+
+and commit the rewritten ``BENCH_<name>.json`` (see ROADMAP.md, "bench
+baselines").
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# CI runners are noisy; only flag order-of-magnitude regressions by default.
+DEFAULT_TOLERANCE = 3.0
+
+# Per-benchmark overrides keyed by (baseline file, benchmark id) — ids inside
+# a BENCH_*.json are "fn/param" strings without the group prefix.  Small
+# incremental-path benches jitter hard on shared runners and get a looser
+# leash; add tighter entries here for benches that must not creep.
+TOLERANCES = {
+    ("BENCH_voi_ranking.json", "rerank_incremental/500"): 4.0,
+    ("BENCH_suggestion_refresh.json", "refresh_after_answer/500"): 4.0,
+    ("BENCH_update_generation.json", "regenerate_one_tuple/500"): 4.0,
+}
+
+
+def compare(name: str, baseline_dir: str, current_dir: str) -> bool:
+    """Returns True when the file passes the gate."""
+    baseline_path = os.path.join(baseline_dir, name)
+    current_path = os.path.join(current_dir, name)
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = {b["id"]: b["median_ns"] for b in json.load(handle)["benchmarks"]}
+    with open(current_path, encoding="utf-8") as handle:
+        current = json.load(handle)["benchmarks"]
+
+    ok = True
+    seen = set()
+    for bench in current:
+        bench_id, median = bench["id"], bench["median_ns"]
+        seen.add(bench_id)
+        ref = baseline.get(bench_id)
+        if ref is None:
+            print(f"{bench_id}: {median:.0f} ns — MISSING FROM BASELINE {name}")
+            ok = False
+            continue
+        tolerance = TOLERANCES.get((name, bench_id), DEFAULT_TOLERANCE)
+        ratio = median / ref if ref > 0 else float("inf")
+        regressed = ratio > tolerance
+        marker = "REGRESSION" if regressed else "ok"
+        print(
+            f"{bench_id}: {median:.0f} ns vs baseline {ref:.0f} ns "
+            f"({ratio:.2f}x, tolerance {tolerance:.1f}x) {marker}"
+        )
+        ok = ok and not regressed
+    for bench_id in sorted(set(baseline) - seen):
+        print(f"{bench_id}: in baseline {name} but not produced by this run (warning)")
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default=".", help="directory holding the checked-in BENCH_*.json")
+    parser.add_argument("--current-dir", required=True, help="directory holding this run's BENCH_*.json")
+    parser.add_argument("names", nargs="+", help="BENCH_*.json file names to compare")
+    args = parser.parse_args()
+
+    failed = False
+    for name in args.names:
+        if not compare(name, args.baseline_dir, args.current_dir):
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,10 @@
 //! that just absorbed the answer.  Each iteration runs on a fresh clone of
 //! the post-answer state (`iter_batched` keeps the clone out of the timing),
 //! so the measurement is the steady-state per-answer refresh cost.
+//!
+//! `refresh_full_walk` runs the retained dirty-world-walk oracle
+//! (`refresh_updates_full`) on the same state — the in-suite view of what
+//! the journal-driven path saves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdr_bench::{generate, DatasetId};
@@ -39,6 +43,19 @@ fn bench_suggestion_refresh(c: &mut Criterion) {
                     || state.clone(),
                     |mut s| {
                         s.refresh_updates();
+                        s.pending_count()
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("refresh_full_walk", tuples),
+            &tuples,
+            |b, _| {
+                b.iter_batched(
+                    || state.clone(),
+                    |mut s| {
+                        s.refresh_updates_full();
                         s.pending_count()
                     },
                 )

@@ -666,6 +666,36 @@ impl ViolationEngine {
             .collect()
     }
 
+    /// `true` when the tuple violates at least one rule.  Allocation-free
+    /// variant of `!violated_rules(tuple).is_empty()` for per-cell hot paths
+    /// (the journal-driven suggestion refresh probes this once per revisited
+    /// cell).
+    pub fn is_dirty(&self, tuple: TupleId) -> bool {
+        (0..self.ruleset.len()).any(|rule| self.tuple_violates(rule, tuple))
+    }
+
+    /// The members of one LHS agreement group of a variable rule, addressed
+    /// by group key (unsorted; empty for constant rules and unknown keys).
+    ///
+    /// This is the engine half of the change-journal event surface: after a
+    /// cell write, the consumer reconstructs the written tuple's previous
+    /// group key via [`Table::project_key_with`] and probes both the vacated
+    /// and the joined group for the cohabitants whose violation status the
+    /// write may have flipped.
+    pub fn group_members(
+        &self,
+        rule: RuleId,
+        key: &SmallKey,
+    ) -> impl Iterator<Item = TupleId> + '_ {
+        let group = match &self.states[rule] {
+            RuleState::Variable(state) => state.groups.get(key),
+            RuleState::Constant(_) => None,
+        };
+        group
+            .into_iter()
+            .flat_map(|g| g.members_by_rhs.values().flatten().copied())
+    }
+
     /// All tuples violating a specific rule, in ascending id order.
     pub fn violating_tuples(&self, rule: RuleId) -> Vec<TupleId> {
         let mut tuples: Vec<TupleId> = match &self.states[rule] {
@@ -949,6 +979,24 @@ STR, CT -> ZIP : _, Fort Wayne || _
         // Constant rules have no agreement groups.
         assert_eq!(engine.agreement_group(0, 1), Vec::<TupleId>::new());
         assert_eq!(engine.conflict_partners(0, 1), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn group_members_and_is_dirty_probes() {
+        let (table, _, engine) = build_fixture();
+        assert!(engine.is_dirty(1));
+        assert!(engine.is_dirty(2));
+        assert!(!engine.is_dirty(0));
+        // The variable rule's Fort Wayne group, addressed by t2's key.
+        let rule = 6;
+        let key = table.project_key(2, engine.ruleset().rule(rule).lhs());
+        let mut members: Vec<TupleId> = engine.group_members(rule, &key).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![2, 3]);
+        // Unknown keys and constant rules answer with nothing.
+        let other = table.project_key(0, engine.ruleset().rule(rule).lhs());
+        assert_eq!(engine.group_members(rule, &other).count(), 0);
+        assert_eq!(engine.group_members(0, &key).count(), 0);
     }
 
     #[test]

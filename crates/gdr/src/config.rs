@@ -27,6 +27,12 @@ pub struct GdrConfig {
     /// Record a quality checkpoint every this many user verifications
     /// (1 = after every answer).
     pub checkpoint_every: usize,
+    /// Refresh suggestions with the pre-incremental full dirty-world walk
+    /// (`RepairState::refresh_updates_full`) instead of the journal-driven
+    /// path.  The two are pinned equivalent by property tests; this switch is
+    /// the debug/fallback oracle for diagnosing a suspected divergence in
+    /// production-like runs.
+    pub full_walk_refresh: bool,
 }
 
 impl Default for GdrConfig {
@@ -38,6 +44,7 @@ impl Default for GdrConfig {
             forest: ForestConfig::default(),
             seed: 0xC0FFEE,
             checkpoint_every: 1,
+            full_walk_refresh: false,
         }
     }
 }
@@ -56,6 +63,7 @@ impl GdrConfig {
             },
             seed: 7,
             checkpoint_every: 1,
+            full_walk_refresh: false,
         }
     }
 }

@@ -164,7 +164,7 @@ impl GdrSession {
     /// The group-based strategies: GDR, GDR-NoLearning, GDR-S-Learning,
     /// Greedy, Random.
     fn run_grouped(&mut self, budget: Option<usize>) -> Result<()> {
-        self.state.refresh_updates();
+        self.refresh_suggestions();
         let mut stalled_rounds = 0usize;
         loop {
             if self.budget_exhausted(budget) {
@@ -175,7 +175,7 @@ impl GdrSession {
                 // tuples may remain; the user then supplies the correct value
                 // directly (treated as confirming ⟨t, A, v′, 1⟩, §4.2).
                 if self.user_supplies_value()? {
-                    self.state.refresh_updates();
+                    self.refresh_suggestions();
                     continue;
                 }
                 break;
@@ -185,7 +185,7 @@ impl GdrSession {
             };
             let quota = self.group_quota(&group, benefit, max_benefit);
             let actions = self.process_group(&group, quota, budget)?;
-            self.state.refresh_updates();
+            self.refresh_suggestions();
             if actions == 0 {
                 stalled_rounds += 1;
                 if stalled_rounds >= 3 {
@@ -201,11 +201,11 @@ impl GdrSession {
     /// The pure active-learning strategy: one global pool ordered by
     /// committee uncertainty, no grouping, no VOI.
     fn run_pool(&mut self, budget: Option<usize>) -> Result<()> {
-        self.state.refresh_updates();
+        self.refresh_suggestions();
         while !self.budget_exhausted(budget) {
             if self.state.pending_count() == 0 {
                 if self.user_supplies_value()? {
-                    self.state.refresh_updates();
+                    self.refresh_suggestions();
                     continue;
                 }
                 break;
@@ -226,7 +226,7 @@ impl GdrSession {
                 .map(|(_, u)| u.clone());
             let Some(update) = next else { break };
             self.verify_with_user(&update)?;
-            self.state.refresh_updates();
+            self.refresh_suggestions();
         }
         // After the budget is spent, the learned models decide the remaining
         // suggestions automatically.
@@ -446,7 +446,7 @@ impl GdrSession {
                 self.learner_decisions += 1;
                 progressed = true;
             }
-            self.state.refresh_updates();
+            self.refresh_suggestions();
             if !progressed {
                 break;
             }
@@ -477,6 +477,17 @@ impl GdrSession {
             }
         }
         Ok(false)
+    }
+
+    /// Step 9 of Procedure 1: re-derive the `PossibleUpdates` list.  Runs
+    /// the journal-driven refresh by default; the configuration can route it
+    /// through the full dirty-world walk as a debug/fallback oracle.
+    fn refresh_suggestions(&mut self) {
+        if self.config.full_walk_refresh {
+            self.state.refresh_updates_full();
+        } else {
+            self.state.refresh_updates();
+        }
     }
 
     fn is_still_pending(&self, update: &Update) -> bool {
@@ -593,6 +604,30 @@ mod tests {
         let report = run_strategy(Strategy::ActiveLearningOnly, Some(8));
         assert!(report.verifications <= 8);
         assert!(report.final_improvement_pct > 0.0);
+    }
+
+    #[test]
+    fn full_walk_refresh_oracle_reproduces_the_default_session() {
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let incremental = GdrSession::new(
+            dirty.clone(),
+            &rules,
+            clean.clone(),
+            Strategy::GdrNoLearning,
+            GdrConfig::fast(),
+        )
+        .run(None)
+        .expect("journal-driven session runs");
+        let config = GdrConfig {
+            full_walk_refresh: true,
+            ..GdrConfig::fast()
+        };
+        let oracle = GdrSession::new(dirty, &rules, clean, Strategy::GdrNoLearning, config)
+            .run(None)
+            .expect("full-walk session runs");
+        assert_eq!(incremental.verifications, oracle.verifications);
+        assert_eq!(incremental.checkpoints, oracle.checkpoints);
+        assert_eq!(incremental.final_loss, oracle.final_loss);
     }
 
     #[test]

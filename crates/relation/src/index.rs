@@ -11,27 +11,44 @@
 //! Value-keyed lookups remain available at the public boundary (one
 //! dictionary translation per query).
 //!
+//! An [`AttrSetIndex`] can be used two ways:
+//!
+//! * as a **snapshot** — build, query, and rebuild when
+//!   [`AttrSetIndex::is_stale`] reports the table moved on; or
+//! * **incrementally maintained** — an owner that routes every table
+//!   mutation through [`AttrSetIndex::note_cell_write`] /
+//!   [`AttrSetIndex::note_new_tuple`] keeps the index current at O(group)
+//!   cost per write instead of O(table) rebuilds.  Maintenance is entirely
+//!   in id space: a write moves the tuple between at most two groups, and a
+//!   value never seen before simply keys a fresh group (novel ids need no
+//!   special handling because group keys are projections of interned ids,
+//!   not values).  `is_stale` is meaningless in this mode — correctness is
+//!   the owner's responsibility to notify *every* write; side-effect-free
+//!   apply/revert round trips (what-if probes) may be skipped since they
+//!   leave the projection of every row unchanged.
+//!
 //! The single-column [`ValueIndex`] maps each distinct value of one column
 //! to the tuples holding it, used by example programs and the dataset
 //! generators.
 
 use std::collections::HashMap;
 
-use crate::intern::SmallKey;
+use crate::intern::{SmallKey, ValueId};
 use crate::schema::AttrId;
 use crate::table::{Table, TupleId};
 use crate::value::Value;
 
 /// An index that groups tuple ids by their projection on a fixed attribute
-/// set.
-///
-/// The index is a snapshot: it records the [`Table::version`] at build time
-/// and callers can use [`AttrSetIndex::is_stale`] to decide when to rebuild.
+/// set.  Build once, then either rebuild on staleness (snapshot mode) or
+/// feed every write through [`AttrSetIndex::note_cell_write`] (incremental
+/// mode) — see the module docs.
 #[derive(Debug, Clone)]
 pub struct AttrSetIndex {
     attrs: Vec<AttrId>,
     groups: HashMap<SmallKey, Vec<TupleId>>,
-    /// Decoded projection per distinct group, for value-keyed lookups.
+    /// Decoded projection per distinct group key ever seen, for value-keyed
+    /// lookups.  Entries outlive their group emptying (the mapping stays
+    /// valid; an empty group just answers with no tuples).
     by_values: HashMap<Vec<Value>, SmallKey>,
     built_at_version: u64,
 }
@@ -91,19 +108,84 @@ impl AttrSetIndex {
     }
 
     /// Iterates `(projection, member ids)` pairs (projections decoded).
+    /// Keys whose group has emptied under incremental maintenance are
+    /// skipped.
     pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
         self.by_values
             .iter()
-            .map(|(values, key)| (values, &self.groups[key]))
+            .filter_map(|(values, key)| self.groups.get(key).map(|group| (values, group)))
     }
 
-    /// Number of distinct projections.
+    /// Number of distinct projections with at least one member.
     pub fn group_count(&self) -> usize {
         self.groups.len()
     }
 
+    /// Registers a newly appended tuple with the index (incremental mode).
+    pub fn note_new_tuple(&mut self, table: &Table, tuple: TupleId) {
+        let key = table.project_key(tuple, &self.attrs);
+        self.insert_member(table, key, tuple);
+        self.built_at_version = table.version();
+    }
+
+    /// Updates the index after `table[tuple][attr]` was overwritten (the
+    /// write has already happened; `old_id` is the id the cell held before).
+    ///
+    /// Cost is O(size of the group left) — the tuple is removed from its
+    /// previous group and appended to its new one; attributes outside the
+    /// indexed set are ignored outright.
+    pub fn note_cell_write(
+        &mut self,
+        table: &Table,
+        tuple: TupleId,
+        attr: AttrId,
+        old_id: ValueId,
+    ) {
+        if !self.attrs.contains(&attr) {
+            self.built_at_version = table.version();
+            return;
+        }
+        let old_key = table.project_key_with(tuple, &self.attrs, attr, old_id);
+        let new_key = table.project_key(tuple, &self.attrs);
+        if old_key != new_key {
+            self.remove_member(&old_key, tuple);
+            self.insert_member(table, new_key, tuple);
+        }
+        self.built_at_version = table.version();
+    }
+
+    fn insert_member(&mut self, table: &Table, key: SmallKey, tuple: TupleId) {
+        let group = self.groups.entry(key.clone()).or_default();
+        group.push(tuple);
+        if group.len() == 1 {
+            // First member under this key: make the projection addressable by
+            // value (idempotent when the key was seen before and emptied).
+            let values: Vec<Value> = key
+                .as_slice()
+                .iter()
+                .zip(&self.attrs)
+                .map(|(&vid, &attr)| table.id_value(attr, vid).clone())
+                .collect();
+            self.by_values.insert(values, key);
+        }
+    }
+
+    fn remove_member(&mut self, key: &SmallKey, tuple: TupleId) {
+        let Some(group) = self.groups.get_mut(key) else {
+            return;
+        };
+        if let Some(position) = group.iter().position(|&member| member == tuple) {
+            group.swap_remove(position);
+        }
+        if group.is_empty() {
+            self.groups.remove(key);
+        }
+    }
+
     /// Returns `true` when the table has been modified since the index was
-    /// built.
+    /// built or last notified.  Meaningful for snapshot-mode indices only;
+    /// an incrementally maintained index may report stale after what-if
+    /// apply/revert round trips that left every projection unchanged.
     pub fn is_stale(&self, table: &Table) -> bool {
         table.version() != self.built_at_version
     }
@@ -300,5 +382,99 @@ mod tests {
         let idx = AttrSetIndex::build(&t, &[]);
         assert_eq!(idx.group_count(), 1);
         assert_eq!(idx.get(&[]).len(), 4);
+    }
+
+    /// Sorted members per decoded projection — rebuild-vs-incremental
+    /// comparison helper (member order within a group is unspecified).
+    fn canonical(idx: &AttrSetIndex) -> Vec<(Vec<Value>, Vec<TupleId>)> {
+        let mut all: Vec<(Vec<Value>, Vec<TupleId>)> = idx
+            .iter()
+            .map(|(values, members)| {
+                let mut members = members.clone();
+                members.sort_unstable();
+                (values.clone(), members)
+            })
+            .collect();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn incremental_writes_match_rebuild() {
+        let mut t = table();
+        let mut idx = AttrSetIndex::build(&t, &[1, 2]);
+        // Move t0 between groups, re-join, and introduce a novel value.
+        for (tuple, attr, value) in [
+            (0, 1, Value::from("Westville")),
+            (0, 2, Value::from("46391")),
+            (3, 1, Value::from("Fort Wayne")),
+            (2, 2, Value::from("99999")), // never interned before
+            (0, 1, Value::from("Coliseum Blvd")),
+        ] {
+            let old = t.set_cell(tuple, attr, value).unwrap();
+            let old_id = t.lookup_id(attr, &old).unwrap();
+            idx.note_cell_write(&t, tuple, attr, old_id);
+            assert!(!idx.is_stale(&t));
+            assert_eq!(
+                canonical(&idx),
+                canonical(&AttrSetIndex::build(&t, &[1, 2]))
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_write_outside_attr_set_is_a_no_op() {
+        let mut t = table();
+        let mut idx = AttrSetIndex::build(&t, &[1]);
+        let before = canonical(&idx);
+        let old = t.set_cell(0, 0, Value::from("Elsewhere")).unwrap();
+        let old_id = t.lookup_id(0, &old).unwrap();
+        idx.note_cell_write(&t, 0, 0, old_id);
+        assert_eq!(canonical(&idx), before);
+        assert!(!idx.is_stale(&t));
+    }
+
+    #[test]
+    fn incremental_novel_value_groups_are_value_addressable() {
+        let mut t = table();
+        let mut idx = AttrSetIndex::build(&t, &[2]);
+        let old = t.set_cell(0, 2, Value::from("11111")).unwrap();
+        let old_id = t.lookup_id(2, &old).unwrap();
+        idx.note_cell_write(&t, 0, 2, old_id);
+        assert_eq!(idx.get(&[Value::from("11111")]), &[0]);
+        // t0's old group emptied; the untouched group still answers.
+        assert!(idx.get(&[Value::from("46805")]).is_empty());
+        let mut group = idx.get(&[Value::from("46825")]).to_vec();
+        group.sort_unstable();
+        assert_eq!(group, vec![1, 2]);
+    }
+
+    #[test]
+    fn incremental_new_tuple_joins_its_group() {
+        let mut t = table();
+        let mut idx = AttrSetIndex::build(&t, &[1]);
+        let id = t.push_text_row(&["New St", "Fort Wayne", "46805"]).unwrap();
+        idx.note_new_tuple(&t, id);
+        assert_eq!(canonical(&idx), canonical(&AttrSetIndex::build(&t, &[1])));
+        assert!(!idx.is_stale(&t));
+    }
+
+    #[test]
+    fn incremental_group_emptying_and_reforming() {
+        let schema = Schema::new(&["A"]);
+        let mut t = Table::new("one", schema);
+        t.push_text_row(&["x"]).unwrap();
+        let mut idx = AttrSetIndex::build(&t, &[0]);
+        let old = t.set_cell(0, 0, Value::from("y")).unwrap();
+        let old_id = t.lookup_id(0, &old).unwrap();
+        idx.note_cell_write(&t, 0, 0, old_id);
+        assert_eq!(idx.group_count(), 1);
+        assert!(idx.get(&[Value::from("x")]).is_empty());
+        // Re-form the emptied group; the by-value mapping still answers.
+        let old = t.set_cell(0, 0, Value::from("x")).unwrap();
+        let old_id = t.lookup_id(0, &old).unwrap();
+        idx.note_cell_write(&t, 0, 0, old_id);
+        assert_eq!(idx.get(&[Value::from("x")]), &[0]);
+        assert_eq!(idx.iter().count(), 1);
     }
 }

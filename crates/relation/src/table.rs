@@ -313,6 +313,26 @@ impl Table {
         SmallKey::collect(attrs.iter().map(|&attr| self.columns[attr].ids[id]))
     }
 
+    /// [`Table::project_key`] with `value_id` substituted wherever `attr`
+    /// appears in `attrs`.  Index maintainers use this to reconstruct the key
+    /// a row projected to *before* a cell write, from the previous id the
+    /// write returned.
+    pub fn project_key_with(
+        &self,
+        id: TupleId,
+        attrs: &[AttrId],
+        attr: AttrId,
+        value_id: ValueId,
+    ) -> SmallKey {
+        SmallKey::collect(attrs.iter().map(|&a| {
+            if a == attr {
+                value_id
+            } else {
+                self.columns[a].ids[id]
+            }
+        }))
+    }
+
     /// Sets a tuple's business-importance weight.
     pub fn set_weight(&mut self, id: TupleId, weight: f64) -> Result<()> {
         if id >= self.len() {

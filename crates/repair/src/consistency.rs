@@ -113,7 +113,7 @@ impl RepairState {
         };
         self.applied_log.push(change.clone());
         applied.push(change);
-        self.note_cell_change(update.tuple, update.attr);
+        self.note_cell_change(update.tuple, update.attr, old_id);
         self.mark_unchangeable(cell);
 
         // Step 3: walk the rules involving the modified attribute.

@@ -24,7 +24,7 @@ use gdr_relation::{AttrId, TupleId, Value, ValueId};
 
 use crate::similarity::value_similarity;
 use crate::state::RepairState;
-use crate::update::Update;
+use crate::update::{Cell, Update};
 
 impl RepairState {
     /// Generates the initial `PossibleUpdates` list: Algorithm 1 is invoked
@@ -114,7 +114,7 @@ impl RepairState {
         match best {
             Some((id, score)) => {
                 let value = self.table.id_value(attr, id).clone();
-                let update = Update::new(tuple, attr, value, score);
+                let update = Update::with_value_id(tuple, attr, value, score, id);
                 self.record_suggestion(update.clone());
                 Some(update)
             }
@@ -125,10 +125,65 @@ impl RepairState {
         }
     }
 
-    /// Ensures every dirty tuple has fresh suggestions: regenerates updates
-    /// for dirty tuples whose cells lack a pending suggestion and discards
-    /// suggestions for tuples that became clean (step 9 of the GDR process).
+    /// Ensures every dirty tuple has fresh suggestions: discards suggestions
+    /// that became vacuous, forbidden, or clean-tupled, and regenerates the
+    /// cells lacking one (step 9 of the GDR process).
+    ///
+    /// **Journal-driven**: instead of walking every dirty tuple × attribute,
+    /// this drains the revisit queue — the write-damage fan-out accumulated
+    /// by [`RepairState::note_cell_change`] plus the cells perturbed by
+    /// prevented/unchangeable marks — and touches exactly those cells.
+    /// Because `UpdateAttributeTuple` is a deterministic function of the
+    /// database, the engine, and the per-cell flags, every cell *outside*
+    /// the queue would regenerate to its current state, so skipping it
+    /// cannot change the outcome; [`RepairState::refresh_updates_full`] is
+    /// the full-walk oracle pinning that equivalence (see
+    /// `tests/proptest_refresh.rs`).
     pub fn refresh_updates(&mut self) {
+        let queue = std::mem::take(&mut self.revisit_queue);
+        for cell in queue {
+            self.refresh_cell(cell);
+        }
+    }
+
+    /// Revisits one cell: keeps a still-valid suggestion untouched (the full
+    /// walk never regenerates cells that have one), drops a stale one, and
+    /// reruns Algorithm 1 when the cell lacks a suggestion.
+    fn refresh_cell(&mut self, cell: Cell) {
+        let (tuple, attr) = cell;
+        if let Some(update) = self.possible.get(&cell) {
+            debug_assert!(
+                update.value_id.is_some(),
+                "generator-produced suggestions always carry their interned id"
+            );
+            // Resolve the suggestion to id space once (cached by the
+            // generator; the lookup fallback covers hand-built updates).
+            let id = update
+                .value_id
+                .or_else(|| self.table.lookup_id(attr, &update.value));
+            let valid = match id {
+                Some(id) => {
+                    self.table.cell_id(tuple, attr) != id && !self.is_prevented_id(cell, id)
+                }
+                // A value never interned equals no cell and cannot have been
+                // prevented (prevention interns).
+                None => true,
+            };
+            if valid && self.engine.is_dirty(tuple) {
+                return;
+            }
+            self.drop_pending(cell);
+        }
+        self.generate_update(tuple, attr);
+    }
+
+    /// The pre-incremental refresh: walks every dirty tuple × attribute.
+    /// Kept as the debug/fallback oracle for the journal-driven
+    /// [`RepairState::refresh_updates`]; both must produce the identical
+    /// `PossibleUpdates` map.  Supersedes (and therefore clears) any queued
+    /// revisit work.
+    pub fn refresh_updates_full(&mut self) {
+        self.revisit_queue.clear();
         let dirty: BTreeSet<TupleId> = self.dirty_tuples().into_iter().collect();
         // Discard suggestions for clean tuples and for suggestions that
         // became vacuous (equal to the current value) or forbidden.
@@ -162,7 +217,8 @@ impl RepairState {
     /// violated rule's own pattern ("first using the values in the CFDs") and
     /// (b) the values of `attr` among tuples that agree with `t` on the
     /// rule's remaining attributes (`t[X ∪ A − {B}]`) — the semantically
-    /// related tuples, found by comparing interned ids row by row.
+    /// related tuples, answered by one probe of the pooled agreement index
+    /// instead of a table scan.
     /// Candidates are deliberately *not* harvested from unrelated rules: a
     /// constant that merely moves the tuple out of the rule's context would
     /// "resolve" the violation without any evidence that the value is right,
@@ -179,30 +235,24 @@ impl RepairState {
 
         // (a) constants bound to this attribute in the violated rule itself.
         let mut constants: Vec<Value> = Vec::new();
-        for (lhs_attr, pattern) in rule.lhs().iter().zip(rule.lhs_pattern()) {
+        let mut lhs_pos = usize::MAX;
+        for (pos, (lhs_attr, pattern)) in rule.lhs().iter().zip(rule.lhs_pattern()).enumerate() {
             if *lhs_attr == attr {
+                lhs_pos = pos;
                 if let Some(constant) = pattern.as_const() {
                     constants.push(constant.clone());
                 }
             }
         }
+        debug_assert_ne!(lhs_pos, usize::MAX, "attr must be on the rule's LHS");
         // (b) values of `attr` among tuples agreeing with `t` on the rule's
-        // other attributes (pure id comparisons).
-        let other_attrs: Vec<AttrId> = rule.attrs().into_iter().filter(|&a| a != attr).collect();
-        let reference: Vec<ValueId> = other_attrs
-            .iter()
-            .map(|&a| self.table.cell_id(tuple, a))
-            .collect();
-        for row in self.table.tuple_ids() {
-            let agrees = other_attrs
-                .iter()
-                .zip(&reference)
-                .all(|(&a, &want)| self.table.cell_id(row, a) == want);
-            if agrees {
-                let id = self.table.cell_id(row, attr);
-                if !self.table.id_value(attr, id).is_null() {
-                    candidates.push(id);
-                }
+        // other attributes: one id-keyed probe of the `attrs(φ) − {B}` index.
+        let index = self.pool.lhs_index(rule_id, lhs_pos);
+        let key = self.table.project_key(tuple, index.attrs());
+        for &row in index.get_key(&key) {
+            let id = self.table.cell_id(row, attr);
+            if !self.table.id_value(attr, id).is_null() {
+                candidates.push(id);
             }
         }
         for constant in constants {
@@ -357,6 +407,33 @@ STR, CT -> ZIP : _, Fort Wayne || _
         state.refresh_updates();
         assert!(state.pending_count() > 0);
         assert!(state.pending_update((0, 2)).is_some());
+    }
+
+    #[test]
+    fn write_damage_is_queued_and_drained_by_refresh() {
+        let mut state = state_with_rows(&[
+            ["H2", "Main St", "Westville", "IN", "46360"],
+            ["H1", "Coliseum Blvd", "Fort Wayne", "IN", "46825"],
+            ["H2", "Coliseum Blvd", "Fort Wayne", "IN", "46999"],
+        ]);
+        state.refresh_updates();
+        assert!(state.revisit_queue.is_empty());
+        // A write queues the damage fan-out: at least the written tuple's own
+        // cells and its conflict partner's.
+        state
+            .force_value(2, 4, Value::from("46825"), ChangeSource::Heuristic)
+            .unwrap();
+        assert!(state.revisit_queue.iter().any(|&(t, _)| t == 2));
+        assert!(state.revisit_queue.iter().any(|&(t, _)| t == 1));
+        let mut oracle = state.clone();
+        state.refresh_updates();
+        oracle.refresh_updates_full();
+        assert!(state.revisit_queue.is_empty());
+        assert_eq!(
+            state.possible_updates_sorted(),
+            oracle.possible_updates_sorted()
+        );
+        assert!(state.invariants_hold());
     }
 
     #[test]

@@ -17,6 +17,43 @@
 //! * [`heuristic`] — the fully automatic `BatchRepair`-style baseline used as
 //!   the *Automatic-Heuristic* comparison point in the paper's Figure 4.
 //!
+//! ## The refresh pipeline: journal → affected cells → regeneration
+//!
+//! Step 9 of the GDR process re-derives the `PossibleUpdates` list after
+//! every batch of feedback.  Done naively that is a walk over every dirty
+//! tuple × attribute with an O(n) candidate scan per cell; here the whole
+//! pipeline is *journal-driven* and index-backed so its cost is proportional
+//! to the damage of the answers, not to the table:
+//!
+//! 1. **Journal.**  Every real cell write flows through
+//!    `RepairState::note_cell_change`, which (besides feeding the ranking
+//!    epochs' [`ChangeJournal`]) propagates the write into a pool of
+//!    incrementally-maintained agreement indices (one
+//!    [`gdr_relation::AttrSetIndex`] per distinct `attrs(φ) − {B}` subset of
+//!    the rule set) and fans the write out into the set of **affected
+//!    cells**: the written tuple's own cells, the cells of tuples sharing
+//!    (before or after the write) one of its variable-rule agreement groups
+//!    — their violation status may have flipped — and, per rule and LHS
+//!    attribute `B`, the `B`-cells of tuples agreeing with it on
+//!    `attrs(φ) − {B}` — their `getValueForLHS` candidate pools drew on the
+//!    written value.  Prevented/unchangeable marks queue their own cell.
+//! 2. **Affected cells.**  The union of those cells accumulates in a revisit
+//!    queue that survives ranking epochs and is drained by
+//!    `RepairState::refresh_updates`.
+//! 3. **Regeneration.**  Each queued cell is revisited exactly once: a
+//!    still-valid suggestion is kept untouched, a vacuous/forbidden/
+//!    clean-tupled one is dropped, and Algorithm 1 reruns where a suggestion
+//!    is missing — itself index-backed, so regeneration probes agreement
+//!    groups instead of scanning the table.
+//!
+//! `UpdateAttributeTuple` is a deterministic function of the database, the
+//! violation engine, and the per-cell flags, so cells outside the affected
+//! set would regenerate to their current state; skipping them cannot change
+//! the outcome.  `RepairState::refresh_updates_full` keeps the pre-journal
+//! full walk as a debug/fallback oracle, and `tests/proptest_refresh.rs`
+//! pins the two paths to the bit-identical `PossibleUpdates` map under
+//! random feedback/forced-value/novel-value interleavings.
+//!
 //! ```
 //! use gdr_relation::{Schema, Table, Value};
 //! use gdr_cfd::{parser, RuleSet};
@@ -41,6 +78,7 @@
 pub mod consistency;
 pub mod generation;
 pub mod heuristic;
+mod index_pool;
 pub mod similarity;
 pub mod state;
 pub mod update;

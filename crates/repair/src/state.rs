@@ -6,6 +6,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
 use gdr_relation::{AttrId, Table, TupleId, Value, ValueId};
 
+use crate::index_pool::AttrIndexPool;
 use crate::update::{AppliedChange, Cell, ChangeSource, Update};
 use crate::Result;
 
@@ -80,6 +81,15 @@ pub struct RepairState {
     /// Cell writes, rule perturbations, and suggestion add/retire events
     /// accumulated since the last [`RepairState::take_journal`].
     pub(crate) journal: ChangeJournal,
+    /// One incrementally-maintained agreement index per distinct
+    /// `attrs(φ) − {B}` subset, powering `getValueForLHS` probes and the
+    /// journal-driven refresh's cohabitant lookups.
+    pub(crate) pool: AttrIndexPool,
+    /// Cells whose candidate sets may have changed since the last
+    /// [`RepairState::refresh_updates`] — the write-damage fan-out computed
+    /// at journal time, drained by the refresh.  Independent of the ranking
+    /// epochs: `take_journal` never touches it.
+    pub(crate) revisit_queue: BTreeSet<Cell>,
 }
 
 impl RepairState {
@@ -88,6 +98,7 @@ impl RepairState {
     /// (step 1 of the GDR process).
     pub fn new(table: Table, ruleset: &RuleSet) -> RepairState {
         let engine = ViolationEngine::build(&table, ruleset);
+        let pool = AttrIndexPool::build(&table, ruleset);
         let mut state = RepairState {
             table,
             engine,
@@ -96,6 +107,8 @@ impl RepairState {
             unchangeable: HashSet::new(),
             applied_log: Vec::new(),
             journal: ChangeJournal::default(),
+            pool,
+            revisit_queue: BTreeSet::new(),
         };
         state.generate_initial_updates();
         state
@@ -223,13 +236,96 @@ impl RepairState {
         std::mem::replace(&mut self.journal, next)
     }
 
-    /// Records a database write in the journal: the cell plus the rules whose
-    /// statistics the write perturbed.
-    pub(crate) fn note_cell_change(&mut self, tuple: TupleId, attr: AttrId) {
+    /// Records a database write: journals the cell and the rules whose
+    /// statistics the write perturbed, propagates the write into the
+    /// agreement-index pool, and queues the write's *damage* — every cell
+    /// whose candidate set the write may have changed — for the next
+    /// [`RepairState::refresh_updates`].  `old_id` is the id the cell held
+    /// before the (already applied) write.
+    pub(crate) fn note_cell_change(&mut self, tuple: TupleId, attr: AttrId, old_id: ValueId) {
+        self.pool.note_cell_write(&self.table, tuple, attr, old_id);
         self.journal.changed_cells.push((tuple, attr));
         self.journal
             .perturbed_rules
             .extend(self.engine.rules_involving(attr).iter().copied());
+        self.queue_write_damage(tuple, attr, old_id);
+    }
+
+    /// Computes which cells a write to `t[attr]` can have perturbed and adds
+    /// them to the revisit queue.  Cost is proportional to the sizes of the
+    /// agreement groups the written tuple left and joined, not to the table.
+    ///
+    /// The damage of a write decomposes into:
+    ///
+    /// 1. **The written tuple itself** — its violated-rule list changed, so
+    ///    every one of its cells may gain, lose, or change a suggestion.
+    /// 2. **Dirty-status cohabitants** — for each *variable* rule involving
+    ///    `attr`, the members of the written tuple's old and new LHS
+    ///    agreement groups: their violation status (and with it the
+    ///    scenario-2 partner sets) may have flipped, which can perturb the
+    ///    suggestion of *any* of their cells.
+    /// 3. **Candidate cohabitants** — for each rule `φ` involving `attr` and
+    ///    each `B ∈ LHS(φ)`, the tuples agreeing with the written tuple on
+    ///    `attrs(φ) − {B}` (old or new projection): their `getValueForLHS`
+    ///    candidate pool for `B` drew, or now draws, on the written tuple.
+    ///    Members that do not violate `φ` are pruned: Algorithm 1 consults a
+    ///    rule's scenarios only for tuples violating it, and any member whose
+    ///    violation status the write flipped is already queued by (2).
+    fn queue_write_damage(&mut self, tuple: TupleId, attr: AttrId, old_id: ValueId) {
+        let RepairState {
+            table,
+            engine,
+            pool,
+            revisit_queue,
+            ..
+        } = self;
+        let arity = table.schema().arity();
+        for b in 0..arity {
+            revisit_queue.insert((tuple, b));
+        }
+        for &rule_id in engine.rules_involving(attr) {
+            let rule = engine.ruleset().rule(rule_id);
+            if !rule.is_constant() {
+                let new_key = table.project_key(tuple, rule.lhs());
+                for member in engine.group_members(rule_id, &new_key) {
+                    for b in 0..arity {
+                        revisit_queue.insert((member, b));
+                    }
+                }
+                if rule.lhs().contains(&attr) {
+                    let old_key = table.project_key_with(tuple, rule.lhs(), attr, old_id);
+                    if old_key != new_key {
+                        for member in engine.group_members(rule_id, &old_key) {
+                            for b in 0..arity {
+                                revisit_queue.insert((member, b));
+                            }
+                        }
+                    }
+                }
+            }
+            for (pos, &b_attr) in rule.lhs().iter().enumerate() {
+                let index = pool.lhs_index(rule_id, pos);
+                let new_key = table.project_key(tuple, index.attrs());
+                for &member in index.get_key(&new_key) {
+                    if engine.tuple_violates(rule_id, member) {
+                        revisit_queue.insert((member, b_attr));
+                    }
+                }
+                if b_attr != attr {
+                    // The written attribute is part of the agreement subset,
+                    // so the tuple may have left a different group whose
+                    // members also drew on it.
+                    let old_key = table.project_key_with(tuple, index.attrs(), attr, old_id);
+                    if old_key != new_key {
+                        for &member in index.get_key(&old_key) {
+                            if engine.tuple_violates(rule_id, member) {
+                                revisit_queue.insert((member, b_attr));
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Per-rule statistics *if* the candidate update were applied, restricted
@@ -295,7 +391,7 @@ impl RepairState {
             source,
         };
         self.applied_log.push(change.clone());
-        self.note_cell_change(tuple, attr);
+        self.note_cell_change(tuple, attr, old_id);
         self.drop_pending((tuple, attr));
         Ok(change)
     }
@@ -328,6 +424,7 @@ impl RepairState {
     pub(crate) fn mark_unchangeable(&mut self, cell: Cell) {
         self.unchangeable.insert(cell);
         self.drop_pending(cell);
+        self.revisit_queue.insert(cell);
     }
 
     /// Adds a value to a cell's prevented list (interning it into the cell's
@@ -335,6 +432,7 @@ impl RepairState {
     pub(crate) fn mark_prevented(&mut self, cell: Cell, value: Value) {
         let id = self.table.intern_value(cell.1, value);
         self.prevented.entry(cell).or_default().insert(id);
+        self.revisit_queue.insert(cell);
     }
 
     /// Checks the two consistency-manager invariants of Appendix A.5 against

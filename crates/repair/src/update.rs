@@ -7,14 +7,14 @@
 
 use std::fmt;
 
-use gdr_relation::{AttrId, Schema, Table, TupleId, Value};
+use gdr_relation::{AttrId, Schema, Table, TupleId, Value, ValueId};
 
 /// A cell position `(t, A)` — the unit the consistency manager tracks
 /// `preventedList` / `Changeable` state for.
 pub type Cell = (TupleId, AttrId);
 
 /// A candidate update `r = ⟨t, A, v, s⟩`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Update {
     /// The tuple to modify.
     pub tuple: TupleId,
@@ -25,6 +25,26 @@ pub struct Update {
     /// Update-evaluation score `s ∈ [0, 1]` (Eq. 7) — the repairing
     /// algorithm's certainty about the suggestion.
     pub score: f64,
+    /// Interned id of `value` in the attribute's dictionary, carried by
+    /// updates the generator produced so the hot-path staleness checks
+    /// (`value == current?`, `value prevented?`) compare plain integers.
+    ///
+    /// `None` for updates constructed outside the generator (user-supplied
+    /// corrections, tests).  A representation detail: excluded from equality,
+    /// exactly like interned ids are excluded from [`Table`] equality.
+    pub value_id: Option<ValueId>,
+}
+
+/// Logical equality — `⟨t, A, v, s⟩` only; the cached interned id is a
+/// representation detail (two logically equal updates may disagree on
+/// whether the id was cached).
+impl PartialEq for Update {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuple == other.tuple
+            && self.attr == other.attr
+            && self.value == other.value
+            && self.score == other.score
+    }
 }
 
 impl Update {
@@ -35,6 +55,25 @@ impl Update {
             attr,
             value,
             score,
+            value_id: None,
+        }
+    }
+
+    /// Builds an update whose value is already interned (the generator's
+    /// constructor — every suggestion in `PossibleUpdates` carries its id).
+    pub fn with_value_id(
+        tuple: TupleId,
+        attr: AttrId,
+        value: Value,
+        score: f64,
+        value_id: ValueId,
+    ) -> Update {
+        Update {
+            tuple,
+            attr,
+            value,
+            score,
+            value_id: Some(value_id),
         }
     }
 
@@ -166,6 +205,24 @@ mod tests {
         assert!(text.contains("[CT]"));
         assert!(text.contains("Westville"));
         assert!(text.contains("Michigan City"));
+    }
+
+    #[test]
+    fn equality_ignores_cached_value_id() {
+        use gdr_relation::ValueId;
+        let plain = Update::new(3, 1, Value::from("Fort Wayne"), 0.25);
+        let interned = Update::with_value_id(
+            3,
+            1,
+            Value::from("Fort Wayne"),
+            0.25,
+            ValueId::from_index(9),
+        );
+        assert_eq!(plain, interned);
+        assert_eq!(plain.value_id, None);
+        assert_eq!(interned.value_id, Some(ValueId::from_index(9)));
+        let other = Update::new(3, 1, Value::from("Fort Wayne"), 0.5);
+        assert_ne!(plain, other);
     }
 
     #[test]

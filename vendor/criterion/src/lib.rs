@@ -262,13 +262,20 @@ impl BenchmarkGroup<'_> {
             ));
         }
         json.push_str("  ]\n}\n");
-        let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
-        let path = PathBuf::from(dir).join(format!("BENCH_{}.json", self.name));
-        if let Err(err) = fs::write(&path, json) {
-            eprintln!("criterion shim: could not write {}: {err}", path.display());
-        } else {
-            println!("wrote {}", path.display());
-        }
+        let dir = PathBuf::from(std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string()));
+        // Relative paths resolve against the *bench crate* directory (cargo
+        // runs bench binaries with the package root as cwd); regression gates
+        // should pass an absolute BENCH_OUT_DIR.
+        fs::create_dir_all(&dir).unwrap_or_else(|err| {
+            panic!("criterion shim: could not create {}: {err}", dir.display())
+        });
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        // A silent write failure would let a bench run "pass" while the
+        // regression gate later fails on a missing file — fail here instead.
+        fs::write(&path, json).unwrap_or_else(|err| {
+            panic!("criterion shim: could not write {}: {err}", path.display())
+        });
+        println!("wrote {}", path.display());
         let _ = self.criterion;
     }
 }
