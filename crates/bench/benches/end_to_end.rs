@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdr_bench::{generate, DatasetId};
-use gdr_core::{GdrConfig, GdrSession, Strategy};
+use gdr_core::{GdrConfig, SessionBuilder, Strategy};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -17,13 +17,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             &strategy,
             |b, &strategy| {
                 b.iter(|| {
-                    let mut session = GdrSession::new(
-                        data.dirty.clone(),
-                        &data.rules,
-                        data.clean.clone(),
-                        strategy,
-                        GdrConfig::fast(),
-                    );
+                    let mut session = SessionBuilder::new(data.dirty.clone(), &data.rules)
+                        .strategy(strategy)
+                        .config(GdrConfig::fast())
+                        .simulated(data.clean.clone());
                     let report = session.run(Some(50)).unwrap();
                     std::hint::black_box(report.final_improvement_pct)
                 })

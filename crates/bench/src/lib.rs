@@ -20,7 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gdr_core::{GdrConfig, GdrSession, SessionReport, Strategy};
+use gdr_core::{GdrConfig, SessionBuilder, SessionReport, Strategy};
 use gdr_datagen::census::{generate_census_dataset, CensusConfig};
 use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
 use gdr_datagen::GeneratedDataset;
@@ -136,13 +136,10 @@ fn run_session(
     budget: Option<usize>,
     seed: u64,
 ) -> SessionReport {
-    let mut session = GdrSession::new(
-        data.dirty.clone(),
-        &data.rules,
-        data.clean.clone(),
-        strategy,
-        experiment_config(seed),
-    );
+    let mut session = SessionBuilder::new(data.dirty.clone(), &data.rules)
+        .strategy(strategy)
+        .config(experiment_config(seed))
+        .simulated(data.clean.clone());
     session.run(budget).expect("session run")
 }
 

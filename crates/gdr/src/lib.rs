@@ -7,35 +7,64 @@
 //! updates by active-learning uncertainty so the user's feedback both repairs
 //! the database and trains per-attribute classifiers that can take over.
 //!
-//! The crate is organised around the components of the paper's Figure 2:
+//! ## The pull-based API
+//!
+//! GDR exists to put a human in the loop, so the public API *is* the loop.
+//! [`step::SessionBuilder`] builds a resumable [`step::GdrEngine`]; the
+//! caller pulls work with `next_work()` and pushes decisions back:
+//!
+//! ```
+//! use gdr_core::fixture;
+//! use gdr_core::step::{SessionBuilder, WorkPlan};
+//! use gdr_core::strategy::Strategy;
+//! use gdr_repair::Feedback;
+//!
+//! let (dirty, _clean, rules) = fixture::figure1_instance();
+//! let mut engine = SessionBuilder::new(dirty, &rules)
+//!     .strategy(Strategy::GdrNoLearning)
+//!     .build();
+//! loop {
+//!     match engine.next_work().unwrap() {
+//!         WorkPlan::AskUser { id, update, .. } => {
+//!             // Show `update` to a real user; here: trust every suggestion.
+//!             engine.answer(id, Feedback::Confirm).unwrap();
+//!         }
+//!         WorkPlan::NeedsValue { cell } => engine.skip_value(cell).unwrap(),
+//!         WorkPlan::Done(_) => break,
+//!     }
+//! }
+//! engine.finish().unwrap();
+//! ```
+//!
+//! The engine pauses between any two answers, is `Clone` (snapshot and
+//! branch a session), and owns no ground truth — evaluation-only state lives
+//! behind the optional [`step::EvalHooks`].  Budgets belong to drivers: stop
+//! calling `next_work()` and call `finish()`.
+//!
+//! [`session`] hosts the driver layer: [`session::drive`] feeds the engine
+//! from any [`oracle::UserOracle`] under a budget, [`session::drive_with`]
+//! adapts interactive frontends (see the `interactive_cleaning` example),
+//! and [`session::GdrSession`] — built with
+//! [`step::SessionBuilder::simulated`] — is the classic simulated session of
+//! §5, reproducing the paper's experiments on top of the same public API.
+//!
+//! ## Components (the paper's Figure 2)
 //!
 //! * [`grouping`] — the grouping function (same attribute, same suggested
 //!   value) applied to the `PossibleUpdates` list,
 //! * [`voi`] — the VOI-based group benefit `E[g(c)]` of Eq. 6,
 //! * [`quality`] — the data-quality loss `L` of Eq. 2–3 measured against the
-//!   ground truth, plus quality-improvement bookkeeping,
+//!   ground truth, maintained incrementally from per-write rule damage,
 //! * [`metrics`] — precision / recall of the applied repairs (Appendix B.1),
 //! * [`model`] — the learning component: one random-forest committee per
 //!   attribute trained on `⟨t[A1..An], v, R(t[A], v), F⟩` examples,
-//! * [`oracle`] — the simulated user that answers from the ground truth
-//!   (§5, "User interaction simulation"),
-//! * [`session`] / [`strategy`] — the interactive loop of Procedure 1 under
-//!   the seven strategies evaluated in the paper (GDR, GDR-NoLearning,
-//!   GDR-S-Learning, Active-Learning, Greedy, Random, Automatic-Heuristic),
+//! * [`oracle`] — the [`oracle::UserOracle`] trait and the ground-truth
+//!   simulated user (§5, "User interaction simulation"),
+//! * [`step`] / [`session`] / [`strategy`] — the pull-based engine, its
+//!   drivers, and the seven strategies evaluated in the paper (GDR,
+//!   GDR-NoLearning, GDR-S-Learning, Active-Learning, Greedy, Random,
+//!   Automatic-Heuristic),
 //! * [`fixture`] — the running example of Figure 1 as an executable fixture.
-//!
-//! ```
-//! use gdr_core::fixture;
-//! use gdr_core::session::GdrSession;
-//! use gdr_core::strategy::Strategy;
-//! use gdr_core::config::GdrConfig;
-//!
-//! let (dirty, clean, rules) = fixture::figure1_instance();
-//! let mut session = GdrSession::new(dirty, &rules, clean, Strategy::GdrNoLearning,
-//!                                   GdrConfig::default());
-//! let report = session.run(None).unwrap();
-//! assert!(report.final_loss <= report.initial_loss);
-//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +77,7 @@ pub mod model;
 pub mod oracle;
 pub mod quality;
 pub mod session;
+pub mod step;
 pub mod strategy;
 pub mod voi;
 
@@ -56,8 +86,11 @@ pub use grouping::{group_updates, GroupIndex, GroupKey, IndexedGroup, UpdateGrou
 pub use metrics::RepairAccuracy;
 pub use model::ModelStore;
 pub use oracle::{GroundTruthOracle, UserOracle};
-pub use quality::QualityEvaluator;
-pub use session::{Checkpoint, GdrSession, SessionReport};
+pub use quality::{LossTracker, QualityEvaluator};
+pub use session::{drive, drive_with, parse_reply, Checkpoint, GdrSession, Reply, SessionReport};
+pub use step::{
+    Answer, DoneReason, EvalHooks, GdrEngine, GroupContext, SessionBuilder, WorkId, WorkPlan,
+};
 pub use strategy::Strategy;
 pub use voi::{
     group_benefit, single_update_benefit, update_benefit_term, BenefitCache, BenefitCacheSnapshot,

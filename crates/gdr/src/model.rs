@@ -111,6 +111,17 @@ impl ModelStore {
         }
     }
 
+    /// The `n_s` retrain schedule of §4.2, driven by the engine: retrains
+    /// all stale models when `answers` completes a batch of `ns_batch` user
+    /// answers.  Returns whether a retrain ran.
+    pub fn retrain_if_due(&mut self, answers: usize, ns_batch: usize) -> bool {
+        if ns_batch == 0 || !answers.is_multiple_of(ns_batch) {
+            return false;
+        }
+        self.retrain_all();
+        true
+    }
+
     /// Number of labelled examples accumulated for one attribute.
     pub fn training_size(&self, attr: usize) -> usize {
         self.learners[attr].training_size()
@@ -265,6 +276,20 @@ mod tests {
         assert!(store.confirm_probability(&table, &h1_update) < 0.3);
         // Confident on both → low uncertainty.
         assert!(store.uncertainty(&table, &h2_update) < 0.6);
+    }
+
+    #[test]
+    fn retrain_if_due_fires_only_on_batch_boundaries() {
+        let table = table();
+        let mut store = store();
+        let update = Update::new(0, 2, Value::from("46391"), 0.5);
+        store.add_feedback(&table, &update, Feedback::Reject);
+        assert!(!store.retrain_if_due(3, 2));
+        assert!(!store.is_trained(2));
+        assert!(store.retrain_if_due(4, 2));
+        assert!(store.is_trained(2));
+        // Degenerate schedule: never due.
+        assert!(!store.retrain_if_due(4, 0));
     }
 
     #[test]

@@ -1,9 +1,17 @@
-//! The (simulated) user.
+//! The user, as a trait.
+//!
+//! The engine ([`crate::step::GdrEngine`]) never talks to a user directly —
+//! drivers do ([`crate::session::drive`] takes a `&dyn UserOracle`).
+//! [`UserOracle`] is the answering side of that contract; applications plug
+//! in anything that can answer, from a web frontend to a rules engine.
 //!
 //! §5: "We simulated user feedback to suggested updates by providing answers
 //! as determined by the ground truth."  [`GroundTruthOracle`] does exactly
-//! that; the [`UserOracle`] trait lets applications plug in a real
-//! interactive user instead.
+//! that — it is *one driver's user* among many, installed by
+//! [`crate::step::SessionBuilder::simulated`], and the only place the
+//! simulated answers live (the engine carries no ground truth).
+
+use std::sync::Arc;
 
 use gdr_relation::{Table, TupleId, Value};
 use gdr_repair::{Feedback, Update};
@@ -31,12 +39,20 @@ pub trait UserOracle {
 ///   wrong).
 #[derive(Debug, Clone)]
 pub struct GroundTruthOracle {
-    truth: Table,
+    /// Shared, immutable: a simulated session's [`crate::step::EvalHooks`]
+    /// reads the same copy, and cloning the oracle (or branching an engine)
+    /// never duplicates the table.
+    truth: Arc<Table>,
 }
 
 impl GroundTruthOracle {
     /// Wraps a ground-truth table.
     pub fn new(truth: Table) -> GroundTruthOracle {
+        GroundTruthOracle::from_shared(Arc::new(truth))
+    }
+
+    /// Wraps an already-shared ground-truth table without copying it.
+    pub fn from_shared(truth: Arc<Table>) -> GroundTruthOracle {
         GroundTruthOracle { truth }
     }
 

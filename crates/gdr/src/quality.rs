@@ -12,8 +12,17 @@
 //! ground truth (§5, "Data quality state metric"), so the evaluator
 //! pre-computes `|D_opt ⊨ φ|` once and derives the loss of any instance from
 //! its [`gdr_cfd::ViolationEngine`] statistics in `O(|Σ|)`.
+//!
+//! Sessions checkpoint the loss after every answer, and one answer only
+//! perturbs the rules involving the attributes it wrote, so even the `O(|Σ|)`
+//! walk is mostly redundant.  [`LossTracker`] caches the per-rule loss terms
+//! and recomputes only the rules a checkpoint's caller reports as damaged;
+//! the total is re-summed in rule order so it is *bit-identical* to the
+//! from-scratch [`QualityEvaluator::loss_of_engine`], which survives as the
+//! debug oracle (the two are asserted equal in tests and, in debug builds, on
+//! every read).
 
-use gdr_cfd::{RuleSet, ViolationEngine};
+use gdr_cfd::{RuleId, RuleSet, ViolationEngine};
 use gdr_relation::Table;
 
 /// Evaluator of the loss function `L` (Eq. 3) against a fixed ground truth.
@@ -51,17 +60,29 @@ impl QualityEvaluator {
         self.initial_loss
     }
 
-    /// Eq. 3 evaluated from an engine's per-rule statistics.
+    /// Number of rules the evaluator was built over.
+    pub fn rule_count(&self) -> usize {
+        self.opt_satisfying.len()
+    }
+
+    /// The weighted Eq. 2 term of a single rule, `w_i · ql(D, φ_i)`, read
+    /// from the engine's statistics.  Both the from-scratch
+    /// [`QualityEvaluator::loss_of_engine`] and the incremental
+    /// [`LossTracker`] are sums of exactly these terms.
+    pub fn rule_loss_term(&self, rule: RuleId, engine: &ViolationEngine) -> f64 {
+        let opt = self.opt_satisfying[rule];
+        if opt == 0 {
+            return 0.0;
+        }
+        let satisfied = engine.rule_stats(rule).satisfying.min(opt);
+        self.weights[rule] * (opt - satisfied) as f64 / opt as f64
+    }
+
+    /// Eq. 3 evaluated from an engine's per-rule statistics — the
+    /// from-scratch path, kept as the debug oracle for [`LossTracker`].
     pub fn loss_of_engine(&self, engine: &ViolationEngine) -> f64 {
         (0..self.opt_satisfying.len())
-            .map(|rule| {
-                let opt = self.opt_satisfying[rule];
-                if opt == 0 {
-                    return 0.0;
-                }
-                let satisfied = engine.rule_stats(rule).satisfying.min(opt);
-                self.weights[rule] * (opt - satisfied) as f64 / opt as f64
-            })
+            .map(|rule| self.rule_loss_term(rule, engine))
             .sum()
     }
 
@@ -81,6 +102,81 @@ impl QualityEvaluator {
             return 100.0;
         }
         (100.0 * (self.initial_loss - current_loss) / self.initial_loss).max(0.0)
+    }
+}
+
+/// Incrementally-maintained Eq. 3 loss.
+///
+/// The tracker caches one weighted loss term per rule.  Callers report the
+/// *damage* of each database write — the rules involving the written
+/// attribute, exactly what `RepairState` journals per cell change — via
+/// [`LossTracker::invalidate_rule`]; a [`LossTracker::loss`] read then
+/// refreshes only the invalidated terms and re-sums the cached vector in
+/// rule order.  Summing in rule order makes the result bit-identical to the
+/// from-scratch [`QualityEvaluator::loss_of_engine`] (same addends, same
+/// fold order), which is kept as the debug oracle: debug builds compare the
+/// two on every read.
+#[derive(Debug, Clone)]
+pub struct LossTracker {
+    per_rule: Vec<f64>,
+    stale: Vec<bool>,
+    /// Rules whose cached term must be refreshed before the next read.
+    dirty: Vec<RuleId>,
+    all_dirty: bool,
+}
+
+impl LossTracker {
+    /// A tracker over `rules` rules with every term initially stale.
+    pub fn new(rules: usize) -> LossTracker {
+        LossTracker {
+            per_rule: vec![0.0; rules],
+            stale: vec![false; rules],
+            dirty: Vec::new(),
+            all_dirty: true,
+        }
+    }
+
+    /// Marks one rule's cached term stale (idempotent within an epoch).
+    pub fn invalidate_rule(&mut self, rule: RuleId) {
+        if self.all_dirty || self.stale[rule] {
+            return;
+        }
+        self.stale[rule] = true;
+        self.dirty.push(rule);
+    }
+
+    /// Marks every term stale — the escape hatch for bulk mutations that
+    /// bypass per-change damage reporting (e.g. the automatic heuristic).
+    pub fn invalidate_all(&mut self) {
+        self.all_dirty = true;
+        self.dirty.clear();
+        for flag in &mut self.stale {
+            *flag = false;
+        }
+    }
+
+    /// The current Eq. 3 loss: refreshes the invalidated terms from the
+    /// engine's statistics and sums the per-rule vector in rule order.
+    pub fn loss(&mut self, evaluator: &QualityEvaluator, engine: &ViolationEngine) -> f64 {
+        debug_assert_eq!(self.per_rule.len(), evaluator.rule_count());
+        if self.all_dirty {
+            for (rule, term) in self.per_rule.iter_mut().enumerate() {
+                *term = evaluator.rule_loss_term(rule, engine);
+            }
+            self.all_dirty = false;
+        } else {
+            for rule in self.dirty.drain(..) {
+                self.per_rule[rule] = evaluator.rule_loss_term(rule, engine);
+                self.stale[rule] = false;
+            }
+        }
+        let loss: f64 = self.per_rule.iter().sum();
+        debug_assert_eq!(
+            loss.to_bits(),
+            evaluator.loss_of_engine(engine).to_bits(),
+            "incremental loss diverged from the from-scratch oracle"
+        );
+        loss
     }
 }
 
@@ -183,6 +279,81 @@ mod tests {
         let loss = evaluator.loss_of_table(&worse, &rules);
         assert!(loss > evaluator.initial_loss());
         assert_eq!(evaluator.improvement_pct(loss), 0.0);
+    }
+
+    #[test]
+    fn loss_tracker_matches_from_scratch_oracle_under_damage_reports() {
+        use gdr_cfd::ViolationEngine;
+        let schema = schema();
+        let rules = rules(&schema);
+        let clean = clean();
+        let mut current = dirty();
+        let evaluator = QualityEvaluator::new(&clean, &rules, &current);
+        let mut engine = ViolationEngine::build(&current, &rules);
+        let mut tracker = LossTracker::new(rules.len());
+        assert_eq!(
+            tracker.loss(&evaluator, &engine).to_bits(),
+            evaluator.loss_of_engine(&engine).to_bits()
+        );
+
+        // Repair cell (0, 0) and report only the damaged rules.
+        engine
+            .apply_cell_change(&mut current, 0, 0, Value::from("Michigan City"))
+            .unwrap();
+        for &rule in engine.rules_involving(0) {
+            tracker.invalidate_rule(rule);
+        }
+        assert_eq!(
+            tracker.loss(&evaluator, &engine).to_bits(),
+            evaluator.loss_of_engine(&engine).to_bits()
+        );
+
+        // Worsen a cell, then use the bulk invalidation escape hatch.
+        engine
+            .apply_cell_change(&mut current, 1, 0, Value::from("Nowhere"))
+            .unwrap();
+        tracker.invalidate_all();
+        assert_eq!(
+            tracker.loss(&evaluator, &engine).to_bits(),
+            evaluator.loss_of_engine(&engine).to_bits()
+        );
+    }
+
+    #[test]
+    fn loss_tracker_with_unreported_damage_serves_the_cached_term() {
+        use gdr_cfd::ViolationEngine;
+        let schema = schema();
+        let rules = rules(&schema);
+        let clean = clean();
+        let mut current = dirty();
+        let evaluator = QualityEvaluator::new(&clean, &rules, &current);
+        let mut engine = ViolationEngine::build(&current, &rules);
+        let mut tracker = LossTracker::new(rules.len());
+        let before = tracker.loss(&evaluator, &engine);
+
+        // A write nobody reports: the tracker must keep serving the cached
+        // value (this is exactly why every engine write path must report its
+        // damage).  Only meaningful in release builds — the debug_assert
+        // oracle catches the divergence in debug builds by design.
+        if cfg!(not(debug_assertions)) {
+            engine
+                .apply_cell_change(&mut current, 0, 0, Value::from("Michigan City"))
+                .unwrap();
+            assert_eq!(
+                tracker.loss(&evaluator, &engine).to_bits(),
+                before.to_bits()
+            );
+            tracker.invalidate_all();
+            assert_eq!(
+                tracker.loss(&evaluator, &engine).to_bits(),
+                evaluator.loss_of_engine(&engine).to_bits()
+            );
+        } else {
+            assert_eq!(
+                before.to_bits(),
+                evaluator.loss_of_engine(&engine).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -1,41 +1,44 @@
-//! The interactive GDR session — Procedure 1 of the paper.
+//! Drivers over the pull-based engine — Procedure 1 of the paper.
 //!
-//! A [`GdrSession`] owns the repair state (database + violation engine +
-//! `PossibleUpdates`), the per-attribute learning models, the quality
-//! evaluator, and a simulated user.  [`GdrSession::run`] executes the
-//! strategy-specific variant of the interactive loop:
+//! The interactive loop itself lives in [`crate::step`]: [`GdrEngine`] is a
+//! resumable state machine that pauses whenever it needs a human.  This
+//! module is the *driver* layer on top:
 //!
-//! 1. group the candidate updates,
-//! 2. rank the groups (VOI benefit, group size, or random order),
-//! 3. let the user verify updates from the top group — ordered by learner
-//!    uncertainty for GDR, randomly for GDR-S-Learning, or exhaustively for
-//!    the no-learning strategies,
-//! 4. retrain the models every `n_s` answers and let them decide the rest of
-//!    the group,
-//! 5. apply all decisions through the consistency manager, regenerate
-//!    suggestions, and repeat until the feedback budget is exhausted or no
-//!    suggestions remain.
+//! * [`drive`] — the canonical ~30-line loop feeding the engine from any
+//!   [`UserOracle`] trait object under an answer budget.  This is all the
+//!   code a service needs to serve a session over a transport.
+//! * [`drive_with`] — a driver parameterised by a reply closure, plus the
+//!   [`Reply`] vocabulary and its [`parse_reply`] text syntax.  The
+//!   `interactive_cleaning` example wires it to stdin; tests wire it to a
+//!   scripted answer queue.
+//! * [`GdrSession`] — the classic simulated session of §5 (evaluation
+//!   hooks + a [`GroundTruthOracle`] answering from the ground truth),
+//!   whose [`GdrSession::run`] is exactly `drive` + `finish` + `report`.
+//!   It reproduces the paper's experiments: quality checkpoints (loss of
+//!   Eq. 3) after every answer regenerate the curves of Figures 3–5.
 //!
-//! Quality checkpoints (loss of Eq. 3 against the ground truth) are recorded
-//! after every user answer so the experiment harness can regenerate the
-//! curves of Figures 3–5.
+//! Sessions are built with [`crate::step::SessionBuilder`]:
+//!
+//! ```
+//! use gdr_core::fixture;
+//! use gdr_core::step::SessionBuilder;
+//! use gdr_core::strategy::Strategy;
+//!
+//! let (dirty, clean, rules) = fixture::figure1_instance();
+//! let mut session = SessionBuilder::new(dirty, &rules)
+//!     .strategy(Strategy::GdrNoLearning)
+//!     .simulated(clean);
+//! let report = session.run(None).unwrap();
+//! assert!(report.final_loss <= report.initial_loss);
+//! ```
 
-use gdr_cfd::RuleSet;
-use gdr_relation::Table;
-use gdr_repair::{run_heuristic_repair, ChangeSource, HeuristicConfig, RepairState, Update};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use gdr_relation::Value;
+use gdr_repair::{Feedback, RepairState};
 
-use crate::config::GdrConfig;
-use crate::grouping::UpdateGroup;
 use crate::metrics::RepairAccuracy;
-use crate::model::ModelStore;
 use crate::oracle::{GroundTruthOracle, UserOracle};
-use crate::quality::QualityEvaluator;
+use crate::step::{DoneReason, GdrEngine, WorkPlan};
 use crate::strategy::Strategy;
-use crate::voi::VoiRanker;
 use crate::Result;
 
 /// A quality measurement taken during the session.
@@ -84,61 +87,143 @@ impl SessionReport {
     }
 }
 
-/// An interactive guided-repair session over one database instance.
+/// Drives an engine with any user — oracle, human proxy, or service — until
+/// the feedback budget (`None` = unlimited) is exhausted or the engine runs
+/// out of work, then finishes it.
+///
+/// This is the whole interactive loop: everything strategy-specific already
+/// happened inside [`GdrEngine::next_work`].
+pub fn drive(
+    engine: &mut GdrEngine,
+    user: &dyn UserOracle,
+    budget: Option<usize>,
+) -> Result<DoneReason> {
+    loop {
+        if budget.is_some_and(|b| engine.verifications() >= b) {
+            break;
+        }
+        match engine.next_work()? {
+            WorkPlan::AskUser { id, update, .. } => {
+                let current = engine.state().table().cell(update.tuple, update.attr);
+                let feedback = user.feedback(&update, current);
+                engine.answer(id, feedback)?;
+            }
+            WorkPlan::NeedsValue { cell } => match user.correct_value(cell.0, cell.1) {
+                Some(value) if &value != engine.state().table().cell(cell.0, cell.1) => {
+                    engine.supply_value(cell, value)?;
+                }
+                _ => engine.skip_value(cell)?,
+            },
+            WorkPlan::Done(_) => break,
+        }
+    }
+    engine.finish()
+}
+
+/// One reply from an interactive driver (see [`parse_reply`] for the text
+/// syntax the stdin example and the scripted-queue tests share).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Feedback on the outstanding [`WorkPlan::AskUser`] update.
+    Answer(Feedback),
+    /// The correct value for the outstanding [`WorkPlan::NeedsValue`] cell.
+    Supply(Value),
+    /// Decline the outstanding [`WorkPlan::NeedsValue`] cell.
+    Skip,
+    /// Stop the session (out of budget or patience).
+    Quit,
+}
+
+/// Parses one line of the interactive reply syntax:
+///
+/// * `y` / `c` / `yes` / `confirm` — the suggestion is correct,
+/// * `n` / `r` / `no` / `reject` — the suggestion is wrong,
+/// * `k` / `keep` / `retain` — the current value is already correct,
+/// * `v <text>` / `= <text>` — supply `<text>` as the cell's correct value,
+/// * `s` / `skip` — decline to supply a value,
+/// * `q` / `quit` / `exit` — end the session.
+///
+/// Returns `None` for anything else (the caller re-prompts).
+pub fn parse_reply(line: &str) -> Option<Reply> {
+    let line = line.trim();
+    let (command, rest) = match line.split_once(char::is_whitespace) {
+        Some((command, rest)) => (command, rest.trim()),
+        None => (line, ""),
+    };
+    match (command.to_ascii_lowercase().as_str(), rest) {
+        ("y" | "c" | "yes" | "confirm", "") => Some(Reply::Answer(Feedback::Confirm)),
+        ("n" | "r" | "no" | "reject", "") => Some(Reply::Answer(Feedback::Reject)),
+        ("k" | "keep" | "retain", "") => Some(Reply::Answer(Feedback::Retain)),
+        ("v" | "value" | "=", value) if !value.is_empty() => {
+            Some(Reply::Supply(Value::from(value)))
+        }
+        ("s" | "skip", "") => Some(Reply::Skip),
+        ("q" | "quit" | "exit", "") => Some(Reply::Quit),
+        _ => None,
+    }
+}
+
+/// Drives an engine from a reply closure — the custom-driver hook used by
+/// the `interactive_cleaning` stdin example and the scripted-queue tests.
+///
+/// The closure sees the engine (read-only, e.g. to render the current cell
+/// value) and the outstanding plan.  A [`Reply::Quit`] — or a reply that
+/// does not fit the outstanding plan — ends the session; either way the
+/// engine is finished so the no-user work completes.
+pub fn drive_with(
+    engine: &mut GdrEngine,
+    mut reply: impl FnMut(&GdrEngine, &WorkPlan) -> Reply,
+) -> Result<DoneReason> {
+    loop {
+        let plan = engine.next_work()?;
+        if matches!(plan, WorkPlan::Done(_)) {
+            break;
+        }
+        match (reply(engine, &plan), &plan) {
+            (Reply::Answer(feedback), WorkPlan::AskUser { id, .. }) => {
+                engine.answer(*id, feedback)?;
+            }
+            (Reply::Supply(value), WorkPlan::NeedsValue { cell }) => {
+                engine.supply_value(*cell, value)?;
+            }
+            (Reply::Skip, WorkPlan::NeedsValue { cell }) => engine.skip_value(*cell)?,
+            _ => break,
+        }
+    }
+    engine.finish()
+}
+
+/// The classic simulated session of §5: a pull-based [`GdrEngine`] with
+/// evaluation hooks, driven by a [`GroundTruthOracle`].
+///
+/// Built with [`crate::step::SessionBuilder::simulated`]; everything it does
+/// goes through the public pull API — it holds no private side-channel into
+/// the engine.
 #[derive(Debug, Clone)]
 pub struct GdrSession {
-    state: RepairState,
-    initial_dirty: Table,
+    engine: GdrEngine,
     oracle: GroundTruthOracle,
-    evaluator: QualityEvaluator,
-    models: ModelStore,
-    ranker: VoiRanker,
-    strategy: Strategy,
-    config: GdrConfig,
-    rng: StdRng,
-    verifications: usize,
-    learner_decisions: usize,
-    checkpoints: Vec<Checkpoint>,
-    initial_dirty_tuples: usize,
 }
 
 impl GdrSession {
-    /// Builds a session from a dirty instance, its rules, and the ground
-    /// truth used both by the simulated user and the quality metric.
-    pub fn new(
-        dirty: Table,
-        rules: &RuleSet,
-        ground_truth: Table,
-        strategy: Strategy,
-        config: GdrConfig,
-    ) -> GdrSession {
-        let initial_dirty = dirty.snapshot("initial_dirty");
-        let evaluator = QualityEvaluator::new(&ground_truth, rules, &dirty);
-        let arity = dirty.schema().arity();
-        let state = RepairState::new(dirty, rules);
-        let initial_dirty_tuples = state.dirty_tuples().len();
-        let models = ModelStore::new(arity, config.forest.clone(), config.seed);
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
-        GdrSession {
-            state,
-            initial_dirty,
-            oracle: GroundTruthOracle::new(ground_truth),
-            evaluator,
-            models,
-            ranker: VoiRanker::new(),
-            strategy,
-            config,
-            rng,
-            verifications: 0,
-            learner_decisions: 0,
-            checkpoints: Vec::new(),
-            initial_dirty_tuples,
-        }
+    pub(crate) fn from_parts(engine: GdrEngine, oracle: GroundTruthOracle) -> GdrSession {
+        GdrSession { engine, oracle }
     }
 
     /// Read access to the current repair state (database, engine, updates).
     pub fn state(&self) -> &RepairState {
-        &self.state
+        self.engine.state()
+    }
+
+    /// The underlying pull-based engine.
+    pub fn engine(&self) -> &GdrEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine, e.g. to interleave manual pull-API
+    /// steps with [`GdrSession::run`].
+    pub fn engine_mut(&mut self) -> &mut GdrEngine {
+        &mut self.engine
     }
 
     /// The simulated user.
@@ -149,393 +234,27 @@ impl GdrSession {
     /// Runs the session until the feedback budget (`None` = unlimited) is
     /// exhausted or no candidate updates remain, and returns the report.
     pub fn run(&mut self, budget: Option<usize>) -> Result<SessionReport> {
-        self.record_checkpoint();
-        match self.strategy {
-            Strategy::AutomaticHeuristic => {
-                run_heuristic_repair(&mut self.state, &HeuristicConfig::default())?;
-            }
-            Strategy::ActiveLearningOnly => self.run_pool(budget)?,
-            _ => self.run_grouped(budget)?,
-        }
-        self.record_checkpoint();
-        Ok(self.report())
-    }
-
-    /// The group-based strategies: GDR, GDR-NoLearning, GDR-S-Learning,
-    /// Greedy, Random.
-    fn run_grouped(&mut self, budget: Option<usize>) -> Result<()> {
-        self.refresh_suggestions();
-        let mut stalled_rounds = 0usize;
-        loop {
-            if self.budget_exhausted(budget) {
-                break;
-            }
-            if self.state.pending_count() == 0 {
-                // The generator ran out of admissible suggestions but dirty
-                // tuples may remain; the user then supplies the correct value
-                // directly (treated as confirming ⟨t, A, v′, 1⟩, §4.2).
-                if self.user_supplies_value()? {
-                    self.refresh_suggestions();
-                    continue;
-                }
-                break;
-            }
-            let Some((group, benefit, max_benefit)) = self.select_top_group()? else {
-                break;
-            };
-            let quota = self.group_quota(&group, benefit, max_benefit);
-            let actions = self.process_group(&group, quota, budget)?;
-            self.refresh_suggestions();
-            if actions == 0 {
-                stalled_rounds += 1;
-                if stalled_rounds >= 3 {
-                    break;
-                }
-            } else {
-                stalled_rounds = 0;
-            }
-        }
-        Ok(())
-    }
-
-    /// The pure active-learning strategy: one global pool ordered by
-    /// committee uncertainty, no grouping, no VOI.
-    fn run_pool(&mut self, budget: Option<usize>) -> Result<()> {
-        self.refresh_suggestions();
-        while !self.budget_exhausted(budget) {
-            if self.state.pending_count() == 0 {
-                if self.user_supplies_value()? {
-                    self.refresh_suggestions();
-                    continue;
-                }
-                break;
-            }
-            // Most uncertain first (§5.2, "Active-Learning" baseline); ties
-            // broken toward the largest `(tuple, attr)` so the borrowed,
-            // unordered iteration picks the same update the sorted snapshot
-            // used to.  Only the chosen update is cloned.
-            let next = self
-                .state
-                .possible_updates()
-                .map(|u| (self.models.uncertainty(self.state.table(), u), u))
-                .max_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| (a.1.tuple, a.1.attr).cmp(&(b.1.tuple, b.1.attr)))
-                })
-                .map(|(_, u)| u.clone());
-            let Some(update) = next else { break };
-            self.verify_with_user(&update)?;
-            self.refresh_suggestions();
-        }
-        // After the budget is spent, the learned models decide the remaining
-        // suggestions automatically.
-        self.models.retrain_all();
-        self.learner_sweep()?;
-        Ok(())
-    }
-
-    /// Selects the strategy's next group: syncs the persistent group index
-    /// with the repair state's change journal, rescores only the invalidated
-    /// groups, and reads the top of the max-ordered ranking.  Returns
-    /// `(group, benefit, max_benefit)`.
-    fn select_top_group(&mut self) -> Result<Option<(UpdateGroup, f64, f64)>> {
-        let GdrSession {
-            state,
-            ranker,
-            models,
-            strategy,
-            rng,
-            ..
-        } = self;
-        let strategy = *strategy;
-        ranker.sync(state);
-        match strategy {
-            s if s.uses_voi() => {
-                if s.uses_learner() {
-                    // Committee probabilities move with every retrain and
-                    // every row write, outside the journal's view — every
-                    // score is stale, but the expensive what-if terms stay
-                    // cached; only the Σ p̃·w·term products are redone.
-                    ranker.mark_all_dirty();
-                    ranker.rescore_benefits(state, |st, u| {
-                        models.confirm_probability(st.table(), u)
-                    })?;
-                } else {
-                    ranker.rescore_benefits(state, |_, u| u.score)?;
-                }
-                Ok(ranker
-                    .best_group()
-                    .map(|(group, benefit)| (group, benefit, ranker.max_benefit())))
-            }
-            Strategy::Greedy => {
-                ranker.rescore_sizes();
-                Ok(ranker
-                    .best_group()
-                    .map(|(group, benefit)| (group, benefit, ranker.max_benefit())))
-            }
-            Strategy::RandomOrder => {
-                ranker.rescore_zero();
-                let mut groups = ranker.groups_in_default_order();
-                groups.shuffle(rng);
-                Ok(groups.into_iter().next().map(|group| (group, 0.0, 0.0)))
-            }
-            _ => {
-                ranker.rescore_zero();
-                Ok(ranker
-                    .groups_in_default_order()
-                    .into_iter()
-                    .next()
-                    .map(|group| (group, 0.0, 0.0)))
-            }
-        }
-    }
-
-    /// The number of user verifications requested for a group — the paper's
-    /// `d_i = E · (1 − g(c_i)/g_max)`, floored by the configured minimum and
-    /// capped by the group size.  Strategies without a learner verify
-    /// everything.
-    fn group_quota(&self, group: &UpdateGroup, benefit: f64, max_benefit: f64) -> usize {
-        if !self.strategy.uses_learner() {
-            return group.len();
-        }
-        let e = self.initial_dirty_tuples as f64;
-        let ratio = if max_benefit > 0.0 {
-            (benefit / max_benefit).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        let d = (e * (1.0 - ratio)).ceil() as usize;
-        d.max(self.config.min_verifications_per_group)
-            .min(group.len())
-    }
-
-    /// Lets the user verify up to `quota` updates of the group (ordered by
-    /// the strategy) and, for the learning strategies, lets the trained
-    /// models decide the remainder.  Returns the number of decisions made.
-    fn process_group(
-        &mut self,
-        group: &UpdateGroup,
-        quota: usize,
-        budget: Option<usize>,
-    ) -> Result<usize> {
-        let mut remaining: Vec<Update> = group.updates.clone();
-        let mut verified_in_group = 0usize;
-        let mut actions = 0usize;
-
-        // Phase 1: user verification, ordered per strategy.
-        while verified_in_group < quota && !remaining.is_empty() && !self.budget_exhausted(budget) {
-            let index = match self.strategy {
-                Strategy::Gdr => {
-                    // Most uncertain first; the committee is re-consulted
-                    // after every retrain so the order adapts.
-                    remaining
-                        .iter()
-                        .enumerate()
-                        .map(|(i, u)| (i, self.models.uncertainty(self.state.table(), u)))
-                        .max_by(|a, b| {
-                            a.1.partial_cmp(&b.1)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                                .then_with(|| b.0.cmp(&a.0))
-                        })
-                        .map(|(i, _)| i)
-                        .unwrap_or(0)
-                }
-                Strategy::GdrSLearning => self.rng.gen_range(0..remaining.len()),
-                _ => 0,
-            };
-            let update = remaining.remove(index);
-            if !self.is_still_pending(&update) {
-                continue;
-            }
-            self.verify_with_user(&update)?;
-            verified_in_group += 1;
-            actions += 1;
-        }
-
-        // Phase 2: the learned models decide the rest of the group.
-        if self.strategy.uses_learner() {
-            self.models.retrain_all();
-            for update in remaining {
-                if !self.is_still_pending(&update) {
-                    continue;
-                }
-                if !self.models.is_trained(update.attr)
-                    || self.models.training_size(update.attr) < self.config.learner_min_training
-                {
-                    continue;
-                }
-                let Some(prediction) = self.models.predict(self.state.table(), &update) else {
-                    continue;
-                };
-                self.state
-                    .apply_feedback(&update, prediction, ChangeSource::LearnerApplied)?;
-                self.learner_decisions += 1;
-                actions += 1;
-            }
-        }
-
-        Ok(actions)
-    }
-
-    /// One round of user interaction on a single update: ask the oracle,
-    /// record the answer as a training example, apply it through the
-    /// consistency manager, and take a quality checkpoint.
-    fn verify_with_user(&mut self, update: &Update) -> Result<()> {
-        let feedback = {
-            let current = self.state.table().cell(update.tuple, update.attr);
-            self.oracle.feedback(update, current)
-        };
-        if self.strategy.uses_learner() {
-            // The training example must describe the tuple *before* the
-            // repair is applied.
-            self.models
-                .add_feedback(self.state.table(), update, feedback);
-        }
-        self.state
-            .apply_feedback(update, feedback, ChangeSource::UserConfirmed)?;
-        self.verifications += 1;
-        if self.strategy.uses_learner() && self.verifications.is_multiple_of(self.config.ns_batch) {
-            self.models.retrain_all();
-        }
-        if self
-            .verifications
-            .is_multiple_of(self.config.checkpoint_every)
-        {
-            self.record_checkpoint();
-        }
-        // A rejected suggestion may have an immediate replacement for the
-        // same cell; Feedback::Reject handling already regenerated it.
-        let _ = feedback;
-        Ok(())
-    }
-
-    /// Applies trained-model predictions to every remaining suggestion, in
-    /// passes, until no model is confident enough to decide anything more.
-    fn learner_sweep(&mut self) -> Result<()> {
-        for _ in 0..4 {
-            let mut progressed = false;
-            // Snapshot only `(cell, value)` through the borrowing iterator;
-            // the full update is cloned just before it is applied.
-            let mut pending: Vec<(gdr_repair::Cell, gdr_relation::Value)> = self
-                .state
-                .possible_updates()
-                .map(|u| (u.cell(), u.value.clone()))
-                .collect();
-            pending.sort_by_key(|(cell, _)| *cell);
-            for (cell, value) in pending {
-                // Applying earlier decisions may have retired or replaced
-                // this suggestion; act only if it is still the same one.
-                let Some(update) = self.state.pending_update(cell) else {
-                    continue;
-                };
-                if update.value != value {
-                    continue;
-                }
-                let update = update.clone();
-                if !self.models.is_trained(update.attr)
-                    || self.models.training_size(update.attr) < self.config.learner_min_training
-                {
-                    continue;
-                }
-                let Some(prediction) = self.models.predict(self.state.table(), &update) else {
-                    continue;
-                };
-                self.state
-                    .apply_feedback(&update, prediction, ChangeSource::LearnerApplied)?;
-                self.learner_decisions += 1;
-                progressed = true;
-            }
-            self.refresh_suggestions();
-            if !progressed {
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    /// Models the user typing in the correct value for a still-dirty cell
-    /// when no suggestion covers it — the paper treats this as confirming
-    /// `⟨t, A, v′, 1⟩`.  Returns `false` when every wrong cell of every dirty
-    /// tuple is frozen (nothing the simulated user can still do).
-    fn user_supplies_value(&mut self) -> Result<bool> {
-        let arity = self.state.table().schema().arity();
-        for tuple in self.state.dirty_tuples() {
-            for attr in 0..arity {
-                if !self.state.is_changeable((tuple, attr)) {
-                    continue;
-                }
-                let Some(truth) = self.oracle.correct_value(tuple, attr) else {
-                    continue;
-                };
-                if self.state.table().cell(tuple, attr) == &truth {
-                    continue;
-                }
-                let update = Update::new(tuple, attr, truth, 1.0);
-                self.verify_with_user(&update)?;
-                return Ok(true);
-            }
-        }
-        Ok(false)
-    }
-
-    /// Step 9 of Procedure 1: re-derive the `PossibleUpdates` list.  Runs
-    /// the journal-driven refresh by default; the configuration can route it
-    /// through the full dirty-world walk as a debug/fallback oracle.
-    fn refresh_suggestions(&mut self) {
-        if self.config.full_walk_refresh {
-            self.state.refresh_updates_full();
-        } else {
-            self.state.refresh_updates();
-        }
-    }
-
-    fn is_still_pending(&self, update: &Update) -> bool {
-        self.state
-            .pending_update(update.cell())
-            .map(|pending| pending.value == update.value)
-            .unwrap_or(false)
-    }
-
-    fn budget_exhausted(&self, budget: Option<usize>) -> bool {
-        budget.map(|b| self.verifications >= b).unwrap_or(false)
-    }
-
-    fn record_checkpoint(&mut self) {
-        let loss = self.evaluator.loss_of_engine(self.state.engine());
-        self.checkpoints.push(Checkpoint {
-            verifications: self.verifications,
-            loss,
-            improvement_pct: self.evaluator.improvement_pct(loss),
-        });
-    }
-
-    fn report(&self) -> SessionReport {
-        let final_loss = self.evaluator.loss_of_engine(self.state.engine());
-        let accuracy =
-            RepairAccuracy::compute(&self.initial_dirty, self.state.table(), self.oracle.truth());
-        SessionReport {
-            strategy: self.strategy,
-            initial_dirty_tuples: self.initial_dirty_tuples,
-            initial_loss: self.evaluator.initial_loss(),
-            final_loss,
-            final_improvement_pct: self.evaluator.improvement_pct(final_loss),
-            verifications: self.verifications,
-            learner_decisions: self.learner_decisions,
-            checkpoints: self.checkpoints.clone(),
-            accuracy,
-        }
+        drive(&mut self.engine, &self.oracle, budget)?;
+        Ok(self
+            .engine
+            .report()
+            .expect("simulated sessions always install eval hooks"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GdrConfig;
     use crate::fixture;
+    use crate::step::SessionBuilder;
 
     fn run_strategy(strategy: Strategy, budget: Option<usize>) -> SessionReport {
         let (dirty, clean, rules) = fixture::figure1_instance();
-        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let mut session = SessionBuilder::new(dirty, &rules)
+            .strategy(strategy)
+            .config(GdrConfig::fast())
+            .simulated(clean);
         session.run(budget).expect("session runs")
     }
 
@@ -609,20 +328,20 @@ mod tests {
     #[test]
     fn full_walk_refresh_oracle_reproduces_the_default_session() {
         let (dirty, clean, rules) = fixture::figure1_instance();
-        let incremental = GdrSession::new(
-            dirty.clone(),
-            &rules,
-            clean.clone(),
-            Strategy::GdrNoLearning,
-            GdrConfig::fast(),
-        )
-        .run(None)
-        .expect("journal-driven session runs");
+        let incremental = SessionBuilder::new(dirty.clone(), &rules)
+            .strategy(Strategy::GdrNoLearning)
+            .config(GdrConfig::fast())
+            .simulated(clean.clone())
+            .run(None)
+            .expect("journal-driven session runs");
         let config = GdrConfig {
             full_walk_refresh: true,
             ..GdrConfig::fast()
         };
-        let oracle = GdrSession::new(dirty, &rules, clean, Strategy::GdrNoLearning, config)
+        let oracle = SessionBuilder::new(dirty, &rules)
+            .strategy(Strategy::GdrNoLearning)
+            .config(config)
+            .simulated(clean)
             .run(None)
             .expect("full-walk session runs");
         assert_eq!(incremental.verifications, oracle.verifications);
@@ -637,5 +356,78 @@ mod tests {
         let late = report.improvement_at(report.verifications);
         assert!(late >= early);
         assert!((late - report.final_improvement_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_resumes_after_manual_pull_api_steps() {
+        // Interleave: answer two items through the public pull API, then let
+        // run() finish the same session — the two surfaces share one engine.
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let mut session = SessionBuilder::new(dirty, &rules)
+            .strategy(Strategy::GdrNoLearning)
+            .config(GdrConfig::fast())
+            .simulated(clean);
+        for _ in 0..2 {
+            let WorkPlan::AskUser { id, update, .. } = session.engine_mut().next_work().unwrap()
+            else {
+                panic!("expected AskUser");
+            };
+            let feedback = {
+                let current = session.state().table().cell(update.tuple, update.attr);
+                session.oracle().feedback(&update, current)
+            };
+            session.engine_mut().answer(id, feedback).unwrap();
+        }
+        let report = session.run(None).unwrap();
+        assert!(report.verifications >= 2);
+        assert!(report.final_loss <= 1e-9);
+    }
+
+    #[test]
+    fn parse_reply_covers_the_interactive_syntax() {
+        assert_eq!(parse_reply("y"), Some(Reply::Answer(Feedback::Confirm)));
+        assert_eq!(
+            parse_reply(" CONFIRM "),
+            Some(Reply::Answer(Feedback::Confirm))
+        );
+        assert_eq!(parse_reply("n"), Some(Reply::Answer(Feedback::Reject)));
+        assert_eq!(parse_reply("keep"), Some(Reply::Answer(Feedback::Retain)));
+        assert_eq!(
+            parse_reply("v Fort Wayne"),
+            Some(Reply::Supply(Value::from("Fort Wayne")))
+        );
+        assert_eq!(
+            parse_reply("= 46360"),
+            Some(Reply::Supply(Value::from("46360")))
+        );
+        assert_eq!(parse_reply("s"), Some(Reply::Skip));
+        assert_eq!(parse_reply("quit"), Some(Reply::Quit));
+        assert_eq!(parse_reply("v"), None); // a value command needs a value
+        assert_eq!(parse_reply("huh"), None);
+        assert_eq!(parse_reply(""), None);
+    }
+
+    #[test]
+    fn drive_with_quit_finishes_the_session() {
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let mut engine = SessionBuilder::new(dirty, &rules)
+            .strategy(Strategy::GdrNoLearning)
+            .config(GdrConfig::fast())
+            .ground_truth(clean)
+            .build();
+        let mut asked = 0usize;
+        let reason = drive_with(&mut engine, |_, _| {
+            asked += 1;
+            if asked <= 3 {
+                Reply::Answer(Feedback::Confirm)
+            } else {
+                Reply::Quit
+            }
+        })
+        .unwrap();
+        assert_eq!(reason, DoneReason::Finished);
+        assert_eq!(engine.verifications(), 3);
+        // Initial + per-answer + final checkpoints.
+        assert_eq!(engine.eval_hooks().unwrap().checkpoints().len(), 5);
     }
 }

@@ -7,11 +7,14 @@
 //! `GdrConfig::fast()` and a budget of 12; losses and improvement
 //! percentages are asserted bit-exactly.
 
-use gdr_core::{fixture, GdrConfig, GdrSession, SessionReport, Strategy};
+use gdr_core::{fixture, GdrConfig, SessionBuilder, SessionReport, Strategy};
 
 fn run(strategy: Strategy) -> SessionReport {
     let (dirty, clean, rules) = fixture::figure1_instance();
-    let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+    let mut session = SessionBuilder::new(dirty, &rules)
+        .strategy(strategy)
+        .config(GdrConfig::fast())
+        .simulated(clean);
     session.run(Some(12)).expect("session runs")
 }
 

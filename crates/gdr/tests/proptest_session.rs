@@ -3,7 +3,7 @@
 //! worsen the final quality, and keep the repair-state invariants.
 
 use gdr_cfd::{parser, RuleSet};
-use gdr_core::{GdrConfig, GdrSession, Strategy};
+use gdr_core::{GdrConfig, SessionBuilder, Strategy};
 use gdr_relation::{Schema, Table, Value};
 use proptest::prelude::*;
 
@@ -87,7 +87,10 @@ proptest! {
     ) {
         let (dirty, clean, rules) = instance(&corruptions);
         let strategy = strategy_from(strategy_pick);
-        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let mut session = SessionBuilder::new(dirty, &rules)
+            .strategy(strategy)
+            .config(GdrConfig::fast())
+            .simulated(clean);
         let report = session.run(budget).unwrap();
         prop_assert!(report.final_loss <= report.initial_loss + 1e-9);
         if let Some(b) = budget {
@@ -110,7 +113,10 @@ proptest! {
         let strategy = [Strategy::GdrNoLearning, Strategy::Greedy, Strategy::RandomOrder]
             [strategy_pick % 3];
         let (dirty, clean, rules) = instance(&corruptions);
-        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let mut session = SessionBuilder::new(dirty, &rules)
+            .strategy(strategy)
+            .config(GdrConfig::fast())
+            .simulated(clean);
         let report = session.run(None).unwrap();
         prop_assert!(report.final_loss <= 1e-9, "loss {}", report.final_loss);
         prop_assert!(report.accuracy.precision() > 0.999);
@@ -126,7 +132,10 @@ proptest! {
     ) {
         let (dirty, clean, rules) = instance(&corruptions);
         let strategy = strategy_from(strategy_pick);
-        let mut session = GdrSession::new(dirty, &rules, clean, strategy, GdrConfig::fast());
+        let mut session = SessionBuilder::new(dirty, &rules)
+            .strategy(strategy)
+            .config(GdrConfig::fast())
+            .simulated(clean);
         let report = session.run(Some(10)).unwrap();
         prop_assert!(report.checkpoints.windows(2).all(|w| w[0].verifications <= w[1].verifications));
         let last = report.checkpoints.last().unwrap();

@@ -8,7 +8,7 @@
 //! ```
 
 use gdr_core::config::GdrConfig;
-use gdr_core::session::GdrSession;
+use gdr_core::step::SessionBuilder;
 use gdr_core::strategy::Strategy;
 use gdr_datagen::census::{generate_census_dataset, CensusConfig};
 
@@ -38,13 +38,10 @@ fn main() {
 
     for effort_pct in [10usize, 30, 50, 100] {
         let budget = initial_dirty * effort_pct / 100;
-        let mut session = GdrSession::new(
-            data.dirty.clone(),
-            &data.rules,
-            data.clean.clone(),
-            Strategy::Gdr,
-            GdrConfig::default(),
-        );
+        let mut session = SessionBuilder::new(data.dirty.clone(), &data.rules)
+            .strategy(Strategy::Gdr)
+            .config(GdrConfig::default())
+            .simulated(data.clean.clone());
         let report = session.run(Some(budget)).expect("session");
         println!(
             "{:>10} | {:>10.1}% | {:>9.2} | {:>6.2}",

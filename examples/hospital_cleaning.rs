@@ -7,7 +7,7 @@
 //! ```
 
 use gdr_core::config::GdrConfig;
-use gdr_core::session::GdrSession;
+use gdr_core::step::SessionBuilder;
 use gdr_core::strategy::Strategy;
 use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
 
@@ -37,13 +37,10 @@ fn main() {
         Strategy::GdrNoLearning,
         Strategy::AutomaticHeuristic,
     ] {
-        let mut session = GdrSession::new(
-            data.dirty.clone(),
-            &data.rules,
-            data.clean.clone(),
-            strategy,
-            GdrConfig::default(),
-        );
+        let mut session = SessionBuilder::new(data.dirty.clone(), &data.rules)
+            .strategy(strategy)
+            .config(GdrConfig::default())
+            .simulated(data.clean.clone());
         let budget = if strategy == Strategy::AutomaticHeuristic {
             None
         } else {

@@ -1,0 +1,120 @@
+//! Interactive cleaning: a *real* user repairs the Figure 1 instance.
+//!
+//! ```text
+//! cargo run --example interactive_cleaning
+//! ```
+//!
+//! The first demo with no simulated oracle anywhere: the pull-based engine
+//! asks, you answer from the keyboard.  Commands at each prompt:
+//!
+//! * `y` — the suggested value is correct (confirm)
+//! * `n` — the suggested value is wrong (reject; GDR looks for another)
+//! * `k` — the current value is already correct (retain)
+//! * `v <text>` — type the correct value for the asked cell
+//! * `s` — skip the asked cell
+//! * `q` — quit; the engine wraps up and prints the result
+//!
+//! Piping works too, which is exactly how the scripted-queue test drives
+//! the same logic: `printf 'y\ny\nq\n' | cargo run --example interactive_cleaning`
+
+use std::io::BufRead;
+
+use gdr_core::fixture;
+use gdr_core::session::{drive_with, parse_reply, Reply};
+use gdr_core::step::{SessionBuilder, WorkPlan};
+use gdr_core::strategy::Strategy;
+
+fn main() {
+    let (dirty, _clean, rules) = fixture::figure1_instance();
+    println!("== The Customer instance of Figure 1 (dirty) ==\n{dirty}");
+    println!("== Data-quality rules ==\n{rules}");
+    println!(
+        "{} of {} tuples violate a rule. Let's fix them together.\n",
+        gdr_cfd::ViolationEngine::build(&dirty, &rules)
+            .dirty_tuples()
+            .len(),
+        dirty.len()
+    );
+
+    // No ground truth anywhere: the engine carries no oracle and no
+    // evaluation hooks — just like a production session.
+    let schema = dirty.schema().clone();
+    let mut engine = SessionBuilder::new(dirty, &rules)
+        .strategy(Strategy::GdrNoLearning)
+        .build();
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let reason = drive_with(&mut engine, |engine, plan| {
+        match plan {
+            WorkPlan::AskUser {
+                update,
+                group_context,
+                ..
+            } => {
+                if let Some(context) = group_context {
+                    println!(
+                        "[group {} := '{}', answer {}/{}]",
+                        schema.attr_name(context.attr),
+                        context.value.render(),
+                        context.asked + 1,
+                        context.quota
+                    );
+                }
+                println!(
+                    "suggested repair: {}",
+                    update.describe(&schema, engine.state().table())
+                );
+                print!("  correct? [y]es / [n]o / [k]eep current / [q]uit: ");
+            }
+            WorkPlan::NeedsValue { cell } => {
+                println!(
+                    "no suggestion covers t{}[{}] = '{}'",
+                    cell.0,
+                    schema.attr_name(cell.1),
+                    engine.state().table().cell(cell.0, cell.1).render()
+                );
+                print!("  enter `v <correct value>`, or [s]kip / [q]uit: ");
+            }
+            WorkPlan::Done(_) => unreachable!("drive_with never prompts on Done"),
+        }
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        loop {
+            let Some(Ok(line)) = lines.next() else {
+                println!("(end of input)");
+                return Reply::Quit;
+            };
+            // Re-prompt on replies that do not fit the outstanding item
+            // (drive_with would treat them as a quit).
+            let fits = match (parse_reply(&line), plan) {
+                (reply @ Some(Reply::Answer(_)), WorkPlan::AskUser { .. })
+                | (reply @ Some(Reply::Supply(_) | Reply::Skip), WorkPlan::NeedsValue { .. })
+                | (reply @ Some(Reply::Quit), _) => reply,
+                _ => None,
+            };
+            match fits {
+                Some(reply) => return reply,
+                None => {
+                    let options = match plan {
+                        WorkPlan::AskUser { .. } => "y / n / k / q",
+                        _ => "v <value> / s / q",
+                    };
+                    print!("  ? {options}: ");
+                    std::io::stdout().flush().ok();
+                }
+            }
+        }
+    })
+    .expect("session");
+
+    println!(
+        "\nSession over ({reason:?}) after {} answers.",
+        engine.verifications()
+    );
+    println!(
+        "{} tuples still violate a rule.",
+        engine.state().dirty_tuples().len()
+    );
+    println!("\nRepaired instance:\n{}", engine.state().table());
+}

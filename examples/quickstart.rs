@@ -5,14 +5,16 @@
 //! ```
 //!
 //! The example walks through one pass of the GDR pipeline by hand — dirty
-//! tuple detection, candidate updates, grouping, VOI ranking — and then lets
-//! a full interactive session (with a simulated user answering from the
-//! ground truth) repair the instance.
+//! tuple detection, candidate updates, grouping, VOI ranking — then steps
+//! the pull-based engine a few work items by hand, and finally lets a full
+//! simulated session (a driver answering from the ground truth) repair the
+//! instance.
 
 use gdr_core::config::GdrConfig;
 use gdr_core::fixture;
 use gdr_core::grouping::group_updates;
-use gdr_core::session::GdrSession;
+use gdr_core::oracle::UserOracle;
+use gdr_core::step::{SessionBuilder, WorkPlan};
 use gdr_core::strategy::Strategy;
 use gdr_core::voi::group_benefit;
 use gdr_repair::RepairState;
@@ -47,14 +49,52 @@ fn main() {
         println!("  E[g(c)] = {benefit:>6.3}  {label}");
     }
 
-    // Steps 3-10: the full interactive loop with a simulated user.
-    let mut session = GdrSession::new(
-        dirty,
-        &rules,
-        clean,
-        Strategy::GdrNoLearning,
-        GdrConfig::default(),
-    );
+    // Steps 3-10 are pull-based: the engine pauses whenever it needs the
+    // user.  Step the first three work items by hand to see the protocol.
+    let mut engine = SessionBuilder::new(dirty.clone(), &rules)
+        .strategy(Strategy::GdrNoLearning)
+        .config(GdrConfig::default())
+        .build();
+    println!("\n== The pull API: the first three questions ==");
+    let oracle = gdr_core::oracle::GroundTruthOracle::new(clean.clone());
+    for _ in 0..3 {
+        match engine.next_work().expect("work") {
+            WorkPlan::AskUser {
+                id,
+                update,
+                group_context,
+                ..
+            } => {
+                let current = engine.state().table().cell(update.tuple, update.attr);
+                let feedback = oracle.feedback(&update, current);
+                let group = group_context
+                    .map(|c| {
+                        format!(
+                            "group {} := '{}'",
+                            dirty.schema().attr_name(c.attr),
+                            c.value.render()
+                        )
+                    })
+                    .unwrap_or_else(|| "ungrouped".into());
+                println!(
+                    "  {} ({group}) -> {feedback}",
+                    update.describe(dirty.schema(), engine.state().table())
+                );
+                engine.answer(id, feedback).expect("answer");
+            }
+            WorkPlan::NeedsValue { cell } => engine.skip_value(cell).expect("skip"),
+            WorkPlan::Done(reason) => {
+                println!("  done early: {reason:?}");
+                break;
+            }
+        }
+    }
+
+    // The classic simulated session drives the same API to completion.
+    let mut session = SessionBuilder::new(dirty, &rules)
+        .strategy(Strategy::GdrNoLearning)
+        .config(GdrConfig::default())
+        .simulated(clean);
     let report = session.run(None).expect("session");
     println!("\n== Session result (GDR-NoLearning, unlimited budget) ==");
     println!("  verifications        : {}", report.verifications);

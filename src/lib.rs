@@ -7,7 +7,8 @@
 //! * [`cfd`] — conditional functional dependencies and violation detection,
 //! * [`repair`] — candidate-update generation and the consistency manager,
 //! * [`learn`] — the random-forest / active-learning substrate,
-//! * [`core`] — the interactive GDR session loop,
+//! * [`core`] — the pull-based GDR engine (`core::step`) and its drivers
+//!   (`core::session`), including the simulated experiment session,
 //! * [`datagen`] — synthetic stand-ins for the paper's evaluation datasets.
 
 #![forbid(unsafe_code)]

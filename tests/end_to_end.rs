@@ -3,7 +3,7 @@
 //! repair, and evaluation.
 
 use gdr_cfd::ViolationEngine;
-use gdr_core::{GdrConfig, GdrSession, Strategy};
+use gdr_core::{GdrConfig, SessionBuilder, Strategy};
 use gdr_datagen::census::{generate_census_dataset, CensusConfig};
 use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
 use gdr_datagen::GeneratedDataset;
@@ -31,13 +31,10 @@ fn run(
     strategy: Strategy,
     budget: Option<usize>,
 ) -> gdr_core::SessionReport {
-    let mut session = GdrSession::new(
-        data.dirty.clone(),
-        &data.rules,
-        data.clean.clone(),
-        strategy,
-        GdrConfig::fast(),
-    );
+    let mut session = SessionBuilder::new(data.dirty.clone(), &data.rules)
+        .strategy(strategy)
+        .config(GdrConfig::fast())
+        .simulated(data.clean.clone());
     session.run(budget).expect("session run")
 }
 
