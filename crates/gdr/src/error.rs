@@ -1,0 +1,155 @@
+//! Typed protocol errors for the pull-based engine.
+//!
+//! The engine verbs ([`crate::step::GdrEngine::answer`],
+//! [`crate::step::GdrEngine::supply_value`],
+//! [`crate::step::GdrEngine::skip_value`]) require the caller to name the
+//! outstanding work item.  In-process drivers get that right by
+//! construction, but once sessions are served over a transport the caller is
+//! a remote client that can retry, race itself, or replay a plan from a
+//! branched snapshot — and a protocol violation from one client must not
+//! abort the process that serves every other session.  These errors are the
+//! contract that makes that safe: every violation returns a typed
+//! [`GdrError`] and leaves the engine untouched, so `next_work` re-serves
+//! the same plan and a correctly retrying client recovers.
+
+use std::fmt;
+
+use gdr_cfd::CfdError;
+use gdr_repair::Cell;
+
+use crate::step::WorkId;
+
+/// The work item a protocol verb addressed, or the one the engine actually
+/// has outstanding — the two sides of a [`GdrError::WorkMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkTarget {
+    /// An `AskUser` item, identified by its work id.
+    Ask(WorkId),
+    /// A `NeedsValue` item, identified by its cell.
+    Value(Cell),
+}
+
+impl fmt::Display for WorkTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkTarget::Ask(id) => write!(f, "AskUser {id}"),
+            WorkTarget::Value((t, a)) => write!(f, "NeedsValue t{t}[#{a}]"),
+        }
+    }
+}
+
+/// Errors of the pull-based session protocol.
+///
+/// The first three variants are *protocol* errors: the caller's verb did not
+/// fit the outstanding work item.  They are recoverable by construction —
+/// the engine state (including the outstanding plan) is untouched, so a
+/// driver can call [`crate::step::GdrEngine::next_work`] again, receive the
+/// same plan, and continue the session.  [`GdrError::Engine`] wraps errors
+/// from the repair substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdrError {
+    /// `answer` named a work id other than the outstanding one — typically a
+    /// stale plan from a branched clone, a duplicate delivery, or a replay
+    /// that diverged.
+    StaleWork {
+        /// The id the caller passed.
+        got: WorkId,
+        /// The id of the item actually outstanding.
+        outstanding: WorkId,
+    },
+    /// The verb does not fit the outstanding work item: `answer` while a
+    /// `NeedsValue` is outstanding, `supply_value`/`skip_value` while an
+    /// `AskUser` is outstanding, or a cell verb naming the wrong cell.
+    WorkMismatch {
+        /// The engine verb that was called.
+        verb: &'static str,
+        /// What the caller addressed.
+        got: WorkTarget,
+        /// What is actually outstanding.
+        outstanding: WorkTarget,
+    },
+    /// `answer`/`supply_value`/`skip_value` was called while nothing was
+    /// outstanding — before the first `next_work`, after the item was
+    /// already answered (double answer), or after the session concluded.
+    NoOutstandingWork {
+        /// The engine verb that was called.
+        verb: &'static str,
+    },
+    /// An error bubbled up from the repair substrate.
+    Engine(CfdError),
+}
+
+impl fmt::Display for GdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdrError::StaleWork { got, outstanding } => {
+                write!(
+                    f,
+                    "stale work id {got}: the outstanding work item is {outstanding}"
+                )
+            }
+            GdrError::WorkMismatch {
+                verb,
+                got,
+                outstanding,
+            } => write!(
+                f,
+                "{verb} addressed {got}, but the outstanding work item is {outstanding}"
+            ),
+            GdrError::NoOutstandingWork { verb } => {
+                write!(f, "{verb}: no work item is outstanding")
+            }
+            GdrError::Engine(err) => write!(f, "engine error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for GdrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdrError::Engine(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfdError> for GdrError {
+    fn from(err: CfdError) -> Self {
+        GdrError::Engine(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_sides_of_a_mismatch() {
+        let err = GdrError::WorkMismatch {
+            verb: "supply_value",
+            got: WorkTarget::Value((3, 1)),
+            outstanding: WorkTarget::Ask(WorkId::from_raw(7)),
+        };
+        let text = err.to_string();
+        assert!(text.contains("supply_value"));
+        assert!(text.contains("t3[#1]"));
+        assert!(text.contains("w7"));
+    }
+
+    #[test]
+    fn stale_work_display_names_both_ids() {
+        let err = GdrError::StaleWork {
+            got: WorkId::from_raw(9),
+            outstanding: WorkId::from_raw(7),
+        };
+        assert!(err.to_string().contains("w9"));
+        assert!(err.to_string().contains("w7"));
+    }
+
+    #[test]
+    fn engine_errors_wrap_with_source() {
+        let err: GdrError = CfdError::EmptyLhs.into();
+        assert!(matches!(err, GdrError::Engine(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod fixture;
 pub mod grouping;
 pub mod metrics;
@@ -82,6 +83,7 @@ pub mod strategy;
 pub mod voi;
 
 pub use config::GdrConfig;
+pub use error::{GdrError, WorkTarget};
 pub use grouping::{group_updates, GroupIndex, GroupKey, IndexedGroup, UpdateGroup};
 pub use metrics::RepairAccuracy;
 pub use model::ModelStore;
@@ -97,5 +99,6 @@ pub use voi::{
     BenefitKey, VoiRanker,
 };
 
-/// Result alias shared with the repair substrate.
-pub type Result<T> = gdr_repair::Result<T>;
+/// Result alias over the session-protocol error type.  Substrate errors
+/// ([`gdr_cfd::CfdError`]) convert implicitly via `?`.
+pub type Result<T> = std::result::Result<T, GdrError>;

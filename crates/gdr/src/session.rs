@@ -91,6 +91,13 @@ impl SessionReport {
 /// the feedback budget (`None` = unlimited) is exhausted or the engine runs
 /// out of work, then finishes it.
 ///
+/// The budget counts *user interactions*, not just applied answers: a
+/// [`WorkPlan::NeedsValue`] prompt the user declines (`correct_value` is
+/// `None`) consumes no verification inside the engine, but it did consume
+/// the user's attention — so the supply sweep respects the same budget
+/// instead of prompting through every remaining dirty cell after the wallet
+/// is empty.
+///
 /// This is the whole interactive loop: everything strategy-specific already
 /// happened inside [`GdrEngine::next_work`].
 pub fn drive(
@@ -98,8 +105,11 @@ pub fn drive(
     user: &dyn UserOracle,
     budget: Option<usize>,
 ) -> Result<DoneReason> {
+    // Declined NeedsValue prompts: interactions the engine's verification
+    // counter never sees, charged against the budget here.
+    let mut declined = 0usize;
     loop {
-        if budget.is_some_and(|b| engine.verifications() >= b) {
+        if budget.is_some_and(|b| engine.verifications() + declined >= b) {
             break;
         }
         match engine.next_work()? {
@@ -112,7 +122,10 @@ pub fn drive(
                 Some(value) if &value != engine.state().table().cell(cell.0, cell.1) => {
                     engine.supply_value(cell, value)?;
                 }
-                _ => engine.skip_value(cell)?,
+                _ => {
+                    declined += 1;
+                    engine.skip_value(cell)?;
+                }
             },
             WorkPlan::Done(_) => break,
         }
@@ -140,10 +153,15 @@ pub enum Reply {
 /// * `n` / `r` / `no` / `reject` — the suggestion is wrong,
 /// * `k` / `keep` / `retain` — the current value is already correct,
 /// * `v <text>` / `= <text>` — supply `<text>` as the cell's correct value,
+/// * `v "<text>"` — supply `<text>` *verbatim*: the quoted form preserves
+///   leading/trailing whitespace the bare form trims away, and escapes
+///   `\"` and `\\` — so genuinely whitespace-sensitive values (` x `, a
+///   value that is itself `"quoted"`, even the empty string) can be typed,
 /// * `s` / `skip` — decline to supply a value,
 /// * `q` / `quit` / `exit` — end the session.
 ///
-/// Returns `None` for anything else (the caller re-prompts).
+/// Returns `None` for anything else, including a malformed quoted value
+/// (the caller re-prompts).
 pub fn parse_reply(line: &str) -> Option<Reply> {
     let line = line.trim();
     let (command, rest) = match line.split_once(char::is_whitespace) {
@@ -154,6 +172,9 @@ pub fn parse_reply(line: &str) -> Option<Reply> {
         ("y" | "c" | "yes" | "confirm", "") => Some(Reply::Answer(Feedback::Confirm)),
         ("n" | "r" | "no" | "reject", "") => Some(Reply::Answer(Feedback::Reject)),
         ("k" | "keep" | "retain", "") => Some(Reply::Answer(Feedback::Retain)),
+        ("v" | "value" | "=", value) if value.starts_with('"') => {
+            parse_quoted(value).map(|text| Reply::Supply(Value::Str(text)))
+        }
         ("v" | "value" | "=", value) if !value.is_empty() => {
             Some(Reply::Supply(Value::from(value)))
         }
@@ -163,13 +184,35 @@ pub fn parse_reply(line: &str) -> Option<Reply> {
     }
 }
 
+/// Parses the quoted value form: `"…"` with `\"` and `\\` escapes, nothing
+/// after the closing quote.  `None` for an unterminated quote, a bad escape,
+/// or trailing garbage.
+fn parse_quoted(text: &str) -> Option<String> {
+    let mut chars = text.strip_prefix('"')?.chars();
+    let mut value = String::new();
+    loop {
+        match chars.next()? {
+            '"' => break,
+            '\\' => match chars.next()? {
+                escaped @ ('"' | '\\') => value.push(escaped),
+                _ => return None,
+            },
+            c => value.push(c),
+        }
+    }
+    chars.as_str().is_empty().then_some(value)
+}
+
 /// Drives an engine from a reply closure — the custom-driver hook used by
 /// the `interactive_cleaning` stdin example and the scripted-queue tests.
 ///
 /// The closure sees the engine (read-only, e.g. to render the current cell
-/// value) and the outstanding plan.  A [`Reply::Quit`] — or a reply that
-/// does not fit the outstanding plan — ends the session; either way the
-/// engine is finished so the no-user work completes.
+/// value) and the outstanding plan.  Only an explicit [`Reply::Quit`] ends
+/// the session early; a reply that does not fit the outstanding plan (e.g.
+/// a [`Reply::Supply`] while an `AskUser` is outstanding) re-serves the same
+/// plan — `next_work` is idempotent while an item is outstanding — so the
+/// closure is simply asked again, exactly like an interactive re-prompt.
+/// Either way the engine is finished so the no-user work completes.
 pub fn drive_with(
     engine: &mut GdrEngine,
     mut reply: impl FnMut(&GdrEngine, &WorkPlan) -> Reply,
@@ -187,7 +230,10 @@ pub fn drive_with(
                 engine.supply_value(*cell, value)?;
             }
             (Reply::Skip, WorkPlan::NeedsValue { cell }) => engine.skip_value(*cell)?,
-            _ => break,
+            (Reply::Quit, _) => break,
+            // Kind-mismatched reply: the plan stays outstanding; loop back
+            // and re-serve it (re-prompt) instead of silently quitting.
+            _ => continue,
         }
     }
     engine.finish()
@@ -383,6 +429,90 @@ mod tests {
         assert!(report.final_loss <= 1e-9);
     }
 
+    /// A user who rejects every suggestion and never knows a value, counting
+    /// every time they are consulted — the budget must bound *this* number,
+    /// not just the engine's verification counter.
+    struct CountingNaysayer {
+        interactions: std::cell::Cell<usize>,
+    }
+
+    impl CountingNaysayer {
+        fn new() -> Self {
+            CountingNaysayer {
+                interactions: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl crate::oracle::UserOracle for CountingNaysayer {
+        fn feedback(&self, _: &gdr_repair::Update, _: &Value) -> Feedback {
+            self.interactions.set(self.interactions.get() + 1);
+            Feedback::Reject
+        }
+
+        fn correct_value(&self, _: gdr_relation::TupleId, _: usize) -> Option<Value> {
+            self.interactions.set(self.interactions.get() + 1);
+            None
+        }
+    }
+
+    #[test]
+    fn drive_budget_bounds_the_supply_sweep_prompts_too() {
+        let (dirty, _clean, rules) = fixture::figure1_instance();
+        let build = || {
+            SessionBuilder::new(dirty.clone(), &rules)
+                .strategy(Strategy::GdrNoLearning)
+                .config(GdrConfig::fast())
+                .build()
+        };
+        // Unlimited: the naysayer drains the suggestions, then the supply
+        // sweep consults them about every remaining dirty cell.
+        let unlimited = CountingNaysayer::new();
+        let mut engine = build();
+        drive(&mut engine, &unlimited, None).expect("drive");
+        let rejects = engine.verifications();
+        let declines = unlimited.interactions.get() - rejects;
+        assert!(
+            declines >= 3,
+            "fixture must exercise the sweep (got {declines} declined prompts)"
+        );
+        // Budgeted at two interactions past the rejects: the sweep may
+        // consult the user exactly twice more, not once per dirty cell.
+        let budgeted = CountingNaysayer::new();
+        let mut engine = build();
+        drive(&mut engine, &budgeted, Some(rejects + 2)).expect("drive");
+        assert_eq!(budgeted.interactions.get(), rejects + 2);
+        assert_eq!(engine.verifications(), rejects);
+    }
+
+    #[test]
+    fn drive_with_reprompts_on_kind_mismatched_replies() {
+        // A reply that does not fit the outstanding plan must re-serve the
+        // plan (interactive re-prompt), not silently end the session.
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let mut engine = SessionBuilder::new(dirty, &rules)
+            .strategy(Strategy::GdrNoLearning)
+            .config(GdrConfig::fast())
+            .ground_truth(clean)
+            .build();
+        let mut mismatches = 0usize;
+        let reason = drive_with(&mut engine, |_, plan| match plan {
+            WorkPlan::AskUser { .. } if mismatches < 3 => {
+                mismatches += 1;
+                Reply::Supply(Value::from("nonsense")) // wrong kind: re-prompt
+            }
+            WorkPlan::AskUser { .. } => Reply::Answer(Feedback::Confirm),
+            WorkPlan::NeedsValue { .. } => Reply::Skip,
+            WorkPlan::Done(_) => unreachable!(),
+        })
+        .expect("session");
+        assert_eq!(mismatches, 3);
+        // The session ran to its natural end instead of quitting at the
+        // first mismatch.
+        assert_ne!(reason, DoneReason::Finished);
+        assert!(engine.verifications() > 0);
+    }
+
     #[test]
     fn parse_reply_covers_the_interactive_syntax() {
         assert_eq!(parse_reply("y"), Some(Reply::Answer(Feedback::Confirm)));
@@ -405,6 +535,39 @@ mod tests {
         assert_eq!(parse_reply("v"), None); // a value command needs a value
         assert_eq!(parse_reply("huh"), None);
         assert_eq!(parse_reply(""), None);
+    }
+
+    #[test]
+    fn parse_reply_quoted_values_preserve_whitespace_and_specials() {
+        // The bare form trims; the quoted form is verbatim.
+        assert_eq!(
+            parse_reply("v \"  Fort Wayne  \""),
+            Some(Reply::Supply(Value::from("  Fort Wayne  ")))
+        );
+        // Values that look like commands or start with `=` are supplyable.
+        assert_eq!(
+            parse_reply("= \"= 46360\""),
+            Some(Reply::Supply(Value::from("= 46360")))
+        );
+        assert_eq!(
+            parse_reply("v \"v x\""),
+            Some(Reply::Supply(Value::from("v x")))
+        );
+        // Escapes: embedded quotes and backslashes.
+        assert_eq!(
+            parse_reply(r#"v "say \"hi\"""#),
+            Some(Reply::Supply(Value::from("say \"hi\"")))
+        );
+        assert_eq!(
+            parse_reply(r#"v "a\\b""#),
+            Some(Reply::Supply(Value::from("a\\b")))
+        );
+        // The empty string is a real (Str) value, distinct from skipping.
+        assert_eq!(parse_reply("v \"\""), Some(Reply::Supply(Value::from(""))));
+        // Malformed quoted forms re-prompt instead of supplying garbage.
+        assert_eq!(parse_reply("v \"unterminated"), None);
+        assert_eq!(parse_reply("v \"x\" trailing"), None);
+        assert_eq!(parse_reply(r#"v "bad \escape""#), None);
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //! two answers.  The engine is `Clone`, so a session can be snapshotted and
 //! branched at any pause point.
 //!
+//! Protocol violations are **typed errors, not panics**: a verb that does
+//! not fit the outstanding work item — a stale [`WorkId`], a wrong cell, a
+//! double answer, an answer after [`GdrEngine::finish`] — returns a
+//! [`GdrError`](crate::error::GdrError) and leaves the engine untouched, so
+//! `next_work` re-serves the same plan and a retrying driver recovers.  This
+//! is what lets one engine serve a remote client (see the `gdr-serve`
+//! crate): a misbehaving connection cannot poison the session, let alone the
+//! process hosting every other session.
+//!
 //! The engine owns **no ground truth**.  Evaluation-only state — the
 //! [`QualityEvaluator`], the loss checkpoints, the final
 //! [`RepairAccuracy`] — lives behind an optional [`EvalHooks`] installed by
@@ -53,6 +62,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::config::GdrConfig;
+use crate::error::{GdrError, WorkTarget};
 use crate::grouping::UpdateGroup;
 use crate::metrics::RepairAccuracy;
 use crate::model::ModelStore;
@@ -66,9 +76,24 @@ use crate::Result;
 ///
 /// Ids are engine-local and monotone; [`GdrEngine::answer`] requires the id
 /// of the outstanding item, so a driver holding a stale plan (e.g. from a
-/// branched clone) fails loudly instead of mis-attributing feedback.
+/// branched clone) fails loudly — with a recoverable
+/// [`GdrError::StaleWork`] — instead of mis-attributing feedback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkId(u64);
+
+impl WorkId {
+    /// The raw id, for transports that serialise work ids onto a wire.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a work id from its raw form (the deserialising side of
+    /// [`WorkId::raw`]).  An id that never came from this engine simply
+    /// fails the [`GdrEngine::answer`] match with a typed error.
+    pub fn from_raw(raw: u64) -> WorkId {
+        WorkId(raw)
+    }
+}
 
 impl std::fmt::Display for WorkId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -361,22 +386,38 @@ impl GdrEngine {
     /// the consistency manager, retrains every `n_s` answers, and takes a
     /// quality checkpoint when due.
     ///
-    /// # Panics
-    /// If no `AskUser` item is outstanding or `id` does not match it — both
-    /// are driver bugs (e.g. replaying a plan from a different branch).
+    /// # Errors
+    /// [`GdrError::NoOutstandingWork`] if nothing is outstanding (nothing
+    /// served yet, the item was already answered, or the session concluded),
+    /// [`GdrError::WorkMismatch`] if the outstanding item is a `NeedsValue`,
+    /// and [`GdrError::StaleWork`] if `id` names a different `AskUser` item
+    /// (e.g. a plan replayed from a branched clone).  All three leave the
+    /// engine — including the outstanding plan — untouched, so a retrying
+    /// driver can pull [`GdrEngine::next_work`] again and recover.
     pub fn answer(&mut self, id: WorkId, answer: Answer) -> Result<()> {
-        let Some(WorkPlan::AskUser {
-            id: pending_id,
-            update,
-            ..
-        }) = self.pending.take()
-        else {
-            panic!("answer({id}): no AskUser work item is outstanding");
+        match &self.pending {
+            Some(WorkPlan::AskUser { id: pending_id, .. }) => {
+                if id != *pending_id {
+                    return Err(GdrError::StaleWork {
+                        got: id,
+                        outstanding: *pending_id,
+                    });
+                }
+            }
+            Some(WorkPlan::NeedsValue { cell }) => {
+                return Err(GdrError::WorkMismatch {
+                    verb: "answer",
+                    got: WorkTarget::Ask(id),
+                    outstanding: WorkTarget::Value(*cell),
+                })
+            }
+            Some(WorkPlan::Done(_)) | None => {
+                return Err(GdrError::NoOutstandingWork { verb: "answer" })
+            }
+        }
+        let Some(WorkPlan::AskUser { update, .. }) = self.pending.take() else {
+            unreachable!("the match above pinned an outstanding AskUser")
         };
-        assert_eq!(
-            id, pending_id,
-            "answer({id}): the outstanding work item is {pending_id}"
-        );
         // Retire the answered pick from the group before applying: the
         // feedback may replace the cell's suggestion, and the group snapshot
         // must not re-offer the stale one.
@@ -402,10 +443,12 @@ impl GdrEngine {
     /// [`WorkPlan::NeedsValue`] cell — the §4.2 "user suggests `v′`" case,
     /// applied as a confirm of `⟨t, A, v′, 1⟩`.
     ///
-    /// # Panics
-    /// If no `NeedsValue` item is outstanding or `cell` does not match it.
+    /// # Errors
+    /// [`GdrError::NoOutstandingWork`] / [`GdrError::WorkMismatch`] if no
+    /// `NeedsValue` item is outstanding or `cell` does not match it; the
+    /// engine stays untouched and re-servable.
     pub fn supply_value(&mut self, cell: Cell, value: Value) -> Result<()> {
-        self.take_needs_value(cell, "supply_value");
+        self.take_needs_value(cell, "supply_value")?;
         let update = Update::new(cell.0, cell.1, value, 1.0);
         self.apply_user_answer(&update, Feedback::Confirm)?;
         self.refresh_suggestions();
@@ -422,10 +465,12 @@ impl GdrEngine {
     /// cells, so previously skipped cells may be offered again (a repair may
     /// have made them decidable — or cleaned them away entirely).
     ///
-    /// # Panics
-    /// If no `NeedsValue` item is outstanding or `cell` does not match it.
+    /// # Errors
+    /// [`GdrError::NoOutstandingWork`] / [`GdrError::WorkMismatch`] if no
+    /// `NeedsValue` item is outstanding or `cell` does not match it; the
+    /// engine stays untouched and re-servable.
     pub fn skip_value(&mut self, cell: Cell) -> Result<()> {
-        self.take_needs_value(cell, "skip_value");
+        self.take_needs_value(cell, "skip_value")?;
         let Phase::Supplying(sweep) = &mut self.phase else {
             unreachable!("NeedsValue is only served from the supply sweep");
         };
@@ -433,14 +478,30 @@ impl GdrEngine {
         Ok(())
     }
 
-    fn take_needs_value(&mut self, cell: Cell, verb: &str) {
-        let Some(WorkPlan::NeedsValue { cell: pending_cell }) = self.pending.take() else {
-            panic!("{verb}({cell:?}): no NeedsValue work item is outstanding");
-        };
-        assert_eq!(
-            cell, pending_cell,
-            "{verb}({cell:?}): the outstanding cell is {pending_cell:?}"
-        );
+    /// Retires the outstanding `NeedsValue` item, verifying `cell` addresses
+    /// it; on any mismatch the outstanding plan is left in place.
+    fn take_needs_value(&mut self, cell: Cell, verb: &'static str) -> Result<()> {
+        match &self.pending {
+            Some(WorkPlan::NeedsValue { cell: pending_cell }) => {
+                if cell != *pending_cell {
+                    return Err(GdrError::WorkMismatch {
+                        verb,
+                        got: WorkTarget::Value(cell),
+                        outstanding: WorkTarget::Value(*pending_cell),
+                    });
+                }
+            }
+            Some(WorkPlan::AskUser { id, .. }) => {
+                return Err(GdrError::WorkMismatch {
+                    verb,
+                    got: WorkTarget::Value(cell),
+                    outstanding: WorkTarget::Ask(*id),
+                })
+            }
+            Some(WorkPlan::Done(_)) | None => return Err(GdrError::NoOutstandingWork { verb }),
+        }
+        self.pending = None;
+        Ok(())
     }
 
     /// Ends the session from the driver side: completes the work that needs
@@ -1153,23 +1214,88 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no AskUser work item is outstanding")]
-    fn answering_without_outstanding_work_panics() {
+    fn answering_without_outstanding_work_is_a_typed_error() {
         let mut e = engine(Strategy::GdrNoLearning);
-        e.answer(WorkId(7), Feedback::Confirm).unwrap();
+        let err = e.answer(WorkId(7), Feedback::Confirm).unwrap_err();
+        assert_eq!(err, GdrError::NoOutstandingWork { verb: "answer" });
+        // The engine is not poisoned: it still serves work normally.
+        assert!(matches!(e.next_work().unwrap(), WorkPlan::AskUser { .. }));
     }
 
     #[test]
-    #[should_panic(expected = "the outstanding work item is")]
-    fn answering_with_a_stale_id_panics() {
+    fn answering_with_a_stale_id_is_a_typed_error_and_reserves_the_plan() {
         let mut e = engine(Strategy::GdrNoLearning);
-        let WorkPlan::AskUser {
-            id: WorkId(raw), ..
-        } = e.next_work().unwrap()
-        else {
+        let plan = e.next_work().unwrap();
+        let WorkPlan::AskUser { id, .. } = plan.clone() else {
             panic!("expected AskUser");
         };
-        e.answer(WorkId(raw + 1), Feedback::Confirm).unwrap();
+        let stale = WorkId(id.raw() + 1);
+        let err = e.answer(stale, Feedback::Confirm).unwrap_err();
+        assert_eq!(
+            err,
+            GdrError::StaleWork {
+                got: stale,
+                outstanding: id
+            }
+        );
+        // The same plan is re-served verbatim, and answering with the right
+        // id still works.
+        assert_eq!(e.next_work().unwrap(), plan);
+        e.answer(id, Feedback::Confirm).unwrap();
+        assert_eq!(e.verifications(), 1);
+    }
+
+    #[test]
+    fn cell_verbs_reject_kind_and_cell_mismatches() {
+        let mut e = engine(Strategy::GdrNoLearning);
+        let WorkPlan::AskUser { id, .. } = e.next_work().unwrap() else {
+            panic!("expected AskUser");
+        };
+        // Cell verbs against an outstanding AskUser: typed mismatch.
+        let err = e.supply_value((0, 0), Value::from("x")).unwrap_err();
+        assert_eq!(
+            err,
+            GdrError::WorkMismatch {
+                verb: "supply_value",
+                got: WorkTarget::Value((0, 0)),
+                outstanding: WorkTarget::Ask(id),
+            }
+        );
+        let err = e.skip_value((0, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            GdrError::WorkMismatch {
+                verb: "skip_value",
+                ..
+            }
+        ));
+        // Answer against the served NeedsValue names the outstanding cell.
+        let mut e = engine(Strategy::GdrNoLearning);
+        loop {
+            match e.next_work().unwrap() {
+                WorkPlan::AskUser { id, .. } => e.answer(id, Feedback::Reject).unwrap(),
+                WorkPlan::NeedsValue { cell } => {
+                    let err = e.answer(WorkId(99), Feedback::Confirm).unwrap_err();
+                    assert_eq!(
+                        err,
+                        GdrError::WorkMismatch {
+                            verb: "answer",
+                            got: WorkTarget::Ask(WorkId(99)),
+                            outstanding: WorkTarget::Value(cell),
+                        }
+                    );
+                    // The wrong cell is a mismatch too; the right one works.
+                    let other = (cell.0 + 1, cell.1);
+                    assert!(matches!(
+                        e.skip_value(other).unwrap_err(),
+                        GdrError::WorkMismatch { .. }
+                    ));
+                    e.skip_value(cell).unwrap();
+                    break;
+                }
+                WorkPlan::Done(_) => panic!("reject-everything reaches the supply sweep"),
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,16 @@
-//! Golden determinism test: the incremental VOI re-ranking refactor must
-//! leave every strategy's observable behaviour on the Figure 1 fixture
-//! exactly as it was with the from-scratch per-round ranking.
+//! Golden determinism test: refactors must leave every strategy's
+//! observable behaviour on the Figure 1 fixture exactly as it is pinned
+//! here (`GdrConfig::fast()`, budget 12; losses and improvement
+//! percentages asserted bit-exactly).
 //!
-//! The expected checkpoint sequences below were captured from the
-//! pre-refactor implementation (tag `baseline-pre-incremental-voi`) with
-//! `GdrConfig::fast()` and a budget of 12; losses and improvement
-//! percentages are asserted bit-exactly.
+//! The sequences were first captured from the pre-incremental-VOI
+//! implementation (tag `baseline-pre-incremental-voi`) and recaptured once
+//! for an *intentional* semantic fix: `session::drive` now charges declined
+//! `NeedsValue` prompts against the feedback budget (a prompt the user
+//! answers "skip" is still user effort), so the budget-12 sessions end
+//! after 9 verifications + 3 declined prompts instead of prompting through
+//! the sweep for free and reaching 11 verifications.  Checkpoints up to
+//! that cut are bit-identical to the original baseline.
 
 use gdr_core::{fixture, GdrConfig, SessionBuilder, SessionReport, Strategy};
 
@@ -27,8 +32,8 @@ fn assert_checkpoints(strategy: Strategy, expected: &[(usize, f64, f64)]) {
         .collect();
     assert_eq!(got, expected, "{strategy} checkpoints diverged");
     assert_eq!(report.learner_decisions, 0, "{strategy}");
-    assert_eq!(report.verifications, 11, "{strategy}");
-    assert_eq!(report.final_loss, 0.0, "{strategy}");
+    assert_eq!(report.verifications, 9, "{strategy}");
+    assert_eq!(report.final_loss, 0.203125, "{strategy}");
 }
 
 #[test]
@@ -46,9 +51,7 @@ fn gdr_checkpoints_match_pre_refactor_baseline() {
             (7, 0.203125, 43.47826086956522),
             (8, 0.203125, 43.47826086956522),
             (9, 0.203125, 43.47826086956522),
-            (10, 0.140625, 60.869565217391305),
-            (11, 0.0, 100.0),
-            (11, 0.0, 100.0),
+            (9, 0.203125, 43.47826086956522),
         ],
     );
 }
@@ -68,9 +71,7 @@ fn gdr_no_learning_checkpoints_match_pre_refactor_baseline() {
             (7, 0.203125, 43.47826086956522),
             (8, 0.203125, 43.47826086956522),
             (9, 0.203125, 43.47826086956522),
-            (10, 0.140625, 60.869565217391305),
-            (11, 0.0, 100.0),
-            (11, 0.0, 100.0),
+            (9, 0.203125, 43.47826086956522),
         ],
     );
 }
@@ -90,9 +91,7 @@ fn gdr_s_learning_checkpoints_match_pre_refactor_baseline() {
             (7, 0.203125, 43.47826086956522),
             (8, 0.203125, 43.47826086956522),
             (9, 0.203125, 43.47826086956522),
-            (10, 0.140625, 60.869565217391305),
-            (11, 0.0, 100.0),
-            (11, 0.0, 100.0),
+            (9, 0.203125, 43.47826086956522),
         ],
     );
 }
@@ -112,9 +111,7 @@ fn greedy_checkpoints_match_pre_refactor_baseline() {
             (7, 0.203125, 43.47826086956522),
             (8, 0.203125, 43.47826086956522),
             (9, 0.203125, 43.47826086956522),
-            (10, 0.140625, 60.869565217391305),
-            (11, 0.0, 100.0),
-            (11, 0.0, 100.0),
+            (9, 0.203125, 43.47826086956522),
         ],
     );
 }
@@ -134,9 +131,7 @@ fn random_order_checkpoints_match_pre_refactor_baseline() {
             (7, 0.203125, 43.47826086956522),
             (8, 0.203125, 43.47826086956522),
             (9, 0.203125, 43.47826086956522),
-            (10, 0.140625, 60.869565217391305),
-            (11, 0.0, 100.0),
-            (11, 0.0, 100.0),
+            (9, 0.203125, 43.47826086956522),
         ],
     );
 }

@@ -1,0 +1,294 @@
+//! The client side of the wire protocol: typed calls plus a remote driver.
+//!
+//! [`Client`] speaks the same codec as the server over any `Read + Write`
+//! pair and exposes one method per protocol verb.  [`Client::drive`] is the
+//! remote twin of `gdr_core::session::drive`: it feeds a served session
+//! from any [`UserOracle`] under an interaction budget, recovering from the
+//! retryable protocol errors the way the error contract intends — on
+//! `stale_work`/`work_mismatch`/`no_outstanding_work` it re-pulls `next`
+//! and continues instead of giving up.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use gdr_core::oracle::UserOracle;
+use gdr_core::step::DoneReason;
+use gdr_core::strategy::Strategy;
+use gdr_relation::Value;
+use gdr_repair::{Feedback, Update};
+
+use crate::wire::{decode_response, encode_request, Request, Response, WireError};
+
+/// A client-side error: transport failure, an undecodable reply, or a
+/// structured error reply from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or reached EOF mid-conversation).
+    Io(io::Error),
+    /// The server's reply line did not decode.
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport error: {err}"),
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ClientError::Server(err) => write!(f, "server error: {err:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> ClientError {
+        ClientError::Io(err)
+    }
+}
+
+/// Per-session options for [`Client::open`].
+#[derive(Debug, Clone)]
+pub struct OpenOptions {
+    /// Strategy token sent on the wire.
+    pub strategy: Strategy,
+    /// Optional seed override.
+    pub seed: Option<u64>,
+    /// Optional ground truth CSV (enables server-side evaluation).
+    pub ground_truth_csv: Option<String>,
+}
+
+impl Default for OpenOptions {
+    fn default() -> OpenOptions {
+        OpenOptions {
+            strategy: Strategy::Gdr,
+            seed: None,
+            ground_truth_csv: None,
+        }
+    }
+}
+
+/// A blocking protocol client bound to one session id.
+pub struct Client<R: Read, W: Write> {
+    reader: BufReader<R>,
+    writer: W,
+    session: String,
+}
+
+impl Client<TcpStream, TcpStream> {
+    /// Connects a client over TCP (the stream is cloned for the read half).
+    /// Disables Nagle's algorithm: the protocol is strictly
+    /// request/reply with small lines, the worst case for delayed-ACK
+    /// interaction.
+    pub fn connect(stream: TcpStream, session: impl Into<String>) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client::new(reader, stream, session))
+    }
+}
+
+impl<R: Read, W: Write> Client<R, W> {
+    /// Wraps a transport pair.
+    pub fn new(reader: R, writer: W, session: impl Into<String>) -> Self {
+        Client {
+            reader: BufReader::new(reader),
+            writer,
+            session: session.into(),
+        }
+    }
+
+    /// The session id this client addresses.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Sends one request and reads one reply — the protocol is strictly
+    /// request/reply, so this is the only I/O primitive.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(encode_request(request).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        decode_response(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Error(err) => Err(ClientError::Server(err)),
+            response => Ok(response),
+        }
+    }
+
+    /// Opens the session on the server.
+    pub fn open(
+        &mut self,
+        table_csv: impl Into<String>,
+        rules: impl Into<String>,
+        options: OpenOptions,
+    ) -> Result<Response, ClientError> {
+        let request = Request::Open {
+            session: self.session.clone(),
+            table_csv: table_csv.into(),
+            rules: rules.into(),
+            strategy: options.strategy,
+            seed: options.seed,
+            ground_truth_csv: options.ground_truth_csv,
+        };
+        self.expect_ok(&request)
+    }
+
+    /// Pulls the next work item.
+    // `next` is the protocol verb, not an iterator (it re-serves the same
+    // item until it is answered).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Next {
+            session: self.session.clone(),
+        })
+    }
+
+    /// Answers the outstanding `ask` item.
+    pub fn answer(&mut self, id: u64, feedback: Feedback) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Answer {
+            session: self.session.clone(),
+            id,
+            feedback,
+        })
+    }
+
+    /// Supplies the correct value for the outstanding `need_value` cell.
+    pub fn supply(
+        &mut self,
+        tuple: usize,
+        attr: usize,
+        value: Value,
+    ) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Supply {
+            session: self.session.clone(),
+            tuple,
+            attr,
+            value,
+        })
+    }
+
+    /// Declines the outstanding `need_value` cell.
+    pub fn skip(&mut self, tuple: usize, attr: usize) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Skip {
+            session: self.session.clone(),
+            tuple,
+            attr,
+        })
+    }
+
+    /// Ends the session from the client side.
+    pub fn finish(&mut self) -> Result<DoneReason, ClientError> {
+        match self.expect_ok(&Request::Finish {
+            session: self.session.clone(),
+        })? {
+            Response::Done { reason } => Ok(reason),
+            other => Err(ClientError::Protocol(format!(
+                "finish expected a done reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests the session summary.
+    pub fn report(&mut self) -> Result<Response, ClientError> {
+        self.expect_ok(&Request::Report {
+            session: self.session.clone(),
+        })
+    }
+
+    /// Asks the server to rebuild the session's engine by replaying its
+    /// journal; returns the number of replayed events.
+    pub fn restore(&mut self) -> Result<usize, ClientError> {
+        match self.expect_ok(&Request::Restore {
+            session: self.session.clone(),
+        })? {
+            Response::Restored { replayed } => Ok(replayed),
+            other => Err(ClientError::Protocol(format!(
+                "restore expected a restored reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The remote twin of `gdr_core::session::drive`: answers served work
+    /// from `user` until the interaction budget (`None` = unlimited) is
+    /// exhausted or the session is done, then finishes.  Retryable protocol
+    /// errors (stale id, mismatch, nothing outstanding — e.g. after a
+    /// concurrent `restore` or a duplicated delivery) are recovered by
+    /// re-pulling `next`.
+    pub fn drive(
+        &mut self,
+        user: &dyn UserOracle,
+        budget: Option<usize>,
+    ) -> Result<DoneReason, ClientError> {
+        let mut interactions = 0usize;
+        loop {
+            if budget.is_some_and(|b| interactions >= b) {
+                break;
+            }
+            match self.next()? {
+                Response::Ask {
+                    id,
+                    tuple,
+                    attr,
+                    current,
+                    value,
+                    score,
+                    ..
+                } => {
+                    let update = Update::new(tuple, attr, value, score);
+                    let feedback = user.feedback(&update, &current);
+                    interactions += 1;
+                    if let Err(err) = self.answer(id, feedback) {
+                        recover_or_fail(err)?;
+                    }
+                }
+                Response::NeedValue {
+                    tuple,
+                    attr,
+                    current,
+                } => {
+                    interactions += 1;
+                    let reply = match user.correct_value(tuple, attr) {
+                        Some(value) if value != current => self.supply(tuple, attr, value),
+                        _ => self.skip(tuple, attr),
+                    };
+                    if let Err(err) = reply {
+                        recover_or_fail(err)?;
+                    }
+                }
+                Response::Done { reason } => return Ok(reason),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "next expected a work plan, got {other:?}"
+                    )))
+                }
+            }
+        }
+        self.finish()
+    }
+}
+
+/// Swallows the retryable protocol errors (the engine re-serves the plan on
+/// the next pull); anything else propagates.
+fn recover_or_fail(err: ClientError) -> Result<(), ClientError> {
+    match err {
+        ClientError::Server(
+            WireError::StaleWork { .. }
+            | WireError::WorkMismatch { .. }
+            | WireError::NoOutstandingWork { .. },
+        ) => Ok(()),
+        other => Err(other),
+    }
+}

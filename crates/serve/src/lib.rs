@@ -1,0 +1,132 @@
+//! # gdr-serve — sessions over a transport
+//!
+//! Serves many concurrent Guided Data Repair sessions ([`gdr_core::step`]'s
+//! pull-based engines) over a blocking, line-delimited JSON protocol.
+//! Std-only by design: the codec ([`json`]/[`wire`]) is hand-rolled, the
+//! transport is `std::net::TcpListener` / any `Read + Write` pair, and
+//! concurrency is thread-per-connection over a shared [`store::SessionStore`].
+//!
+//! This crate exists because the engine's error contract makes it safe: a
+//! protocol violation from a remote client (stale work id, wrong cell,
+//! double answer) returns a typed [`gdr_core::error::GdrError`] that maps
+//! onto a structured error *reply* — the session, the connection, and every
+//! other session keep working.  Cf. the crowdsourced-repair setting these
+//! papers assume: many unreliable humans, one server that must not die.
+//!
+//! ## Wire format
+//!
+//! One JSON object per line in each direction; strictly request → reply.
+//! Blank lines are ignored.  Requests carry `"op"` and `"session"`:
+//!
+//! | op | fields | success reply |
+//! |----|--------|---------------|
+//! | `open` | `table_csv`, `rules`, `strategy`, `seed`?, `ground_truth_csv`? | `{"ok":"opened","session":…,"dirty_tuples":n}` |
+//! | `next` | — | `ask` / `need_value` / `done` (below) |
+//! | `answer` | `id`, `feedback` ∈ `confirm\|reject\|retain` | `{"ok":"answered","verifications":n}` |
+//! | `supply` | `tuple`, `attr`, `value` | `{"ok":"supplied","verifications":n}` |
+//! | `skip` | `tuple`, `attr` | `{"ok":"skipped"}` |
+//! | `finish` | — | `{"ok":"done","reason":…}` |
+//! | `report` | — | `{"ok":"report",…,"eval":{…}?}` |
+//! | `restore` | — | `{"ok":"restored","replayed":n}` |
+//!
+//! `next` replies with one of:
+//!
+//! ```text
+//! {"ok":"ask","id":7,"tuple":3,"attr":1,"current":"Michigan Cty",
+//!  "value":"Michigan City","score":0.25,"uncertainty":1.0,
+//!  "group":{"attr":1,"value":"Michigan City","benefit":0.0625,
+//!           "size":3,"quota":2,"asked":0}}
+//! {"ok":"need_value","tuple":6,"attr":2,"current":"Colfax"}
+//! {"ok":"done","reason":"exhausted|stalled|automatic_complete|finished"}
+//! ```
+//!
+//! Cell values are type-faithful: JSON `null` ↔ `Null`, number ↔ `Int`,
+//! string ↔ `Str` (so `"46360"` and `46360` stay distinct, as the repair
+//! semantics require).  Tables travel as CSV documents (header row; the
+//! `gdr_relation::csv` dialect), rules in the `gdr_cfd::parser` line
+//! syntax.
+//!
+//! Errors are structured replies, never connection teardowns:
+//!
+//! ```text
+//! {"err":"stale_work","got":8,"outstanding":7}
+//! {"err":"work_mismatch","verb":"supply_value",
+//!  "got":{"kind":"value","tuple":3,"attr":1},
+//!  "outstanding":{"kind":"ask","id":7}}
+//! {"err":"no_outstanding_work","verb":"answer"}
+//! {"err":"unknown_session","session":…}   {"err":"duplicate_session","session":…}
+//! {"err":"bad_request","detail":…}        {"err":"engine","detail":…}
+//! ```
+//!
+//! The first three are *retryable*: the engine state is untouched, so the
+//! client re-pulls `next`, gets the same plan (same work id) and continues.
+//! [`client::Client::drive`] implements exactly that recovery.
+//!
+//! ## Store and resume semantics
+//!
+//! Persistence is **replay-based**.  The engine is deterministic, so the
+//! store journals, per session, (1) the build inputs exactly as they
+//! arrived in `open` and (2) every successful state-advancing protocol step
+//! ([`store::TranscriptEvent`]) — the verbs, plus every pull made with no
+//! item outstanding ([`store::TranscriptEvent::Pulled`]), because such a
+//! pull runs real bookkeeping: the initial checkpoint, the learner phase
+//! closing the previous group, suggestion refresh, the final checkpoint at
+//! conclusion.  `restore` rebuilds the engine from scratch and replays the
+//! transcript through the public pull API; the result is bit-identical to
+//! the live engine — quality checkpoints compared via `f64::to_bits` in
+//! this crate's tests, at every interruption point.  A pull that merely
+//! re-serves the outstanding item is pure and is not journaled: the rebuilt
+//! engine re-serves that item with the same work id on the next pull, so a
+//! client that was mid-question resumes seamlessly.  Protocol errors mutate
+//! nothing and are never journaled.
+//!
+//! This trades replay CPU for zero snapshot machinery and gets auditability
+//! for free (the journal *is* the session history).  The journal is a plain
+//! value — a deployment that wants durability across processes can encode
+//! it with the [`wire`] codec line-by-line and write it wherever it likes.
+//!
+//! ## Quickstart (loopback)
+//!
+//! ```
+//! use std::net::{TcpListener, TcpStream};
+//! use std::sync::Arc;
+//! use gdr_serve::client::{Client, OpenOptions};
+//! use gdr_serve::server::serve_listener;
+//! use gdr_serve::store::SessionStore;
+//! use gdr_core::strategy::Strategy;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//! let store = Arc::new(SessionStore::new());
+//! let server = std::thread::spawn(move || serve_listener(listener, store, Some(1)));
+//!
+//! let (dirty, clean, rules) = gdr_core::fixture::figure1_instance();
+//! let mut client = Client::connect(TcpStream::connect(addr).unwrap(), "demo").unwrap();
+//! client
+//!     .open(
+//!         gdr_relation::csv::to_csv(&dirty),
+//!         gdr_core::fixture::figure1_rules_text(),
+//!         OpenOptions { strategy: Strategy::GdrNoLearning, ..OpenOptions::default() },
+//!     )
+//!     .unwrap();
+//! let oracle = gdr_core::GroundTruthOracle::new(clean);
+//! let reason = client.drive(&oracle, Some(4)).unwrap();
+//! drop(client);
+//! server.join().unwrap().unwrap();
+//! # let _ = (rules, reason);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError, OpenOptions};
+pub use json::{Json, JsonError};
+pub use server::{dispatch, serve_connection, serve_listener};
+pub use store::{OpenSpec, Session, SessionJournal, SessionStore, StoreError, TranscriptEvent};
+pub use wire::{Request, Response, WireError, WireTarget};

@@ -1,0 +1,301 @@
+//! The blocking session server: request dispatch plus transport loops.
+//!
+//! [`serve_connection`] runs the protocol over any `Read + Write` pair
+//! (a TCP stream, stdio, an in-memory pipe in tests); [`serve_listener`]
+//! accepts TCP connections and serves each on its own thread, all sharing
+//! one [`SessionStore`].  A protocol violation — malformed line, unknown
+//! session, stale work id — produces a structured error *reply* on that
+//! connection and nothing else: the connection stays open, the session
+//! stays servable, and every other session is untouched.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread;
+
+use gdr_core::step::WorkId;
+use gdr_relation::csv::parse_csv;
+
+use crate::store::{OpenSpec, SessionStore, StoreError};
+use crate::wire::{
+    decode_request, encode_response, Request, Response, WireError, WireEval, WireGroup,
+};
+
+/// Handles one decoded request against the store, producing the reply.
+///
+/// This is the entire server semantics; the transport loops below only
+/// frame lines around it.
+pub fn dispatch(store: &SessionStore, request: Request) -> Response {
+    match handle(store, request) {
+        Ok(response) => response,
+        Err(error) => Response::Error(error),
+    }
+}
+
+fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError> {
+    match request {
+        Request::Open {
+            session,
+            table_csv,
+            rules,
+            strategy,
+            seed,
+            ground_truth_csv,
+        } => {
+            let spec = build_spec(
+                &table_csv,
+                &rules,
+                strategy,
+                seed,
+                ground_truth_csv.as_deref(),
+            )?;
+            let handle = store.open(&session, spec).map_err(store_error)?;
+            let dirty_tuples = {
+                let guard = handle
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard.engine().state().dirty_tuples().len()
+            };
+            Ok(Response::Opened {
+                session,
+                dirty_tuples,
+            })
+        }
+        Request::Next { session } => {
+            let plan = store
+                .with_session(&session, |s| {
+                    let plan = s.next()?;
+                    Ok(plan_response(s, plan))
+                })
+                .map_err(store_error)?;
+            Ok(plan)
+        }
+        Request::Answer {
+            session,
+            id,
+            feedback,
+        } => store
+            .with_session(&session, |s| s.answer(WorkId::from_raw(id), feedback))
+            .map(|verifications| Response::Answered { verifications })
+            .map_err(store_error),
+        Request::Supply {
+            session,
+            tuple,
+            attr,
+            value,
+        } => store
+            .with_session(&session, |s| s.supply((tuple, attr), value))
+            .map(|verifications| Response::Supplied { verifications })
+            .map_err(store_error),
+        Request::Skip {
+            session,
+            tuple,
+            attr,
+        } => store
+            .with_session(&session, |s| s.skip((tuple, attr)))
+            .map(|()| Response::Skipped)
+            .map_err(store_error),
+        Request::Finish { session } => store
+            .with_session(&session, |s| s.finish())
+            .map(|reason| Response::Done { reason })
+            .map_err(store_error),
+        Request::Report { session } => store
+            .with_session(&session, |s| {
+                let engine = s.engine();
+                let eval = engine.report().map(|report| WireEval {
+                    initial_loss: report.initial_loss,
+                    final_loss: report.final_loss,
+                    improvement_pct: report.final_improvement_pct,
+                    precision: report.accuracy.precision(),
+                    recall: report.accuracy.recall(),
+                });
+                Ok(Response::Report {
+                    verifications: engine.verifications(),
+                    learner_decisions: engine.learner_decisions(),
+                    dirty_tuples: engine.state().dirty_tuples().len(),
+                    eval,
+                })
+            })
+            .map_err(store_error),
+        Request::Restore { session } => store
+            .with_session(&session, |s| s.restore())
+            .map(|replayed| Response::Restored { replayed })
+            .map_err(store_error),
+    }
+}
+
+fn build_spec(
+    table_csv: &str,
+    rules_text: &str,
+    strategy: gdr_core::strategy::Strategy,
+    seed: Option<u64>,
+    ground_truth_csv: Option<&str>,
+) -> Result<OpenSpec, WireError> {
+    let dirty = parse_csv("dirty", table_csv).map_err(|e| WireError::BadRequest {
+        detail: format!("table_csv: {e}"),
+    })?;
+    let rules = gdr_cfd::parser::parse_rules(dirty.schema(), rules_text)
+        .map(gdr_cfd::RuleSet::new)
+        .map_err(|e| WireError::BadRequest {
+            detail: format!("rules: {e}"),
+        })?;
+    let ground_truth = ground_truth_csv
+        .map(|csv| {
+            parse_csv("truth", csv).map_err(|e| WireError::BadRequest {
+                detail: format!("ground_truth_csv: {e}"),
+            })
+        })
+        .transpose()?;
+    if let Some(truth) = &ground_truth {
+        if !truth.schema().same_as(dirty.schema()) || truth.len() != dirty.len() {
+            return Err(WireError::BadRequest {
+                detail: "ground_truth_csv must have the same schema and row count as table_csv"
+                    .to_string(),
+            });
+        }
+    }
+    let mut spec = OpenSpec::new(dirty, rules);
+    spec.strategy = strategy;
+    if let Some(seed) = seed {
+        spec.config.seed = seed;
+    }
+    spec.ground_truth = ground_truth;
+    Ok(spec)
+}
+
+/// Maps a work plan onto its wire reply, enriching it with the current cell
+/// values a remote user needs to decide.
+fn plan_response(session: &crate::store::Session, plan: gdr_core::step::WorkPlan) -> Response {
+    use gdr_core::step::WorkPlan;
+    match plan {
+        WorkPlan::AskUser {
+            id,
+            update,
+            group_context,
+            uncertainty,
+        } => {
+            let current = session
+                .engine()
+                .state()
+                .table()
+                .cell(update.tuple, update.attr)
+                .clone();
+            Response::Ask {
+                id: id.raw(),
+                tuple: update.tuple,
+                attr: update.attr,
+                current,
+                value: update.value,
+                score: update.score,
+                uncertainty,
+                group: group_context.map(|g| WireGroup {
+                    attr: g.attr,
+                    value: g.value,
+                    benefit: g.benefit,
+                    size: g.size,
+                    quota: g.quota,
+                    asked: g.asked,
+                }),
+            }
+        }
+        WorkPlan::NeedsValue { cell } => {
+            let current = session
+                .engine()
+                .state()
+                .table()
+                .cell(cell.0, cell.1)
+                .clone();
+            Response::NeedValue {
+                tuple: cell.0,
+                attr: cell.1,
+                current,
+            }
+        }
+        WorkPlan::Done(reason) => Response::Done { reason },
+    }
+}
+
+fn store_error(error: StoreError) -> WireError {
+    match error {
+        StoreError::UnknownSession(session) => WireError::UnknownSession { session },
+        StoreError::DuplicateSession(session) => WireError::DuplicateSession { session },
+        StoreError::Gdr(err) => err.into(),
+    }
+}
+
+/// Serves one connection: reads request lines until EOF, writing one reply
+/// line per request.  Blank lines are ignored; malformed lines get a
+/// `bad_request` reply and the connection continues.
+pub fn serve_connection(
+    store: &SessionStore,
+    reader: impl Read,
+    mut writer: impl Write,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match decode_request(trimmed) {
+            Ok(request) => dispatch(store, request),
+            Err(detail) => Response::Error(WireError::BadRequest { detail }),
+        };
+        writer.write_all(encode_response(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Accepts TCP connections and serves each on its own thread (all sharing
+/// `store`), until `max_connections` have been accepted (`None` = forever).
+/// Returns once every accepted connection has been served to EOF.
+///
+/// A connection thread that fails (or panics) is contained: its error is
+/// swallowed after logging to stderr, and the accept loop keeps serving.
+pub fn serve_listener(
+    listener: TcpListener,
+    store: Arc<SessionStore>,
+    max_connections: Option<usize>,
+) -> io::Result<()> {
+    let mut handles = Vec::new();
+    let incoming: Box<dyn Iterator<Item = io::Result<std::net::TcpStream>>> = match max_connections
+    {
+        Some(max) => Box::new(listener.incoming().take(max)),
+        None => Box::new(listener.incoming()),
+    };
+    for stream in incoming {
+        // Reap handles of connections that already hung up, so a
+        // long-running server does not accumulate one JoinHandle per
+        // connection it ever served (dropping a finished handle is free;
+        // unfinished ones are kept and joined at shutdown).
+        handles.retain(|handle: &thread::JoinHandle<()>| !handle.is_finished());
+        let stream = stream?;
+        // One small line per reply; never wait out Nagle + delayed ACK.
+        stream.set_nodelay(true).ok();
+        let store = store.clone();
+        handles.push(thread::spawn(move || {
+            let peer = stream.peer_addr().ok();
+            let reader = match stream.try_clone() {
+                Ok(reader) => reader,
+                Err(err) => {
+                    eprintln!("gdr-serve: failed to clone stream for {peer:?}: {err}");
+                    return;
+                }
+            };
+            if let Err(err) = serve_connection(&store, reader, stream) {
+                eprintln!("gdr-serve: connection {peer:?} failed: {err}");
+            }
+        }));
+    }
+    for handle in handles {
+        // A panicking connection thread must not take the server down.
+        let _ = handle.join();
+    }
+    Ok(())
+}

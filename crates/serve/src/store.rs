@@ -1,0 +1,378 @@
+//! The session store: many concurrent engines, persisted by **replay**.
+//!
+//! A GDR engine is deterministic: the same build inputs plus the same answer
+//! transcript always reproduce the same state, bit for bit (this is what
+//! `tests/step_equivalence.rs` pins for the in-process drivers).  The store
+//! leans on that instead of snapshotting engine internals: each session
+//! journals its build inputs ([`OpenSpec`]) and every *successful*,
+//! state-advancing protocol step ([`TranscriptEvent`]), and
+//! [`Session::restore`] rebuilds the engine by replaying the journal
+//! through the public pull API.  Crucially, that includes the pulls: a
+//! `next_work` call with no item outstanding runs real bookkeeping (group
+//! selection, the learner phase that closes the previous group, suggestion
+//! refresh, checkpoints) and is journaled as [`TranscriptEvent::Pulled`];
+//! a pull that merely re-serves the outstanding item is pure and is not.
+//! Protocol errors mutate nothing, so they are never journaled.
+//!
+//! Locking: the store holds a mutex-guarded map of `Arc<Mutex<Session>>`.
+//! A request locks the map only to look up (or insert) the session, then
+//! drives the engine under the per-session mutex — sessions never block one
+//! another.  Poisoned locks are recovered (`PoisonError::into_inner`): a
+//! panicking connection thread must not take every other session down, and
+//! `restore` rebuilds a definitely-consistent engine from the journal if a
+//! panic left the live one suspect.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gdr_cfd::RuleSet;
+use gdr_core::config::GdrConfig;
+use gdr_core::error::GdrError;
+use gdr_core::step::{GdrEngine, SessionBuilder, WorkId, WorkPlan};
+use gdr_core::strategy::Strategy;
+use gdr_relation::{Table, Value};
+use gdr_repair::{Cell, Feedback};
+
+/// Everything needed to (re)build a session's engine — the journaled build
+/// inputs.
+#[derive(Debug, Clone)]
+pub struct OpenSpec {
+    /// The dirty instance to repair.
+    pub dirty: Table,
+    /// The rules it must come to satisfy.
+    pub rules: RuleSet,
+    /// The repair strategy.
+    pub strategy: Strategy,
+    /// The session configuration (seed, `n_s`, forest, …).
+    pub config: GdrConfig,
+    /// Optional ground truth: installs evaluation hooks, enabling loss
+    /// checkpoints and the accuracy figures in `report`.
+    pub ground_truth: Option<Table>,
+}
+
+impl OpenSpec {
+    /// A spec from the two required inputs, defaulting the rest (strategy
+    /// [`Strategy::Gdr`], default config, no ground truth).
+    pub fn new(dirty: Table, rules: RuleSet) -> OpenSpec {
+        OpenSpec {
+            dirty,
+            rules,
+            strategy: Strategy::Gdr,
+            config: GdrConfig::default(),
+            ground_truth: None,
+        }
+    }
+
+    fn build(&self) -> GdrEngine {
+        let builder = SessionBuilder::new(self.dirty.clone(), &self.rules)
+            .strategy(self.strategy)
+            .config(self.config.clone());
+        match &self.ground_truth {
+            Some(truth) => builder.ground_truth(truth.clone()).build(),
+            None => builder.build(),
+        }
+    }
+}
+
+/// One successful, state-advancing protocol step, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranscriptEvent {
+    /// A `next_work` pull made with no item outstanding.  Such a pull is
+    /// *not* a read: it starts the engine (initial checkpoint; for the
+    /// automatic strategy, the entire heuristic), closes the previous group
+    /// (learner decisions, suggestion refresh, stall bookkeeping), selects
+    /// the next one, and — at the end of a session — seals the conclusion
+    /// and records the final checkpoint.  Replay must make exactly these
+    /// pulls, even when no verb ever followed them (e.g. `finish` right
+    /// after a pull that crossed a group boundary).  Pulls that re-serve an
+    /// already-outstanding item are pure and are not journaled.
+    Pulled,
+    /// `answer(id, feedback)` was applied.
+    Answered(u64, Feedback),
+    /// `supply_value(cell, value)` was applied.
+    Supplied(Cell, Value),
+    /// `skip_value(cell)` was applied.
+    Skipped(Cell),
+    /// `finish()` concluded the session.
+    Finished,
+}
+
+/// The per-session journal: build inputs + answer transcript.
+#[derive(Debug, Clone)]
+pub struct SessionJournal {
+    spec: OpenSpec,
+    transcript: Vec<TranscriptEvent>,
+}
+
+impl SessionJournal {
+    /// A fresh journal over the given build inputs.
+    pub fn new(spec: OpenSpec) -> SessionJournal {
+        SessionJournal {
+            spec,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// The journaled build inputs.
+    pub fn spec(&self) -> &OpenSpec {
+        &self.spec
+    }
+
+    /// The journaled transcript, in application order.
+    pub fn transcript(&self) -> &[TranscriptEvent] {
+        &self.transcript
+    }
+
+    /// Rebuilds an engine from scratch and replays the transcript through
+    /// the public pull API.  Determinism makes the result bit-identical to
+    /// the engine the transcript was recorded from; a divergence (e.g. a
+    /// journal edited by hand) surfaces as a typed [`GdrError`] because the
+    /// replayed work ids no longer line up.
+    pub fn replay(&self) -> Result<GdrEngine, GdrError> {
+        let mut engine = self.spec.build();
+        for event in &self.transcript {
+            match event {
+                TranscriptEvent::Pulled => {
+                    engine.next_work()?;
+                }
+                // Each verb re-pulls before applying; its serving pull is
+                // already in the transcript as `Pulled`, so this extra call
+                // is a pure re-serve of the outstanding item — it keeps the
+                // replay robust even against a journal with missing pulls.
+                TranscriptEvent::Answered(raw, feedback) => {
+                    engine.next_work()?;
+                    engine.answer(WorkId::from_raw(*raw), *feedback)?;
+                }
+                TranscriptEvent::Supplied(cell, value) => {
+                    engine.next_work()?;
+                    engine.supply_value(*cell, value.clone())?;
+                }
+                TranscriptEvent::Skipped(cell) => {
+                    engine.next_work()?;
+                    engine.skip_value(*cell)?;
+                }
+                TranscriptEvent::Finished => {
+                    engine.finish()?;
+                }
+            }
+        }
+        Ok(engine)
+    }
+}
+
+/// A live session: the engine plus its journal.
+#[derive(Debug)]
+pub struct Session {
+    engine: GdrEngine,
+    journal: SessionJournal,
+    /// Whether a served work item is currently outstanding — the line
+    /// between pure pulls (re-serves, not journaled) and state-advancing
+    /// pulls (journaled as [`TranscriptEvent::Pulled`]).
+    outstanding: bool,
+}
+
+impl Session {
+    /// Builds the engine from the spec and starts an empty journal.
+    pub fn open(spec: OpenSpec) -> Session {
+        let journal = SessionJournal::new(spec);
+        Session {
+            engine: journal.spec.build(),
+            journal,
+            outstanding: false,
+        }
+    }
+
+    /// The live engine.
+    pub fn engine(&self) -> &GdrEngine {
+        &self.engine
+    }
+
+    /// The journal (build inputs + transcript).
+    pub fn journal(&self) -> &SessionJournal {
+        &self.journal
+    }
+
+    /// Pulls the next work item.  A pull made with an item already
+    /// outstanding is a pure re-serve (same plan, same work id) and is not
+    /// journaled; a pull that actually advances the engine — including the
+    /// first one and the one that observes the conclusion — is journaled as
+    /// [`TranscriptEvent::Pulled`] so replay re-runs its bookkeeping.
+    // `next` is the protocol verb, not an iterator (it does not yield a
+    // stream of distinct items — it re-serves until answered).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<WorkPlan, GdrError> {
+        let advancing = !self.outstanding && self.engine.done().is_none();
+        let plan = self.engine.next_work()?;
+        if advancing {
+            self.journal.transcript.push(TranscriptEvent::Pulled);
+        }
+        self.outstanding = !matches!(plan, WorkPlan::Done(_));
+        Ok(plan)
+    }
+
+    /// Answers the outstanding `AskUser` item; journals on success.
+    pub fn answer(&mut self, id: WorkId, feedback: Feedback) -> Result<usize, GdrError> {
+        self.engine.answer(id, feedback)?;
+        self.outstanding = false;
+        self.journal
+            .transcript
+            .push(TranscriptEvent::Answered(id.raw(), feedback));
+        Ok(self.engine.verifications())
+    }
+
+    /// Supplies a value for the outstanding `NeedsValue` cell; journals on
+    /// success.
+    pub fn supply(&mut self, cell: Cell, value: Value) -> Result<usize, GdrError> {
+        self.engine.supply_value(cell, value.clone())?;
+        self.outstanding = false;
+        self.journal
+            .transcript
+            .push(TranscriptEvent::Supplied(cell, value));
+        Ok(self.engine.verifications())
+    }
+
+    /// Skips the outstanding `NeedsValue` cell; journals on success.
+    pub fn skip(&mut self, cell: Cell) -> Result<(), GdrError> {
+        self.engine.skip_value(cell)?;
+        self.outstanding = false;
+        self.journal.transcript.push(TranscriptEvent::Skipped(cell));
+        Ok(())
+    }
+
+    /// Finishes the session; journals on success.
+    pub fn finish(&mut self) -> Result<gdr_core::step::DoneReason, GdrError> {
+        let reason = self.engine.finish()?;
+        self.outstanding = false;
+        // finish() is idempotent; journal it once so replay stays aligned.
+        if self.journal.transcript.last() != Some(&TranscriptEvent::Finished) {
+            self.journal.transcript.push(TranscriptEvent::Finished);
+        }
+        Ok(reason)
+    }
+
+    /// Discards the live engine and replays the journal in its place.
+    /// Returns the number of events replayed.
+    pub fn restore(&mut self) -> Result<usize, GdrError> {
+        self.engine = self.journal.replay()?;
+        // Conservatively treat nothing as outstanding: if the replayed
+        // engine does hold a served item, the next pull re-serves it purely
+        // and journals one extra `Pulled`, which replays as a no-op.
+        self.outstanding = false;
+        Ok(self.journal.transcript.len())
+    }
+}
+
+/// Errors of the store layer, wrapping the engine's protocol errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The session id is not in the store.
+    UnknownSession(String),
+    /// `open` named an id that already exists.
+    DuplicateSession(String),
+    /// A protocol or engine error from the session itself.
+    Gdr(GdrError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownSession(id) => write!(f, "unknown session `{id}`"),
+            StoreError::DuplicateSession(id) => write!(f, "session `{id}` already exists"),
+            StoreError::Gdr(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Gdr(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GdrError> for StoreError {
+    fn from(err: GdrError) -> StoreError {
+        StoreError::Gdr(err)
+    }
+}
+
+/// A thread-safe map of sessions keyed by id.
+///
+/// All verbs are `&self`: the store is shared across connection threads
+/// behind an `Arc` with no outer lock held while an engine runs.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// Number of sessions currently in the store.
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.sessions).len()
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates a session under `id`.
+    pub fn open(&self, id: &str, spec: OpenSpec) -> Result<Arc<Mutex<Session>>, StoreError> {
+        // Cheap duplicate pre-check so a racing re-open does not pay for a
+        // doomed engine build.
+        if lock_recovering(&self.sessions).contains_key(id) {
+            return Err(StoreError::DuplicateSession(id.to_string()));
+        }
+        // Build the engine (violation detection, suggestion generation —
+        // potentially large) *outside* the map lock so concurrent requests
+        // on other sessions are never stalled behind an open.
+        let session = Arc::new(Mutex::new(Session::open(spec)));
+        let mut sessions = lock_recovering(&self.sessions);
+        if sessions.contains_key(id) {
+            // Lost a race with another open of the same id.
+            return Err(StoreError::DuplicateSession(id.to_string()));
+        }
+        sessions.insert(id.to_string(), session.clone());
+        Ok(session)
+    }
+
+    /// Looks up a session by id.
+    pub fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, StoreError> {
+        lock_recovering(&self.sessions)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownSession(id.to_string()))
+    }
+
+    /// Removes a session; returns whether it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        lock_recovering(&self.sessions).remove(id).is_some()
+    }
+
+    /// Runs `f` under the session's lock.
+    pub fn with_session<T>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut Session) -> Result<T, GdrError>,
+    ) -> Result<T, StoreError> {
+        let session = self.get(id)?;
+        let mut guard = lock_recovering(&session);
+        f(&mut guard).map_err(StoreError::Gdr)
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: a connection thread that
+/// panicked mid-request must not deny every later request.  (For a session
+/// whose engine might have been left mid-mutation, `restore` rebuilds a
+/// consistent one from the journal.)
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

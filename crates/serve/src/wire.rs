@@ -1,0 +1,1125 @@
+//! The line-delimited JSON wire format.
+//!
+//! One request per line, one reply per line; see the crate docs for the
+//! complete message reference.  This module is the typed boundary: it maps
+//! [`Request`]/[`Response`] values to [`Json`] lines and back, and maps the
+//! engine's [`GdrError`] onto structured error replies a client can match
+//! on without string inspection.
+//!
+//! Every constructor in this module is total over its input: a malformed
+//! line decodes to an `Err(String)` (which the server answers with a
+//! `bad_request` reply), never a panic.
+
+use gdr_core::error::{GdrError, WorkTarget};
+use gdr_core::step::DoneReason;
+use gdr_core::strategy::Strategy;
+use gdr_relation::Value;
+use gdr_repair::Feedback;
+
+use crate::json::Json;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a session: the build inputs travel with the request (table and
+    /// optional ground truth as CSV documents, rules in the `gdr-cfd` line
+    /// syntax) and are journaled verbatim for replay-based restore.
+    Open {
+        /// Session id chosen by the client; opening an existing id fails.
+        session: String,
+        /// The dirty instance, as a CSV document with a header row.
+        table_csv: String,
+        /// The data-quality rules, in the `gdr_cfd::parser` line syntax.
+        rules: String,
+        /// Strategy token (see [`strategy_token`]).
+        strategy: Strategy,
+        /// Optional seed override for the session's randomness.
+        seed: Option<u64>,
+        /// Optional ground truth (CSV): installs evaluation hooks so
+        /// `report` carries loss/accuracy — the simulated-user setting.
+        ground_truth_csv: Option<String>,
+    },
+    /// Pull the next work item (idempotent while one is outstanding).
+    Next {
+        /// Target session.
+        session: String,
+    },
+    /// Answer the outstanding `AskUser` item.
+    Answer {
+        /// Target session.
+        session: String,
+        /// The raw work id from the `ask` reply.
+        id: u64,
+        /// The user's verdict.
+        feedback: Feedback,
+    },
+    /// Supply the correct value for the outstanding `NeedsValue` cell.
+    Supply {
+        /// Target session.
+        session: String,
+        /// Tuple id of the cell.
+        tuple: usize,
+        /// Attribute id of the cell.
+        attr: usize,
+        /// The correct value.
+        value: Value,
+    },
+    /// Decline the outstanding `NeedsValue` cell.
+    Skip {
+        /// Target session.
+        session: String,
+        /// Tuple id of the cell.
+        tuple: usize,
+        /// Attribute id of the cell.
+        attr: usize,
+    },
+    /// End the session from the client side (budget or patience exhausted).
+    Finish {
+        /// Target session.
+        session: String,
+    },
+    /// Summarise the session.
+    Report {
+        /// Target session.
+        session: String,
+    },
+    /// Discard the live engine and rebuild it by replaying the journal —
+    /// the recovery path after a crash or a poisoned session.
+    Restore {
+        /// Target session.
+        session: String,
+    },
+}
+
+/// Group provenance on an `ask` reply (mirror of
+/// [`gdr_core::step::GroupContext`], flattened for the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGroup {
+    /// Attribute every member of the group modifies.
+    pub attr: usize,
+    /// Value every member suggests.
+    pub value: Value,
+    /// Group benefit the ranking selected on.
+    pub benefit: f64,
+    /// Group size at selection time.
+    pub size: usize,
+    /// User-verification quota for the group.
+    pub quota: usize,
+    /// Answers already given inside the group.
+    pub asked: usize,
+}
+
+/// Evaluation figures on a `report` reply (present only when the session
+/// was opened with a ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEval {
+    /// Loss of the initial instance (Eq. 3).
+    pub initial_loss: f64,
+    /// Loss of the current instance.
+    pub final_loss: f64,
+    /// Quality improvement in percent.
+    pub improvement_pct: f64,
+    /// Precision of the applied repairs.
+    pub precision: f64,
+    /// Recall of the applied repairs.
+    pub recall: f64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The session was created.
+    Opened {
+        /// Echo of the session id.
+        session: String,
+        /// Number of dirty tuples in the opened instance.
+        dirty_tuples: usize,
+    },
+    /// `next`: show this update to the user.
+    Ask {
+        /// Raw work id to pass back with `answer`.
+        id: u64,
+        /// Tuple of the suggested update.
+        tuple: usize,
+        /// Attribute of the suggested update.
+        attr: usize,
+        /// The cell's current value.
+        current: Value,
+        /// The suggested new value.
+        value: Value,
+        /// Update-evaluation score `s ∈ [0, 1]`.
+        score: f64,
+        /// Committee-disagreement uncertainty of the prediction.
+        uncertainty: f64,
+        /// Group provenance; absent for the pool strategy.
+        group: Option<WireGroup>,
+    },
+    /// `next`: no suggestion covers this dirty cell; the user may supply
+    /// the correct value directly, or skip.
+    NeedValue {
+        /// Tuple of the cell.
+        tuple: usize,
+        /// Attribute of the cell.
+        attr: usize,
+        /// The cell's current value.
+        current: Value,
+    },
+    /// `next`/`finish`: the session is over.
+    Done {
+        /// Why (see [`done_token`]).
+        reason: DoneReason,
+    },
+    /// `answer` was applied.
+    Answered {
+        /// Verifications consumed so far (the driver's budget meter).
+        verifications: usize,
+    },
+    /// `supply` was applied.
+    Supplied {
+        /// Verifications consumed so far.
+        verifications: usize,
+    },
+    /// `skip` was applied.
+    Skipped,
+    /// `report`: the session summary.
+    Report {
+        /// Verifications consumed.
+        verifications: usize,
+        /// Updates decided automatically by the learner.
+        learner_decisions: usize,
+        /// Tuples still violating some rule.
+        dirty_tuples: usize,
+        /// Evaluation figures, when the session has a ground truth.
+        eval: Option<WireEval>,
+    },
+    /// `restore`: the engine was rebuilt from the journal.
+    Restored {
+        /// Number of transcript events replayed.
+        replayed: usize,
+    },
+    /// Any request may fail with a structured error instead.
+    Error(WireError),
+}
+
+/// The structured error replies.  The first three mirror
+/// [`GdrError`]'s protocol variants one-to-one, so a client can implement
+/// the same recovery a local driver would (re-pull `next`, retry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// `answer` named a work id other than the outstanding one.
+    StaleWork {
+        /// The id the client sent.
+        got: u64,
+        /// The id actually outstanding.
+        outstanding: u64,
+    },
+    /// The verb does not fit the outstanding work item.
+    WorkMismatch {
+        /// The verb that was attempted.
+        verb: String,
+        /// What the client addressed.
+        got: WireTarget,
+        /// What is actually outstanding.
+        outstanding: WireTarget,
+    },
+    /// Nothing is outstanding (double answer, answer after finish, …).
+    NoOutstandingWork {
+        /// The verb that was attempted.
+        verb: String,
+    },
+    /// The session id is not in the store.
+    UnknownSession {
+        /// The offending id.
+        session: String,
+    },
+    /// `open` named an id that already exists.
+    DuplicateSession {
+        /// The offending id.
+        session: String,
+    },
+    /// The request line could not be decoded (bad JSON, missing field,
+    /// unknown op, bad CSV/rules payload, …).
+    BadRequest {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// An engine-side error (repair substrate).
+    Engine {
+        /// Rendered error.
+        detail: String,
+    },
+}
+
+/// Wire form of [`WorkTarget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireTarget {
+    /// An `AskUser` item, by raw work id.
+    Ask(u64),
+    /// A `NeedsValue` item, by cell.
+    Value(usize, usize),
+}
+
+impl From<WorkTarget> for WireTarget {
+    fn from(target: WorkTarget) -> WireTarget {
+        match target {
+            WorkTarget::Ask(id) => WireTarget::Ask(id.raw()),
+            WorkTarget::Value((t, a)) => WireTarget::Value(t, a),
+        }
+    }
+}
+
+impl From<GdrError> for WireError {
+    fn from(err: GdrError) -> WireError {
+        match err {
+            GdrError::StaleWork { got, outstanding } => WireError::StaleWork {
+                got: got.raw(),
+                outstanding: outstanding.raw(),
+            },
+            GdrError::WorkMismatch {
+                verb,
+                got,
+                outstanding,
+            } => WireError::WorkMismatch {
+                verb: verb.to_string(),
+                got: got.into(),
+                outstanding: outstanding.into(),
+            },
+            GdrError::NoOutstandingWork { verb } => WireError::NoOutstandingWork {
+                verb: verb.to_string(),
+            },
+            GdrError::Engine(err) => WireError::Engine {
+                detail: err.to_string(),
+            },
+        }
+    }
+}
+
+// ---- token tables ---------------------------------------------------------
+
+/// The wire token of a strategy.
+pub fn strategy_token(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Gdr => "gdr",
+        Strategy::GdrNoLearning => "gdr_no_learning",
+        Strategy::GdrSLearning => "gdr_s_learning",
+        Strategy::ActiveLearningOnly => "active_learning",
+        Strategy::Greedy => "greedy",
+        Strategy::RandomOrder => "random",
+        Strategy::AutomaticHeuristic => "heuristic",
+    }
+}
+
+/// Inverse of [`strategy_token`].
+pub fn strategy_from_token(token: &str) -> Option<Strategy> {
+    Strategy::ALL
+        .into_iter()
+        .find(|&s| strategy_token(s) == token)
+}
+
+/// The wire token of a feedback verdict.
+pub fn feedback_token(feedback: Feedback) -> &'static str {
+    match feedback {
+        Feedback::Confirm => "confirm",
+        Feedback::Reject => "reject",
+        Feedback::Retain => "retain",
+    }
+}
+
+/// Inverse of [`feedback_token`].
+pub fn feedback_from_token(token: &str) -> Option<Feedback> {
+    Feedback::ALL
+        .into_iter()
+        .find(|&f| feedback_token(f) == token)
+}
+
+/// The wire token of a completion reason.
+pub fn done_token(reason: DoneReason) -> &'static str {
+    match reason {
+        DoneReason::Exhausted => "exhausted",
+        DoneReason::Stalled => "stalled",
+        DoneReason::AutomaticComplete => "automatic_complete",
+        DoneReason::Finished => "finished",
+    }
+}
+
+/// Inverse of [`done_token`].
+pub fn done_from_token(token: &str) -> Option<DoneReason> {
+    [
+        DoneReason::Exhausted,
+        DoneReason::Stalled,
+        DoneReason::AutomaticComplete,
+        DoneReason::Finished,
+    ]
+    .into_iter()
+    .find(|&r| done_token(r) == token)
+}
+
+/// [`Value`] → JSON: `Null` ↔ `null`, `Int` ↔ number, `Str` ↔ string.  The
+/// mapping is type-faithful, so `Str("42")` and `Int(42)` stay distinct on
+/// the wire (strict equality matters to the repair semantics).
+pub fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::Int(*i),
+        Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+/// Inverse of [`value_to_json`].
+pub fn value_from_json(json: &Json) -> Option<Value> {
+    match json {
+        Json::Null => Some(Value::Null),
+        Json::Int(i) => Some(Value::Int(*i)),
+        Json::Str(s) => Some(Value::Str(s.clone())),
+        _ => None,
+    }
+}
+
+// ---- encoding -------------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Encodes a `u64` field.  The JSON tree carries integers as `i64`, so the
+/// (pathological but legal) upper half of the `u64` range — e.g. a seed of
+/// `u64::MAX` — is written as a decimal string instead of wrapping
+/// negative; [`u64_field`] accepts both forms.
+fn u64_json(value: u64) -> Json {
+    match i64::try_from(value) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::str(value.to_string()),
+    }
+}
+
+/// Encodes a request as one JSON line (no trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    let json = match request {
+        Request::Open {
+            session,
+            table_csv,
+            rules,
+            strategy,
+            seed,
+            ground_truth_csv,
+        } => {
+            let mut members = vec![
+                ("op", Json::str("open")),
+                ("session", Json::str(session.clone())),
+                ("table_csv", Json::str(table_csv.clone())),
+                ("rules", Json::str(rules.clone())),
+                ("strategy", Json::str(strategy_token(*strategy))),
+            ];
+            if let Some(seed) = seed {
+                members.push(("seed", u64_json(*seed)));
+            }
+            if let Some(truth) = ground_truth_csv {
+                members.push(("ground_truth_csv", Json::str(truth.clone())));
+            }
+            obj(members)
+        }
+        Request::Next { session } => obj(vec![
+            ("op", Json::str("next")),
+            ("session", Json::str(session.clone())),
+        ]),
+        Request::Answer {
+            session,
+            id,
+            feedback,
+        } => obj(vec![
+            ("op", Json::str("answer")),
+            ("session", Json::str(session.clone())),
+            ("id", u64_json(*id)),
+            ("feedback", Json::str(feedback_token(*feedback))),
+        ]),
+        Request::Supply {
+            session,
+            tuple,
+            attr,
+            value,
+        } => obj(vec![
+            ("op", Json::str("supply")),
+            ("session", Json::str(session.clone())),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+            ("value", value_to_json(value)),
+        ]),
+        Request::Skip {
+            session,
+            tuple,
+            attr,
+        } => obj(vec![
+            ("op", Json::str("skip")),
+            ("session", Json::str(session.clone())),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+        ]),
+        Request::Finish { session } => obj(vec![
+            ("op", Json::str("finish")),
+            ("session", Json::str(session.clone())),
+        ]),
+        Request::Report { session } => obj(vec![
+            ("op", Json::str("report")),
+            ("session", Json::str(session.clone())),
+        ]),
+        Request::Restore { session } => obj(vec![
+            ("op", Json::str("restore")),
+            ("session", Json::str(session.clone())),
+        ]),
+    };
+    json.encode()
+}
+
+fn target_json(target: &WireTarget) -> Json {
+    match target {
+        WireTarget::Ask(id) => obj(vec![("kind", Json::str("ask")), ("id", u64_json(*id))]),
+        WireTarget::Value(tuple, attr) => obj(vec![
+            ("kind", Json::str("value")),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+        ]),
+    }
+}
+
+/// Encodes a response as one JSON line (no trailing newline).  Success
+/// replies carry `"ok": <kind>`; error replies carry `"err": <kind>`.
+pub fn encode_response(response: &Response) -> String {
+    let json = match response {
+        Response::Opened {
+            session,
+            dirty_tuples,
+        } => obj(vec![
+            ("ok", Json::str("opened")),
+            ("session", Json::str(session.clone())),
+            ("dirty_tuples", Json::Int(*dirty_tuples as i64)),
+        ]),
+        Response::Ask {
+            id,
+            tuple,
+            attr,
+            current,
+            value,
+            score,
+            uncertainty,
+            group,
+        } => {
+            let mut members = vec![
+                ("ok", Json::str("ask")),
+                ("id", u64_json(*id)),
+                ("tuple", Json::Int(*tuple as i64)),
+                ("attr", Json::Int(*attr as i64)),
+                ("current", value_to_json(current)),
+                ("value", value_to_json(value)),
+                ("score", Json::Float(*score)),
+                ("uncertainty", Json::Float(*uncertainty)),
+            ];
+            if let Some(group) = group {
+                members.push((
+                    "group",
+                    obj(vec![
+                        ("attr", Json::Int(group.attr as i64)),
+                        ("value", value_to_json(&group.value)),
+                        ("benefit", Json::Float(group.benefit)),
+                        ("size", Json::Int(group.size as i64)),
+                        ("quota", Json::Int(group.quota as i64)),
+                        ("asked", Json::Int(group.asked as i64)),
+                    ]),
+                ));
+            }
+            obj(members)
+        }
+        Response::NeedValue {
+            tuple,
+            attr,
+            current,
+        } => obj(vec![
+            ("ok", Json::str("need_value")),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+            ("current", value_to_json(current)),
+        ]),
+        Response::Done { reason } => obj(vec![
+            ("ok", Json::str("done")),
+            ("reason", Json::str(done_token(*reason))),
+        ]),
+        Response::Answered { verifications } => obj(vec![
+            ("ok", Json::str("answered")),
+            ("verifications", Json::Int(*verifications as i64)),
+        ]),
+        Response::Supplied { verifications } => obj(vec![
+            ("ok", Json::str("supplied")),
+            ("verifications", Json::Int(*verifications as i64)),
+        ]),
+        Response::Skipped => obj(vec![("ok", Json::str("skipped"))]),
+        Response::Report {
+            verifications,
+            learner_decisions,
+            dirty_tuples,
+            eval,
+        } => {
+            let mut members = vec![
+                ("ok", Json::str("report")),
+                ("verifications", Json::Int(*verifications as i64)),
+                ("learner_decisions", Json::Int(*learner_decisions as i64)),
+                ("dirty_tuples", Json::Int(*dirty_tuples as i64)),
+            ];
+            if let Some(eval) = eval {
+                members.push((
+                    "eval",
+                    obj(vec![
+                        ("initial_loss", Json::Float(eval.initial_loss)),
+                        ("final_loss", Json::Float(eval.final_loss)),
+                        ("improvement_pct", Json::Float(eval.improvement_pct)),
+                        ("precision", Json::Float(eval.precision)),
+                        ("recall", Json::Float(eval.recall)),
+                    ]),
+                ));
+            }
+            obj(members)
+        }
+        Response::Restored { replayed } => obj(vec![
+            ("ok", Json::str("restored")),
+            ("replayed", Json::Int(*replayed as i64)),
+        ]),
+        Response::Error(error) => match error {
+            WireError::StaleWork { got, outstanding } => obj(vec![
+                ("err", Json::str("stale_work")),
+                ("got", u64_json(*got)),
+                ("outstanding", u64_json(*outstanding)),
+            ]),
+            WireError::WorkMismatch {
+                verb,
+                got,
+                outstanding,
+            } => obj(vec![
+                ("err", Json::str("work_mismatch")),
+                ("verb", Json::str(verb.clone())),
+                ("got", target_json(got)),
+                ("outstanding", target_json(outstanding)),
+            ]),
+            WireError::NoOutstandingWork { verb } => obj(vec![
+                ("err", Json::str("no_outstanding_work")),
+                ("verb", Json::str(verb.clone())),
+            ]),
+            WireError::UnknownSession { session } => obj(vec![
+                ("err", Json::str("unknown_session")),
+                ("session", Json::str(session.clone())),
+            ]),
+            WireError::DuplicateSession { session } => obj(vec![
+                ("err", Json::str("duplicate_session")),
+                ("session", Json::str(session.clone())),
+            ]),
+            WireError::BadRequest { detail } => obj(vec![
+                ("err", Json::str("bad_request")),
+                ("detail", Json::str(detail.clone())),
+            ]),
+            WireError::Engine { detail } => obj(vec![
+                ("err", Json::str("engine")),
+                ("detail", Json::str(detail.clone())),
+            ]),
+        },
+    };
+    json.encode()
+}
+
+// ---- decoding -------------------------------------------------------------
+
+fn field<'j>(json: &'j Json, key: &str) -> Result<&'j Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, String> {
+    field(json, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, String> {
+    field(json, key)?
+        .as_i64()
+        .and_then(|i| usize::try_from(i).ok())
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+    match field(json, key)? {
+        Json::Int(i) => u64::try_from(*i).ok(),
+        // The string form carries the upper half of the u64 range (see
+        // `u64_json`); leading zeros and signs are rejected by `parse`.
+        Json::Str(s) => s.parse::<u64>().ok(),
+        _ => None,
+    }
+    .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
+    field(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+fn value_field(json: &Json, key: &str) -> Result<Value, String> {
+    value_from_json(field(json, key)?)
+        .ok_or_else(|| format!("field `{key}` must be null, an integer, or a string"))
+}
+
+/// Decodes one request line.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let json = Json::parse(line).map_err(|e| e.to_string())?;
+    let op = str_field(&json, "op")?;
+    let session = str_field(&json, "session")?;
+    match op.as_str() {
+        "open" => {
+            let strategy_text = str_field(&json, "strategy")?;
+            let strategy = strategy_from_token(&strategy_text)
+                .ok_or_else(|| format!("unknown strategy `{strategy_text}`"))?;
+            let seed = match json.get("seed") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(u64_field(&json, "seed")?),
+            };
+            let ground_truth_csv = match json.get("ground_truth_csv") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(str_field(&json, "ground_truth_csv")?),
+            };
+            Ok(Request::Open {
+                session,
+                table_csv: str_field(&json, "table_csv")?,
+                rules: str_field(&json, "rules")?,
+                strategy,
+                seed,
+                ground_truth_csv,
+            })
+        }
+        "next" => Ok(Request::Next { session }),
+        "answer" => {
+            let feedback_text = str_field(&json, "feedback")?;
+            let feedback = feedback_from_token(&feedback_text)
+                .ok_or_else(|| format!("unknown feedback `{feedback_text}`"))?;
+            Ok(Request::Answer {
+                session,
+                id: u64_field(&json, "id")?,
+                feedback,
+            })
+        }
+        "supply" => Ok(Request::Supply {
+            session,
+            tuple: usize_field(&json, "tuple")?,
+            attr: usize_field(&json, "attr")?,
+            value: value_field(&json, "value")?,
+        }),
+        "skip" => Ok(Request::Skip {
+            session,
+            tuple: usize_field(&json, "tuple")?,
+            attr: usize_field(&json, "attr")?,
+        }),
+        "finish" => Ok(Request::Finish { session }),
+        "report" => Ok(Request::Report { session }),
+        "restore" => Ok(Request::Restore { session }),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn decode_target(json: &Json) -> Result<WireTarget, String> {
+    match str_field(json, "kind")?.as_str() {
+        "ask" => Ok(WireTarget::Ask(u64_field(json, "id")?)),
+        "value" => Ok(WireTarget::Value(
+            usize_field(json, "tuple")?,
+            usize_field(json, "attr")?,
+        )),
+        other => Err(format!("unknown target kind `{other}`")),
+    }
+}
+
+/// Decodes one response line.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    let json = Json::parse(line).map_err(|e| e.to_string())?;
+    if let Some(err) = json.get("err") {
+        let kind = err
+            .as_str()
+            .ok_or_else(|| "field `err` must be a string".to_string())?;
+        let error = match kind {
+            "stale_work" => WireError::StaleWork {
+                got: u64_field(&json, "got")?,
+                outstanding: u64_field(&json, "outstanding")?,
+            },
+            "work_mismatch" => WireError::WorkMismatch {
+                verb: str_field(&json, "verb")?,
+                got: decode_target(field(&json, "got")?)?,
+                outstanding: decode_target(field(&json, "outstanding")?)?,
+            },
+            "no_outstanding_work" => WireError::NoOutstandingWork {
+                verb: str_field(&json, "verb")?,
+            },
+            "unknown_session" => WireError::UnknownSession {
+                session: str_field(&json, "session")?,
+            },
+            "duplicate_session" => WireError::DuplicateSession {
+                session: str_field(&json, "session")?,
+            },
+            "bad_request" => WireError::BadRequest {
+                detail: str_field(&json, "detail")?,
+            },
+            "engine" => WireError::Engine {
+                detail: str_field(&json, "detail")?,
+            },
+            other => return Err(format!("unknown error kind `{other}`")),
+        };
+        return Ok(Response::Error(error));
+    }
+    let ok = str_field(&json, "ok")?;
+    match ok.as_str() {
+        "opened" => Ok(Response::Opened {
+            session: str_field(&json, "session")?,
+            dirty_tuples: usize_field(&json, "dirty_tuples")?,
+        }),
+        "ask" => {
+            let group = match json.get("group") {
+                None | Some(Json::Null) => None,
+                Some(group) => Some(WireGroup {
+                    attr: usize_field(group, "attr")?,
+                    value: value_field(group, "value")?,
+                    benefit: f64_field(group, "benefit")?,
+                    size: usize_field(group, "size")?,
+                    quota: usize_field(group, "quota")?,
+                    asked: usize_field(group, "asked")?,
+                }),
+            };
+            Ok(Response::Ask {
+                id: u64_field(&json, "id")?,
+                tuple: usize_field(&json, "tuple")?,
+                attr: usize_field(&json, "attr")?,
+                current: value_field(&json, "current")?,
+                value: value_field(&json, "value")?,
+                score: f64_field(&json, "score")?,
+                uncertainty: f64_field(&json, "uncertainty")?,
+                group,
+            })
+        }
+        "need_value" => Ok(Response::NeedValue {
+            tuple: usize_field(&json, "tuple")?,
+            attr: usize_field(&json, "attr")?,
+            current: value_field(&json, "current")?,
+        }),
+        "done" => {
+            let reason_text = str_field(&json, "reason")?;
+            Ok(Response::Done {
+                reason: done_from_token(&reason_text)
+                    .ok_or_else(|| format!("unknown done reason `{reason_text}`"))?,
+            })
+        }
+        "answered" => Ok(Response::Answered {
+            verifications: usize_field(&json, "verifications")?,
+        }),
+        "supplied" => Ok(Response::Supplied {
+            verifications: usize_field(&json, "verifications")?,
+        }),
+        "skipped" => Ok(Response::Skipped),
+        "report" => {
+            let eval = match json.get("eval") {
+                None | Some(Json::Null) => None,
+                Some(eval) => Some(WireEval {
+                    initial_loss: f64_field(eval, "initial_loss")?,
+                    final_loss: f64_field(eval, "final_loss")?,
+                    improvement_pct: f64_field(eval, "improvement_pct")?,
+                    precision: f64_field(eval, "precision")?,
+                    recall: f64_field(eval, "recall")?,
+                }),
+            };
+            Ok(Response::Report {
+                verifications: usize_field(&json, "verifications")?,
+                learner_decisions: usize_field(&json, "learner_decisions")?,
+                dirty_tuples: usize_field(&json, "dirty_tuples")?,
+                eval,
+            })
+        }
+        "restored" => Ok(Response::Restored {
+            replayed: usize_field(&json, "replayed")?,
+        }),
+        other => Err(format!("unknown ok kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_round_trip(request: Request) {
+        let line = encode_request(&request);
+        assert!(!line.contains('\n'), "one line: {line}");
+        assert_eq!(decode_request(&line).unwrap(), request, "via {line}");
+    }
+
+    fn response_round_trip(response: Response) {
+        let line = encode_response(&response);
+        assert!(!line.contains('\n'), "one line: {line}");
+        assert_eq!(decode_response(&line).unwrap(), response, "via {line}");
+    }
+
+    #[test]
+    fn u64_extremes_round_trip_without_wrapping() {
+        // The upper half of the u64 range rides as a decimal string.
+        request_round_trip(Request::Open {
+            session: "s".into(),
+            table_csv: "A\n1\n".into(),
+            rules: String::new(),
+            strategy: Strategy::Gdr,
+            seed: Some(u64::MAX),
+            ground_truth_csv: None,
+        });
+        request_round_trip(Request::Answer {
+            session: "s".into(),
+            id: u64::MAX,
+            feedback: Feedback::Confirm,
+        });
+        response_round_trip(Response::Error(WireError::StaleWork {
+            got: u64::MAX,
+            outstanding: 7,
+        }));
+        // The string form is strict: signs and garbage still fail.
+        assert!(
+            decode_request(r#"{"op":"answer","session":"s","id":"-1","feedback":"confirm"}"#)
+                .is_err()
+        );
+        assert!(decode_request(
+            r#"{"op":"answer","session":"s","id":"seven","feedback":"confirm"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        request_round_trip(Request::Open {
+            session: "s-1".into(),
+            table_csv: "A,B\n\"Fort, Wayne\",\"say \"\"hi\"\"\"\n".into(),
+            rules: "ZIP -> CT : 46360 || Michigan City\n".into(),
+            strategy: Strategy::GdrNoLearning,
+            seed: Some(42),
+            ground_truth_csv: Some("A,B\nx,y\n".into()),
+        });
+        request_round_trip(Request::Open {
+            session: "s".into(),
+            table_csv: "A\n1\n".into(),
+            rules: String::new(),
+            strategy: Strategy::ActiveLearningOnly,
+            seed: None,
+            ground_truth_csv: None,
+        });
+        request_round_trip(Request::Next {
+            session: "s".into(),
+        });
+        request_round_trip(Request::Answer {
+            session: "s".into(),
+            id: 7,
+            feedback: Feedback::Retain,
+        });
+        request_round_trip(Request::Supply {
+            session: "s".into(),
+            tuple: 3,
+            attr: 1,
+            value: Value::from("  whitespace preserved  "),
+        });
+        request_round_trip(Request::Supply {
+            session: "s".into(),
+            tuple: 0,
+            attr: 0,
+            value: Value::Null,
+        });
+        request_round_trip(Request::Supply {
+            session: "s".into(),
+            tuple: 0,
+            attr: 0,
+            value: Value::Int(-3),
+        });
+        request_round_trip(Request::Skip {
+            session: "s".into(),
+            tuple: 2,
+            attr: 5,
+        });
+        request_round_trip(Request::Finish {
+            session: "s".into(),
+        });
+        request_round_trip(Request::Report {
+            session: "s".into(),
+        });
+        request_round_trip(Request::Restore {
+            session: "s".into(),
+        });
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        response_round_trip(Response::Opened {
+            session: "s".into(),
+            dirty_tuples: 4,
+        });
+        response_round_trip(Response::Ask {
+            id: 9,
+            tuple: 3,
+            attr: 1,
+            current: Value::from("Michigan Cty"),
+            value: Value::from("Michigan City"),
+            score: 0.25,
+            uncertainty: 1.0,
+            group: Some(WireGroup {
+                attr: 1,
+                value: Value::from("Michigan City"),
+                benefit: 0.0625,
+                size: 3,
+                quota: 2,
+                asked: 1,
+            }),
+        });
+        response_round_trip(Response::Ask {
+            id: 1,
+            tuple: 0,
+            attr: 0,
+            current: Value::Null,
+            value: Value::Int(46360),
+            score: 1.0,
+            uncertainty: 0.5,
+            group: None,
+        });
+        response_round_trip(Response::NeedValue {
+            tuple: 6,
+            attr: 2,
+            current: Value::from("Colfax"),
+        });
+        for reason in [
+            DoneReason::Exhausted,
+            DoneReason::Stalled,
+            DoneReason::AutomaticComplete,
+            DoneReason::Finished,
+        ] {
+            response_round_trip(Response::Done { reason });
+        }
+        response_round_trip(Response::Answered { verifications: 11 });
+        response_round_trip(Response::Supplied { verifications: 12 });
+        response_round_trip(Response::Skipped);
+        response_round_trip(Response::Report {
+            verifications: 11,
+            learner_decisions: 2,
+            dirty_tuples: 0,
+            eval: Some(WireEval {
+                initial_loss: 0.359375,
+                final_loss: 0.0,
+                improvement_pct: 100.0,
+                precision: 1.0,
+                recall: 0.875,
+            }),
+        });
+        response_round_trip(Response::Report {
+            verifications: 0,
+            learner_decisions: 0,
+            dirty_tuples: 3,
+            eval: None,
+        });
+        response_round_trip(Response::Restored { replayed: 17 });
+    }
+
+    #[test]
+    fn every_error_reply_round_trips() {
+        response_round_trip(Response::Error(WireError::StaleWork {
+            got: 8,
+            outstanding: 7,
+        }));
+        response_round_trip(Response::Error(WireError::WorkMismatch {
+            verb: "supply_value".into(),
+            got: WireTarget::Value(3, 1),
+            outstanding: WireTarget::Ask(7),
+        }));
+        response_round_trip(Response::Error(WireError::WorkMismatch {
+            verb: "answer".into(),
+            got: WireTarget::Ask(7),
+            outstanding: WireTarget::Value(2, 0),
+        }));
+        response_round_trip(Response::Error(WireError::NoOutstandingWork {
+            verb: "answer".into(),
+        }));
+        response_round_trip(Response::Error(WireError::UnknownSession {
+            session: "ghost".into(),
+        }));
+        response_round_trip(Response::Error(WireError::DuplicateSession {
+            session: "dup".into(),
+        }));
+        response_round_trip(Response::Error(WireError::BadRequest {
+            detail: "unknown op `frob`".into(),
+        }));
+        response_round_trip(Response::Error(WireError::Engine {
+            detail: "unknown rule id 9".into(),
+        }));
+    }
+
+    #[test]
+    fn gdr_errors_map_onto_wire_errors() {
+        use gdr_core::step::WorkId;
+        let err: WireError = GdrError::StaleWork {
+            got: WorkId::from_raw(8),
+            outstanding: WorkId::from_raw(7),
+        }
+        .into();
+        assert_eq!(
+            err,
+            WireError::StaleWork {
+                got: 8,
+                outstanding: 7
+            }
+        );
+        let err: WireError = GdrError::WorkMismatch {
+            verb: "skip_value",
+            got: WorkTarget::Value((1, 2)),
+            outstanding: WorkTarget::Ask(WorkId::from_raw(3)),
+        }
+        .into();
+        assert_eq!(
+            err,
+            WireError::WorkMismatch {
+                verb: "skip_value".into(),
+                got: WireTarget::Value(1, 2),
+                outstanding: WireTarget::Ask(3),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_decode_to_errors() {
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            r#"{"op":"frob","session":"s"}"#,
+            r#"{"op":"answer","session":"s"}"#,
+            r#"{"op":"answer","session":"s","id":-1,"feedback":"confirm"}"#,
+            r#"{"op":"answer","session":"s","id":1,"feedback":"maybe"}"#,
+            r#"{"op":"open","session":"s","table_csv":"A\n1\n","rules":"","strategy":"nope"}"#,
+            r#"{"op":"supply","session":"s","tuple":0,"attr":0,"value":[1]}"#,
+            r#"{"op":"next"}"#,
+        ] {
+            assert!(decode_request(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn strategy_and_feedback_tokens_are_total_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for strategy in Strategy::ALL {
+            let token = strategy_token(strategy);
+            assert!(seen.insert(token), "duplicate token {token}");
+            assert_eq!(strategy_from_token(token), Some(strategy));
+        }
+        assert_eq!(strategy_from_token("bogus"), None);
+        for feedback in Feedback::ALL {
+            assert_eq!(
+                feedback_from_token(feedback_token(feedback)),
+                Some(feedback)
+            );
+        }
+        assert_eq!(feedback_from_token("bogus"), None);
+    }
+}

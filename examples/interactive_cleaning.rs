@@ -11,6 +11,7 @@
 //! * `n` — the suggested value is wrong (reject; GDR looks for another)
 //! * `k` — the current value is already correct (retain)
 //! * `v <text>` — type the correct value for the asked cell
+//!   (`v "  text  "` quotes a whitespace-sensitive value verbatim)
 //! * `s` — skip the asked cell
 //! * `q` — quit; the engine wraps up and prints the result
 //!
@@ -85,8 +86,10 @@ fn main() {
                 println!("(end of input)");
                 return Reply::Quit;
             };
-            // Re-prompt on replies that do not fit the outstanding item
-            // (drive_with would treat them as a quit).
+            // Re-prompt on replies that do not fit the outstanding item.
+            // `drive_with` itself also re-serves the plan on a mismatch —
+            // this inner loop just gives the user a nicer hint than a bare
+            // repeated prompt would.
             let fits = match (parse_reply(&line), plan) {
                 (reply @ Some(Reply::Answer(_)), WorkPlan::AskUser { .. })
                 | (reply @ Some(Reply::Supply(_) | Reply::Skip), WorkPlan::NeedsValue { .. })

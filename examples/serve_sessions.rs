@@ -1,0 +1,146 @@
+//! Serve GDR sessions over TCP — and survive a misbehaving client.
+//!
+//! ```text
+//! cargo run --example serve_sessions
+//! ```
+//!
+//! Spawns the `gdr-serve` session server on a loopback port, then drives a
+//! whole repair session through the line-delimited JSON protocol:
+//!
+//! 1. `open` ships the dirty Figure 1 instance (CSV) + rules over the wire;
+//! 2. the client deliberately answers with a **stale work id** — the server
+//!    replies with a structured `stale_work` error and the session keeps
+//!    serving (this is the error contract that makes remote clients safe);
+//! 3. mid-session, `restore` discards the live engine and rebuilds it by
+//!    **replaying the journal** — the outstanding question comes back with
+//!    the same id, as if nothing happened;
+//! 4. the ground-truth oracle answers the rest, and `report` returns the
+//!    paper's quality figures computed server-side.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use gdr_core::fixture;
+use gdr_core::oracle::{GroundTruthOracle, UserOracle};
+use gdr_core::strategy::Strategy;
+use gdr_relation::csv::to_csv;
+use gdr_repair::{Feedback, Update};
+use gdr_serve::client::{Client, ClientError, OpenOptions};
+use gdr_serve::server::serve_listener;
+use gdr_serve::store::SessionStore;
+use gdr_serve::wire::{Response, WireError};
+
+fn main() {
+    // -- server side --------------------------------------------------------
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let store = Arc::new(SessionStore::new());
+    let server = {
+        let store = store.clone();
+        thread::spawn(move || serve_listener(listener, store, Some(1)))
+    };
+    println!("session server listening on {addr}");
+
+    // -- client side --------------------------------------------------------
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+    let mut client =
+        Client::connect(TcpStream::connect(addr).expect("connect"), "customer-42").expect("client");
+    let Response::Opened { dirty_tuples, .. } = client
+        .open(
+            to_csv(&dirty),
+            fixture::figure1_rules_text(),
+            OpenOptions {
+                strategy: Strategy::GdrNoLearning,
+                seed: None,
+                ground_truth_csv: Some(to_csv(&clean)),
+            },
+        )
+        .expect("open")
+    else {
+        panic!("open must reply with opened");
+    };
+    println!("opened session `customer-42`: {dirty_tuples} dirty tuples\n");
+
+    // Pull the first question and misbehave on purpose.
+    let Response::Ask { id, .. } = client.next().expect("next") else {
+        panic!("figure 1 starts with a question");
+    };
+    println!(
+        "server asks question w{id}; replying with stale id w{} ...",
+        id + 99
+    );
+    match client.answer(id + 99, Feedback::Confirm) {
+        Err(ClientError::Server(WireError::StaleWork { got, outstanding })) => println!(
+            "  -> structured error reply: stale_work (got w{got}, outstanding w{outstanding})"
+        ),
+        other => panic!("expected a stale_work reply, got {other:?}"),
+    }
+    println!("  -> session is still alive; the same question is re-served\n");
+
+    // Answer a couple of questions properly.
+    let oracle = GroundTruthOracle::new(clean);
+    let mut answered = 0usize;
+    while answered < 3 {
+        match client.next().expect("next") {
+            Response::Ask {
+                id,
+                tuple,
+                attr,
+                current,
+                value,
+                score,
+                ..
+            } => {
+                let update = Update::new(tuple, attr, value.clone(), score);
+                let feedback = oracle.feedback(&update, &current);
+                println!(
+                    "w{id}: t{tuple}[#{attr}] '{}' -> '{}'  user says {feedback}",
+                    current.render(),
+                    value.render(),
+                );
+                client.answer(id, feedback).expect("answer");
+                answered += 1;
+            }
+            Response::NeedValue { tuple, attr, .. } => {
+                client.skip(tuple, attr).expect("skip");
+            }
+            Response::Done { .. } => break,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // Crash-and-resume: rebuild the engine from the journal, mid-session.
+    let outstanding = client.next().expect("serve one more");
+    let replayed = client.restore().expect("restore");
+    println!("\nrestore: engine rebuilt by replaying {replayed} journal events");
+    let reserved = client.next().expect("next after restore");
+    assert_eq!(reserved, outstanding, "restore must not lose the question");
+    println!("  -> outstanding question survived the restart\n");
+
+    // Let the oracle finish the job and fetch the server-side report.
+    let reason = client.drive(&oracle, None).expect("drive");
+    let Response::Report {
+        verifications,
+        dirty_tuples,
+        eval,
+        ..
+    } = client.report().expect("report")
+    else {
+        panic!("report must reply with report");
+    };
+    println!("session done ({reason:?}) after {verifications} verifications");
+    println!("{dirty_tuples} tuples still violate a rule");
+    if let Some(eval) = eval {
+        println!(
+            "quality: loss {:.4} -> {:.4} ({:.1}% improvement), precision {:.2}, recall {:.2}",
+            eval.initial_loss, eval.final_loss, eval.improvement_pct, eval.precision, eval.recall
+        );
+    }
+
+    drop(client);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server shutdown");
+}

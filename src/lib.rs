@@ -9,6 +9,8 @@
 //! * [`learn`] — the random-forest / active-learning substrate,
 //! * [`core`] — the pull-based GDR engine (`core::step`) and its drivers
 //!   (`core::session`), including the simulated experiment session,
+//! * [`serve`] — sessions over a transport: line-delimited JSON wire
+//!   protocol, session store with replay-based restore, TCP server/client,
 //! * [`datagen`] — synthetic stand-ins for the paper's evaluation datasets.
 
 #![forbid(unsafe_code)]
@@ -19,3 +21,4 @@ pub use gdr_datagen as datagen;
 pub use gdr_learn as learn;
 pub use gdr_relation as relation;
 pub use gdr_repair as repair;
+pub use gdr_serve as serve;

@@ -16,6 +16,7 @@ use gdr_core::step::{GdrEngine, SessionBuilder, WorkPlan};
 use gdr_core::{fixture, GdrConfig, GroundTruthOracle, Strategy, UserOracle};
 use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
 use gdr_relation::Table;
+use gdr_relation::Value;
 
 fn builder<'r>(dirty: &Table, rules: &'r RuleSet, strategy: Strategy) -> SessionBuilder<'r> {
     SessionBuilder::new(dirty.clone(), rules)
@@ -25,10 +26,14 @@ fn builder<'r>(dirty: &Table, rules: &'r RuleSet, strategy: Strategy) -> Session
 
 /// A driver written against nothing but the public pull API — the loop any
 /// service would run, with the budget on the caller's side of the line.
+/// Mirrors `session::drive` exactly, including its budget semantics: a
+/// declined `NeedsValue` prompt is a user interaction and counts against
+/// the budget even though the engine's verification counter never moves.
 fn pull_driven(mut engine: GdrEngine, truth: &Table, budget: Option<usize>) -> SessionReport {
     let oracle = GroundTruthOracle::new(truth.clone());
+    let mut declined = 0usize;
     loop {
-        if budget.is_some_and(|b| engine.verifications() >= b) {
+        if budget.is_some_and(|b| engine.verifications() + declined >= b) {
             break;
         }
         match engine.next_work().expect("next_work") {
@@ -45,7 +50,10 @@ fn pull_driven(mut engine: GdrEngine, truth: &Table, budget: Option<usize>) -> S
                     Some(value) if &value != engine.state().table().cell(cell.0, cell.1) => {
                         engine.supply_value(cell, value).expect("supply")
                     }
-                    _ => engine.skip_value(cell).expect("skip"),
+                    _ => {
+                        declined += 1;
+                        engine.skip_value(cell).expect("skip")
+                    }
                 }
             }
             WorkPlan::Done(_) => break,
@@ -194,6 +202,56 @@ fn scripted_answer_queue_driver_completes_a_session() {
     assert_eq!(replayed.verifications(), recording.verifications());
     assert_eq!(replayed.state().table(), recording.state().table());
     assert!(replayed.state().dirty_tuples().is_empty());
+}
+
+/// Regression: a kind-mismatched reply must re-prompt, not silently end the
+/// session.  A driver that answers `Supply` to the first three `AskUser`
+/// plans (then behaves) must reach the exact same outcome as one that
+/// behaved from the start — the mismatches are absorbed as re-prompts.
+#[test]
+fn drive_with_kind_mismatch_reprompts_instead_of_quitting() {
+    let (dirty, clean, rules) = fixture::figure1_instance();
+    let oracle = GroundTruthOracle::new(clean.clone());
+    let honest_reply = |engine: &GdrEngine, plan: &WorkPlan| match plan {
+        WorkPlan::AskUser { update, .. } => {
+            let current = engine.state().table().cell(update.tuple, update.attr);
+            Reply::Answer(oracle.feedback(update, current))
+        }
+        WorkPlan::NeedsValue { cell } => {
+            let current = engine.state().table().cell(cell.0, cell.1);
+            match oracle.correct_value(cell.0, cell.1) {
+                Some(value) if &value != current => Reply::Supply(value),
+                _ => Reply::Skip,
+            }
+        }
+        WorkPlan::Done(_) => unreachable!(),
+    };
+
+    let mut clean_run = builder(&dirty, &rules, Strategy::GdrNoLearning)
+        .ground_truth(clean.clone())
+        .build();
+    let clean_reason = drive_with(&mut clean_run, honest_reply).expect("clean run");
+
+    let mut mismatching = builder(&dirty, &rules, Strategy::GdrNoLearning)
+        .ground_truth(clean.clone())
+        .build();
+    let mut mismatches = 0usize;
+    let reason = drive_with(&mut mismatching, |engine, plan| {
+        if matches!(plan, WorkPlan::AskUser { .. }) && mismatches < 3 {
+            mismatches += 1;
+            // Wrong kind for an AskUser plan: previously this ended the
+            // session (running finish()); now it must re-prompt.
+            return Reply::Supply(Value::from("bogus"));
+        }
+        honest_reply(engine, plan)
+    })
+    .expect("mismatching run");
+
+    assert_eq!(mismatches, 3);
+    assert_eq!(reason, clean_reason);
+    assert_eq!(mismatching.verifications(), clean_run.verifications());
+    assert_eq!(mismatching.state().table(), clean_run.state().table());
+    assert!(mismatching.state().dirty_tuples().is_empty());
 }
 
 /// Engines are `Clone`: snapshot a session mid-group, branch it, and both
