@@ -60,6 +60,7 @@ pub fn generate(dataset: DatasetId, tuples: usize, seed: u64) -> GeneratedDatase
             tuples,
             dirty_fraction: 0.3,
             seed,
+            extra_cities: 0,
         }),
         DatasetId::Dataset2 => generate_census_dataset(&CensusConfig {
             tuples,

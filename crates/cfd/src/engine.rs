@@ -43,7 +43,8 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use gdr_relation::{AttrId, SmallKey, Table, TupleId, Value, ValueId};
+use gdr_relation::pool::{partition, shard_of_ids};
+use gdr_relation::{AttrId, SmallKey, Table, ThreadPool, TupleId, Value, ValueId};
 
 use crate::pattern::PatternValue;
 use crate::rule::{Cfd, RuleId};
@@ -210,8 +211,9 @@ struct VarState {
 }
 
 impl VarState {
-    /// Removes a group's cached contribution before mutating it.
-    fn retract(&mut self, key: &SmallKey) {
+    /// Removes a group's cached contribution before mutating it.  Takes the
+    /// logical id slice so hot paths can probe with a scratch buffer.
+    fn retract(&mut self, key: &[ValueId]) {
         if let Some(group) = self.groups.get(key) {
             self.total_vio -= group.vio();
             self.satisfying_in_context -= group.satisfying();
@@ -220,7 +222,7 @@ impl VarState {
     }
 
     /// Re-adds a group's contribution after mutation, dropping empty groups.
-    fn restore(&mut self, key: &SmallKey) {
+    fn restore(&mut self, key: &[ValueId]) {
         let remove = if let Some(group) = self.groups.get(key) {
             if group.total == 0 {
                 true
@@ -274,6 +276,48 @@ pub struct ViolationEngine {
     suppress_generations: bool,
 }
 
+/// Tables smaller than this build sequentially even on a parallel pool —
+/// below it, thread spawn + merge overhead exceeds the scan itself.
+const MIN_PARALLEL_ROWS: usize = 4096;
+
+/// One shard's group fragments: LHS key → (rhs value, tuple) members.
+type ShardMap = HashMap<SmallKey, Vec<(ValueId, TupleId)>>;
+
+/// Per-chunk, per-rule intermediate state of the parallel build map phase.
+enum BuildPartial {
+    Constant {
+        violating: Vec<TupleId>,
+        context: usize,
+    },
+    Variable {
+        /// LHS key of every in-context tuple of the chunk.
+        keys: HashMap<TupleId, SmallKey>,
+        /// Group fragments routed to their target shard by key hash.
+        shards: Vec<ShardMap>,
+    },
+}
+
+/// Chunk output re-aimed at the per-rule merge phase.
+enum RuleMergeInput {
+    Const(Vec<TupleId>, usize),
+    Keys(HashMap<TupleId, SmallKey>),
+}
+
+/// One rule's merged state after the per-rule phase.
+enum MergedRule {
+    Const(ConstState),
+    Keys(HashMap<TupleId, SmallKey>),
+}
+
+/// Per-shard merged output for one variable rule.
+struct VarShard {
+    groups: HashMap<SmallKey, Group>,
+    generations: HashMap<SmallKey, u64>,
+    vio: usize,
+    satisfying: usize,
+    context: usize,
+}
+
 impl ViolationEngine {
     /// Builds the engine by scanning the whole table once per rule.
     pub fn build(table: &Table, ruleset: &RuleSet) -> ViolationEngine {
@@ -308,6 +352,257 @@ impl ViolationEngine {
         }
         engine.refresh_resolution(table);
         engine
+    }
+
+    /// [`ViolationEngine::build`] parallelised over a [`ThreadPool`], with a
+    /// **bit-identical** result (same groups, same aggregates, same
+    /// generation stamps) — the sequential build stays the oracle.
+    ///
+    /// Three deterministic fork-join phases:
+    ///
+    /// 1. **Map** — workers scan contiguous tuple chunks, accumulating
+    ///    per-rule partials: constant rules collect their chunk's violating
+    ///    tuples + context count; variable rules route `(rhs, tuple)` group
+    ///    fragments to a target shard by the stable hash of the group key
+    ///    ([`shard_of_ids`]), and record each in-context tuple's key.
+    /// 2. **Per-rule merge** — constant states and variable `tuple_key` maps
+    ///    are unions of disjoint chunk sets, merged per rule in chunk order.
+    /// 3. **Per-shard merge** — each shard folds its group fragments in
+    ///    chunk order into full [`Group`]s, then computes the aggregate sums
+    ///    and the group generation stamps once per group.
+    ///
+    /// Generation stamps replicate the sequential insertion history exactly:
+    /// appending rows `0..n` leaves `generation_counter = n`, every rule's
+    /// stats stamp at `n`, row `t` stamped `t + 1`, and each group stamped
+    /// by the last tuple that joined it (`max member + 1`).
+    ///
+    /// A sequential pool, a small table, or an empty rule set short-circuits
+    /// to [`ViolationEngine::build`] itself.
+    pub fn build_with_pool(table: &Table, ruleset: &RuleSet, pool: &ThreadPool) -> ViolationEngine {
+        let n = table.len();
+        if pool.is_sequential() || n < MIN_PARALLEL_ROWS || ruleset.rules().is_empty() {
+            return ViolationEngine::build(table, ruleset);
+        }
+        let n_rules = ruleset.len();
+        let resolved: Vec<ResolvedRule> = ruleset
+            .rules()
+            .iter()
+            .map(|rule| ResolvedRule::resolve(rule, table))
+            .collect();
+        let workers = pool.workers();
+        let shards = workers;
+        let ranges = partition(n, workers);
+
+        // Phase 1: map contiguous tuple chunks to per-rule partials.
+        let chunk_partials: Vec<Vec<BuildPartial>> = pool.run(workers, |c| {
+            let mut partials: Vec<BuildPartial> = ruleset
+                .rules()
+                .iter()
+                .map(|rule| {
+                    if rule.is_constant() {
+                        BuildPartial::Constant {
+                            violating: Vec::new(),
+                            context: 0,
+                        }
+                    } else {
+                        BuildPartial::Variable {
+                            keys: HashMap::new(),
+                            shards: (0..shards).map(|_| HashMap::new()).collect(),
+                        }
+                    }
+                })
+                .collect();
+            for tuple in ranges[c].clone() {
+                for rule_id in 0..n_rules {
+                    let rule = ruleset.rule(rule_id);
+                    let res = &resolved[rule_id];
+                    if !res.in_context(table, tuple, rule.lhs()) {
+                        continue;
+                    }
+                    match &mut partials[rule_id] {
+                        BuildPartial::Constant { violating, context } => {
+                            *context += 1;
+                            if !res.rhs.matches(table.cell_id(tuple, rule.rhs())) {
+                                violating.push(tuple);
+                            }
+                        }
+                        BuildPartial::Variable {
+                            keys,
+                            shards: shard_maps,
+                        } => {
+                            // Same store-per-row shape as `add_tuple`: keys
+                            // are inline, so building one per row beats
+                            // scratch-slice probing (see the A/B note there).
+                            let key = table.project_key(tuple, rule.lhs());
+                            let rhs = table.cell_id(tuple, rule.rhs());
+                            let shard = shard_of_ids(key.as_slice(), shards);
+                            match shard_maps[shard].get_mut(&key) {
+                                Some(members) => members.push((rhs, tuple)),
+                                None => {
+                                    shard_maps[shard].insert(key.clone(), vec![(rhs, tuple)]);
+                                }
+                            }
+                            keys.insert(tuple, key);
+                        }
+                    }
+                }
+            }
+            partials
+        });
+
+        // Regroup chunk outputs: per-rule inputs keep chunk order; variable
+        // group fragments go to their (shard, rule, chunk) slot.
+        let var_rules: Vec<RuleId> = (0..n_rules)
+            .filter(|&r| !ruleset.rule(r).is_constant())
+            .collect();
+        let mut var_slot = vec![usize::MAX; n_rules];
+        for (vi, &r) in var_rules.iter().enumerate() {
+            var_slot[r] = vi;
+        }
+        let mut rule_inputs: Vec<Vec<RuleMergeInput>> =
+            (0..n_rules).map(|_| Vec::with_capacity(workers)).collect();
+        let mut shard_inputs: Vec<Vec<Vec<ShardMap>>> = (0..shards)
+            .map(|_| {
+                (0..var_rules.len())
+                    .map(|_| Vec::with_capacity(workers))
+                    .collect()
+            })
+            .collect();
+        for chunk in chunk_partials {
+            for (rule_id, partial) in chunk.into_iter().enumerate() {
+                match partial {
+                    BuildPartial::Constant { violating, context } => {
+                        rule_inputs[rule_id].push(RuleMergeInput::Const(violating, context));
+                    }
+                    BuildPartial::Variable {
+                        keys,
+                        shards: shard_maps,
+                    } => {
+                        rule_inputs[rule_id].push(RuleMergeInput::Keys(keys));
+                        let vi = var_slot[rule_id];
+                        for (s, map) in shard_maps.into_iter().enumerate() {
+                            shard_inputs[s][vi].push(map);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: merge constant states / tuple_key maps per rule (chunk
+        // tuple sets are disjoint, so these are plain unions).
+        let merged_rules: Vec<MergedRule> = pool.run_consume(rule_inputs, |_, chunks| {
+            let mut iter = chunks.into_iter();
+            match iter.next().expect("at least one chunk per rule") {
+                RuleMergeInput::Const(violating, context) => {
+                    let mut state = ConstState {
+                        violating: violating.into_iter().collect(),
+                        context,
+                    };
+                    for part in iter {
+                        let RuleMergeInput::Const(violating, context) = part else {
+                            unreachable!("rule kind is fixed across chunks");
+                        };
+                        state.violating.extend(violating);
+                        state.context += context;
+                    }
+                    MergedRule::Const(state)
+                }
+                RuleMergeInput::Keys(first) => {
+                    let mut keys = first;
+                    for part in iter {
+                        let RuleMergeInput::Keys(map) = part else {
+                            unreachable!("rule kind is fixed across chunks");
+                        };
+                        keys.extend(map);
+                    }
+                    MergedRule::Keys(keys)
+                }
+            }
+        });
+
+        // Phase 3: fold each shard's group fragments (chunk order) into full
+        // groups, then compute aggregates and stamps once per group.
+        let shard_outputs: Vec<Vec<VarShard>> = pool.run_consume(shard_inputs, |_, per_var| {
+            per_var
+                .into_iter()
+                .map(|chunks| {
+                    let mut groups: HashMap<SmallKey, Group> = HashMap::new();
+                    for chunk in chunks {
+                        for (key, members) in chunk {
+                            let group = groups.entry(key).or_default();
+                            for (rhs, tid) in members {
+                                group.insert(rhs, tid);
+                            }
+                        }
+                    }
+                    let mut vio = 0;
+                    let mut satisfying = 0;
+                    let mut context = 0;
+                    let mut generations = HashMap::with_capacity(groups.len());
+                    for (key, group) in &groups {
+                        vio += group.vio();
+                        satisfying += group.satisfying();
+                        context += group.total;
+                        let last = group
+                            .members_by_rhs
+                            .values()
+                            .flatten()
+                            .copied()
+                            .max()
+                            .expect("build-phase groups are never empty");
+                        generations.insert(key.clone(), last as u64 + 1);
+                    }
+                    VarShard {
+                        groups,
+                        generations,
+                        vio,
+                        satisfying,
+                        context,
+                    }
+                })
+                .collect()
+        });
+
+        // Assembly: move merged state into the engine (shard key sets are
+        // disjoint, so `extend` is a union, and order does not matter for a
+        // HashMap's logical content).
+        let mut states: Vec<RuleState> = merged_rules
+            .into_iter()
+            .map(|merged| match merged {
+                MergedRule::Const(state) => RuleState::Constant(state),
+                MergedRule::Keys(tuple_key) => RuleState::Variable(VarState {
+                    tuple_key,
+                    ..VarState::default()
+                }),
+            })
+            .collect();
+        for per_var in shard_outputs {
+            for (vi, out) in per_var.into_iter().enumerate() {
+                let RuleState::Variable(state) = &mut states[var_rules[vi]] else {
+                    unreachable!("var_rules indexes variable states only");
+                };
+                state.groups.extend(out.groups);
+                state.group_generation.extend(out.generations);
+                state.total_vio += out.vio;
+                state.satisfying_in_context += out.satisfying;
+                state.context += out.context;
+            }
+        }
+        let involving = (0..table.schema().arity())
+            .map(|attr| ruleset.rules_involving(attr))
+            .collect();
+        ViolationEngine {
+            ruleset: ruleset.clone(),
+            states,
+            resolved,
+            resolved_at_generation: Some(table.dict_generation()),
+            involving,
+            n_rows: n,
+            stats_generation: vec![n as u64; n_rules],
+            row_generation: (1..=n as u64).collect(),
+            generation_counter: n as u64,
+            suppress_generations: false,
+        }
     }
 
     /// The rule set the engine evaluates.
@@ -720,6 +1015,51 @@ impl ViolationEngine {
         dirty.into_iter().collect()
     }
 
+    /// [`ViolationEngine::dirty_tuples`] parallelised over rules: each
+    /// worker collects one rule's violating tuples, and the sorted-dedup
+    /// union is identical to the sequential set walk.  Falls back to the
+    /// sequential path on a sequential pool.
+    pub fn dirty_tuples_with(&self, pool: &ThreadPool) -> Vec<TupleId> {
+        if pool.is_sequential() || self.ruleset.len() <= 1 {
+            return self.dirty_tuples();
+        }
+        let per_rule = pool.run(self.ruleset.len(), |rule| self.violating_tuples(rule));
+        let mut dirty: Vec<TupleId> = per_rule.into_iter().flatten().collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// The distinct RHS ids held by `tuple`'s conflict partners under a
+    /// variable rule: the keys of the agreement-group buckets other than the
+    /// tuple's own.  Exactly the value set of mapping
+    /// [`ViolationEngine::conflict_partners`] through the RHS column, but
+    /// O(#distinct RHS values) instead of O(group) — the candidate
+    /// generator's scenario 2 needs only the values, not the partners.
+    /// Unsorted; empty for constant rules or tuples outside the context.
+    pub fn conflict_rhs_ids(&self, rule: RuleId, tuple: TupleId) -> Vec<ValueId> {
+        let RuleState::Variable(state) = &self.states[rule] else {
+            return Vec::new();
+        };
+        let Some(key) = state.tuple_key.get(&tuple) else {
+            return Vec::new();
+        };
+        let Some(group) = state.groups.get(key) else {
+            return Vec::new();
+        };
+        let own = group
+            .members_by_rhs
+            .iter()
+            .find(|(_, members)| members.contains(&tuple))
+            .map(|(&rhs, _)| rhs);
+        group
+            .members_by_rhs
+            .keys()
+            .copied()
+            .filter(|&rhs| Some(rhs) != own)
+            .collect()
+    }
+
     /// For a variable rule, the tuples that violate it *with* `tuple` (same
     /// LHS agreement group, different RHS value).  Empty for constant rules
     /// or tuples outside the rule's context.
@@ -813,20 +1153,35 @@ impl ViolationEngine {
                 }
             }
             RuleState::Variable(state) => {
+                // Build the key once and probe/store through it.  An A/B at
+                // 100k rows (BENCH parallel_scale, build_engine/100000/t1)
+                // measured this ~76–85ms vs ~94–96ms for probing via a
+                // reused scratch-slice buffer: this loop stores a key per
+                // row anyway (`tuple_key`), CFD keys are ≤ 4 ids and stay
+                // inline on the stack, so a scratch buffer removes no heap
+                // allocation and its per-row fill is pure overhead.  Scratch
+                // probing stays in the probe-only paths (`AttrSetIndex`
+                // builds and lookups), where no key is stored per row.
                 let key = table.project_key(tuple, rule.lhs());
                 let rhs = table.cell_id(tuple, rule.rhs());
                 if !*suppress_generations {
-                    state
-                        .group_generation
-                        .insert(key.clone(), *generation_counter);
+                    if let Some(stamp) = state.group_generation.get_mut(&key) {
+                        *stamp = *generation_counter;
+                    } else {
+                        state
+                            .group_generation
+                            .insert(key.clone(), *generation_counter);
+                    }
                 }
-                state.retract(&key);
-                state
-                    .groups
-                    .entry(key.clone())
-                    .or_default()
-                    .insert(rhs, tuple);
-                state.restore(&key);
+                state.retract(key.as_slice());
+                if let Some(group) = state.groups.get_mut(&key) {
+                    group.insert(rhs, tuple);
+                } else {
+                    let mut group = Group::default();
+                    group.insert(rhs, tuple);
+                    state.groups.insert(key.clone(), group);
+                }
+                state.restore(key.as_slice());
                 state.tuple_key.insert(tuple, key);
             }
         }
@@ -856,15 +1211,19 @@ impl ViolationEngine {
                 };
                 let rhs = table.cell_id(tuple, rule.rhs());
                 if !*suppress_generations {
-                    state
-                        .group_generation
-                        .insert(key.clone(), *generation_counter);
+                    if let Some(stamp) = state.group_generation.get_mut(key.as_slice()) {
+                        *stamp = *generation_counter;
+                    } else {
+                        state
+                            .group_generation
+                            .insert(key.clone(), *generation_counter);
+                    }
                 }
-                state.retract(&key);
+                state.retract(key.as_slice());
                 if let Some(group) = state.groups.get_mut(&key) {
                     group.remove(rhs, tuple);
                 }
-                state.restore(&key);
+                state.restore(key.as_slice());
             }
         }
     }
@@ -1228,6 +1587,127 @@ STR, CT -> ZIP : _, Fort Wayne || _
         let engine = ViolationEngine::build(&table, &RuleSet::new(vec![]));
         assert_eq!(engine.dirty_tuples(), Vec::<TupleId>::new());
         assert_eq!(engine.total_violations(), 0);
+    }
+
+    #[test]
+    fn conflict_rhs_ids_match_partner_cells() {
+        let (table, _, engine) = build_fixture();
+        let rule = 6;
+        let rhs_attr = engine.ruleset().rule(rule).rhs();
+        for tuple in 0..engine.row_count() {
+            let mut via_partners: Vec<ValueId> = engine
+                .conflict_partners(rule, tuple)
+                .into_iter()
+                .map(|p| table.cell_id(p, rhs_attr))
+                .collect();
+            via_partners.sort_unstable();
+            via_partners.dedup();
+            let mut via_buckets = engine.conflict_rhs_ids(rule, tuple);
+            via_buckets.sort_unstable();
+            assert_eq!(via_buckets, via_partners, "tuple {tuple}");
+        }
+        // Constant rules have no buckets.
+        assert_eq!(engine.conflict_rhs_ids(0, 1), Vec::<ValueId>::new());
+    }
+
+    /// A table large enough to cross the parallel-build threshold, with a
+    /// mix of clean rows, constant violations, and variable conflicts.
+    fn large_fixture() -> (Table, RuleSet) {
+        let schema = schema();
+        let mut table = Table::new("addr", schema.clone());
+        for i in 0..(super::MIN_PARALLEL_ROWS + 137) {
+            let src = format!("H{}", i % 13);
+            let street = format!("street{}", i % 29);
+            let (city, zip) = match i % 5 {
+                0 => ("Michigan City", "46360"),
+                1 => ("Westville", "46360"), // violates 46360 → Michigan City
+                2 => ("Fort Wayne", "46825"),
+                // Fort Wayne rows sharing streets with distinct zips:
+                // variable-rule conflicts.
+                3 => ("Fort Wayne", "46999"),
+                _ => ("Westville", "46391"),
+            };
+            table
+                .push_text_row(&[&src, &street, city, "IN", zip])
+                .unwrap();
+        }
+        let mut ruleset = RuleSet::new(parse_rules(&schema, rules_text()).unwrap());
+        ruleset.weights_from_context(&table);
+        (table, ruleset)
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let (table, ruleset) = large_fixture();
+        let sequential = ViolationEngine::build(&table, &ruleset);
+        for workers in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(workers);
+            let parallel = ViolationEngine::build_with_pool(&table, &ruleset, &pool);
+            assert_eq!(parallel.row_count(), sequential.row_count());
+            for rule in 0..ruleset.len() {
+                assert_eq!(
+                    parallel.rule_stats(rule),
+                    sequential.rule_stats(rule),
+                    "rule {rule} stats (workers {workers})"
+                );
+                assert_eq!(
+                    parallel.stats_generation(rule),
+                    sequential.stats_generation(rule)
+                );
+                assert_eq!(
+                    parallel.violating_tuples(rule),
+                    sequential.violating_tuples(rule)
+                );
+            }
+            assert_eq!(parallel.dirty_tuples(), sequential.dirty_tuples());
+            assert_eq!(parallel.dirty_tuples_with(&pool), sequential.dirty_tuples());
+            let var_rule = 6;
+            for tuple in (0..table.len()).step_by(997) {
+                assert_eq!(
+                    parallel.row_generation(tuple),
+                    sequential.row_generation(tuple)
+                );
+                assert_eq!(
+                    parallel.agreement_group(var_rule, tuple),
+                    sequential.agreement_group(var_rule, tuple)
+                );
+                assert_eq!(
+                    parallel.conflict_partners(var_rule, tuple),
+                    sequential.conflict_partners(var_rule, tuple)
+                );
+                let key = table.project_key(tuple, ruleset.rule(var_rule).lhs());
+                assert_eq!(
+                    parallel.group_generation(var_rule, &key),
+                    sequential.group_generation(var_rule, &key)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_then_incremental_changes_stay_consistent() {
+        // The parallel-built engine must be a drop-in for the sequential one
+        // under subsequent incremental mutation: same stamps, same stats.
+        let (mut table, ruleset) = large_fixture();
+        let mut seq = ViolationEngine::build(&table, &ruleset);
+        let mut par = ViolationEngine::build_with_pool(&table, &ruleset, &ThreadPool::new(4));
+        let mut table2 = table.clone();
+        for (tuple, attr, value) in [
+            (1, 2, Value::from("Michigan City")),
+            (3, 4, Value::from("46825")),
+            (7, 1, Value::from("elsewhere")),
+        ] {
+            seq.apply_cell_change(&mut table, tuple, attr, value.clone())
+                .unwrap();
+            par.apply_cell_change(&mut table2, tuple, attr, value)
+                .unwrap();
+        }
+        for rule in 0..ruleset.len() {
+            assert_eq!(par.rule_stats(rule), seq.rule_stats(rule));
+            assert_eq!(par.stats_generation(rule), seq.stats_generation(rule));
+        }
+        assert_eq!(par.dirty_tuples(), seq.dirty_tuples());
+        assert!(par.agrees_with_rebuild(&table2));
     }
 
     #[test]

@@ -128,6 +128,19 @@ impl Default for CensusConfig {
     }
 }
 
+impl CensusConfig {
+    /// A configuration for scale experiments: `tuples` rows with the paper's
+    /// 30 % error rate and discovery support.  The census domains are fixed
+    /// (like the real adult dataset's), so scaling only grows the groups —
+    /// the adversarial case for group-proportional algorithms.
+    pub fn at_scale(tuples: usize) -> CensusConfig {
+        CensusConfig {
+            tuples,
+            ..CensusConfig::default()
+        }
+    }
+}
+
 /// Generates the census dataset: clean ground truth, randomly corrupted dirty
 /// instance, and rules discovered from the clean instance with the configured
 /// support threshold.

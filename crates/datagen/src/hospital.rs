@@ -29,7 +29,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::domains::{Locality, CLASSIFICATIONS, COMPLAINTS, HOSPITALS, LOCALITIES, SEXES};
+use crate::domains::{CLASSIFICATIONS, COMPLAINTS, HOSPITALS, LOCALITIES, SEXES};
 use crate::errors::{corrupt, ErrorKind};
 use crate::GeneratedDataset;
 
@@ -83,6 +83,13 @@ pub struct HospitalConfig {
     pub dirty_fraction: f64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Synthetic two-zip cities appended to the static
+    /// [`crate::domains::LOCALITIES`], each contributing two hospitals, two
+    /// constant CFDs, and one variable CFD.  `0` (the default) reproduces the
+    /// original fixed-domain generator byte for byte; scale runs use
+    /// [`HospitalConfig::at_scale`] so 100k–1M-row tables keep realistic
+    /// value cardinalities instead of collapsing into eight giant localities.
+    pub extra_cities: usize,
 }
 
 impl Default for HospitalConfig {
@@ -91,6 +98,20 @@ impl Default for HospitalConfig {
             tuples: 20_000,
             dirty_fraction: 0.3,
             seed: 20110829, // the paper's VLDB presentation date
+            extra_cities: 0,
+        }
+    }
+}
+
+impl HospitalConfig {
+    /// A configuration for scale experiments: `tuples` rows over a domain
+    /// grown proportionally (one synthetic two-zip city per ~5 000 tuples,
+    /// capped at 60), with the paper's 30 % error rate and the default seed.
+    pub fn at_scale(tuples: usize) -> HospitalConfig {
+        HospitalConfig {
+            tuples,
+            extra_cities: (tuples / 5_000).min(60),
+            ..HospitalConfig::default()
         }
     }
 }
@@ -115,32 +136,127 @@ pub const HOSPITAL_PROFILES: &[ErrorProfile] = &[
 /// vary widely as in the paper's Dataset 1.
 const HOSPITAL_WEIGHTS: &[f64] = &[30.0, 15.0, 10.0, 8.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
 
+/// One locality of the (possibly scaled) generation domain — the owned
+/// counterpart of [`Locality`], so synthesised entries can live beside the
+/// static ones.
+#[derive(Debug, Clone)]
+struct ScaledLocality {
+    zip: String,
+    city: String,
+    state: String,
+    streets: Vec<String>,
+}
+
+/// The generation domain: the static base localities and hospitals plus
+/// `extra_cities` synthesised two-zip cities (each with two hospitals).
+#[derive(Debug)]
+struct ScaledDomain {
+    localities: Vec<ScaledLocality>,
+    /// `(name, locality index)` per hospital, parallel to `profiles` and
+    /// `weights`.
+    hospitals: Vec<(String, usize)>,
+    profiles: Vec<ErrorProfile>,
+    weights: Vec<f64>,
+}
+
+/// Error profiles cycled over the synthesised hospitals, biased toward the
+/// corrupting kinds so scale datasets keep a realistic error mix.
+const SCALE_PROFILES: &[ErrorProfile] = &[
+    ErrorProfile::CityAbbreviated,
+    ErrorProfile::ZipSwapped,
+    ErrorProfile::StreetTypos,
+    ErrorProfile::StateAndCity,
+    ErrorProfile::Clean,
+];
+
+/// Builds the generation domain for a configuration.  `extra_cities == 0`
+/// reproduces the static base domain exactly.
+fn scaled_domain(extra_cities: usize) -> ScaledDomain {
+    let mut localities: Vec<ScaledLocality> = LOCALITIES
+        .iter()
+        .map(|l| ScaledLocality {
+            zip: l.zip.to_string(),
+            city: l.city.to_string(),
+            state: l.state.to_string(),
+            streets: l.streets.iter().map(|s| s.to_string()).collect(),
+        })
+        .collect();
+    let mut hospitals: Vec<(String, usize)> = HOSPITALS
+        .iter()
+        .map(|&(name, idx)| (name.to_string(), idx))
+        .collect();
+    let mut profiles: Vec<ErrorProfile> = HOSPITAL_PROFILES.to_vec();
+    let mut weights: Vec<f64> = HOSPITAL_WEIGHTS.to_vec();
+    for c in 0..extra_cities {
+        // Each synthetic city spans two zips (so the variable CFD gets
+        // non-trivial agreement groups) with disjoint street sets (so
+        // (street, city) still determines the zip on clean data).
+        let city = format!("Lakeview {c:03}");
+        let base = localities.len();
+        localities.push(ScaledLocality {
+            zip: format!("{:05}", 90_000 + 2 * c),
+            city: city.clone(),
+            state: "IN".to_string(),
+            streets: vec![
+                "Oak St".to_string(),
+                "Elm St".to_string(),
+                "Maple Ave".to_string(),
+            ],
+        });
+        localities.push(ScaledLocality {
+            zip: format!("{:05}", 90_001 + 2 * c),
+            city: city.clone(),
+            state: "IN".to_string(),
+            streets: vec![
+                "Main St".to_string(),
+                "High St".to_string(),
+                "Second Ave".to_string(),
+            ],
+        });
+        hospitals.push((format!("{city} Medical Center"), base));
+        profiles.push(SCALE_PROFILES[c % SCALE_PROFILES.len()]);
+        weights.push(2.0 / (1.0 + (c % 7) as f64));
+        hospitals.push((format!("{city} Community Hospital"), base + 1));
+        profiles.push(SCALE_PROFILES[(c + 2) % SCALE_PROFILES.len()]);
+        weights.push(1.0 / (1.0 + (c % 5) as f64));
+    }
+    ScaledDomain {
+        localities,
+        hospitals,
+        profiles,
+        weights,
+    }
+}
+
 /// Generates the hospital dataset: clean ground truth, dirty instance,
 /// hand-written CFDs, and the corrupted-cell list.
 pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = Schema::new(HOSPITAL_ATTRS);
+    let domain = scaled_domain(config.extra_cities);
     let mut clean = Table::with_capacity("hospital_clean", schema.clone(), config.tuples);
 
     // Cumulative hospital weights for sampling.
-    let total_weight: f64 = HOSPITAL_WEIGHTS.iter().sum();
+    let total_weight: f64 = domain.weights.iter().sum();
+    let mut tuple_hospital: Vec<usize> = Vec::with_capacity(config.tuples);
 
     for i in 0..config.tuples {
-        let hospital_idx = sample_weighted(&mut rng, HOSPITAL_WEIGHTS, total_weight);
-        let (hospital_name, locality_idx) = HOSPITALS[hospital_idx];
-        let locality = &LOCALITIES[locality_idx];
+        let hospital_idx = sample_weighted(&mut rng, &domain.weights, total_weight);
+        let (hospital_name, locality_idx) = &domain.hospitals[hospital_idx];
+        let locality = &domain.localities[*locality_idx];
         let street = locality.streets.choose(&mut rng).unwrap();
+        tuple_hospital.push(hospital_idx);
         let row = vec![
             Value::from(format!("P{i:06}")),
             Value::from(rng.gen_range(1..95i64).to_string()),
             Value::from(*SEXES.choose(&mut rng).unwrap()),
             Value::from(*CLASSIFICATIONS.choose(&mut rng).unwrap()),
             Value::from(*COMPLAINTS.choose(&mut rng).unwrap()),
-            Value::from(hospital_name),
-            Value::from(*street),
-            Value::from(locality.city),
-            Value::from(locality.zip),
-            Value::from(locality.state),
+            Value::from(hospital_name.as_str()),
+            Value::from(street.as_str()),
+            Value::from(locality.city.as_str()),
+            Value::from(locality.zip.as_str()),
+            Value::from(locality.state.as_str()),
             Value::from(format!(
                 "2010-{:02}-{:02}",
                 rng.gen_range(1..13u32),
@@ -153,20 +269,15 @@ pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
     // Inject hospital-correlated errors into a sample of the tuples.
     let mut dirty = clean.snapshot("hospital_dirty");
     let mut corrupted_cells = Vec::new();
-    let city_domain: Vec<&str> = LOCALITIES.iter().map(|l| l.city).collect();
-    let zip_domain: Vec<&str> = LOCALITIES.iter().map(|l| l.zip).collect();
+    let city_domain: Vec<&str> = domain.localities.iter().map(|l| l.city.as_str()).collect();
+    let zip_domain: Vec<&str> = domain.localities.iter().map(|l| l.zip.as_str()).collect();
 
-    for tid in 0..dirty.len() {
+    for (tid, &hospital_idx) in tuple_hospital.iter().enumerate().take(dirty.len()) {
         if !rng.gen_bool(config.dirty_fraction) {
             continue;
         }
-        let hospital_name = dirty.cell(tid, ATTR_HOSPITAL).render().into_owned();
-        let hospital_idx = HOSPITALS
-            .iter()
-            .position(|&(name, _)| name == hospital_name)
-            .expect("hospital name from the generator");
-        let profile = HOSPITAL_PROFILES[hospital_idx];
-        let locality = &LOCALITIES[HOSPITALS[hospital_idx].1];
+        let profile = domain.profiles[hospital_idx];
+        let locality = &domain.localities[domain.hospitals[hospital_idx].1];
 
         let edits: Vec<(usize, ErrorKind, Vec<&str>)> = match profile {
             ErrorProfile::CityAbbreviated => {
@@ -176,7 +287,7 @@ pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
                 vec![(
                     ATTR_ZIP,
                     ErrorKind::DomainSwap,
-                    neighbour_zips(locality, &zip_domain),
+                    neighbour_zips(&domain, locality, &zip_domain),
                 )]
             }
             ErrorProfile::StreetTypos => {
@@ -211,7 +322,8 @@ pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
     }
 
     let mut rules = RuleSet::new(
-        parser::parse_rules(&schema, &hospital_rules_text()).expect("generated rules parse"),
+        parser::parse_rules(&schema, &rules_text_for(&domain.localities))
+            .expect("generated rules parse"),
     );
     rules.weights_from_context(&dirty);
 
@@ -228,19 +340,24 @@ pub fn generate_hospital_dataset(config: &HospitalConfig) -> GeneratedDataset {
 /// (mirroring φ1–φ4 of Figure 1) and one variable CFD
 /// `StreetAddress, City → Zip` per multi-zip city (mirroring φ5).
 pub fn hospital_rules_text() -> String {
+    rules_text_for(&scaled_domain(0).localities)
+}
+
+/// The rule text over an arbitrary (possibly scaled) locality list.
+fn rules_text_for(localities: &[ScaledLocality]) -> String {
     let mut text = String::new();
-    for locality in LOCALITIES {
+    for locality in localities {
         text.push_str(&format!(
             "Zip -> City, State : {} || {}, {}\n",
             locality.zip, locality.city, locality.state
         ));
     }
     // Variable rules for cities spanning several zips.
-    let mut cities: Vec<&str> = LOCALITIES.iter().map(|l| l.city).collect();
+    let mut cities: Vec<&str> = localities.iter().map(|l| l.city.as_str()).collect();
     cities.sort_unstable();
     cities.dedup();
     for city in cities {
-        let zip_count = LOCALITIES.iter().filter(|l| l.city == city).count();
+        let zip_count = localities.iter().filter(|l| l.city == city).count();
         if zip_count >= 2 {
             text.push_str(&format!("StreetAddress, City -> Zip : _, {city} || _\n"));
         }
@@ -251,11 +368,16 @@ pub fn hospital_rules_text() -> String {
 /// The zip codes of other localities in the same city (the realistic
 /// "boundary confusion" swap); falls back to the whole zip domain when the
 /// city has a single zip.
-fn neighbour_zips<'a>(locality: &Locality, all_zips: &[&'a str]) -> Vec<&'a str> {
-    let same_city: Vec<&str> = LOCALITIES
+fn neighbour_zips<'a>(
+    domain: &ScaledDomain,
+    locality: &ScaledLocality,
+    all_zips: &[&'a str],
+) -> Vec<&'a str> {
+    let same_city: Vec<&str> = domain
+        .localities
         .iter()
         .filter(|l| l.city == locality.city && l.zip != locality.zip)
-        .map(|l| l.zip)
+        .map(|l| l.zip.as_str())
         .collect();
     if same_city.is_empty() {
         all_zips.to_vec()
@@ -290,6 +412,7 @@ mod tests {
             tuples: 800,
             dirty_fraction: 0.3,
             seed: 7,
+            extra_cities: 0,
         })
     }
 
@@ -392,6 +515,58 @@ mod tests {
         let mut counts: Vec<usize> = idx.iter().map(|(_, ids)| ids.len()).collect();
         counts.sort_unstable();
         assert!(counts.last().unwrap() > &(counts.first().unwrap() * 5));
+    }
+
+    #[test]
+    fn scaled_domain_grows_rules_and_stays_clean() {
+        let config = HospitalConfig {
+            tuples: 3_000,
+            dirty_fraction: 0.3,
+            seed: 7,
+            extra_cities: 12,
+        };
+        let data = generate_hospital_dataset(&config);
+        // Every synthetic city contributes two zips (each parsing into a
+        // Zip→City and a Zip→State rule) and one variable CFD on top of the
+        // base rule set.
+        let base = generate_hospital_dataset(&HospitalConfig {
+            extra_cities: 0,
+            ..config.clone()
+        });
+        assert_eq!(data.rules.len(), base.rules.len() + 12 * 5);
+        // The clean instance still satisfies the scaled rule set, and the
+        // dirty instance still violates it.
+        let engine = ViolationEngine::build(&data.clean, &data.rules);
+        assert_eq!(engine.total_violations(), 0);
+        let engine = ViolationEngine::build(&data.dirty, &data.rules);
+        assert!(!engine.dirty_tuples().is_empty());
+        assert!(data.corruption_is_consistent());
+    }
+
+    #[test]
+    fn at_scale_reproduces_deterministically_and_spreads_localities() {
+        let a = generate_hospital_dataset(&HospitalConfig::at_scale(20_000));
+        let b = generate_hospital_dataset(&HospitalConfig::at_scale(20_000));
+        assert_eq!(a.dirty, b.dirty);
+        assert_eq!(a.corrupted_cells, b.corrupted_cells);
+        // The synthetic cities actually receive tuples.
+        let cities = gdr_relation::ValueIndex::build(&a.clean, ATTR_CITY);
+        assert!(cities.distinct_count() > LOCALITIES.len());
+    }
+
+    #[test]
+    fn extra_cities_zero_reproduces_the_base_generator() {
+        // The owned-domain path with no synthetic cities must match the
+        // original static-domain output byte for byte (same RNG draws, same
+        // rule text), so existing seeds stay stable.
+        assert_eq!(
+            hospital_rules_text(),
+            rules_text_for(&scaled_domain(0).localities)
+        );
+        let domain = scaled_domain(0);
+        assert_eq!(domain.localities.len(), LOCALITIES.len());
+        assert_eq!(domain.hospitals.len(), HOSPITALS.len());
+        assert_eq!(domain.weights, HOSPITAL_WEIGHTS);
     }
 
     #[test]

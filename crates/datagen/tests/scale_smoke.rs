@@ -1,0 +1,80 @@
+//! Fixed-seed scale smoke test: the 100 000-row hospital dataset must
+//! generate deterministically within a wall-clock budget, and the violation
+//! engine's sharded parallel build must agree with the sequential build on
+//! it.  Debug builds run a bounded 10 000-row variant so `cargo test` stays
+//! fast; the release profile (the tier-1 `--release` build and CI) covers
+//! the full 100k.
+
+use std::time::Instant;
+
+use gdr_cfd::ViolationEngine;
+use gdr_datagen::hospital::{generate_hospital_dataset, HospitalConfig};
+use gdr_relation::ThreadPool;
+
+const SEED: u64 = 77;
+
+fn smoke_tuples() -> usize {
+    if cfg!(debug_assertions) {
+        10_000
+    } else {
+        100_000
+    }
+}
+
+#[test]
+fn fixed_seed_scale_generation_smoke() {
+    let tuples = smoke_tuples();
+    let config = HospitalConfig {
+        seed: SEED,
+        ..HospitalConfig::at_scale(tuples)
+    };
+
+    let start = Instant::now();
+    let data = generate_hospital_dataset(&config);
+    let generation = start.elapsed();
+
+    assert_eq!(data.dirty.len(), tuples);
+    assert_eq!(data.clean.len(), tuples);
+    assert!(data.corruption_is_consistent());
+    let fraction = data.dirty_tuple_fraction();
+    assert!(
+        fraction > 0.2 && fraction < 0.35,
+        "error rate drifted: {fraction}"
+    );
+    // The scaled domain must actually be in play (each extra synthetic city
+    // contributes five rules beyond the base locality table's).
+    assert!(
+        config.extra_cities >= 2,
+        "at_scale produced no extra cities"
+    );
+    assert!(
+        data.rules.len() >= config.extra_cities * 5 + 10,
+        "scaled config produced only {} rules for {} extra cities",
+        data.rules.len(),
+        config.extra_cities
+    );
+
+    // Same seed, same bytes.
+    let twin = generate_hospital_dataset(&config);
+    assert_eq!(data.dirty, twin.dirty);
+    assert_eq!(data.corrupted_cells, twin.corrupted_cells);
+
+    // Sequential and sharded-parallel engine builds agree on the result.
+    let sequential = ViolationEngine::build(&data.dirty, &data.rules);
+    let parallel = ViolationEngine::build_with_pool(&data.dirty, &data.rules, &ThreadPool::new(4));
+    assert_eq!(
+        sequential.total_violations(),
+        parallel.total_violations(),
+        "parallel engine build diverged on violation totals"
+    );
+    assert_eq!(sequential.dirty_tuples(), parallel.dirty_tuples());
+    assert!(sequential.total_violations() > 0);
+
+    // Time cap: generous enough for slow CI machines, tight enough to catch
+    // an accidental quadratic regression (which would take minutes at 100k).
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < 90,
+        "scale smoke exceeded its time cap: generation {generation:?}, total {elapsed:?}"
+    );
+}

@@ -33,6 +33,14 @@ pub struct GdrConfig {
     /// the debug/fallback oracle for diagnosing a suspected divergence in
     /// production-like runs.
     pub full_walk_refresh: bool,
+    /// Worker threads for the O(table) construction and full-walk passes
+    /// (violation-engine build, agreement-index build, initial update
+    /// generation, the full-walk refresh and dirty scans).  `1` runs strictly
+    /// sequentially on the calling thread — bit-identical behaviour to every
+    /// release before the knob existed — and any higher count is pinned
+    /// bit-identical to `1` by property tests (same `ValueId` assignment,
+    /// same score bits).
+    pub parallelism: usize,
 }
 
 impl Default for GdrConfig {
@@ -45,6 +53,7 @@ impl Default for GdrConfig {
             seed: 0xC0FFEE,
             checkpoint_every: 1,
             full_walk_refresh: false,
+            parallelism: 1,
         }
     }
 }
@@ -64,6 +73,7 @@ impl GdrConfig {
             seed: 7,
             checkpoint_every: 1,
             full_walk_refresh: false,
+            parallelism: 1,
         }
     }
 }

@@ -1068,7 +1068,8 @@ impl<'r> SessionBuilder<'r> {
     /// Builds the pull-based engine.
     pub fn build(self) -> GdrEngine {
         let arity = self.dirty.schema().arity();
-        let state = RepairState::new(self.dirty, self.rules);
+        let threads = gdr_relation::ThreadPool::new(self.config.parallelism);
+        let state = RepairState::with_parallelism(self.dirty, self.rules, threads);
         let initial_dirty_tuples = state.dirty_tuples().len();
         let models = ModelStore::new(arity, self.config.forest.clone(), self.config.seed);
         let rng = StdRng::seed_from_u64(self.config.seed ^ 0x5eed);

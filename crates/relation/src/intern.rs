@@ -246,6 +246,16 @@ impl From<&[ValueId]> for SmallKey {
     }
 }
 
+/// Lets hash maps keyed by [`SmallKey`] be probed with a plain `&[ValueId]`
+/// slice — e.g. a reused projection scratch buffer — without materialising a
+/// key.  Sound because `Eq` and `Hash` are defined over [`SmallKey::as_slice`]
+/// already, so the borrowed form hashes and compares identically.
+impl std::borrow::Borrow<[ValueId]> for SmallKey {
+    fn borrow(&self) -> &[ValueId] {
+        self.as_slice()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

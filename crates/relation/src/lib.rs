@@ -56,7 +56,9 @@
 //! * [`Table`] — schema + interned columns with cell-level read/write access,
 //! * [`index`] — hash indices over one or more attributes,
 //! * [`csv`] — a minimal CSV reader/writer,
-//! * [`stats`] — per-attribute domain statistics (active domain, counts).
+//! * [`stats`] — per-attribute domain statistics (active domain, counts),
+//! * [`pool`] — a std-only scoped [`ThreadPool`] with deterministic
+//!   job→worker assignment, used to parallelise the O(table) build paths.
 //!
 //! ```
 //! use gdr_relation::{Schema, Table, Value};
@@ -85,6 +87,7 @@ pub mod csv;
 pub mod error;
 pub mod index;
 pub mod intern;
+pub mod pool;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -94,6 +97,7 @@ pub mod value;
 pub use error::RelationError;
 pub use index::{AttrSetIndex, ValueIndex};
 pub use intern::{SmallKey, ValueId, ValueInterner};
+pub use pool::ThreadPool;
 pub use schema::{AttrId, Attribute, Schema};
 pub use stats::{AttributeStats, TableStats};
 pub use table::{Table, TupleId};

@@ -1,0 +1,295 @@
+//! A hand-rolled, std-only scoped thread pool for deterministic data
+//! parallelism.
+//!
+//! The O(table) paths of the repair stack — violation-engine build, agreement
+//! index build, initial update generation, the retained full-walk oracles —
+//! are embarrassingly parallel *maps* followed by an order-sensitive
+//! *merge*.  The build environment is offline (no `rayon`), and GDR's
+//! determinism contract is strict: a session constructed with `parallelism:
+//! 8` must be bit-identical to one constructed with `parallelism: 1`, down to
+//! `ValueId` assignment and `f64` score bits, because checkpoints, journals,
+//! and learned models all hash that state.  [`ThreadPool`] is therefore built
+//! around three rules rather than around throughput tricks:
+//!
+//! ## Design
+//!
+//! * **Static contiguous partition, no work-stealing.**  [`ThreadPool::run`]
+//!   splits `jobs` into one contiguous index range per worker (remainder
+//!   spread over the leading workers) and each worker processes exactly its
+//!   range.  A work-stealing deque would balance skewed loads better, but the
+//!   *assignment* of job to worker would then depend on timing, and any
+//!   consumer that merges worker-local state (interners, running sums over
+//!   floats, allocation order) would observe run-to-run drift.  With a static
+//!   partition the job→worker map is a pure function of `(jobs, workers)`,
+//!   so every run — and every machine — produces the same merge inputs.
+//!   Load balance comes from the *callers* instead: they shard by key hash
+//!   ([`shard_of_ids`]), which spreads skewed agreement groups evenly without
+//!   dynamic scheduling.
+//! * **Deterministic merge order.**  Results are returned as a `Vec<T>` in
+//!   job-index order regardless of which worker finished first; reducers that
+//!   fold worker outputs left-to-right therefore see a fixed fold order.
+//!   Callers that need a *keyed* merge (per-shard group maps) pair this with
+//!   a fixed shard count and iterate shards `0..s`, chunks `0..c` — all
+//!   deterministic indices, never completion order.
+//! * **Scoped, unpooled threads.**  Workers are spawned per call with
+//!   `std::thread::scope`, so closures may borrow the table, rule set, and
+//!   indices directly (no `Arc`, no `'static` bound) and no idle threads
+//!   linger between calls.  Spawning costs tens of microseconds per worker,
+//!   which is noise against the millisecond-to-second table scans this pool
+//!   exists for; a persistent pool would buy nothing but shutdown and
+//!   poisoning complexity.
+//!
+//! `workers == 1` (or a single job) short-circuits to an inline loop on the
+//! calling thread — the sequential oracle path, with no thread machinery at
+//! all.  This is what `parallelism: 1` in `GdrConfig` resolves to, keeping
+//! "today's behaviour" literally today's code.
+//!
+//! ## Sharding helper
+//!
+//! [`shard_of_ids`] maps an id slice to a shard with an FNV-1a hash over the
+//! raw `u32`s.  The std `RandomState` hasher is seeded per-process, so using
+//! it for shard routing would make the *partition* (though not the merged
+//! result) differ between runs; a fixed hash keeps even intermediate state
+//! reproducible under a debugger.
+//!
+//! ```
+//! use gdr_relation::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.run(10, |i| i * i);
+//! assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+use crate::intern::ValueId;
+
+/// A scoped fork-join pool with a fixed worker count and deterministic
+/// job→worker assignment.  See the [module docs](self) for the design
+/// rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::sequential()
+    }
+}
+
+impl ThreadPool {
+    /// A pool running `workers` jobs concurrently.  `0` is clamped to `1`;
+    /// `1` means strictly sequential inline execution.
+    pub fn new(workers: usize) -> ThreadPool {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every `run` executes inline on the calling
+    /// thread.
+    pub fn sequential() -> ThreadPool {
+        ThreadPool::new(1)
+    }
+
+    /// Number of concurrent workers this pool uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when `run` never spawns a thread.
+    pub fn is_sequential(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Runs `f(0), f(1), …, f(jobs - 1)` across the pool's workers and
+    /// returns the results **in job order**.
+    ///
+    /// Jobs are partitioned into contiguous ranges, one per worker; each
+    /// worker runs its range in ascending order.  The assignment is a pure
+    /// function of `(jobs, workers)` — no stealing, no timing dependence —
+    /// so a fold over the returned vector is deterministic.  With one worker
+    /// or at most one job, everything runs inline on the calling thread.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers <= 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let workers = self.workers.min(jobs);
+        let ranges = partition(jobs, workers);
+        let mut per_worker: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let f = &f;
+                    scope.spawn(move || range.map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(jobs);
+        for chunk in &mut per_worker {
+            results.append(chunk);
+        }
+        results
+    }
+}
+
+impl ThreadPool {
+    /// [`ThreadPool::run`] where each job *consumes* a pre-built input
+    /// (`inputs[i]` moves into `f(i, …)`), for reduce phases that merge owned
+    /// intermediate state.  Results are in input order, like `run`.
+    pub fn run_consume<I, T, F>(&self, inputs: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        if self.workers <= 1 || inputs.len() <= 1 {
+            return inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, input)| f(i, input))
+                .collect();
+        }
+        // Hand each job exclusive ownership of its slot; locks are
+        // uncontended (job i touches slot i only) and exist purely to move
+        // the input out through the shared borrow `run` hands its closure.
+        let slots: Vec<std::sync::Mutex<Option<I>>> = inputs
+            .into_iter()
+            .map(|input| std::sync::Mutex::new(Some(input)))
+            .collect();
+        self.run(slots.len(), |i| {
+            let input = slots[i]
+                .lock()
+                .expect("pool input slot poisoned")
+                .take()
+                .expect("pool input slot consumed twice");
+            f(i, input)
+        })
+    }
+}
+
+/// Splits `0..jobs` into `parts` contiguous ranges whose lengths differ by at
+/// most one (remainder assigned to the leading ranges).  Public so callers
+/// can mirror the exact job→range map [`ThreadPool::run`] uses when they
+/// chunk a table themselves.
+pub fn partition(jobs: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let base = jobs / parts;
+    let extra = jobs % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for part in 0..parts {
+        let len = base + usize::from(part < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Deterministic FNV-1a hash of an id slice, for routing agreement-group
+/// keys to shards.  Stable across processes and platforms (unlike the
+/// per-process-seeded std `RandomState`), so parallel intermediate state is
+/// reproducible, not just the merged result.
+pub fn stable_hash_ids(ids: &[ValueId]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for id in ids {
+        for byte in id.raw().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// The shard (in `0..shards`) an id slice routes to under
+/// [`stable_hash_ids`].
+pub fn shard_of_ids(ids: &[ValueId], shards: usize) -> usize {
+    (stable_hash_ids(ids) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_job_order() {
+        for workers in [1, 2, 3, 8] {
+            for jobs in [0, 1, 2, 7, 64] {
+                let pool = ThreadPool::new(workers);
+                let out = pool.run(jobs, |i| i * 10);
+                assert_eq!(out, (0..jobs).map(|i| i * 10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn workers_clamped_to_at_least_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.is_sequential());
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(ThreadPool::default(), ThreadPool::sequential());
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        for jobs in 0..40 {
+            for parts in 1..10 {
+                let ranges = partition(jobs, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut next = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, next);
+                    next = range.end;
+                }
+                assert_eq!(next, jobs);
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn workers_see_shared_borrowed_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPool::new(4);
+        let sums = pool.run(8, |i| data[i * 100..(i + 1) * 100].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data[..800].iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_consume_moves_inputs_in_order() {
+        for workers in [1, 3] {
+            let pool = ThreadPool::new(workers);
+            let inputs: Vec<Vec<u32>> = (0..6).map(|i| vec![i; 3]).collect();
+            let out = pool.run_consume(inputs, |i, v| (i, v.into_iter().sum::<u32>()));
+            assert_eq!(out, (0..6).map(|i| (i as usize, i * 3)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_fixed() {
+        let ids: Vec<ValueId> = (0..5).map(ValueId::from_index).collect();
+        // Pinned value: the hash must never drift across refactors, platforms
+        // or processes — intermediate parallel state depends on it.
+        assert_eq!(stable_hash_ids(&ids), stable_hash_ids(&ids));
+        assert_ne!(stable_hash_ids(&ids[..4]), stable_hash_ids(&ids));
+        assert_eq!(stable_hash_ids(&[]), 0xcbf2_9ce4_8422_2325);
+        for shards in 1..9 {
+            assert!(shard_of_ids(&ids, shards) < shards);
+        }
+        assert_eq!(shard_of_ids(&ids, 0), 0);
+    }
+}

@@ -17,21 +17,111 @@
 //! differs from the current value becomes the suggestion
 //! `⟨t, B, v, sim(t[B], v)⟩` recorded in `PossibleUpdates`.
 
-use std::collections::BTreeSet;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
 
-use gdr_cfd::Cfd;
-use gdr_relation::{AttrId, TupleId, Value, ValueId};
+use gdr_cfd::{Cfd, RuleId};
+use gdr_relation::{pool, AttrId, SmallKey, TupleId, ValueId};
 
 use crate::similarity::value_similarity;
 use crate::state::RepairState;
 use crate::update::{Cell, Update};
 
+/// Memo of `getValueForLHS` candidate pools, shared across one generation
+/// walk.
+///
+/// Scenario 3 draws candidates from the tuples agreeing with `t` on
+/// `attrs(φ) − {B}`.  Walking a full dirty list re-derives the same pool for
+/// every dirty member of the same agreement group, which turns pathological
+/// when a broad subset (e.g. `{State}`) collapses the table into one group:
+/// the naive walk is O(dirty × group) ≈ O(n²).  The memo keys the *distinct
+/// non-null ids of attribute `B` within one group* by `(index slot, B,
+/// group key)` so each pool is computed once per walk.  Pure cache: the
+/// final candidate list is sorted and deduplicated anyway, so memoised and
+/// recomputed pools yield identical suggestions.
+#[derive(Debug, Default)]
+struct CandidateMemo {
+    groups: HashMap<(usize, AttrId, SmallKey), Vec<ValueId>>,
+}
+
 impl RepairState {
     /// Generates the initial `PossibleUpdates` list: Algorithm 1 is invoked
     /// for every attribute of every dirty tuple (step 1 of the GDR process).
+    ///
+    /// Runs as a four-phase walk on the state's thread pool (sequential by
+    /// default); see [`RepairState::generate_for_dirty`].
     pub fn generate_initial_updates(&mut self) {
-        for tuple in self.dirty_tuples() {
-            self.generate_updates_for_tuple(tuple);
+        let dirty = self.engine.dirty_tuples_with(&self.threads);
+        self.generate_for_dirty(&dirty, false);
+    }
+
+    /// The shared full-walk generator behind
+    /// [`RepairState::generate_initial_updates`] and
+    /// [`RepairState::refresh_updates_full`], parallelised over the state's
+    /// thread pool in four phases:
+    ///
+    /// 1. **Violated rules** (parallel, read-only): each dirty tuple's
+    ///    violated-rule list.
+    /// 2. **Pre-intern** (sequential): for every cell to be generated, intern
+    ///    the rule constants Algorithm 1 may suggest, *in the exact order the
+    ///    per-cell generator would* — cells ascending by `(tuple, attr)`,
+    ///    rules in violated order, scenario-1 RHS constants before
+    ///    scenario-3 LHS constants.  This is the only dictionary-mutating
+    ///    step, so `ValueId` assignment is identical at any worker count.
+    /// 3. **Candidate search** (parallel, read-only): Algorithm 1's scenario
+    ///    exploration and best-candidate selection per cell, with a
+    ///    per-worker [`CandidateMemo`].
+    /// 4. **Record** (sequential, cell order): journal the suggestions.
+    ///
+    /// `skip_existing` preserves the full-refresh contract of touching only
+    /// cells without a pending suggestion.
+    fn generate_for_dirty(&mut self, dirty: &[TupleId], skip_existing: bool) {
+        let threads = self.threads;
+        let arity = self.table.schema().arity();
+        let violated: Vec<Vec<RuleId>> = {
+            let engine = &self.engine;
+            threads.run(dirty.len(), |i| engine.violated_rules(dirty[i]))
+        };
+        let mut cells: Vec<(usize, Cell)> = Vec::new();
+        for (i, &tuple) in dirty.iter().enumerate() {
+            for attr in 0..arity {
+                let cell = (tuple, attr);
+                if skip_existing && self.possible.contains_key(&cell) {
+                    continue;
+                }
+                if !self.is_changeable(cell) {
+                    continue;
+                }
+                if violated[i].is_empty() {
+                    self.drop_pending(cell);
+                    continue;
+                }
+                self.pre_intern_rule_constants(attr, &violated[i]);
+                cells.push((i, cell));
+            }
+        }
+        let ranges = pool::partition(cells.len(), threads.workers());
+        let chunks: Vec<Vec<(Cell, Option<Update>)>> = {
+            let state = &*self;
+            threads.run(ranges.len(), |w| {
+                let mut memo = CandidateMemo::default();
+                ranges[w]
+                    .clone()
+                    .map(|c| {
+                        let (i, (tuple, attr)) = cells[c];
+                        let update = state.candidate_update(tuple, attr, &violated[i], &mut memo);
+                        ((tuple, attr), update)
+                    })
+                    .collect()
+            })
+        };
+        for chunk in chunks {
+            for (cell, update) in chunk {
+                match update {
+                    Some(update) => self.record_suggestion(update),
+                    None => self.drop_pending(cell),
+                }
+            }
         }
     }
 
@@ -60,28 +150,86 @@ impl RepairState {
             self.drop_pending((tuple, attr));
             return None;
         }
+        self.pre_intern_rule_constants(attr, &violated);
+        let mut memo = CandidateMemo::default();
+        match self.candidate_update(tuple, attr, &violated, &mut memo) {
+            Some(update) => {
+                self.record_suggestion(update.clone());
+                Some(update)
+            }
+            None => {
+                self.drop_pending((tuple, attr));
+                None
+            }
+        }
+    }
 
-        let mut candidates: Vec<ValueId> = Vec::new();
-        for &rule_id in &violated {
+    /// Interns every rule constant Algorithm 1 may propose for `(t, attr)`
+    /// across the violated rules — the only dictionary-mutating part of
+    /// candidate generation, split out so [`RepairState::candidate_update`]
+    /// can run read-only (and therefore in parallel).  The intern order —
+    /// rules in violated order, a rule's scenario-1 RHS constant before its
+    /// scenario-3 LHS constants in pattern order — matches the in-line
+    /// interleaving the generator historically used, so `ValueId` assignment
+    /// is unchanged.
+    fn pre_intern_rule_constants(&mut self, attr: AttrId, violated: &[RuleId]) {
+        for &rule_id in violated {
             let rule = self.engine.ruleset().rule(rule_id);
             if rule.rhs() == attr {
                 if rule.is_constant() {
-                    // Scenario 1: suggest the pattern constant (interned on
-                    // demand — the constant may not occur in the data yet).
                     if let Some(constant) = rule.rhs_pattern().as_const() {
                         let constant = constant.clone();
-                        candidates.push(self.table.intern_value(attr, constant));
+                        self.table.intern_value(attr, constant);
+                    }
+                }
+            } else if rule.lhs().contains(&attr) {
+                for (lhs_attr, pattern) in rule.lhs().iter().zip(rule.lhs_pattern()) {
+                    if *lhs_attr == attr {
+                        if let Some(constant) = pattern.as_const() {
+                            let constant = constant.clone();
+                            self.table.intern_value(attr, constant);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The read-only core of `UpdateAttributeTuple(t, B)`: explores the three
+    /// scenarios over the violated rules, then picks the best admissible
+    /// candidate.  Requires [`RepairState::pre_intern_rule_constants`] to
+    /// have run for `(t, B)` first so every rule constant resolves via
+    /// lookup.  Returns the suggestion without recording it.
+    fn candidate_update(
+        &self,
+        tuple: TupleId,
+        attr: AttrId,
+        violated: &[RuleId],
+        memo: &mut CandidateMemo,
+    ) -> Option<Update> {
+        let mut candidates: Vec<ValueId> = Vec::new();
+        for &rule_id in violated {
+            let rule = self.engine.ruleset().rule(rule_id);
+            if rule.rhs() == attr {
+                if rule.is_constant() {
+                    // Scenario 1: suggest the pattern constant.
+                    if let Some(constant) = rule.rhs_pattern().as_const() {
+                        let id = self
+                            .table
+                            .lookup_id(attr, constant)
+                            .expect("rule constants are pre-interned before candidate search");
+                        candidates.push(id);
                     }
                 } else {
-                    // Scenario 2: suggest a conflicting partner's RHS value.
-                    for partner in self.engine.conflict_partners(rule_id, tuple) {
-                        candidates.push(self.table.cell_id(partner, rule.rhs()));
-                    }
+                    // Scenario 2: suggest a conflicting partner's RHS value —
+                    // the partner buckets' distinct keys, O(#values) instead
+                    // of O(group members).
+                    candidates.extend(self.engine.conflict_rhs_ids(rule_id, tuple));
                 }
             } else if rule.lhs().contains(&attr) {
                 // Scenario 3: search rule constants and semantically related
                 // tuples for the best-scoring value.
-                self.lhs_candidate_ids(rule_id, tuple, attr, &mut candidates);
+                self.lhs_candidate_ids(rule_id, tuple, attr, memo, &mut candidates);
             }
         }
         candidates.sort_unstable();
@@ -111,18 +259,10 @@ impl RepairState {
             }
         }
 
-        match best {
-            Some((id, score)) => {
-                let value = self.table.id_value(attr, id).clone();
-                let update = Update::with_value_id(tuple, attr, value, score, id);
-                self.record_suggestion(update.clone());
-                Some(update)
-            }
-            None => {
-                self.drop_pending((tuple, attr));
-                None
-            }
-        }
+        best.map(|(id, score)| {
+            let value = self.table.id_value(attr, id).clone();
+            Update::with_value_id(tuple, attr, value, score, id)
+        })
     }
 
     /// Ensures every dirty tuple has fresh suggestions: discards suggestions
@@ -184,14 +324,15 @@ impl RepairState {
     /// revisit work.
     pub fn refresh_updates_full(&mut self) {
         self.revisit_queue.clear();
-        let dirty: BTreeSet<TupleId> = self.dirty_tuples().into_iter().collect();
+        let dirty = self.engine.dirty_tuples_with(&self.threads);
+        let dirty_set: BTreeSet<TupleId> = dirty.iter().copied().collect();
         // Discard suggestions for clean tuples and for suggestions that
         // became vacuous (equal to the current value) or forbidden.
         let stale: Vec<_> = self
             .possible
             .iter()
             .filter(|(cell, update)| {
-                !dirty.contains(&cell.0)
+                !dirty_set.contains(&cell.0)
                     || self.table.cell(update.tuple, update.attr) == &update.value
                     || self.is_prevented(**cell, &update.value)
             })
@@ -201,14 +342,7 @@ impl RepairState {
             self.drop_pending(cell);
         }
         // Generate suggestions for dirty cells that lack one.
-        for tuple in dirty {
-            for attr in 0..self.table.schema().arity() {
-                if self.possible.contains_key(&(tuple, attr)) {
-                    continue;
-                }
-                self.generate_update(tuple, attr);
-            }
-        }
+        self.generate_for_dirty(&dirty, true);
     }
 
     /// `getValueForLHS` (scenario 3): candidate ids for an LHS attribute.
@@ -225,39 +359,56 @@ impl RepairState {
     /// and such suggestions would flood the update groups with incorrect
     /// members.
     fn lhs_candidate_ids(
-        &mut self,
+        &self,
         rule_id: usize,
         tuple: TupleId,
         attr: AttrId,
+        memo: &mut CandidateMemo,
         candidates: &mut Vec<ValueId>,
     ) {
         let rule: &Cfd = self.engine.ruleset().rule(rule_id);
 
-        // (a) constants bound to this attribute in the violated rule itself.
-        let mut constants: Vec<Value> = Vec::new();
+        // (a) constants bound to this attribute in the violated rule itself
+        // (pre-interned, so lookup cannot miss).
+        let mut constants: Vec<ValueId> = Vec::new();
         let mut lhs_pos = usize::MAX;
         for (pos, (lhs_attr, pattern)) in rule.lhs().iter().zip(rule.lhs_pattern()).enumerate() {
             if *lhs_attr == attr {
                 lhs_pos = pos;
                 if let Some(constant) = pattern.as_const() {
-                    constants.push(constant.clone());
+                    let id = self
+                        .table
+                        .lookup_id(attr, constant)
+                        .expect("rule constants are pre-interned before candidate search");
+                    constants.push(id);
                 }
             }
         }
         debug_assert_ne!(lhs_pos, usize::MAX, "attr must be on the rule's LHS");
         // (b) values of `attr` among tuples agreeing with `t` on the rule's
-        // other attributes: one id-keyed probe of the `attrs(φ) − {B}` index.
+        // other attributes: one id-keyed probe of the `attrs(φ) − {B}` index,
+        // with the group's distinct non-null id pool memoised per walk so
+        // large agreement groups are scanned once, not once per dirty member.
+        let slot = self.pool.lhs_slot(rule_id, lhs_pos);
         let index = self.pool.lhs_index(rule_id, lhs_pos);
         let key = self.table.project_key(tuple, index.attrs());
-        for &row in index.get_key(&key) {
-            let id = self.table.cell_id(row, attr);
-            if !self.table.id_value(attr, id).is_null() {
-                candidates.push(id);
+        let pool_ids: &Vec<ValueId> = match memo.groups.entry((slot, attr, key)) {
+            Entry::Occupied(entry) => entry.into_mut(),
+            Entry::Vacant(entry) => {
+                let mut ids: Vec<ValueId> = Vec::new();
+                for &row in index.get_key(&entry.key().2) {
+                    let id = self.table.cell_id(row, attr);
+                    if !self.table.id_value(attr, id).is_null() {
+                        ids.push(id);
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                entry.insert(ids)
             }
-        }
-        for constant in constants {
-            candidates.push(self.table.intern_value(attr, constant));
-        }
+        };
+        candidates.extend_from_slice(pool_ids);
+        candidates.extend_from_slice(&constants);
     }
 }
 
@@ -266,7 +417,7 @@ mod tests {
     use super::*;
     use crate::update::{ChangeSource, Feedback};
     use gdr_cfd::{parser, RuleSet};
-    use gdr_relation::{Schema, Table};
+    use gdr_relation::{Schema, Table, Value};
 
     fn schema() -> Schema {
         Schema::new(&["SRC", "STR", "CT", "STT", "ZIP"])

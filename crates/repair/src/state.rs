@@ -4,7 +4,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
-use gdr_relation::{AttrId, Table, TupleId, Value, ValueId};
+use gdr_relation::{AttrId, Table, ThreadPool, TupleId, Value, ValueId};
 
 use crate::index_pool::AttrIndexPool;
 use crate::update::{AppliedChange, Cell, ChangeSource, Update};
@@ -90,6 +90,10 @@ pub struct RepairState {
     /// at journal time, drained by the refresh.  Independent of the ranking
     /// epochs: `take_journal` never touches it.
     pub(crate) revisit_queue: BTreeSet<Cell>,
+    /// Worker pool for the O(table) passes (engine/index construction and
+    /// the full generation walks).  Sequential by default; any worker count
+    /// produces bit-identical state (see `tests/proptest_parallel.rs`).
+    pub(crate) threads: ThreadPool,
 }
 
 impl RepairState {
@@ -97,8 +101,17 @@ impl RepairState {
     /// the dirty tuples, and generates the initial `PossibleUpdates` list
     /// (step 1 of the GDR process).
     pub fn new(table: Table, ruleset: &RuleSet) -> RepairState {
-        let engine = ViolationEngine::build(&table, ruleset);
-        let pool = AttrIndexPool::build(&table, ruleset);
+        RepairState::with_parallelism(table, ruleset, ThreadPool::sequential())
+    }
+
+    /// [`RepairState::new`] with the O(table) construction passes — violation
+    /// engine build, agreement-index build, and the initial generation walk —
+    /// run on the given thread pool.  Any worker count yields state
+    /// bit-identical to the sequential build (same `ValueId` assignment, same
+    /// score bits); the pool is retained for the full-walk refresh oracle.
+    pub fn with_parallelism(table: Table, ruleset: &RuleSet, threads: ThreadPool) -> RepairState {
+        let engine = ViolationEngine::build_with_pool(&table, ruleset, &threads);
+        let pool = AttrIndexPool::build_with_pool(&table, ruleset, &threads);
         let mut state = RepairState {
             table,
             engine,
@@ -109,9 +122,15 @@ impl RepairState {
             journal: ChangeJournal::default(),
             pool,
             revisit_queue: BTreeSet::new(),
+            threads,
         };
         state.generate_initial_updates();
         state
+    }
+
+    /// Worker count of the pool driving the O(table) passes.
+    pub fn parallelism(&self) -> usize {
+        self.threads.workers()
     }
 
     /// The current database instance.

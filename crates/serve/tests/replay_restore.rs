@@ -257,6 +257,7 @@ fn finish_right_after_a_boundary_pull_restores_bit_identical() {
             tuples: 120,
             dirty_fraction: 0.3,
             seed: 13,
+            extra_cities: 0,
         });
     let oracle = GroundTruthOracle::new(data.clean.clone());
     for answers_before_finish in [0usize, 5, 12, 20, 28] {

@@ -16,6 +16,7 @@ fn main() {
         tuples: 2_000,
         dirty_fraction: 0.3,
         seed: 77,
+        extra_cities: 0,
     });
     println!(
         "Generated {} visits ({} corrupted cells, {:.0}% dirty tuples), {} rules",

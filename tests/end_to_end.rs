@@ -14,6 +14,7 @@ fn hospital(tuples: usize, seed: u64) -> GeneratedDataset {
         tuples,
         dirty_fraction: 0.3,
         seed,
+        extra_cities: 0,
     })
 }
 

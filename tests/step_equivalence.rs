@@ -131,6 +131,7 @@ fn step_driver_matches_legacy_run_on_generated_data_for_all_strategies() {
         tuples: 300,
         dirty_fraction: 0.3,
         seed: 13,
+        extra_cities: 0,
     });
     for strategy in Strategy::ALL {
         let engine = builder(&data.dirty, &data.rules, strategy)
