@@ -77,6 +77,18 @@ pub enum GdrError {
     },
     /// An error bubbled up from the repair substrate.
     Engine(CfdError),
+    /// The session's durability layer failed: a journal append or fsync hit
+    /// an IO error, a journal replay diverged from the live engine, or a
+    /// compaction snapshot failed validation.  The engine itself is
+    /// untouched — the verb that triggered the journal write has already
+    /// been applied — but the caller must know that the step may not have
+    /// reached stable storage: a crash-and-restore could roll the session
+    /// back to the last durable record (which the `StaleWork` recovery
+    /// contract already makes survivable for drivers).
+    Journal {
+        /// Human-readable description of the durability failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GdrError {
@@ -100,6 +112,7 @@ impl fmt::Display for GdrError {
                 write!(f, "{verb}: no work item is outstanding")
             }
             GdrError::Engine(err) => write!(f, "engine error: {err}"),
+            GdrError::Journal { detail } => write!(f, "journal error: {detail}"),
         }
     }
 }
@@ -144,6 +157,16 @@ mod tests {
         };
         assert!(err.to_string().contains("w9"));
         assert!(err.to_string().contains("w7"));
+    }
+
+    #[test]
+    fn journal_errors_render_their_detail() {
+        let err = GdrError::Journal {
+            detail: "fsync of seg-000003.gdrj failed: No space left on device".to_string(),
+        };
+        assert!(err.to_string().contains("journal error"));
+        assert!(err.to_string().contains("seg-000003.gdrj"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]

@@ -7,10 +7,21 @@
 //! retryable protocol errors the way the error contract intends — on
 //! `stale_work`/`work_mismatch`/`no_outstanding_work` it re-pulls `next`
 //! and continues instead of giving up.
+//!
+//! [`Client::drive_retrying`] additionally survives *transport* failures:
+//! a broken or garbled connection is retried under a [`RetryPolicy`]
+//! (capped exponential backoff) through a caller-supplied reconnect
+//! callback.  Re-sending a verb after a failure whose fate is unknown is
+//! semantically safe by the same error contract — if the lost reply had
+//! applied the verb, the duplicate comes back as
+//! `stale_work`/`no_outstanding_work`, which the driver already swallows
+//! and resolves by re-pulling `next`.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
 
 use gdr_core::oracle::UserOracle;
 use gdr_core::step::DoneReason;
@@ -71,6 +82,46 @@ impl Default for OpenOptions {
     }
 }
 
+/// How [`Client::drive_retrying`] and [`Client::call_with_retry`] handle
+/// transport failures: up to `max_retries` reconnect-and-resend attempts
+/// per request, sleeping an exponentially growing backoff (doubled each
+/// attempt, capped at `max_backoff`) before each one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per request (0 = fail on the first error).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Ceiling the doubling backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — [`Client::drive_retrying`] with this
+    /// behaves exactly like [`Client::drive`].
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// A reconnect callback: given the 1-based attempt number, produce a fresh
+/// transport pair, or `None` to give up early.
+type Reconnect<'c, R, W> = &'c mut dyn FnMut(u32) -> Option<(R, W)>;
+
 /// A blocking protocol client bound to one session id.
 pub struct Client<R: Read, W: Write> {
     reader: BufReader<R>,
@@ -84,6 +135,23 @@ impl Client<TcpStream, TcpStream> {
     /// request/reply with small lines, the worst case for delayed-ACK
     /// interaction.
     pub fn connect(stream: TcpStream, session: impl Into<String>) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client::new(reader, stream, session))
+    }
+
+    /// Connects over TCP with `timeout` applied to the connect itself and
+    /// to every subsequent read and write — a verb that hangs past the
+    /// deadline surfaces as a transport error the retry layer can handle,
+    /// instead of blocking the driver forever.
+    pub fn connect_timeout(
+        addr: &SocketAddr,
+        session: impl Into<String>,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
         Ok(Client::new(reader, stream, session))
@@ -103,6 +171,49 @@ impl<R: Read, W: Write> Client<R, W> {
     /// The session id this client addresses.
     pub fn session(&self) -> &str {
         &self.session
+    }
+
+    /// Swaps in a fresh transport pair — the reconnect primitive.  The
+    /// old pair is dropped; any half-exchanged request on it is abandoned
+    /// (safe: see the module docs on duplicate-delivery recovery).
+    pub fn replace_transport(&mut self, reader: R, writer: W) {
+        self.reader = BufReader::new(reader);
+        self.writer = writer;
+    }
+
+    /// [`Client::call`] with transport-failure retries: on an IO error or
+    /// an undecodable reply (a torn line means the framing is suspect), the
+    /// connection is abandoned, `reconnect` is asked for a fresh pair after
+    /// a capped exponential backoff, and the request is re-sent.  Server
+    /// error *replies* are returned immediately — they are answers, not
+    /// failures.
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+        reconnect: Reconnect<'_, R, W>,
+    ) -> Result<Response, ClientError> {
+        let mut backoff = policy.initial_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call(request) {
+                Ok(response) => return Ok(response),
+                Err(err @ (ClientError::Io(_) | ClientError::Protocol(_))) => err,
+                Err(err) => return Err(err),
+            };
+            if attempt >= policy.max_retries {
+                return Err(err);
+            }
+            attempt += 1;
+            if !backoff.is_zero() {
+                thread::sleep(backoff);
+            }
+            backoff = backoff.saturating_mul(2).min(policy.max_backoff);
+            match reconnect(attempt) {
+                Some((reader, writer)) => self.replace_transport(reader, writer),
+                None => return Err(err),
+            }
+        }
     }
 
     /// Sends one request and reads one reply — the protocol is strictly
@@ -221,6 +332,19 @@ impl<R: Read, W: Write> Client<R, W> {
         }
     }
 
+    /// Asks the server to compact the session's journal (snapshot + drop
+    /// the replayed prefix); returns `(total events covered, tail length)`.
+    pub fn compact(&mut self) -> Result<(usize, usize), ClientError> {
+        match self.expect_ok(&Request::Compact {
+            session: self.session.clone(),
+        })? {
+            Response::Compacted { events, tail } => Ok((events, tail)),
+            other => Err(ClientError::Protocol(format!(
+                "compact expected a compacted reply, got {other:?}"
+            ))),
+        }
+    }
+
     /// The remote twin of `gdr_core::session::drive`: answers served work
     /// from `user` until the interaction budget (`None` = unlimited) is
     /// exhausted or the session is done, then finishes.  Retryable protocol
@@ -232,12 +356,60 @@ impl<R: Read, W: Write> Client<R, W> {
         user: &dyn UserOracle,
         budget: Option<usize>,
     ) -> Result<DoneReason, ClientError> {
+        self.drive_impl(user, budget, None)
+    }
+
+    /// [`Client::drive`] hardened against transport failures: every request
+    /// is sent via [`Client::call_with_retry`] under `policy`, using
+    /// `reconnect` to obtain a fresh transport after each failure.  The
+    /// driver's position in the session is carried by the server (a
+    /// re-pull after reconnect re-serves the outstanding item), so the loop
+    /// resumes exactly where the old connection died.
+    pub fn drive_retrying(
+        &mut self,
+        user: &dyn UserOracle,
+        budget: Option<usize>,
+        policy: &RetryPolicy,
+        mut reconnect: impl FnMut(u32) -> Option<(R, W)>,
+    ) -> Result<DoneReason, ClientError> {
+        self.drive_impl(user, budget, Some((policy, &mut reconnect)))
+    }
+
+    /// One request with the drive loop's transport handling: retried when a
+    /// retry context is present, and error replies lifted to `Err`.
+    fn step(
+        &mut self,
+        request: &Request,
+        retry: &mut Option<(&RetryPolicy, Reconnect<'_, R, W>)>,
+    ) -> Result<Response, ClientError> {
+        let response = match retry {
+            Some((policy, reconnect)) => self.call_with_retry(request, policy, &mut **reconnect)?,
+            None => self.call(request)?,
+        };
+        match response {
+            Response::Error(err) => Err(ClientError::Server(err)),
+            response => Ok(response),
+        }
+    }
+
+    fn drive_impl(
+        &mut self,
+        user: &dyn UserOracle,
+        budget: Option<usize>,
+        mut retry: Option<(&RetryPolicy, Reconnect<'_, R, W>)>,
+    ) -> Result<DoneReason, ClientError> {
         let mut interactions = 0usize;
         loop {
             if budget.is_some_and(|b| interactions >= b) {
                 break;
             }
-            match self.next()? {
+            let plan = self.step(
+                &Request::Next {
+                    session: self.session.clone(),
+                },
+                &mut retry,
+            )?;
+            match plan {
                 Response::Ask {
                     id,
                     tuple,
@@ -250,7 +422,12 @@ impl<R: Read, W: Write> Client<R, W> {
                     let update = Update::new(tuple, attr, value, score);
                     let feedback = user.feedback(&update, &current);
                     interactions += 1;
-                    if let Err(err) = self.answer(id, feedback) {
+                    let request = Request::Answer {
+                        session: self.session.clone(),
+                        id,
+                        feedback,
+                    };
+                    if let Err(err) = self.step(&request, &mut retry) {
                         recover_or_fail(err)?;
                     }
                 }
@@ -260,11 +437,20 @@ impl<R: Read, W: Write> Client<R, W> {
                     current,
                 } => {
                     interactions += 1;
-                    let reply = match user.correct_value(tuple, attr) {
-                        Some(value) if value != current => self.supply(tuple, attr, value),
-                        _ => self.skip(tuple, attr),
+                    let request = match user.correct_value(tuple, attr) {
+                        Some(value) if value != current => Request::Supply {
+                            session: self.session.clone(),
+                            tuple,
+                            attr,
+                            value,
+                        },
+                        _ => Request::Skip {
+                            session: self.session.clone(),
+                            tuple,
+                            attr,
+                        },
                     };
-                    if let Err(err) = reply {
+                    if let Err(err) = self.step(&request, &mut retry) {
                         recover_or_fail(err)?;
                     }
                 }
@@ -276,7 +462,17 @@ impl<R: Read, W: Write> Client<R, W> {
                 }
             }
         }
-        self.finish()
+        match self.step(
+            &Request::Finish {
+                session: self.session.clone(),
+            },
+            &mut retry,
+        )? {
+            Response::Done { reason } => Ok(reason),
+            other => Err(ClientError::Protocol(format!(
+                "finish expected a done reply, got {other:?}"
+            ))),
+        }
     }
 }
 

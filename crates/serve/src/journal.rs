@@ -1,0 +1,1179 @@
+//! Crash-safe on-disk session journals: segmented, checksummed, compactable.
+//!
+//! The in-memory [`crate::store::SessionJournal`] already makes every
+//! session a replayable value (build inputs + state-advancing verbs).  This
+//! module gives that value a durable form a server can crash out of and
+//! recover from:
+//!
+//! * **Record framing.**  Every record is one line of the form
+//!   `J1 <len> <fnv64-hex> <payload>\n` — a length prefix, a checksum, and a
+//!   payload that is exactly one line of the [`crate::json`] codec (the
+//!   encoder escapes raw newlines, so a payload never spans lines).  A torn
+//!   write, a short write, or a flipped bit fails the length or checksum
+//!   check and the loader **truncates to the last valid record** instead of
+//!   failing the session; the wire protocol's `StaleWork` recovery already
+//!   makes drivers resilient to a rolled-back outstanding question.
+//! * **Segments.**  Events append to `seg-NNNNNN.gdrj` files that roll over
+//!   at a configurable byte size, so one hot session never owns one
+//!   unbounded file and recovery IO is bounded per segment.  The build
+//!   inputs live in `spec.gdrj`, written and fsync'd once at open.
+//! * **Fsync policy.**  [`FsyncPolicy`] trades durability for latency:
+//!   every record, every N records, or never (for tests).  Segment rolls
+//!   always sync the sealed segment regardless of policy.
+//! * **Snapshot markers.**  Compaction (see
+//!   [`crate::store::Session::compact`]) records `snapshot.gdrj` — the event
+//!   count and engine digest of the validated in-memory snapshot — via
+//!   write-to-temp + atomic rename.  The marker is an integrity checkpoint:
+//!   a corrupt or missing marker is simply ignored and recovery falls back
+//!   to full journal replay.  (The engine itself is deliberately opaque — no
+//!   engine internals are serialised; **replay is the durability format**,
+//!   so cold recovery cost is one engine build plus one event replay.)
+//!
+//! ## Fidelity
+//!
+//! The spec record carries the table and optional ground truth as CSV and
+//! the rules in the [`gdr_cfd::parser`] line syntax — exactly the fidelity
+//! of the wire `open` request, which is the product path.  Tables whose
+//! cells are all `Str`/`Null` (everything CSV-born) round-trip exactly;
+//! rule weights ride as shortest-round-trip floats and survive bit-for-bit.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use gdr_cfd::{parser, RuleSet};
+use gdr_core::config::GdrConfig;
+use gdr_core::step::GdrEngine;
+use gdr_learn::{ForestConfig, TreeConfig};
+use gdr_relation::csv::{parse_csv, to_csv};
+use gdr_relation::Value;
+
+use crate::json::Json;
+use crate::store::{OpenSpec, TranscriptEvent};
+use crate::wire::{
+    feedback_from_token, feedback_token, strategy_from_token, strategy_token, value_from_json,
+    value_to_json,
+};
+
+// ---- checksum -------------------------------------------------------------
+
+/// FNV-1a 64-bit over a byte slice — the record checksum.  Not
+/// cryptographic; it exists to detect torn and bit-rotted records, the same
+/// job CRCs do in WAL formats, with zero dependencies.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+// ---- errors ---------------------------------------------------------------
+
+/// Errors of the durability layer.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An IO error from the filesystem.
+    Io(io::Error),
+    /// A record or file that must be intact (the spec, a decoded event) is
+    /// not.  Tail corruption of event segments is *not* an error — the
+    /// loader truncates and reports it in [`RecoveryReport`] instead.
+    Corrupt {
+        /// What was corrupt and where.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(err) => write!(f, "journal IO error: {err}"),
+            JournalError::Corrupt { detail } => write!(f, "corrupt journal: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(err) => Some(err),
+            JournalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(err: io::Error) -> JournalError {
+        JournalError::Io(err)
+    }
+}
+
+impl From<JournalError> for gdr_core::error::GdrError {
+    fn from(err: JournalError) -> gdr_core::error::GdrError {
+        gdr_core::error::GdrError::Journal {
+            detail: err.to_string(),
+        }
+    }
+}
+
+// ---- record framing -------------------------------------------------------
+
+const RECORD_MAGIC: &str = "J1";
+
+/// Frames one payload line as a journal record: `J1 <len> <fnv64-hex>
+/// <payload>\n`.  The payload must not contain a raw newline (the JSON
+/// encoder guarantees this for its output).
+pub fn frame_record(payload: &str) -> Vec<u8> {
+    debug_assert!(
+        !payload.contains('\n'),
+        "record payloads are single lines by construction"
+    );
+    format!(
+        "{RECORD_MAGIC} {} {:016x} {payload}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    )
+    .into_bytes()
+}
+
+/// The outcome of scanning a byte stream of framed records: the decoded
+/// payloads of every valid record, the byte length of that valid prefix,
+/// and — when the scan stopped early — what was wrong with the first
+/// invalid record.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Payloads of the valid record prefix, in order.
+    pub payloads: Vec<String>,
+    /// Byte length of the valid prefix (truncate the file to this).
+    pub valid_len: usize,
+    /// Why the scan stopped, if it did not consume every byte.
+    pub corruption: Option<String>,
+}
+
+/// Scans a segment byte stream, stopping at the first record that is torn
+/// (no trailing newline), short, malformed, or checksum-failing.  Never
+/// panics: every byte stream yields a (possibly empty) valid prefix.
+pub fn scan_records(bytes: &[u8]) -> ScanOutcome {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let Some(line_end) = rest.iter().position(|&b| b == b'\n') else {
+            return ScanOutcome {
+                payloads,
+                valid_len: offset,
+                corruption: Some(format!(
+                    "torn record at byte {offset}: {} trailing bytes with no newline",
+                    rest.len()
+                )),
+            };
+        };
+        let line = &rest[..line_end];
+        match parse_record_line(line) {
+            Ok(payload) => {
+                payloads.push(payload);
+                offset += line_end + 1;
+            }
+            Err(detail) => {
+                return ScanOutcome {
+                    payloads,
+                    valid_len: offset,
+                    corruption: Some(format!("invalid record at byte {offset}: {detail}")),
+                }
+            }
+        }
+    }
+    ScanOutcome {
+        payloads,
+        valid_len: offset,
+        corruption: None,
+    }
+}
+
+fn parse_record_line(line: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "not UTF-8".to_string())?;
+    let rest = text
+        .strip_prefix(RECORD_MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| format!("missing `{RECORD_MAGIC} ` magic"))?;
+    let (len_text, rest) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing length field".to_string())?;
+    let len: usize = len_text
+        .parse()
+        .map_err(|_| format!("bad length `{len_text}`"))?;
+    let (sum_text, payload) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    // Exactly 16 lowercase hex digits — the canonical form the writer
+    // emits.  (`from_str_radix` alone would also accept uppercase and `+`,
+    // letting some single-bit flips in this field go undetected.)
+    if sum_text.len() != 16
+        || !sum_text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(format!("bad checksum `{sum_text}`"));
+    }
+    let sum =
+        u64::from_str_radix(sum_text, 16).map_err(|_| format!("bad checksum `{sum_text}`"))?;
+    if payload.len() != len {
+        return Err(format!(
+            "length mismatch: header says {len}, payload has {}",
+            payload.len()
+        ));
+    }
+    if fnv1a64(payload.as_bytes()) != sum {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(payload.to_string())
+}
+
+// ---- record payloads ------------------------------------------------------
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn u64_json(value: u64) -> Json {
+    match i64::try_from(value) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::str(value.to_string()),
+    }
+}
+
+fn field<'j>(json: &'j Json, key: &str) -> Result<&'j Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, String> {
+    field(json, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn usize_field(json: &Json, key: &str) -> Result<usize, String> {
+    field(json, key)?
+        .as_i64()
+        .and_then(|i| usize::try_from(i).ok())
+        .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+    match field(json, key)? {
+        Json::Int(i) => u64::try_from(*i).ok(),
+        Json::Str(s) => s.parse::<u64>().ok(),
+        _ => None,
+    }
+    .ok_or_else(|| format!("field `{key}` must be a non-negative integer"))
+}
+
+fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
+    field(json, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+fn bool_field(json: &Json, key: &str) -> Result<bool, String> {
+    field(json, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` must be a boolean"))
+}
+
+fn value_field(json: &Json, key: &str) -> Result<Value, String> {
+    value_from_json(field(json, key)?)
+        .ok_or_else(|| format!("field `{key}` must be null, an integer, or a string"))
+}
+
+/// Encodes one transcript event as a record payload line.
+pub fn encode_event(event: &TranscriptEvent) -> String {
+    let json = match event {
+        TranscriptEvent::Pulled => obj(vec![("ev", Json::str("pulled"))]),
+        TranscriptEvent::Answered(id, feedback) => obj(vec![
+            ("ev", Json::str("answered")),
+            ("id", u64_json(*id)),
+            ("feedback", Json::str(feedback_token(*feedback))),
+        ]),
+        TranscriptEvent::Supplied(cell, value) => obj(vec![
+            ("ev", Json::str("supplied")),
+            ("tuple", Json::Int(cell.0 as i64)),
+            ("attr", Json::Int(cell.1 as i64)),
+            ("value", value_to_json(value)),
+        ]),
+        TranscriptEvent::Skipped(cell) => obj(vec![
+            ("ev", Json::str("skipped")),
+            ("tuple", Json::Int(cell.0 as i64)),
+            ("attr", Json::Int(cell.1 as i64)),
+        ]),
+        TranscriptEvent::Finished => obj(vec![("ev", Json::str("finished"))]),
+    };
+    json.encode()
+}
+
+/// Inverse of [`encode_event`].
+pub fn decode_event(payload: &str) -> Result<TranscriptEvent, String> {
+    let json = Json::parse(payload).map_err(|e| e.to_string())?;
+    match str_field(&json, "ev")?.as_str() {
+        "pulled" => Ok(TranscriptEvent::Pulled),
+        "answered" => {
+            let token = str_field(&json, "feedback")?;
+            let feedback =
+                feedback_from_token(&token).ok_or_else(|| format!("unknown feedback `{token}`"))?;
+            Ok(TranscriptEvent::Answered(u64_field(&json, "id")?, feedback))
+        }
+        "supplied" => Ok(TranscriptEvent::Supplied(
+            (usize_field(&json, "tuple")?, usize_field(&json, "attr")?),
+            value_field(&json, "value")?,
+        )),
+        "skipped" => Ok(TranscriptEvent::Skipped((
+            usize_field(&json, "tuple")?,
+            usize_field(&json, "attr")?,
+        ))),
+        "finished" => Ok(TranscriptEvent::Finished),
+        other => Err(format!("unknown event kind `{other}`")),
+    }
+}
+
+fn config_to_json(config: &GdrConfig) -> Json {
+    obj(vec![
+        ("ns_batch", Json::Int(config.ns_batch as i64)),
+        (
+            "min_verifications_per_group",
+            Json::Int(config.min_verifications_per_group as i64),
+        ),
+        (
+            "learner_min_training",
+            Json::Int(config.learner_min_training as i64),
+        ),
+        ("seed", u64_json(config.seed)),
+        (
+            "checkpoint_every",
+            Json::Int(config.checkpoint_every as i64),
+        ),
+        ("full_walk_refresh", Json::Bool(config.full_walk_refresh)),
+        ("parallelism", Json::Int(config.parallelism as i64)),
+        (
+            "forest",
+            obj(vec![
+                ("trees", Json::Int(config.forest.trees as i64)),
+                (
+                    "sample_fraction",
+                    Json::Float(config.forest.sample_fraction),
+                ),
+                ("max_depth", Json::Int(config.forest.tree.max_depth as i64)),
+                (
+                    "min_samples_split",
+                    Json::Int(config.forest.tree.min_samples_split as i64),
+                ),
+                (
+                    "features_per_split",
+                    match config.forest.tree.features_per_split {
+                        Some(n) => Json::Int(n as i64),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn config_from_json(json: &Json) -> Result<GdrConfig, String> {
+    let forest = field(json, "forest")?;
+    Ok(GdrConfig {
+        ns_batch: usize_field(json, "ns_batch")?,
+        min_verifications_per_group: usize_field(json, "min_verifications_per_group")?,
+        learner_min_training: usize_field(json, "learner_min_training")?,
+        forest: ForestConfig {
+            trees: usize_field(forest, "trees")?,
+            sample_fraction: f64_field(forest, "sample_fraction")?,
+            tree: TreeConfig {
+                max_depth: usize_field(forest, "max_depth")?,
+                min_samples_split: usize_field(forest, "min_samples_split")?,
+                features_per_split: match forest.get("features_per_split") {
+                    None | Some(Json::Null) => None,
+                    Some(_) => Some(usize_field(forest, "features_per_split")?),
+                },
+            },
+        },
+        seed: u64_field(json, "seed")?,
+        checkpoint_every: usize_field(json, "checkpoint_every")?,
+        full_walk_refresh: bool_field(json, "full_walk_refresh")?,
+        parallelism: usize_field(json, "parallelism")?,
+    })
+}
+
+/// Encodes a session's build inputs as the spec record payload.  Tables
+/// travel as CSV, rules as [`parser::rule_to_line`] lines with their weights
+/// alongside (shortest-round-trip floats, so weights survive bit-for-bit).
+pub fn encode_spec(spec: &OpenSpec) -> String {
+    let rules_text: String = spec
+        .rules
+        .iter()
+        .map(|(_, rule)| parser::rule_to_line(spec.dirty.schema(), rule) + "\n")
+        .collect();
+    let weights: Vec<Json> = spec
+        .rules
+        .iter()
+        .map(|(id, _)| Json::Float(spec.rules.weight(id)))
+        .collect();
+    let mut members = vec![
+        ("rec", Json::str("spec")),
+        ("table_name", Json::str(spec.dirty.name())),
+        ("table_csv", Json::str(to_csv(&spec.dirty))),
+        ("rules", Json::str(rules_text)),
+        ("weights", Json::Array(weights)),
+        ("strategy", Json::str(strategy_token(spec.strategy))),
+        ("config", config_to_json(&spec.config)),
+    ];
+    if let Some(truth) = &spec.ground_truth {
+        members.push(("truth_name", Json::str(truth.name())));
+        members.push(("ground_truth_csv", Json::str(to_csv(truth))));
+    }
+    obj(members).encode()
+}
+
+/// Inverse of [`encode_spec`].
+pub fn decode_spec(payload: &str) -> Result<OpenSpec, String> {
+    let json = Json::parse(payload).map_err(|e| e.to_string())?;
+    if str_field(&json, "rec")? != "spec" {
+        return Err("spec record has the wrong `rec` kind".to_string());
+    }
+    let table_name = str_field(&json, "table_name")?;
+    let dirty = parse_csv(&table_name, &str_field(&json, "table_csv")?)
+        .map_err(|e| format!("table_csv: {e}"))?;
+    let rules_text = str_field(&json, "rules")?;
+    let rules =
+        parser::parse_rules(dirty.schema(), &rules_text).map_err(|e| format!("rules: {e}"))?;
+    let weights: Vec<f64> = field(&json, "weights")?
+        .as_array()
+        .ok_or_else(|| "field `weights` must be an array".to_string())?
+        .iter()
+        .map(|w| w.as_f64().ok_or_else(|| "bad rule weight".to_string()))
+        .collect::<Result<_, _>>()?;
+    if weights.len() != rules.len() {
+        return Err(format!(
+            "{} weights for {} rules",
+            weights.len(),
+            rules.len()
+        ));
+    }
+    let rules = RuleSet::with_weights(rules, weights);
+    let strategy_text = str_field(&json, "strategy")?;
+    let strategy = strategy_from_token(&strategy_text)
+        .ok_or_else(|| format!("unknown strategy `{strategy_text}`"))?;
+    let config = config_from_json(field(&json, "config")?)?;
+    let ground_truth = match json.get("ground_truth_csv") {
+        None | Some(Json::Null) => None,
+        Some(_) => {
+            let truth_name = str_field(&json, "truth_name")?;
+            Some(
+                parse_csv(&truth_name, &str_field(&json, "ground_truth_csv")?)
+                    .map_err(|e| format!("ground_truth_csv: {e}"))?,
+            )
+        }
+    };
+    let mut spec = OpenSpec::new(dirty, rules);
+    spec.strategy = strategy;
+    spec.config = config;
+    spec.ground_truth = ground_truth;
+    Ok(spec)
+}
+
+/// The compaction checkpoint persisted as `snapshot.gdrj`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMarker {
+    /// How many transcript events the in-memory snapshot covers.
+    pub events: usize,
+    /// [`engine_digest`] of the snapshot engine, for divergence diagnosis.
+    pub digest: u64,
+}
+
+/// Encodes a snapshot marker as a record payload line.
+pub fn encode_snapshot(marker: SnapshotMarker) -> String {
+    obj(vec![
+        ("rec", Json::str("snapshot")),
+        ("events", Json::Int(marker.events as i64)),
+        ("digest", Json::str(format!("{:016x}", marker.digest))),
+    ])
+    .encode()
+}
+
+/// Inverse of [`encode_snapshot`].
+pub fn decode_snapshot(payload: &str) -> Result<SnapshotMarker, String> {
+    let json = Json::parse(payload).map_err(|e| e.to_string())?;
+    if str_field(&json, "rec")? != "snapshot" {
+        return Err("snapshot record has the wrong `rec` kind".to_string());
+    }
+    let digest_text = str_field(&json, "digest")?;
+    let digest =
+        u64::from_str_radix(&digest_text, 16).map_err(|_| format!("bad digest `{digest_text}`"))?;
+    Ok(SnapshotMarker {
+        events: usize_field(&json, "events")?,
+        digest,
+    })
+}
+
+// ---- engine digest --------------------------------------------------------
+
+/// A deterministic digest of everything the restore contract promises to
+/// preserve: the table (cell by cell), the interaction counters, and the
+/// quality checkpoints taken to bits.  Two engines with equal digests are
+/// observably identical to a driver; compaction and recovery use this to
+/// validate that a snapshot or a replay matches the state it replaces.
+pub fn engine_digest(engine: &GdrEngine) -> u64 {
+    let mut text = format!(
+        "{}\nverifications={} learner={} done={:?}\n",
+        engine.state().table(),
+        engine.verifications(),
+        engine.learner_decisions(),
+        engine.done(),
+    );
+    if let Some(hooks) = engine.eval_hooks() {
+        for c in hooks.checkpoints() {
+            text.push_str(&format!(
+                "c {} {:016x} {:016x}\n",
+                c.verifications,
+                c.loss.to_bits(),
+                c.improvement_pct.to_bits()
+            ));
+        }
+    }
+    fnv1a64(text.as_bytes())
+}
+
+// ---- configuration --------------------------------------------------------
+
+/// When appended records reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record — maximum durability.
+    EveryRecord,
+    /// fsync after every N appended records (and on segment rolls).
+    EveryN(u32),
+    /// Never fsync explicitly (tests; the OS flushes eventually).
+    Never,
+}
+
+/// Per-journal tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// When appended records are fsync'd.
+    pub fsync: FsyncPolicy,
+    /// Roll to a new segment once the active one exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// Auto-compact the in-memory journal once its tail exceeds this many
+    /// events (0 disables auto-compaction; `compact` stays available).
+    pub compact_every: usize,
+    /// Validate each compaction snapshot by replaying the tail through the
+    /// public API and comparing digests before adopting it.
+    pub validate_compaction: bool,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            fsync: FsyncPolicy::EveryRecord,
+            segment_max_bytes: 64 * 1024,
+            compact_every: 64,
+            validate_compaction: true,
+        }
+    }
+}
+
+// ---- disk journal ---------------------------------------------------------
+
+const SPEC_FILE: &str = "spec.gdrj";
+const SNAPSHOT_FILE: &str = "snapshot.gdrj";
+const SEGMENT_PREFIX: &str = "seg-";
+const SEGMENT_SUFFIX: &str = ".gdrj";
+
+fn segment_name(index: u64) -> String {
+    format!("{SEGMENT_PREFIX}{index:06}{SEGMENT_SUFFIX}")
+}
+
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Maps an arbitrary session id onto a filesystem-safe directory name:
+/// alphanumerics, `-` and `_` pass through; every other byte is escaped as
+/// `%XX`.  Injective, so distinct session ids never collide on disk.
+pub fn session_dir_name(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for &b in id.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("%empty%");
+    }
+    out
+}
+
+/// What the loader found (and repaired) while reading a journal directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes cut from the first corrupt segment (torn tail, flipped bits).
+    pub truncated_bytes: u64,
+    /// Whole segments discarded because they followed a corrupt record.
+    pub dropped_segments: usize,
+    /// Detail of the corruption that forced the truncation, if any.
+    pub corruption: Option<String>,
+    /// The snapshot marker existed but was unreadable and was ignored
+    /// (recovery falls back to full journal replay).
+    pub snapshot_ignored: bool,
+}
+
+impl RecoveryReport {
+    /// Whether the loader had to repair anything.
+    pub fn clean(&self) -> bool {
+        self.truncated_bytes == 0
+            && self.dropped_segments == 0
+            && self.corruption.is_none()
+            && !self.snapshot_ignored
+    }
+}
+
+/// A journal directory read back into memory.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The session's build inputs.
+    pub spec: OpenSpec,
+    /// The recovered event transcript (the valid prefix, in order).
+    pub events: Vec<TranscriptEvent>,
+    /// The snapshot marker, when present and intact.
+    pub snapshot: Option<SnapshotMarker>,
+    /// What recovery had to repair.
+    pub recovery: RecoveryReport,
+}
+
+/// The append side of one session's on-disk journal.
+#[derive(Debug)]
+pub struct DiskJournal {
+    dir: PathBuf,
+    active: File,
+    active_index: u64,
+    active_len: u64,
+    unsynced: u32,
+    config: JournalConfig,
+}
+
+impl DiskJournal {
+    /// Creates a fresh journal directory for `spec`: writes and fsyncs
+    /// `spec.gdrj`, then opens the first event segment.  Fails if the
+    /// directory already holds a journal.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        spec: &OpenSpec,
+        config: JournalConfig,
+    ) -> Result<DiskJournal, JournalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let spec_path = dir.join(SPEC_FILE);
+        // `create_new` makes the spec file the atomic claim on the session
+        // id: of two racing creates, exactly one wins at the filesystem.
+        let mut spec_file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&spec_path)
+            .map_err(|err| {
+                if err.kind() == io::ErrorKind::AlreadyExists {
+                    JournalError::Corrupt {
+                        detail: format!("{} already holds a journal", dir.display()),
+                    }
+                } else {
+                    JournalError::Io(err)
+                }
+            })?;
+        spec_file.write_all(&frame_record(&encode_spec(spec)))?;
+        spec_file.sync_all()?;
+        let active = File::create(dir.join(segment_name(0)))?;
+        Ok(DiskJournal {
+            dir,
+            active,
+            active_index: 0,
+            active_len: 0,
+            unsynced: 0,
+            config,
+        })
+    }
+
+    /// Whether `dir` holds a journal (i.e. a spec record was written).
+    pub fn exists(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(SPEC_FILE).is_file()
+    }
+
+    /// Reads a journal directory back, truncating corrupt tails **on disk**
+    /// (the offending segment is cut to its last valid record and every
+    /// later segment is removed) so subsequent appends restart from a
+    /// consistent prefix.  A corrupt snapshot marker is deleted and ignored.
+    /// Only a missing or corrupt spec record is fatal.
+    pub fn load(dir: impl AsRef<Path>) -> Result<LoadedJournal, JournalError> {
+        let dir = dir.as_ref();
+        let spec_bytes = fs::read(dir.join(SPEC_FILE))?;
+        let spec_scan = scan_records(&spec_bytes);
+        let spec_payload = match (&spec_scan.payloads[..], &spec_scan.corruption) {
+            ([payload], None) => payload,
+            _ => {
+                return Err(JournalError::Corrupt {
+                    detail: format!(
+                        "spec record unreadable: {}",
+                        spec_scan
+                            .corruption
+                            .as_deref()
+                            .unwrap_or("expected exactly one record")
+                    ),
+                })
+            }
+        };
+        let spec = decode_spec(spec_payload).map_err(|detail| JournalError::Corrupt {
+            detail: format!("spec record: {detail}"),
+        })?;
+
+        let mut recovery = RecoveryReport::default();
+        let mut events = Vec::new();
+        let mut segments: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| segment_index(&entry.file_name().to_string_lossy()))
+            .collect();
+        segments.sort_unstable();
+        let mut stop_after: Option<usize> = None;
+        for (position, &index) in segments.iter().enumerate() {
+            let path = dir.join(segment_name(index));
+            if stop_after.is_some() {
+                // Everything after a corrupt record is untrusted: the append
+                // order is strictly sequential, so later segments cannot
+                // hold valid state for a prefix that was cut.
+                recovery.dropped_segments += 1;
+                fs::remove_file(&path)?;
+                continue;
+            }
+            let bytes = fs::read(&path)?;
+            let scan = scan_records(&bytes);
+            for payload in &scan.payloads {
+                let event = decode_event(payload).map_err(|detail| JournalError::Corrupt {
+                    detail: format!("{}: undecodable event: {detail}", path.display()),
+                })?;
+                events.push(event);
+            }
+            if let Some(detail) = scan.corruption {
+                recovery.truncated_bytes += (bytes.len() - scan.valid_len) as u64;
+                recovery.corruption = Some(format!("{}: {detail}", path.display()));
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(scan.valid_len as u64)?;
+                file.sync_all()?;
+                stop_after = Some(position);
+            }
+        }
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let snapshot = match fs::read(&snapshot_path) {
+            Err(_) => None,
+            Ok(bytes) => {
+                let scan = scan_records(&bytes);
+                let marker = match (&scan.payloads[..], &scan.corruption) {
+                    ([payload], None) => decode_snapshot(payload).ok(),
+                    _ => None,
+                };
+                // A marker that is unreadable, or that claims more events
+                // than the recovered prefix holds, is ignored: recovery
+                // falls back to full journal replay.
+                let usable = marker.filter(|m| m.events <= events.len());
+                if usable.is_none() {
+                    recovery.snapshot_ignored = true;
+                    fs::remove_file(&snapshot_path).ok();
+                }
+                usable
+            }
+        };
+
+        Ok(LoadedJournal {
+            spec,
+            events,
+            snapshot,
+            recovery,
+        })
+    }
+
+    /// Loads a journal directory and positions an append handle at its end
+    /// (the last valid segment, post-truncation).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> Result<(DiskJournal, LoadedJournal), JournalError> {
+        let dir = dir.into();
+        let loaded = DiskJournal::load(&dir)?;
+        let mut last_index = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            if let Some(index) = entry
+                .ok()
+                .and_then(|e| segment_index(&e.file_name().to_string_lossy()))
+            {
+                last_index = last_index.max(index);
+            }
+        }
+        let path = dir.join(segment_name(last_index));
+        let active = OpenOptions::new().create(true).append(true).open(&path)?;
+        let active_len = active.metadata()?.len();
+        Ok((
+            DiskJournal {
+                dir,
+                active,
+                active_index: last_index,
+                active_len,
+                unsynced: 0,
+                config,
+            },
+            loaded,
+        ))
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The journal's configuration.
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    /// Appends one event record, rolling the segment and applying the fsync
+    /// policy as configured.
+    pub fn append(&mut self, event: &TranscriptEvent) -> Result<(), JournalError> {
+        let record = frame_record(&encode_event(event));
+        if self.active_len > 0
+            && self.active_len + record.len() as u64 > self.config.segment_max_bytes
+        {
+            // Seal the active segment: sync it regardless of policy (a
+            // segment boundary is a durability point), then start the next.
+            self.active.sync_all()?;
+            self.unsynced = 0;
+            self.active_index += 1;
+            self.active = File::create(self.dir.join(segment_name(self.active_index)))?;
+            self.active_len = 0;
+        }
+        self.active.write_all(&record)?;
+        self.active_len += record.len() as u64;
+        self.unsynced += 1;
+        let due = match self.config.fsync {
+            FsyncPolicy::EveryRecord => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.active.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Persists a compaction checkpoint via write-to-temp + atomic rename.
+    pub fn record_snapshot(&mut self, marker: SnapshotMarker) -> Result<(), JournalError> {
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let mut file = File::create(&tmp)?;
+        file.write_all(&frame_record(&encode_snapshot(marker)))?;
+        file.sync_all()?;
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        Ok(())
+    }
+}
+
+impl Drop for DiskJournal {
+    fn drop(&mut self) {
+        // Best-effort: an evicted or closing session should not lose its
+        // tail to a missing final sync under `FsyncPolicy::EveryN`/`Never`.
+        let _ = self.active.sync_all();
+    }
+}
+
+// ---- fault injection ------------------------------------------------------
+
+/// Test support: IO fault injection at exact byte boundaries.
+pub mod fault {
+    use std::io::{self, Write};
+
+    /// How a [`FaultyWriter`] misbehaves once its budget is spent.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultMode {
+        /// Every write past the budget fails with an IO error (a killed
+        /// process / yanked disk).
+        Kill,
+        /// The boundary write is silently truncated mid-record, then all
+        /// later writes fail (a torn page).
+        Torn,
+    }
+
+    /// An `io::Write` wrapper that lets exactly `budget` bytes through and
+    /// then injects the configured fault — the building block for crash
+    /// tests that cut a journal at every byte boundary.
+    #[derive(Debug)]
+    pub struct FaultyWriter<W> {
+        inner: W,
+        budget: usize,
+        mode: FaultMode,
+        tripped: bool,
+    }
+
+    impl<W: Write> FaultyWriter<W> {
+        /// Wraps `inner`, allowing `budget` bytes before injecting `mode`.
+        pub fn new(inner: W, budget: usize, mode: FaultMode) -> FaultyWriter<W> {
+            FaultyWriter {
+                inner,
+                budget,
+                mode,
+                tripped: false,
+            }
+        }
+
+        /// Whether the fault has fired yet.
+        pub fn tripped(&self) -> bool {
+            self.tripped
+        }
+
+        /// Unwraps the inner writer.
+        pub fn into_inner(self) -> W {
+            self.inner
+        }
+    }
+
+    impl<W: Write> Write for FaultyWriter<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.tripped || (self.budget == 0 && !buf.is_empty()) {
+                self.tripped = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected write fault",
+                ));
+            }
+            if buf.len() <= self.budget {
+                self.budget -= buf.len();
+                return self.inner.write(buf);
+            }
+            let allowed = self.budget;
+            self.budget = 0;
+            self.tripped = true;
+            match self.mode {
+                // A short write: the caller sees partial success once, and
+                // any retry of the remainder fails.
+                FaultMode::Torn => self.inner.write(&buf[..allowed]),
+                FaultMode::Kill => Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected write fault",
+                )),
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fault::{FaultMode, FaultyWriter};
+    use super::*;
+    use gdr_core::fixture;
+    use gdr_core::strategy::Strategy;
+    use gdr_repair::Feedback;
+    use std::io::Write;
+
+    fn sample_events() -> Vec<TranscriptEvent> {
+        vec![
+            TranscriptEvent::Pulled,
+            TranscriptEvent::Answered(7, Feedback::Confirm),
+            TranscriptEvent::Answered(u64::MAX, Feedback::Reject),
+            TranscriptEvent::Supplied((3, 1), Value::from("Fort, \"Wayne\"\nIN")),
+            TranscriptEvent::Supplied((0, 0), Value::Int(-46360)),
+            TranscriptEvent::Supplied((2, 5), Value::Null),
+            TranscriptEvent::Skipped((9, 2)),
+            TranscriptEvent::Finished,
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_the_record_codec() {
+        for event in sample_events() {
+            let payload = encode_event(&event);
+            assert!(!payload.contains('\n'), "payload must be one line");
+            assert_eq!(decode_event(&payload).unwrap(), event, "via {payload}");
+            let framed = frame_record(&payload);
+            let scan = scan_records(&framed);
+            assert!(scan.corruption.is_none());
+            assert_eq!(scan.payloads, vec![payload]);
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_with_weights_bit_for_bit() {
+        let (dirty, clean, rules) = fixture::figure1_instance();
+        let mut spec = OpenSpec::new(dirty, rules);
+        spec.strategy = Strategy::GdrSLearning;
+        spec.config = GdrConfig::fast();
+        spec.config.seed = u64::MAX - 3;
+        spec.config.forest.tree.features_per_split = Some(2);
+        spec.ground_truth = Some(clean);
+        let decoded = decode_spec(&encode_spec(&spec)).expect("decode spec");
+        assert_eq!(decoded.dirty.name(), spec.dirty.name());
+        assert_eq!(
+            format!("{}", decoded.dirty),
+            format!("{}", spec.dirty),
+            "table cells must round-trip"
+        );
+        assert_eq!(decoded.rules.len(), spec.rules.len());
+        for (id, _) in spec.rules.iter() {
+            assert_eq!(
+                decoded.rules.weight(id).to_bits(),
+                spec.rules.weight(id).to_bits(),
+                "weight of rule {id}"
+            );
+        }
+        assert_eq!(decoded.strategy, spec.strategy);
+        assert_eq!(decoded.config.seed, spec.config.seed);
+        assert_eq!(decoded.config.forest.tree.features_per_split, Some(2));
+        let truth = decoded.ground_truth.as_ref().expect("truth kept");
+        assert_eq!(
+            format!("{truth}"),
+            format!("{}", spec.ground_truth.as_ref().unwrap())
+        );
+        // And the engines built from both specs serve identically.
+        // (Deterministic builds: same inputs, same bits.)
+        let a = {
+            let journal = crate::store::SessionJournal::new(spec.clone());
+            journal.replay().unwrap()
+        };
+        let b = {
+            let journal = crate::store::SessionJournal::new(decoded);
+            journal.replay().unwrap()
+        };
+        assert_eq!(engine_digest(&a), engine_digest(&b));
+    }
+
+    #[test]
+    fn snapshot_marker_round_trips() {
+        let marker = SnapshotMarker {
+            events: 42,
+            digest: 0xdead_beef_0bad_d00d,
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(marker)).unwrap(), marker);
+    }
+
+    #[test]
+    fn scan_truncates_at_every_cut_and_flip() {
+        let events = sample_events();
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for event in &events {
+            bytes.extend_from_slice(&frame_record(&encode_event(event)));
+            boundaries.push(bytes.len());
+        }
+        // Kill at every byte boundary: the valid prefix is exactly the
+        // records wholly before the cut.
+        for cut in 0..=bytes.len() {
+            let scan = scan_records(&bytes[..cut]);
+            let expected = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.payloads.len(), expected, "cut at byte {cut}");
+            assert_eq!(scan.valid_len, boundaries[expected], "cut at byte {cut}");
+            assert_eq!(scan.corruption.is_some(), cut != boundaries[expected]);
+        }
+        // Flip every byte: the record containing the flip (and everything
+        // after it) is dropped; records before it survive.
+        for position in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[position] ^= 0x20;
+            let scan = scan_records(&corrupt);
+            let intact = boundaries.iter().filter(|&&b| b <= position).count() - 1;
+            assert!(
+                scan.payloads.len() <= intact || corrupt == bytes,
+                "flip at byte {position} must not manufacture records"
+            );
+            for (i, payload) in scan.payloads.iter().enumerate() {
+                assert_eq!(
+                    decode_event(payload).unwrap(),
+                    events[i],
+                    "surviving record {i} after flip at {position}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_writer_kills_and_tears_at_the_boundary() {
+        let record = frame_record(&encode_event(&TranscriptEvent::Pulled));
+        // Kill: nothing past the budget lands.
+        for budget in 0..=record.len() {
+            let mut writer = FaultyWriter::new(Vec::new(), budget, FaultMode::Kill);
+            let outcome = writer.write_all(&record);
+            let inner = writer.into_inner();
+            if budget >= record.len() {
+                outcome.expect("full budget writes cleanly");
+                assert_eq!(inner, record);
+            } else {
+                outcome.expect_err("short budget must fail");
+                let scan = scan_records(&inner);
+                assert!(scan.payloads.is_empty());
+            }
+        }
+        // Torn: the boundary write lands partially, and the scanner then
+        // rejects the partial record.
+        let mut writer = FaultyWriter::new(Vec::new(), record.len() / 2, FaultMode::Torn);
+        let _ = writer.write_all(&record);
+        assert!(writer.tripped());
+        let inner = writer.into_inner();
+        assert_eq!(inner.len(), record.len() / 2);
+        let scan = scan_records(&inner);
+        assert!(scan.payloads.is_empty());
+        assert!(scan.corruption.is_some());
+    }
+
+    #[test]
+    fn session_dir_names_are_safe_and_injective() {
+        let ids = [
+            "plain",
+            "../../../etc/passwd",
+            "spaced out id",
+            "ünïcode",
+            "",
+            "a/b\\c:d",
+            "%41",
+            "A1",
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for id in ids {
+            let name = session_dir_name(id);
+            assert!(
+                name.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'%'),
+                "`{name}` must be filesystem-safe"
+            );
+            assert!(!name.contains('/') && !name.contains('\\'));
+            assert!(seen.insert(name.clone()), "`{id}` collided on `{name}`");
+        }
+        // The escape itself cannot collide with a literal: `%41` the id
+        // escapes its `%`, while `A1` stays literal.
+        assert_ne!(session_dir_name("%41"), session_dir_name("A1"));
+    }
+}

@@ -28,6 +28,7 @@
 //! | `finish` | — | `{"ok":"done","reason":…}` |
 //! | `report` | — | `{"ok":"report",…,"eval":{…}?}` |
 //! | `restore` | — | `{"ok":"restored","replayed":n}` |
+//! | `compact` | — | `{"ok":"compacted","events":n,"tail":n}` |
 //!
 //! `next` replies with one of:
 //!
@@ -56,6 +57,7 @@
 //! {"err":"no_outstanding_work","verb":"answer"}
 //! {"err":"unknown_session","session":…}   {"err":"duplicate_session","session":…}
 //! {"err":"bad_request","detail":…}        {"err":"engine","detail":…}
+//! {"err":"journal","detail":…}
 //! ```
 //!
 //! The first three are *retryable*: the engine state is untouched, so the
@@ -81,9 +83,51 @@
 //! nothing and are never journaled.
 //!
 //! This trades replay CPU for zero snapshot machinery and gets auditability
-//! for free (the journal *is* the session history).  The journal is a plain
-//! value — a deployment that wants durability across processes can encode
-//! it with the [`wire`] codec line-by-line and write it wherever it likes.
+//! for free (the journal *is* the session history).  Replay cost is bounded
+//! by **compaction** ([`store::Session::compact`], auto-triggered every
+//! [`journal::JournalConfig::compact_every`] tail events, or on demand via
+//! the `compact` verb): a validated clone of the live engine becomes the
+//! replay base and the absorbed tail is dropped from RAM, so a live
+//! `restore` replays only the short tail.  Validation replays the full
+//! journal and compares engine digests before the snapshot is adopted; a
+//! divergence fails with a `journal` error and changes nothing.
+//!
+//! ## Durable session tier
+//!
+//! A [`store::SessionStore::durable`] store writes every session's journal
+//! to disk under `root/<escaped-id>/` and survives process death:
+//!
+//! * **Segment format** — `spec.gdrj` holds the framed build inputs (its
+//!   `create_new` creation is the atomic claim on a session id); events
+//!   append to `seg-NNNNNN.gdrj` segments rolled at
+//!   [`journal::JournalConfig::segment_max_bytes`].  Each record is one
+//!   line, `J1 <len> <fnv64-hex> <payload>`, where the payload is a line of
+//!   this crate's JSON codec and the checksum is FNV-1a 64 over it.
+//! * **Fsync policy** — [`journal::FsyncPolicy`]: `EveryRecord` (default),
+//!   `EveryN(n)`, or `Never`; sealed segments are always synced.  Disk is
+//!   written *before* RAM, so the in-memory journal never claims more than
+//!   stable storage plus the configured fsync window.
+//! * **Corruption semantics** — recovery scans for the longest valid record
+//!   prefix: the first torn, short, malformed, or checksum-failing record
+//!   truncates its segment (persisted with `set_len`, so repair is
+//!   idempotent) and discards every later segment.  The session re-serves
+//!   from the last durable record; [`journal::RecoveryReport`] says what
+//!   was cut.  The `snapshot.gdrj` marker is an integrity *checkpoint*
+//!   (event count + engine digest), not a replay input: disk recovery is
+//!   always full replay, and a marker that disagrees with the replayed
+//!   digest is ignored.  The fault-injection suite drives recovery from
+//!   every kill/torn-write prefix of a recorded session and requires
+//!   bit-identical continuation.
+//! * **Idle eviction** — beyond
+//!   [`store::DurabilityConfig::max_live_sessions`] the least-recently-used
+//!   idle session is dropped from RAM (never one another thread holds) and
+//!   rehydrated transparently — and bit-identically — on its next verb.
+//!
+//! On the client side, [`client::Client::drive_retrying`] hardens the drive
+//! loop against transport failures: IO errors and torn replies reconnect
+//! under a [`client::RetryPolicy`] (capped exponential backoff) and resend;
+//! duplicated deliveries are absorbed by the server's `stale_work` /
+//! `no_outstanding_work` contract.
 //!
 //! ## Quickstart (loopback)
 //!
@@ -120,13 +164,18 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError, OpenOptions};
+pub use client::{Client, ClientError, OpenOptions, RetryPolicy};
+pub use journal::{DiskJournal, FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
 pub use json::{Json, JsonError};
 pub use server::{dispatch, serve_connection, serve_listener};
-pub use store::{OpenSpec, Session, SessionJournal, SessionStore, StoreError, TranscriptEvent};
+pub use store::{
+    CompactionStats, DurabilityConfig, OpenSpec, Session, SessionJournal, SessionStore, StoreError,
+    TranscriptEvent,
+};
 pub use wire::{Request, Response, WireError, WireTarget};

@@ -121,6 +121,16 @@ fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError>
             .with_session(&session, |s| s.restore())
             .map(|replayed| Response::Restored { replayed })
             .map_err(store_error),
+        Request::Compact { session } => store
+            .with_session(&session, |s| {
+                let stats = s.compact()?;
+                Ok((stats, s.journal().transcript().len()))
+            })
+            .map(|(stats, tail)| Response::Compacted {
+                events: stats.events,
+                tail,
+            })
+            .map_err(store_error),
     }
 }
 

@@ -14,6 +14,30 @@
 //! a pull that merely re-serves the outstanding item is pure and is not.
 //! Protocol errors mutate nothing, so they are never journaled.
 //!
+//! ## Compaction
+//!
+//! Replaying from the `open` verb makes restore cost grow with session
+//! length, and so does the in-memory transcript.  [`Session::compact`]
+//! bounds both: it installs a *snapshot* — a clone of the live engine,
+//! validated (by default) by replaying the current journal and comparing
+//! [`crate::journal::engine_digest`]s — as the journal's new replay base
+//! and drops the replayed prefix from RAM.  From then on `replay` is
+//! "clone snapshot + replay short tail".  Sessions auto-compact once the
+//! tail exceeds [`crate::journal::JournalConfig::compact_every`] events, so
+//! journal memory is O(compact_every), not O(session length).
+//!
+//! ## Durability
+//!
+//! A store created with [`SessionStore::durable`] additionally writes every
+//! journal to disk ([`crate::journal::DiskJournal`]): the spec at open,
+//! every event as it is applied (fsync'd per the configured policy), and a
+//! snapshot *marker* at each compaction.  Sessions rehydrate transparently
+//! on the next verb after a crash or an eviction — [`SessionStore::get`]
+//! falls back to the on-disk journal when the id is not live — and idle
+//! sessions are LRU-evicted from RAM once `max_live_sessions` is exceeded
+//! (only sessions nobody currently holds; the disk journal is already
+//! complete, so eviction is just dropping the in-memory copy).
+//!
 //! Locking: the store holds a mutex-guarded map of `Arc<Mutex<Session>>`.
 //! A request locks the map only to look up (or insert) the session, then
 //! drives the engine under the per-session mutex — sessions never block one
@@ -24,6 +48,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use gdr_cfd::RuleSet;
@@ -33,6 +60,10 @@ use gdr_core::step::{GdrEngine, SessionBuilder, WorkId, WorkPlan};
 use gdr_core::strategy::Strategy;
 use gdr_relation::{Table, Value};
 use gdr_repair::{Cell, Feedback};
+
+use crate::journal::{
+    engine_digest, session_dir_name, DiskJournal, JournalConfig, RecoveryReport, SnapshotMarker,
+};
 
 /// Everything needed to (re)build a session's engine — the journaled build
 /// inputs.
@@ -98,11 +129,22 @@ pub enum TranscriptEvent {
     Finished,
 }
 
-/// The per-session journal: build inputs + answer transcript.
+/// The replay base a compaction installs: a validated clone of the live
+/// engine, standing in for the `events` transcript entries it absorbed.
+#[derive(Debug, Clone)]
+struct JournalSnapshot {
+    engine: GdrEngine,
+    events: usize,
+    ends_finished: bool,
+}
+
+/// The per-session journal: build inputs, an optional compaction snapshot,
+/// and the transcript tail recorded since that snapshot.
 #[derive(Debug, Clone)]
 pub struct SessionJournal {
     spec: OpenSpec,
-    transcript: Vec<TranscriptEvent>,
+    snapshot: Option<JournalSnapshot>,
+    tail: Vec<TranscriptEvent>,
 }
 
 impl SessionJournal {
@@ -110,7 +152,18 @@ impl SessionJournal {
     pub fn new(spec: OpenSpec) -> SessionJournal {
         SessionJournal {
             spec,
-            transcript: Vec::new(),
+            snapshot: None,
+            tail: Vec::new(),
+        }
+    }
+
+    /// A journal rebuilt from externally recovered events (the on-disk
+    /// path): no snapshot, the whole transcript as tail.
+    pub fn from_events(spec: OpenSpec, events: Vec<TranscriptEvent>) -> SessionJournal {
+        SessionJournal {
+            spec,
+            snapshot: None,
+            tail: events,
         }
     }
 
@@ -119,19 +172,54 @@ impl SessionJournal {
         &self.spec
     }
 
-    /// The journaled transcript, in application order.
+    /// The in-memory transcript tail: every event since the last compaction
+    /// snapshot (the full transcript when none has happened), in
+    /// application order.
     pub fn transcript(&self) -> &[TranscriptEvent] {
-        &self.transcript
+        &self.tail
     }
 
-    /// Rebuilds an engine from scratch and replays the transcript through
-    /// the public pull API.  Determinism makes the result bit-identical to
-    /// the engine the transcript was recorded from; a divergence (e.g. a
-    /// journal edited by hand) surfaces as a typed [`GdrError`] because the
+    /// Events absorbed into the compaction snapshot (0 when none).
+    pub fn snapshot_events(&self) -> usize {
+        self.snapshot.as_ref().map_or(0, |s| s.events)
+    }
+
+    /// Total events the session has applied: snapshot + tail.
+    pub fn events_total(&self) -> usize {
+        self.snapshot_events() + self.tail.len()
+    }
+
+    fn ends_finished(&self) -> bool {
+        match self.tail.last() {
+            Some(event) => *event == TranscriptEvent::Finished,
+            None => self.snapshot.as_ref().is_some_and(|s| s.ends_finished),
+        }
+    }
+
+    /// Installs `engine` — which must embody every journaled event — as the
+    /// new replay base and drops the tail it absorbed.
+    fn adopt_snapshot(&mut self, engine: GdrEngine) {
+        let snapshot = JournalSnapshot {
+            engine,
+            events: self.events_total(),
+            ends_finished: self.ends_finished(),
+        };
+        self.snapshot = Some(snapshot);
+        self.tail.clear();
+    }
+
+    /// Rebuilds an engine — from the compaction snapshot when one exists,
+    /// from scratch otherwise — and replays the tail through the public
+    /// pull API.  Determinism makes the result bit-identical to the engine
+    /// the transcript was recorded from; a divergence (e.g. a journal
+    /// edited by hand) surfaces as a typed [`GdrError`] because the
     /// replayed work ids no longer line up.
     pub fn replay(&self) -> Result<GdrEngine, GdrError> {
-        let mut engine = self.spec.build();
-        for event in &self.transcript {
+        let mut engine = match &self.snapshot {
+            Some(snapshot) => snapshot.engine.clone(),
+            None => self.spec.build(),
+        };
+        for event in &self.tail {
             match event {
                 TranscriptEvent::Pulled => {
                     engine.next_work()?;
@@ -161,7 +249,19 @@ impl SessionJournal {
     }
 }
 
-/// A live session: the engine plus its journal.
+/// What [`Session::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Total events the snapshot now covers.
+    pub events: usize,
+    /// Tail events dropped from RAM by this compaction.
+    pub dropped: usize,
+    /// Whether the snapshot was validated by replay before adoption.
+    pub validated: bool,
+}
+
+/// A live session: the engine, its journal, and (in durable mode) the
+/// on-disk journal every event is appended to.
 #[derive(Debug)]
 pub struct Session {
     engine: GdrEngine,
@@ -170,17 +270,83 @@ pub struct Session {
     /// between pure pulls (re-serves, not journaled) and state-advancing
     /// pulls (journaled as [`TranscriptEvent::Pulled`]).
     outstanding: bool,
+    config: JournalConfig,
+    disk: Option<DiskJournal>,
 }
 
 impl Session {
-    /// Builds the engine from the spec and starts an empty journal.
+    /// Builds the engine from the spec and starts an empty in-memory
+    /// journal (no disk attachment) with the default [`JournalConfig`].
     pub fn open(spec: OpenSpec) -> Session {
+        Session::open_with(spec, JournalConfig::default())
+    }
+
+    /// [`Session::open`] with an explicit journal configuration
+    /// (auto-compaction cadence, validation).
+    pub fn open_with(spec: OpenSpec, config: JournalConfig) -> Session {
         let journal = SessionJournal::new(spec);
         Session {
             engine: journal.spec.build(),
             journal,
             outstanding: false,
+            config,
+            disk: None,
         }
+    }
+
+    /// Builds a session whose journal is also written to `dir` on disk.
+    /// The directory is claimed atomically (a concurrent create of the same
+    /// dir fails), the spec record is fsync'd before the engine is built,
+    /// and every subsequent event is appended per the configured fsync
+    /// policy.
+    pub fn open_durable(
+        spec: OpenSpec,
+        dir: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> Result<Session, GdrError> {
+        let disk = DiskJournal::create(dir, &spec, config)?;
+        let journal = SessionJournal::new(spec);
+        Ok(Session {
+            engine: journal.spec.build(),
+            journal,
+            outstanding: false,
+            config,
+            disk: Some(disk),
+        })
+    }
+
+    /// Rebuilds a session from its on-disk journal: loads the spec and the
+    /// recovered event prefix (truncating corrupt tails — see
+    /// [`DiskJournal::load`]), replays it through the public API, and
+    /// re-attaches the append handle.  Returns the session together with
+    /// what recovery had to repair.
+    pub fn rehydrate(
+        dir: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> Result<(Session, RecoveryReport), GdrError> {
+        let (disk, loaded) = DiskJournal::open(dir, config)?;
+        let mut recovery = loaded.recovery;
+        let journal = SessionJournal::from_events(loaded.spec, loaded.events);
+        let engine = journal.replay()?;
+        if let Some(marker) = loaded.snapshot {
+            // The marker is an integrity checkpoint, not a replay input: if
+            // it covers the whole recovered transcript, the rebuilt engine
+            // must digest-match it.  A mismatch means the marker is from a
+            // diverged history — ignore it, full replay is authoritative.
+            if marker.events == journal.events_total() && engine_digest(&engine) != marker.digest {
+                recovery.snapshot_ignored = true;
+            }
+        }
+        Ok((
+            Session {
+                engine,
+                journal,
+                outstanding: false,
+                config,
+                disk: Some(disk),
+            },
+            recovery,
+        ))
     }
 
     /// The live engine.
@@ -188,9 +354,32 @@ impl Session {
         &self.engine
     }
 
-    /// The journal (build inputs + transcript).
+    /// The journal (build inputs + snapshot + transcript tail).
     pub fn journal(&self) -> &SessionJournal {
         &self.journal
+    }
+
+    /// The on-disk journal directory, when this session is durable.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.dir())
+    }
+
+    /// Appends an applied event to the journals — disk first (so the
+    /// in-memory journal never claims more than stable storage plus the
+    /// fsync window), then RAM — and auto-compacts when the tail is due.
+    /// On a disk error the event is journaled **nowhere** even though the
+    /// engine applied it: the caller gets [`GdrError::Journal`], and a
+    /// `restore` (or crash recovery) rolls back to the last durable record,
+    /// which the `StaleWork` contract makes survivable for drivers.
+    fn journal_event(&mut self, event: TranscriptEvent) -> Result<(), GdrError> {
+        if let Some(disk) = &mut self.disk {
+            disk.append(&event)?;
+        }
+        self.journal.tail.push(event);
+        if self.config.compact_every > 0 && self.journal.tail.len() >= self.config.compact_every {
+            self.compact()?;
+        }
+        Ok(())
     }
 
     /// Pulls the next work item.  A pull made with an item already
@@ -204,10 +393,10 @@ impl Session {
     pub fn next(&mut self) -> Result<WorkPlan, GdrError> {
         let advancing = !self.outstanding && self.engine.done().is_none();
         let plan = self.engine.next_work()?;
-        if advancing {
-            self.journal.transcript.push(TranscriptEvent::Pulled);
-        }
         self.outstanding = !matches!(plan, WorkPlan::Done(_));
+        if advancing {
+            self.journal_event(TranscriptEvent::Pulled)?;
+        }
         Ok(plan)
     }
 
@@ -215,9 +404,7 @@ impl Session {
     pub fn answer(&mut self, id: WorkId, feedback: Feedback) -> Result<usize, GdrError> {
         self.engine.answer(id, feedback)?;
         self.outstanding = false;
-        self.journal
-            .transcript
-            .push(TranscriptEvent::Answered(id.raw(), feedback));
+        self.journal_event(TranscriptEvent::Answered(id.raw(), feedback))?;
         Ok(self.engine.verifications())
     }
 
@@ -226,9 +413,7 @@ impl Session {
     pub fn supply(&mut self, cell: Cell, value: Value) -> Result<usize, GdrError> {
         self.engine.supply_value(cell, value.clone())?;
         self.outstanding = false;
-        self.journal
-            .transcript
-            .push(TranscriptEvent::Supplied(cell, value));
+        self.journal_event(TranscriptEvent::Supplied(cell, value))?;
         Ok(self.engine.verifications())
     }
 
@@ -236,7 +421,7 @@ impl Session {
     pub fn skip(&mut self, cell: Cell) -> Result<(), GdrError> {
         self.engine.skip_value(cell)?;
         self.outstanding = false;
-        self.journal.transcript.push(TranscriptEvent::Skipped(cell));
+        self.journal_event(TranscriptEvent::Skipped(cell))?;
         Ok(())
     }
 
@@ -245,21 +430,59 @@ impl Session {
         let reason = self.engine.finish()?;
         self.outstanding = false;
         // finish() is idempotent; journal it once so replay stays aligned.
-        if self.journal.transcript.last() != Some(&TranscriptEvent::Finished) {
-            self.journal.transcript.push(TranscriptEvent::Finished);
+        if !self.journal.ends_finished() {
+            self.journal_event(TranscriptEvent::Finished)?;
         }
         Ok(reason)
     }
 
-    /// Discards the live engine and replays the journal in its place.
-    /// Returns the number of events replayed.
+    /// Compacts the journal: installs a clone of the live engine as the
+    /// replay base, drops the absorbed tail from RAM, and (in durable mode)
+    /// records the checkpoint marker on disk.  When
+    /// [`JournalConfig::validate_compaction`] is set the snapshot is only
+    /// adopted after a full replay of the current journal digest-matches
+    /// the live engine — a divergence (which would make the snapshot lie)
+    /// fails with [`GdrError::Journal`] and leaves the journal untouched.
+    pub fn compact(&mut self) -> Result<CompactionStats, GdrError> {
+        let events = self.journal.events_total();
+        let dropped = self.journal.tail.len();
+        if self.config.validate_compaction {
+            let replayed = self.journal.replay()?;
+            let live = engine_digest(&self.engine);
+            let rebuilt = engine_digest(&replayed);
+            if rebuilt != live {
+                return Err(GdrError::Journal {
+                    detail: format!(
+                        "compaction validation failed: replayed digest {rebuilt:016x} != \
+                         live digest {live:016x} after {events} events"
+                    ),
+                });
+            }
+        }
+        self.journal.adopt_snapshot(self.engine.clone());
+        if let Some(disk) = &mut self.disk {
+            disk.record_snapshot(SnapshotMarker {
+                events,
+                digest: engine_digest(&self.engine),
+            })?;
+        }
+        Ok(CompactionStats {
+            events,
+            dropped,
+            validated: self.config.validate_compaction,
+        })
+    }
+
+    /// Discards the live engine and replays the journal in its place
+    /// (snapshot + tail when compacted, from scratch otherwise).  Returns
+    /// the number of tail events replayed.
     pub fn restore(&mut self) -> Result<usize, GdrError> {
         self.engine = self.journal.replay()?;
         // Conservatively treat nothing as outstanding: if the replayed
         // engine does hold a served item, the next pull re-serves it purely
         // and journals one extra `Pulled`, which replays as a no-op.
         self.outstanding = false;
-        Ok(self.journal.transcript.len())
+        Ok(self.journal.tail.len())
     }
 }
 
@@ -268,7 +491,7 @@ impl Session {
 pub enum StoreError {
     /// The session id is not in the store.
     UnknownSession(String),
-    /// `open` named an id that already exists.
+    /// `open` named an id that already exists (live in RAM or on disk).
     DuplicateSession(String),
     /// A protocol or engine error from the session itself.
     Gdr(GdrError),
@@ -299,62 +522,227 @@ impl From<GdrError> for StoreError {
     }
 }
 
+/// How a [`SessionStore`] persists and bounds its sessions.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory; each session gets `root/<escaped-id>/`.
+    pub root: PathBuf,
+    /// Journal tunables applied to every session.
+    pub journal: JournalConfig,
+    /// LRU-evict idle sessions from RAM beyond this count (0 = unlimited).
+    /// Evicted sessions rehydrate transparently on their next verb.
+    pub max_live_sessions: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability under `root` with default journal tunables and a
+    /// 1024-session RAM cap.
+    pub fn new(root: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            root: root.into(),
+            journal: JournalConfig::default(),
+            max_live_sessions: 1024,
+        }
+    }
+}
+
+struct LiveEntry {
+    session: Arc<Mutex<Session>>,
+    last_used: u64,
+}
+
 /// A thread-safe map of sessions keyed by id.
 ///
 /// All verbs are `&self`: the store is shared across connection threads
 /// behind an `Arc` with no outer lock held while an engine runs.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SessionStore {
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, LiveEntry>>,
+    durability: Option<DurabilityConfig>,
+    clock: AtomicU64,
+}
+
+impl fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("live", &self.len())
+            .field("durability", &self.durability)
+            .finish()
+    }
 }
 
 impl SessionStore {
-    /// An empty store.
+    /// An empty in-memory store (sessions die with the process).
     pub fn new() -> SessionStore {
         SessionStore::default()
     }
 
-    /// Number of sessions currently in the store.
+    /// An empty durable store: every session's journal is written under
+    /// `config.root`, crashed or evicted sessions rehydrate on their next
+    /// verb, and at most `config.max_live_sessions` stay resident.
+    pub fn durable(config: DurabilityConfig) -> Result<SessionStore, GdrError> {
+        fs::create_dir_all(&config.root).map_err(|err| GdrError::Journal {
+            detail: format!(
+                "cannot create journal root {}: {err}",
+                config.root.display()
+            ),
+        })?;
+        Ok(SessionStore {
+            sessions: Mutex::new(HashMap::new()),
+            durability: Some(config),
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    /// The durability configuration, when this store persists to disk.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref()
+    }
+
+    /// Number of sessions currently live in RAM (evicted durable sessions
+    /// are not counted; they come back on their next verb).
     pub fn len(&self) -> usize {
         lock_recovering(&self.sessions).len()
     }
 
-    /// Whether the store holds no sessions.
+    /// Whether no session is live in RAM.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    fn session_dir(&self, id: &str) -> Option<PathBuf> {
+        self.durability
+            .as_ref()
+            .map(|d| d.root.join(session_dir_name(id)))
+    }
+
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Creates a session under `id`.
     pub fn open(&self, id: &str, spec: OpenSpec) -> Result<Arc<Mutex<Session>>, StoreError> {
         // Cheap duplicate pre-check so a racing re-open does not pay for a
-        // doomed engine build.
+        // doomed engine build.  For durable stores the check covers disk
+        // too: an evicted session is still *the* session under its id.
         if lock_recovering(&self.sessions).contains_key(id) {
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
+        if let Some(dir) = self.session_dir(id) {
+            if DiskJournal::exists(&dir) {
+                return Err(StoreError::DuplicateSession(id.to_string()));
+            }
+        }
         // Build the engine (violation detection, suggestion generation —
         // potentially large) *outside* the map lock so concurrent requests
-        // on other sessions are never stalled behind an open.
-        let session = Arc::new(Mutex::new(Session::open(spec)));
+        // on other sessions are never stalled behind an open.  In durable
+        // mode the journal directory is claimed atomically first, so a
+        // racing open of the same id loses at the filesystem.
+        let session = match (&self.durability, self.session_dir(id)) {
+            (Some(config), Some(dir)) => Arc::new(Mutex::new(
+                Session::open_durable(spec, dir, config.journal)
+                    .map_err(|err| duplicate_or_journal(id, err))?,
+            )),
+            _ => Arc::new(Mutex::new(Session::open(spec))),
+        };
         let mut sessions = lock_recovering(&self.sessions);
         if sessions.contains_key(id) {
             // Lost a race with another open of the same id.
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
-        sessions.insert(id.to_string(), session.clone());
+        sessions.insert(
+            id.to_string(),
+            LiveEntry {
+                session: session.clone(),
+                last_used: self.stamp(),
+            },
+        );
+        let victims = self.evict_locked(&mut sessions);
+        drop(sessions);
+        drop(victims); // Session drops (final journal sync) outside the map lock.
         Ok(session)
     }
 
-    /// Looks up a session by id.
+    /// Looks up a session by id, rehydrating it from its on-disk journal
+    /// when the store is durable and the session is not live in RAM.
     pub fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, StoreError> {
-        lock_recovering(&self.sessions)
-            .get(id)
-            .cloned()
-            .ok_or_else(|| StoreError::UnknownSession(id.to_string()))
+        if let Some(entry) = lock_recovering(&self.sessions).get_mut(id) {
+            entry.last_used = self.stamp();
+            return Ok(entry.session.clone());
+        }
+        let Some(config) = &self.durability else {
+            return Err(StoreError::UnknownSession(id.to_string()));
+        };
+        let dir = config.root.join(session_dir_name(id));
+        if !DiskJournal::exists(&dir) {
+            return Err(StoreError::UnknownSession(id.to_string()));
+        }
+        // Rehydrate outside the map lock: replay can be expensive and must
+        // not stall every other session.  A concurrent rehydrate of the
+        // same id is resolved below — first insert wins, the loser's copy
+        // is dropped (its append handle wrote nothing).
+        let (session, _recovery) = Session::rehydrate(&dir, config.journal)?;
+        let session = Arc::new(Mutex::new(session));
+        let mut sessions = lock_recovering(&self.sessions);
+        if let Some(entry) = sessions.get_mut(id) {
+            entry.last_used = self.stamp();
+            return Ok(entry.session.clone());
+        }
+        sessions.insert(
+            id.to_string(),
+            LiveEntry {
+                session: session.clone(),
+                last_used: self.stamp(),
+            },
+        );
+        let victims = self.evict_locked(&mut sessions);
+        drop(sessions);
+        drop(victims);
+        Ok(session)
     }
 
-    /// Removes a session; returns whether it existed.
+    /// LRU-evicts idle sessions while the map exceeds `max_live_sessions`.
+    /// Only sessions no other thread currently holds are eligible — the
+    /// `Arc::strong_count == 1` check happens under the map lock, and every
+    /// borrower clones its `Arc` under that same lock, so an eligible
+    /// session cannot gain a borrower while we evict it.  Returns the
+    /// evicted entries; the caller drops them after releasing the lock.
+    fn evict_locked(&self, sessions: &mut HashMap<String, LiveEntry>) -> Vec<Arc<Mutex<Session>>> {
+        let Some(config) = &self.durability else {
+            return Vec::new(); // In-memory stores never evict: RAM is all there is.
+        };
+        if config.max_live_sessions == 0 {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while sessions.len() > config.max_live_sessions {
+            let victim = sessions
+                .iter()
+                .filter(|(_, entry)| Arc::strong_count(&entry.session) == 1)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(id, _)| id.clone());
+            match victim {
+                Some(id) => {
+                    if let Some(entry) = sessions.remove(&id) {
+                        evicted.push(entry.session);
+                    }
+                }
+                None => break, // Everything over the cap is currently borrowed.
+            }
+        }
+        evicted
+    }
+
+    /// Removes a session — from RAM and, in durable mode, from disk.
+    /// Returns whether it existed anywhere.
     pub fn remove(&self, id: &str) -> bool {
-        lock_recovering(&self.sessions).remove(id).is_some()
+        let entry = lock_recovering(&self.sessions).remove(id);
+        let lived = entry.is_some();
+        drop(entry);
+        match self.session_dir(id) {
+            Some(dir) if DiskJournal::exists(&dir) => fs::remove_dir_all(&dir).is_ok() || lived,
+            _ => lived,
+        }
     }
 
     /// Runs `f` under the session's lock.
@@ -366,6 +754,18 @@ impl SessionStore {
         let session = self.get(id)?;
         let mut guard = lock_recovering(&session);
         f(&mut guard).map_err(StoreError::Gdr)
+    }
+}
+
+/// Maps the error of a lost open race (the journal directory was claimed
+/// between our pre-check and our create) onto `DuplicateSession`; anything
+/// else stays a journal error.
+fn duplicate_or_journal(id: &str, err: GdrError) -> StoreError {
+    match &err {
+        GdrError::Journal { detail } if detail.contains("already holds a journal") => {
+            StoreError::DuplicateSession(id.to_string())
+        }
+        _ => StoreError::Gdr(err),
     }
 }
 

@@ -89,6 +89,13 @@ pub enum Request {
         /// Target session.
         session: String,
     },
+    /// Compact the session's journal: snapshot the current engine and drop
+    /// the replayed transcript prefix from memory (and, in durable mode,
+    /// record the checkpoint on disk).
+    Compact {
+        /// Target session.
+        session: String,
+    },
 }
 
 /// Group provenance on an `ask` reply (mirror of
@@ -197,6 +204,13 @@ pub enum Response {
         /// Number of transcript events replayed.
         replayed: usize,
     },
+    /// `compact`: the journal was snapshotted and its prefix dropped.
+    Compacted {
+        /// Total events the session has applied (snapshot + tail).
+        events: usize,
+        /// Events still held as the replayable tail after compaction.
+        tail: usize,
+    },
     /// Any request may fail with a structured error instead.
     Error(WireError),
 }
@@ -248,6 +262,13 @@ pub enum WireError {
         /// Rendered error.
         detail: String,
     },
+    /// A durability-layer error (journal append/fsync/compaction).  The
+    /// verb was applied to the live engine; the client should treat the
+    /// step as possibly-not-durable (see [`GdrError::Journal`]).
+    Journal {
+        /// Rendered error.
+        detail: String,
+    },
 }
 
 /// Wire form of [`WorkTarget`].
@@ -290,6 +311,7 @@ impl From<GdrError> for WireError {
             GdrError::Engine(err) => WireError::Engine {
                 detail: err.to_string(),
             },
+            GdrError::Journal { detail } => WireError::Journal { detail },
         }
     }
 }
@@ -471,6 +493,10 @@ pub fn encode_request(request: &Request) -> String {
             ("op", Json::str("restore")),
             ("session", Json::str(session.clone())),
         ]),
+        Request::Compact { session } => obj(vec![
+            ("op", Json::str("compact")),
+            ("session", Json::str(session.clone())),
+        ]),
     };
     json.encode()
 }
@@ -586,6 +612,11 @@ pub fn encode_response(response: &Response) -> String {
             ("ok", Json::str("restored")),
             ("replayed", Json::Int(*replayed as i64)),
         ]),
+        Response::Compacted { events, tail } => obj(vec![
+            ("ok", Json::str("compacted")),
+            ("events", Json::Int(*events as i64)),
+            ("tail", Json::Int(*tail as i64)),
+        ]),
         Response::Error(error) => match error {
             WireError::StaleWork { got, outstanding } => obj(vec![
                 ("err", Json::str("stale_work")),
@@ -620,6 +651,10 @@ pub fn encode_response(response: &Response) -> String {
             ]),
             WireError::Engine { detail } => obj(vec![
                 ("err", Json::str("engine")),
+                ("detail", Json::str(detail.clone())),
+            ]),
+            WireError::Journal { detail } => obj(vec![
+                ("err", Json::str("journal")),
                 ("detail", Json::str(detail.clone())),
             ]),
         },
@@ -722,6 +757,7 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
         "finish" => Ok(Request::Finish { session }),
         "report" => Ok(Request::Report { session }),
         "restore" => Ok(Request::Restore { session }),
+        "compact" => Ok(Request::Compact { session }),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -767,6 +803,9 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                 detail: str_field(&json, "detail")?,
             },
             "engine" => WireError::Engine {
+                detail: str_field(&json, "detail")?,
+            },
+            "journal" => WireError::Journal {
                 detail: str_field(&json, "detail")?,
             },
             other => return Err(format!("unknown error kind `{other}`")),
@@ -841,6 +880,10 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
         }
         "restored" => Ok(Response::Restored {
             replayed: usize_field(&json, "replayed")?,
+        }),
+        "compacted" => Ok(Response::Compacted {
+            events: usize_field(&json, "events")?,
+            tail: usize_field(&json, "tail")?,
         }),
         other => Err(format!("unknown ok kind `{other}`")),
     }
@@ -951,6 +994,9 @@ mod tests {
         request_round_trip(Request::Restore {
             session: "s".into(),
         });
+        request_round_trip(Request::Compact {
+            session: "s".into(),
+        });
     }
 
     #[test]
@@ -1021,6 +1067,10 @@ mod tests {
             eval: None,
         });
         response_round_trip(Response::Restored { replayed: 17 });
+        response_round_trip(Response::Compacted {
+            events: 64,
+            tail: 3,
+        });
     }
 
     #[test]
@@ -1054,6 +1104,20 @@ mod tests {
         response_round_trip(Response::Error(WireError::Engine {
             detail: "unknown rule id 9".into(),
         }));
+        response_round_trip(Response::Error(WireError::Journal {
+            detail: "fsync of seg-000002.gdrj failed".into(),
+        }));
+        // The durability variant also rides the `GdrError` mapping.
+        let err: WireError = GdrError::Journal {
+            detail: "disk full".into(),
+        }
+        .into();
+        assert_eq!(
+            err,
+            WireError::Journal {
+                detail: "disk full".into()
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! LRU eviction of idle durable sessions: beyond the RAM cap the
+//! least-recently-used idle session is dropped from memory and rehydrated
+//! transparently — and bit-identically — on its next verb.  Borrowed
+//! sessions are never evicted, in-memory stores never evict at all, and a
+//! session whose lock was poisoned by a panicking connection thread stays
+//! servable (regression for the `lock_recovering` + `restore` path).
+
+mod common;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use common::{drive_one, figure1_spec, fingerprint, TempDir};
+use gdr_core::oracle::GroundTruthOracle;
+use gdr_core::strategy::Strategy;
+use gdr_serve::store::{DurabilityConfig, Session, SessionStore, StoreError};
+
+fn durable_store(root: &TempDir, max_live: usize) -> SessionStore {
+    let mut config = DurabilityConfig::new(root.path());
+    config.max_live_sessions = max_live;
+    SessionStore::durable(config).expect("durable store")
+}
+
+fn oracle() -> GroundTruthOracle {
+    GroundTruthOracle::new(
+        figure1_spec(Strategy::GdrNoLearning, true)
+            .ground_truth
+            .expect("truth"),
+    )
+}
+
+/// One oracle-driven step through the store API; `false` once done.
+fn drive_step(store: &SessionStore, id: &str, oracle: &GroundTruthOracle) -> bool {
+    store
+        .with_session(id, |s| Ok(drive_one(s, oracle)))
+        .expect("drive step")
+}
+
+#[test]
+fn idle_sessions_evict_at_the_cap_and_rehydrate_bit_identically() {
+    let root = TempDir::new("evict-lru");
+    let store = durable_store(&root, 2);
+    let oracle = oracle();
+    let ids = ["a", "b", "c", "d"];
+
+    // Open four sessions and advance each a few steps; only two fit in RAM.
+    for id in ids {
+        drop(
+            store
+                .open(id, figure1_spec(Strategy::GdrNoLearning, true))
+                .expect("open"),
+        );
+        for _ in 0..2 {
+            assert!(drive_step(&store, id, &oracle));
+        }
+    }
+    assert!(
+        store.len() <= 2,
+        "cap of 2 exceeded: {} sessions live",
+        store.len()
+    );
+
+    // A twin that was never stored (never evicted, never rehydrated).
+    let mut twin = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    for _ in 0..2 {
+        assert!(drive_one(&mut twin, &oracle));
+    }
+    while drive_one(&mut twin, &oracle) {}
+    twin.finish().expect("finish twin");
+
+    // Every session — the evicted ones rehydrating from disk on first
+    // touch — continues to the exact same final state.
+    for id in ids {
+        while drive_step(&store, id, &oracle) {}
+        store
+            .with_session(id, |s| {
+                s.finish()?;
+                assert_eq!(
+                    fingerprint(s.engine()),
+                    fingerprint(twin.engine()),
+                    "session {id} diverged after eviction/rehydration"
+                );
+                Ok(())
+            })
+            .expect("finish");
+    }
+}
+
+#[test]
+fn borrowed_sessions_are_never_evicted() {
+    let root = TempDir::new("evict-borrow");
+    let store = durable_store(&root, 1);
+
+    // Hold `held`'s Arc across later opens: it is borrowed, so even as the
+    // LRU victim it must stay resident.
+    let held = store
+        .open("held", figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open held");
+    drop(
+        store
+            .open("b", figure1_spec(Strategy::GdrNoLearning, true))
+            .expect("open b"),
+    );
+    drop(
+        store
+            .open("c", figure1_spec(Strategy::GdrNoLearning, true))
+            .expect("open c"),
+    );
+
+    // Same allocation, not a rehydrated copy.
+    let again = store.get("held").expect("get held");
+    assert!(
+        Arc::ptr_eq(&held, &again),
+        "a borrowed session must not be evicted and rehydrated"
+    );
+    // The idle one was evicted to make room, but is still reachable.
+    store.get("b").expect("evicted session must rehydrate");
+}
+
+#[test]
+fn in_memory_stores_never_evict() {
+    let store = SessionStore::new();
+    for id in ["a", "b", "c", "d", "e"] {
+        store
+            .open(id, figure1_spec(Strategy::GdrNoLearning, true))
+            .expect("open");
+    }
+    assert_eq!(store.len(), 5, "without durability RAM is all there is");
+}
+
+#[test]
+fn remove_frees_both_ram_and_disk() {
+    let root = TempDir::new("evict-remove");
+    let store = durable_store(&root, 8);
+    store
+        .open("gone", figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
+    assert!(store.remove("gone"));
+    assert!(matches!(
+        store.get("gone"),
+        Err(StoreError::UnknownSession(_))
+    ));
+    // The id is reusable: the on-disk claim was released too.
+    store
+        .open("gone", figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("re-open after remove");
+}
+
+/// Regression: a connection thread that panics while holding a session's
+/// lock poisons it; every later request on that session must still be
+/// served.  `lock_recovering` claims the poisoned lock, and `restore`
+/// rebuilds a consistent engine from the journal in case the panic left the
+/// engine mid-mutation.
+#[test]
+fn poisoned_session_lock_stays_servable() {
+    let root = TempDir::new("evict-poison");
+    let store = durable_store(&root, 8);
+    let oracle = oracle();
+    store
+        .open("p", figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
+    assert!(drive_step(&store, "p", &oracle));
+
+    // Panic while holding the session lock.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        store
+            .with_session("p", |_| -> Result<(), gdr_core::error::GdrError> {
+                panic!("connection thread died mid-request")
+            })
+            .ok();
+    }));
+    assert!(result.is_err(), "the panic must propagate to the caller");
+
+    // The session still serves: restore a known-consistent engine from the
+    // journal, then drive to completion.
+    store
+        .with_session("p", |s| s.restore().map(|_| ()))
+        .expect("restore after poison");
+    while drive_step(&store, "p", &oracle) {}
+    store
+        .with_session("p", |s| s.finish().map(|_| ()))
+        .expect("finish after poison");
+}
