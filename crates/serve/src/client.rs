@@ -16,7 +16,17 @@
 //! applied the verb, the duplicate comes back as
 //! `stale_work`/`no_outstanding_work`, which the driver already swallows
 //! and resolves by re-pulling `next`.
+//!
+//! [`MuxClient`] is the pipelined counterpart: it tags every request with
+//! a `seq` correlation id and matches replies by tag instead of by
+//! position, so **one connection carries many sessions concurrently**.
+//! [`MuxClient::drive_all`] runs a per-session state machine (the same
+//! plan → answer → plan loop as [`Client::drive`]) for N sessions at once,
+//! keeping one verb in flight per session and absorbing `busy` refusals by
+//! re-sending — the replies interleave in whatever order the server's
+//! workers finish.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -29,7 +39,21 @@ use gdr_core::strategy::Strategy;
 use gdr_relation::Value;
 use gdr_repair::{Feedback, Update};
 
-use crate::wire::{decode_response, encode_request, Request, Response, WireError};
+use crate::wire::{
+    decode_response, decode_response_frame, encode_request, encode_request_frame, Request,
+    Response, WireError, PROTOCOL_VERSION,
+};
+
+/// The server's `hello` reply: protocol version plus capability flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Protocol version the server speaks.
+    pub version: u32,
+    /// Whether `seq`-tagged pipelined frames get out-of-order replies.
+    pub pipelining: bool,
+    /// Whether the `compact` verb is supported.
+    pub compact: bool,
+}
 
 /// A client-side error: transport failure, an undecodable reply, or a
 /// structured error reply from the server.
@@ -345,6 +369,29 @@ impl<R: Read, W: Write> Client<R, W> {
         }
     }
 
+    /// Performs the `hello` handshake: announces this client's protocol
+    /// version and returns the server's version and capability flags.
+    /// Servers predating the verb answer with `bad_request` — treat that
+    /// as "legacy, no pipelining" rather than a failure.
+    pub fn hello(&mut self) -> Result<ServerHello, ClientError> {
+        match self.expect_ok(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello {
+                version,
+                pipelining,
+                compact,
+            } => Ok(ServerHello {
+                version,
+                pipelining,
+                compact,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "hello expected a hello reply, got {other:?}"
+            ))),
+        }
+    }
+
     /// The remote twin of `gdr_core::session::drive`: answers served work
     /// from `user` until the interaction budget (`None` = unlimited) is
     /// exhausted or the session is done, then finishes.  Retryable protocol
@@ -486,5 +533,307 @@ fn recover_or_fail(err: ClientError) -> Result<(), ClientError> {
             | WireError::NoOutstandingWork { .. },
         ) => Ok(()),
         other => Err(other),
+    }
+}
+
+/// Is this a retryable protocol error (the engine re-serves the plan)?
+fn is_retryable(err: &WireError) -> bool {
+    matches!(
+        err,
+        WireError::StaleWork { .. }
+            | WireError::WorkMismatch { .. }
+            | WireError::NoOutstandingWork { .. }
+    )
+}
+
+/// Where one multiplexed session stands in its drive loop.
+enum LaneState {
+    /// `next` is in flight; expecting a work plan.
+    AwaitPlan,
+    /// `answer`/`supply`/`skip` is in flight; expecting its ack.
+    AwaitAck,
+    /// `finish` is in flight; expecting `done`.
+    AwaitFinish,
+    /// The session completed.
+    Done(DoneReason),
+}
+
+/// One session being driven by [`MuxClient::drive_all`].
+struct Lane {
+    session: String,
+    interactions: usize,
+    state: LaneState,
+    /// The request currently in flight, kept for `busy` re-sends.
+    pending: Option<Request>,
+}
+
+/// A pipelined protocol client: every request carries a `seq` correlation
+/// id and replies are matched by tag, not position, so one connection can
+/// have many verbs — for many sessions — in flight at once.
+///
+/// Unlike [`Client`], a `MuxClient` is not bound to one session id; verbs
+/// name their session explicitly.
+pub struct MuxClient<R: Read, W: Write> {
+    reader: BufReader<R>,
+    writer: W,
+    next_seq: u64,
+}
+
+impl MuxClient<TcpStream, TcpStream> {
+    /// Connects over TCP (the stream is cloned for the read half), with
+    /// Nagle's algorithm disabled like [`Client::connect`].
+    pub fn connect(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(MuxClient::new(reader, stream))
+    }
+}
+
+impl<R: Read, W: Write> MuxClient<R, W> {
+    /// Wraps a transport pair.
+    pub fn new(reader: R, writer: W) -> Self {
+        MuxClient {
+            reader: BufReader::new(reader),
+            writer,
+            next_seq: 0,
+        }
+    }
+
+    /// Sends one `seq`-tagged request without waiting for its reply;
+    /// returns the tag its reply will carry.
+    pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.writer
+            .write_all(encode_request_frame(request, Some(seq)).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(seq)
+    }
+
+    /// Reads one reply frame; replies arrive in server completion order,
+    /// not send order.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let (seq, response) = decode_response_frame(line.trim()).map_err(ClientError::Protocol)?;
+        let seq = seq
+            .ok_or_else(|| ClientError::Protocol("mux reply is missing its seq tag".to_string()))?;
+        Ok((seq, response))
+    }
+
+    /// One exclusive round trip (send, then receive that same reply).
+    /// Only valid while nothing else is in flight on this client.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let seq = self.send(request)?;
+        let (got, response) = self.recv()?;
+        if got != seq {
+            return Err(ClientError::Protocol(format!(
+                "reply for seq {got} while only {seq} was in flight"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Performs the `hello` handshake (see [`Client::hello`]).
+    pub fn hello(&mut self) -> Result<ServerHello, ClientError> {
+        match self.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello {
+                version,
+                pipelining,
+                compact,
+            } => Ok(ServerHello {
+                version,
+                pipelining,
+                compact,
+            }),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "hello expected a hello reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drives every (already opened) session in `sessions` to completion
+    /// concurrently over this one connection, answering served work from
+    /// `user` under a per-session interaction budget (`None` = unlimited),
+    /// exactly like [`Client::drive`] does for one session.  One verb is
+    /// kept in flight per session; replies are consumed in whatever order
+    /// the server finishes them.  `busy` refusals are absorbed by
+    /// re-sending, retryable protocol errors by re-pulling `next`.
+    /// Returns the sessions' done reasons in input order.
+    pub fn drive_all(
+        &mut self,
+        sessions: &[String],
+        user: &dyn UserOracle,
+        budget: Option<usize>,
+    ) -> Result<Vec<DoneReason>, ClientError> {
+        let mut lanes: Vec<Lane> = sessions
+            .iter()
+            .map(|session| Lane {
+                session: session.clone(),
+                interactions: 0,
+                state: LaneState::AwaitPlan,
+                pending: None,
+            })
+            .collect();
+        // seq of the in-flight request → lane index.
+        let mut routes: HashMap<u64, usize> = HashMap::new();
+        for (index, lane) in lanes.iter_mut().enumerate() {
+            let seq = start_turn(self, lane, budget)?;
+            routes.insert(seq, index);
+        }
+        let mut live = lanes.len();
+        while live > 0 {
+            let (seq, response) = self.recv()?;
+            let index = routes
+                .remove(&seq)
+                .ok_or_else(|| ClientError::Protocol(format!("reply for unknown seq {seq}")))?;
+            let lane = &mut lanes[index];
+            if let Response::Error(err) = &response {
+                if matches!(err, WireError::Busy { .. }) {
+                    // Refused without running — safe to re-send verbatim.
+                    let request = lane.pending.clone().ok_or_else(|| {
+                        ClientError::Protocol("busy reply with no request in flight".to_string())
+                    })?;
+                    let seq = self.send(&request)?;
+                    routes.insert(seq, index);
+                    continue;
+                }
+            }
+            match advance_lane(self, lane, response, user, budget)? {
+                Some(seq) => {
+                    routes.insert(seq, index);
+                }
+                None => live -= 1,
+            }
+        }
+        Ok(lanes
+            .into_iter()
+            .map(|lane| match lane.state {
+                LaneState::Done(reason) => reason,
+                _ => unreachable!("live count reached zero with an unfinished lane"),
+            })
+            .collect())
+    }
+}
+
+/// Sends a lane's next pull — `next` while budget remains, else `finish` —
+/// and returns the in-flight seq.
+fn start_turn<R: Read, W: Write>(
+    mux: &mut MuxClient<R, W>,
+    lane: &mut Lane,
+    budget: Option<usize>,
+) -> Result<u64, ClientError> {
+    let request = if budget.is_some_and(|b| lane.interactions >= b) {
+        lane.state = LaneState::AwaitFinish;
+        Request::Finish {
+            session: lane.session.clone(),
+        }
+    } else {
+        lane.state = LaneState::AwaitPlan;
+        Request::Next {
+            session: lane.session.clone(),
+        }
+    };
+    let seq = mux.send(&request)?;
+    lane.pending = Some(request);
+    Ok(seq)
+}
+
+/// Feeds one reply into a lane's state machine; returns the seq of the
+/// lane's next in-flight request, or `None` once the lane is done.
+fn advance_lane<R: Read, W: Write>(
+    mux: &mut MuxClient<R, W>,
+    lane: &mut Lane,
+    response: Response,
+    user: &dyn UserOracle,
+    budget: Option<usize>,
+) -> Result<Option<u64>, ClientError> {
+    match lane.state {
+        LaneState::AwaitPlan => match response {
+            Response::Ask {
+                id,
+                tuple,
+                attr,
+                current,
+                value,
+                score,
+                ..
+            } => {
+                let update = Update::new(tuple, attr, value, score);
+                let feedback = user.feedback(&update, &current);
+                lane.interactions += 1;
+                let request = Request::Answer {
+                    session: lane.session.clone(),
+                    id,
+                    feedback,
+                };
+                lane.state = LaneState::AwaitAck;
+                let seq = mux.send(&request)?;
+                lane.pending = Some(request);
+                Ok(Some(seq))
+            }
+            Response::NeedValue {
+                tuple,
+                attr,
+                current,
+            } => {
+                lane.interactions += 1;
+                let request = match user.correct_value(tuple, attr) {
+                    Some(value) if value != current => Request::Supply {
+                        session: lane.session.clone(),
+                        tuple,
+                        attr,
+                        value,
+                    },
+                    _ => Request::Skip {
+                        session: lane.session.clone(),
+                        tuple,
+                        attr,
+                    },
+                };
+                lane.state = LaneState::AwaitAck;
+                let seq = mux.send(&request)?;
+                lane.pending = Some(request);
+                Ok(Some(seq))
+            }
+            Response::Done { reason } => {
+                lane.state = LaneState::Done(reason);
+                lane.pending = None;
+                Ok(None)
+            }
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "next expected a work plan, got {other:?}"
+            ))),
+        },
+        LaneState::AwaitAck => match response {
+            Response::Error(err) if !is_retryable(&err) => Err(ClientError::Server(err)),
+            // An ack (or a retryable error — the plan will be re-served):
+            // pull again.
+            _ => start_turn(mux, lane, budget).map(Some),
+        },
+        LaneState::AwaitFinish => match response {
+            Response::Done { reason } => {
+                lane.state = LaneState::Done(reason);
+                lane.pending = None;
+                Ok(None)
+            }
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "finish expected a done reply, got {other:?}"
+            ))),
+        },
+        LaneState::Done(_) => Err(ClientError::Protocol(
+            "reply routed to a finished session".to_string(),
+        )),
     }
 }

@@ -1,10 +1,35 @@
 //! # gdr-serve — sessions over a transport
 //!
 //! Serves many concurrent Guided Data Repair sessions ([`gdr_core::step`]'s
-//! pull-based engines) over a blocking, line-delimited JSON protocol.
-//! Std-only by design: the codec ([`json`]/[`wire`]) is hand-rolled, the
-//! transport is `std::net::TcpListener` / any `Read + Write` pair, and
-//! concurrency is thread-per-connection over a shared [`store::SessionStore`].
+//! pull-based engines) over a line-delimited JSON protocol.  Std-only by
+//! design: the codec ([`json`]/[`wire`]) is hand-rolled, the transport is
+//! `std::net::TcpListener` / any `Read + Write` pair, and the server is a
+//! hand-rolled event loop ([`server::ServerConfig`]) — nonblocking accept
+//! and read feeding a bounded worker pool — over a **sharded**
+//! [`store::SessionStore`] ([`store::STORE_SHARDS`] FNV-routed shards, so
+//! traffic on one session never contends on another's shard lock).
+//!
+//! ## Concurrency model
+//!
+//! Three layers, each independently bounded:
+//!
+//! * **Connections** are owned by one event-loop thread (no thread per
+//!   socket); per-connection memory is capped by the reply-buffer bound
+//!   and the outstanding-request cap
+//!   ([`server::ServerConfig::reply_buffer_bytes`] /
+//!   [`server::ServerConfig::max_outstanding`]) — a slow reader gets TCP
+//!   backpressure and `busy` refusals, never unbounded buffers.
+//! * **Dispatch** runs on [`server::ServerConfig::workers`] pool threads;
+//!   `seq`-tagged requests from one connection run concurrently and reply
+//!   out of order ([`wire`] documents the correlation contract), while
+//!   bare requests keep the legacy strictly-in-order semantics.
+//! * **Sessions** live in shard-local maps; each holds its own
+//!   `Mutex<Session>`, so two verbs for two sessions proceed in parallel
+//!   even from one connection.  LRU eviction charges a global budget but
+//!   commits per shard.
+//!
+//! [`client::MuxClient::drive_all`] is the client-side counterpart,
+//! driving N sessions over one connection.
 //!
 //! This crate exists because the engine's error contract makes it safe: a
 //! protocol violation from a remote client (stale work id, wrong cell,
@@ -15,11 +40,16 @@
 //!
 //! ## Wire format
 //!
-//! One JSON object per line in each direction; strictly request → reply.
-//! Blank lines are ignored.  Requests carry `"op"` and `"session"`:
+//! One JSON object per line in each direction.  Requests without a `seq`
+//! tag are answered strictly in order; requests tagged `"seq":n` may be
+//! pipelined and answered out of order, the reply echoing the tag (see
+//! [`wire`] for the full protocol spec, including the `hello` version
+//! handshake).  Blank lines are ignored.  Requests carry `"op"` and
+//! (except `hello`) `"session"`:
 //!
 //! | op | fields | success reply |
 //! |----|--------|---------------|
+//! | `hello` | `version`? | `{"ok":"hello","version":2,"pipelining":true,"compact":true}` |
 //! | `open` | `table_csv`, `rules`, `strategy`, `seed`?, `ground_truth_csv`? | `{"ok":"opened","session":…,"dirty_tuples":n}` |
 //! | `next` | — | `ask` / `need_value` / `done` (below) |
 //! | `answer` | `id`, `feedback` ∈ `confirm\|reject\|retain` | `{"ok":"answered","verifications":n}` |
@@ -57,7 +87,7 @@
 //! {"err":"no_outstanding_work","verb":"answer"}
 //! {"err":"unknown_session","session":…}   {"err":"duplicate_session","session":…}
 //! {"err":"bad_request","detail":…}        {"err":"engine","detail":…}
-//! {"err":"journal","detail":…}
+//! {"err":"journal","detail":…}            {"err":"busy","max_outstanding":n}
 //! ```
 //!
 //! The first three are *retryable*: the engine state is untouched, so the
@@ -170,12 +200,12 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError, OpenOptions, RetryPolicy};
+pub use client::{Client, ClientError, MuxClient, OpenOptions, RetryPolicy, ServerHello};
 pub use journal::{DiskJournal, FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
 pub use json::{Json, JsonError};
-pub use server::{dispatch, serve_connection, serve_listener};
+pub use server::{dispatch, serve_connection, serve_listener, ServerConfig};
 pub use store::{
-    CompactionStats, DurabilityConfig, OpenSpec, Session, SessionJournal, SessionStore, StoreError,
-    TranscriptEvent,
+    CompactionStats, DurabilityConfig, OpenSpec, Session, SessionJournal, SessionOptions,
+    SessionStore, StoreError, TranscriptEvent, STORE_SHARDS,
 };
-pub use wire::{Request, Response, WireError, WireTarget};
+pub use wire::{Request, Response, WireError, WireTarget, PROTOCOL_VERSION};

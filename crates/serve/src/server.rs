@@ -1,24 +1,57 @@
-//! The blocking session server: request dispatch plus transport loops.
+//! The session server: request dispatch plus transport loops.
 //!
-//! [`serve_connection`] runs the protocol over any `Read + Write` pair
-//! (a TCP stream, stdio, an in-memory pipe in tests); [`serve_listener`]
-//! accepts TCP connections and serves each on its own thread, all sharing
-//! one [`SessionStore`].  A protocol violation — malformed line, unknown
-//! session, stale work id — produces a structured error *reply* on that
-//! connection and nothing else: the connection stays open, the session
-//! stays servable, and every other session is untouched.
+//! Two transports share one dispatch core:
+//!
+//! * [`serve_connection`] runs the protocol **blocking and in order** over
+//!   any `Read + Write` pair (a TCP stream, stdio, an in-memory pipe in
+//!   tests) — one request, one reply, strictly sequential.  `seq` tags are
+//!   echoed but confer no reordering; this is the reference semantics.
+//! * [`ServerConfig::serve`] runs the **multiplexed event-loop server**: a
+//!   single readiness-polling thread (nonblocking accept/read/write,
+//!   hand-rolled over `std::net`) feeds a bounded pool of worker threads,
+//!   so one slow engine verb never blocks other connections — or other
+//!   `seq`-tagged requests on the *same* connection.  Backpressure is
+//!   explicit: at most [`ServerConfig::max_outstanding`] requests per
+//!   connection are in flight (excess is refused with a `busy` error
+//!   reply, without running), and once a connection's unflushed replies
+//!   exceed [`ServerConfig::reply_buffer_bytes`] the server stops reading
+//!   from that socket until the client drains — a slow reader costs TCP
+//!   backpressure, never unbounded server memory.
+//!
+//! Ordering: requests without `seq` are processed one at a time, in
+//! arrival order, per connection (the legacy contract); requests with
+//! `seq` run concurrently on the worker pool and their replies are written
+//! as they complete, tagged with the echoed `seq`.
+//!
+//! A protocol violation — malformed line, unknown session, stale work id —
+//! produces a structured error *reply* on that connection and nothing
+//! else: the connection stays open, the session stays servable, and every
+//! other session is untouched.  A worker that panics mid-verb is contained
+//! too: the offending request gets an `engine` error reply and the worker
+//! survives.
+//!
+//! [`serve_listener`] survives as the legacy thread-free entry point; it
+//! now runs the event loop under [`ServerConfig::default`], which
+//! reproduces the pre-event-loop observable behaviour for in-order
+//! clients.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
+use gdr_core::error::GdrError;
 use gdr_core::step::WorkId;
 use gdr_relation::csv::parse_csv;
 
-use crate::store::{OpenSpec, SessionStore, StoreError};
+use crate::store::{DurabilityConfig, OpenSpec, SessionStore, StoreError};
 use crate::wire::{
-    decode_request, encode_response, Request, Response, WireError, WireEval, WireGroup,
+    decode_request_frame, encode_response_frame, Request, Response, WireError, WireEval, WireGroup,
+    PROTOCOL_VERSION,
 };
 
 /// Handles one decoded request against the store, producing the reply.
@@ -34,6 +67,11 @@ pub fn dispatch(store: &SessionStore, request: Request) -> Response {
 
 fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError> {
     match request {
+        Request::Hello { version: _ } => Ok(Response::Hello {
+            version: PROTOCOL_VERSION,
+            pipelining: true,
+            compact: true,
+        }),
         Request::Open {
             session,
             table_csv,
@@ -233,9 +271,11 @@ fn store_error(error: StoreError) -> WireError {
     }
 }
 
-/// Serves one connection: reads request lines until EOF, writing one reply
-/// line per request.  Blank lines are ignored; malformed lines get a
-/// `bad_request` reply and the connection continues.
+/// Serves one connection **blocking and strictly in order**: reads request
+/// lines until EOF, writing one reply line per request.  Blank lines are
+/// ignored; malformed lines get a `bad_request` reply and the connection
+/// continues.  `seq` tags are echoed on replies but do not reorder them —
+/// this is the reference semantics the event loop must agree with.
 pub fn serve_connection(
     store: &SessionStore,
     reader: impl Read,
@@ -252,60 +292,567 @@ pub fn serve_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let response = match decode_request(trimmed) {
+        let (seq, decoded) = decode_request_frame(trimmed);
+        let response = match decoded {
             Ok(request) => dispatch(store, request),
             Err(detail) => Response::Error(WireError::BadRequest { detail }),
         };
-        writer.write_all(encode_response(&response).as_bytes())?;
+        writer.write_all(encode_response_frame(&response, seq).as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
 }
 
-/// Accepts TCP connections and serves each on its own thread (all sharing
-/// `store`), until `max_connections` have been accepted (`None` = forever).
-/// Returns once every accepted connection has been served to EOF.
+/// Tuning knobs for the multiplexed event-loop server.
 ///
-/// A connection thread that fails (or panics) is contained: its error is
-/// swallowed after logging to stderr, and the accept loop keeps serving.
+/// The builder starts from [`ServerConfig::default`], which reproduces the
+/// historical `serve_listener` behaviour for in-order clients: every
+/// accepted connection is served until EOF, requests without `seq` are
+/// answered strictly in arrival order, and no durability is configured.
+///
+/// ```no_run
+/// use std::net::TcpListener;
+/// use gdr_serve::ServerConfig;
+///
+/// let config = ServerConfig::new().workers(2).max_outstanding(16);
+/// let store = config.build_store()?;
+/// let listener = TcpListener::bind("127.0.0.1:0")?;
+/// config.serve(listener, store)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    workers: usize,
+    max_outstanding: usize,
+    reply_buffer_bytes: usize,
+    max_connections: Option<usize>,
+    durability: Option<DurabilityConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_outstanding: 64,
+            reply_buffer_bytes: 1 << 20,
+            max_connections: None,
+            durability: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts from [`ServerConfig::default`].
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Number of dispatch worker threads (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Per-connection cap on requests that are dispatched (or queued for
+    /// in-order dispatch) but not yet answered.  Requests beyond the cap
+    /// are refused with a `busy` error reply without running.
+    pub fn max_outstanding(mut self, cap: usize) -> ServerConfig {
+        self.max_outstanding = cap.max(1);
+        self
+    }
+
+    /// Per-connection bound on buffered reply bytes.  Once a connection's
+    /// unflushed replies exceed this, the server stops reading from its
+    /// socket until the client drains (TCP backpressure).
+    pub fn reply_buffer_bytes(mut self, bytes: usize) -> ServerConfig {
+        self.reply_buffer_bytes = bytes.max(1);
+        self
+    }
+
+    /// Stop accepting after this many connections and return once they are
+    /// all served to EOF (`None` = accept forever).
+    pub fn max_connections(mut self, max: Option<usize>) -> ServerConfig {
+        self.max_connections = max;
+        self
+    }
+
+    /// Serve sessions durably: journal to disk under this configuration.
+    /// Consumed by [`ServerConfig::build_store`].
+    pub fn durability(mut self, config: DurabilityConfig) -> ServerConfig {
+        self.durability = Some(config);
+        self
+    }
+
+    /// Builds the session store this configuration describes: durable when
+    /// [`ServerConfig::durability`] was set, in-memory otherwise.
+    pub fn build_store(&self) -> Result<Arc<SessionStore>, GdrError> {
+        Ok(Arc::new(match self.durability.clone() {
+            Some(config) => SessionStore::durable(config)?,
+            None => SessionStore::new(),
+        }))
+    }
+
+    /// Runs the event-loop server on `listener` until `max_connections`
+    /// have been accepted and served to EOF (forever when `None`).
+    pub fn serve(&self, listener: TcpListener, store: Arc<SessionStore>) -> io::Result<()> {
+        run_event_loop(listener, store, self)
+    }
+}
+
+/// Accepts TCP connections and serves them all from one event loop (all
+/// sharing `store`), until `max_connections` have been accepted (`None` =
+/// forever).  Returns once every accepted connection has been served to
+/// EOF.  Equivalent to `ServerConfig::default().max_connections(n)` — use
+/// [`ServerConfig`] directly to tune workers, caps, or durability.
 pub fn serve_listener(
     listener: TcpListener,
     store: Arc<SessionStore>,
     max_connections: Option<usize>,
 ) -> io::Result<()> {
-    let mut handles = Vec::new();
-    let incoming: Box<dyn Iterator<Item = io::Result<std::net::TcpStream>>> = match max_connections
-    {
-        Some(max) => Box::new(listener.incoming().take(max)),
-        None => Box::new(listener.incoming()),
-    };
-    for stream in incoming {
-        // Reap handles of connections that already hung up, so a
-        // long-running server does not accumulate one JoinHandle per
-        // connection it ever served (dropping a finished handle is free;
-        // unfinished ones are kept and joined at shutdown).
-        handles.retain(|handle: &thread::JoinHandle<()>| !handle.is_finished());
-        let stream = stream?;
-        // One small line per reply; never wait out Nagle + delayed ACK.
-        stream.set_nodelay(true).ok();
-        let store = store.clone();
-        handles.push(thread::spawn(move || {
-            let peer = stream.peer_addr().ok();
-            let reader = match stream.try_clone() {
-                Ok(reader) => reader,
-                Err(err) => {
-                    eprintln!("gdr-serve: failed to clone stream for {peer:?}: {err}");
+    ServerConfig::default()
+        .max_connections(max_connections)
+        .serve(listener, store)
+}
+
+/// One dispatched request travelling to the worker pool, with everything
+/// needed to route its reply back to the right connection.
+struct Job {
+    shared: Arc<ConnShared>,
+    request: Request,
+    seq: Option<u64>,
+    legacy: bool,
+}
+
+/// Hand-rolled bounded task queue (`gdr-relation`'s `ThreadPool` is scoped
+/// fork-join and cannot host long-lived detached workers).  Bounded-ness
+/// comes from the callers: every job is covered by a connection's
+/// `max_outstanding` slot acquired *before* submit.
+struct WorkQueue {
+    state: Mutex<WorkState>,
+    ready: Condvar,
+}
+
+struct WorkState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new(WorkState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    fn shutdown(&self) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.shutdown = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+fn worker_loop(store: Arc<SessionStore>, queue: Arc<WorkQueue>) {
+    loop {
+        let job = {
+            let mut state = queue
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
                     return;
                 }
-            };
-            if let Err(err) = serve_connection(&store, reader, stream) {
-                eprintln!("gdr-serve: connection {peer:?} failed: {err}");
+                state = queue
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-        }));
+        };
+        // A panicking verb must cost its requester an error reply, never
+        // the worker thread (a dead worker would silently shrink the pool).
+        let response = catch_unwind(AssertUnwindSafe(|| dispatch(&store, job.request)))
+            .unwrap_or_else(|_| {
+                Response::Error(WireError::Engine {
+                    detail: "panic while serving request".to_string(),
+                })
+            });
+        // Queue the reply BEFORE releasing the outstanding slot / legacy
+        // flag: observers that see the slot free (Acquire) must find the
+        // reply already in the buffer, or in-order delivery breaks.
+        {
+            let mut replies = job
+                .shared
+                .replies
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            replies.extend_from_slice(reply_line(&response, job.seq).as_bytes());
+        }
+        if job.legacy {
+            job.shared.legacy_inflight.store(false, Ordering::Release);
+        }
+        job.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
-    for handle in handles {
-        // A panicking connection thread must not take the server down.
-        let _ = handle.join();
+}
+
+fn reply_line(response: &Response, seq: Option<u64>) -> String {
+    let mut line = encode_response_frame(response, seq);
+    line.push('\n');
+    line
+}
+
+/// Connection state shared between the event loop and the worker pool.
+struct ConnShared {
+    /// Encoded reply lines completed by workers, awaiting the event loop.
+    replies: Mutex<Vec<u8>>,
+    /// Requests dispatched or queued-for-dispatch but not yet replied.
+    outstanding: AtomicUsize,
+    /// Whether a no-`seq` request is currently running (at most one).
+    legacy_inflight: AtomicBool,
+}
+
+/// A no-`seq` request waiting its strictly-in-order turn — or a locally
+/// produced reply (`bad_request` / `busy`) that must keep its place in
+/// that order.
+enum Pending {
+    Request(Request),
+    Reply(String),
+}
+
+/// Event-loop-owned state for one connection.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    pending_legacy: VecDeque<Pending>,
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            shared: Arc::new(ConnShared {
+                replies: Mutex::new(Vec::new()),
+                outstanding: AtomicUsize::new(0),
+                legacy_inflight: AtomicBool::new(false),
+            }),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending_legacy: VecDeque::new(),
+            eof: false,
+        }
     }
-    Ok(())
+
+    /// Moves worker-completed replies into the write buffer.
+    fn drain_replies(&mut self) -> bool {
+        let mut replies = self
+            .shared
+            .replies
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if replies.is_empty() {
+            return false;
+        }
+        self.write_buf.extend_from_slice(&replies);
+        replies.clear();
+        true
+    }
+
+    /// Advances the in-order queue: emits locally produced replies and
+    /// dispatches the next legacy request once the previous one finished.
+    fn pump_legacy(&mut self, queue: &Arc<WorkQueue>) -> bool {
+        let mut progress = false;
+        while !self.shared.legacy_inflight.load(Ordering::Acquire) {
+            if self.pending_legacy.is_empty() {
+                break;
+            }
+            // The just-finished request's reply is already in `replies`
+            // (workers queue it before clearing the flag); pull it into
+            // the write buffer first so younger replies stay behind it.
+            self.drain_replies();
+            match self.pending_legacy.pop_front() {
+                None => unreachable!("checked non-empty above"),
+                Some(Pending::Reply(line)) => {
+                    self.write_buf.extend_from_slice(line.as_bytes());
+                    progress = true;
+                }
+                Some(Pending::Request(request)) => {
+                    self.shared.legacy_inflight.store(true, Ordering::Release);
+                    self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+                    queue.submit(Job {
+                        shared: self.shared.clone(),
+                        request,
+                        seq: None,
+                        legacy: true,
+                    });
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Writes as much of the buffered output as the socket accepts.
+    fn flush(&mut self) -> io::Result<bool> {
+        if self.write_buf.is_empty() {
+            return Ok(false);
+        }
+        let mut written = 0;
+        loop {
+            match self.stream.write(&self.write_buf[written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket closed mid-reply",
+                    ))
+                }
+                Ok(n) => {
+                    written += n;
+                    if written == self.write_buf.len() {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        self.write_buf.drain(..written);
+        Ok(written > 0)
+    }
+
+    /// Reads available bytes and processes every complete line.
+    fn read_some(&mut self, config: &ServerConfig, queue: &Arc<WorkQueue>) -> io::Result<bool> {
+        let mut progress = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                    // Bound the per-iteration batch so one firehose
+                    // connection cannot starve the rest of the loop.
+                    if self.read_buf.len() >= config.reply_buffer_bytes {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            }
+        }
+        self.extract_lines(config, queue);
+        Ok(progress)
+    }
+
+    fn extract_lines(&mut self, config: &ServerConfig, queue: &Arc<WorkQueue>) {
+        let mut buf = std::mem::take(&mut self.read_buf);
+        let mut start = 0;
+        while let Some(pos) = buf[start..].iter().position(|&b| b == b'\n') {
+            let end = start + pos;
+            let line = String::from_utf8_lossy(&buf[start..end]);
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                self.handle_line(trimmed, config, queue);
+            }
+            start = end + 1;
+        }
+        buf.drain(..start);
+        self.read_buf = buf;
+    }
+
+    /// Decodes one frame and routes it: `seq`-tagged requests dispatch
+    /// immediately (out-of-order replies allowed); bare requests join the
+    /// strictly-in-order queue; over-cap requests are refused with `busy`.
+    fn handle_line(&mut self, line: &str, config: &ServerConfig, queue: &Arc<WorkQueue>) {
+        let (seq, decoded) = decode_request_frame(line);
+        let pipelined = seq.is_some();
+        let reply_now = |conn: &mut Conn, reply: String| {
+            if pipelined {
+                conn.write_buf.extend_from_slice(reply.as_bytes());
+            } else {
+                conn.pending_legacy.push_back(Pending::Reply(reply));
+            }
+        };
+        match decoded {
+            Err(detail) => {
+                let reply = reply_line(&Response::Error(WireError::BadRequest { detail }), seq);
+                reply_now(self, reply);
+            }
+            Ok(request) => {
+                let queued = self
+                    .pending_legacy
+                    .iter()
+                    .filter(|p| matches!(p, Pending::Request(_)))
+                    .count();
+                let inflight = self.shared.outstanding.load(Ordering::Acquire) + queued;
+                if inflight >= config.max_outstanding {
+                    let reply = reply_line(
+                        &Response::Error(WireError::Busy {
+                            max_outstanding: config.max_outstanding,
+                        }),
+                        seq,
+                    );
+                    reply_now(self, reply);
+                } else if pipelined {
+                    self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+                    queue.submit(Job {
+                        shared: self.shared.clone(),
+                        request,
+                        seq,
+                        legacy: false,
+                    });
+                } else {
+                    self.pending_legacy.push_back(Pending::Request(request));
+                }
+            }
+        }
+    }
+
+    /// True once the connection can be dropped: client hung up, nothing
+    /// queued, nothing in flight, everything flushed.
+    fn finished(&self) -> bool {
+        self.eof
+            && self.pending_legacy.is_empty()
+            && self.shared.outstanding.load(Ordering::Acquire) == 0
+            && self.write_buf.is_empty()
+            && self
+                .shared
+                .replies
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+    }
+
+    /// One scheduling pass: replies out, in-order queue forward, socket
+    /// write, socket read (unless the reply buffer says backpressure).
+    fn pump(&mut self, config: &ServerConfig, queue: &Arc<WorkQueue>) -> io::Result<bool> {
+        let mut progress = self.drain_replies();
+        progress |= self.pump_legacy(queue);
+        progress |= self.flush()?;
+        if !self.eof && self.write_buf.len() < config.reply_buffer_bytes {
+            progress |= self.read_some(config, queue)?;
+        }
+        Ok(progress)
+    }
+}
+
+/// Sleep when the loop is fully idle; yield while workers are busy so
+/// replies are picked up promptly (matters on single-CPU hosts).
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+fn run_event_loop(
+    listener: TcpListener,
+    store: Arc<SessionStore>,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(WorkQueue::new());
+    let workers: Vec<_> = (0..config.workers)
+        .map(|i| {
+            let store = store.clone();
+            let queue = queue.clone();
+            thread::Builder::new()
+                .name(format!("gdr-serve-worker-{i}"))
+                .spawn(move || worker_loop(store, queue))
+                .expect("spawn gdr-serve worker")
+        })
+        .collect();
+
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut accepted = 0usize;
+    let result = 'serve: loop {
+        let mut progress = false;
+        if config.max_connections.is_none_or(|max| accepted < max) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accepted += 1;
+                        progress = true;
+                        if let Err(err) = stream.set_nonblocking(true) {
+                            eprintln!("gdr-serve: cannot make connection nonblocking: {err}");
+                            continue;
+                        }
+                        // One small line per reply; never wait out Nagle.
+                        stream.set_nodelay(true).ok();
+                        conns.push(Conn::new(stream));
+                        if config.max_connections.is_some_and(|max| accepted >= max) {
+                            break;
+                        }
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => continue,
+                    Err(err) => break 'serve Err(err),
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].pump(config, &queue) {
+                Ok(stepped) => {
+                    progress |= stepped;
+                    if conns[i].finished() {
+                        conns.swap_remove(i);
+                        progress = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Err(err) => {
+                    // A failed connection is contained: drop it, keep
+                    // serving.  Its queued jobs finish against a reply
+                    // buffer nobody reads, which is harmless.
+                    eprintln!("gdr-serve: connection failed: {err}");
+                    conns.swap_remove(i);
+                    progress = true;
+                }
+            }
+        }
+        if conns.is_empty() && config.max_connections.is_some_and(|max| accepted >= max) {
+            break 'serve Ok(());
+        }
+        if !progress {
+            let busy = conns
+                .iter()
+                .any(|c| c.shared.outstanding.load(Ordering::Acquire) > 0);
+            if busy {
+                thread::yield_now();
+            } else {
+                thread::sleep(IDLE_SLEEP);
+            }
+        }
+    };
+    queue.shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    result
 }

@@ -38,19 +38,33 @@
 //! (only sessions nobody currently holds; the disk journal is already
 //! complete, so eviction is just dropping the in-memory copy).
 //!
-//! Locking: the store holds a mutex-guarded map of `Arc<Mutex<Session>>`.
-//! A request locks the map only to look up (or insert) the session, then
-//! drives the engine under the per-session mutex — sessions never block one
-//! another.  Poisoned locks are recovered (`PoisonError::into_inner`): a
-//! panicking connection thread must not take every other session down, and
-//! `restore` rebuilds a definitely-consistent engine from the journal if a
-//! panic left the live one suspect.
+//! ## Locking: sharded maps, per-session mutexes
+//!
+//! The store is **sharded**: session ids route to one of [`STORE_SHARDS`]
+//! independent mutex-guarded maps by a stable FNV-1a hash of the id (the
+//! same deterministic-routing idea as `gdr_relation::pool::shard_of_ids`),
+//! so an `open`, lookup, or eviction on one shard never blocks traffic on
+//! another.  A request locks its shard only to look up (or insert) the
+//! `Arc<Mutex<Session>>`, then drives the engine under the per-session
+//! mutex — sessions never block one another, and under the multiplexed
+//! server many connections resolve ids concurrently.  LRU eviction keeps a
+//! **global** budget ([`DurabilityConfig::max_live_sessions`], tracked by
+//! an atomic live counter) but commits each eviction under a single shard
+//! lock: a scan finds the globally least-recently-used idle session, then
+//! its shard is re-locked and the candidate re-validated (still present,
+//! still idle, not touched since) before removal — borrowers clone the
+//! session `Arc` under the shard lock, so a session observed idle under
+//! that lock cannot gain a borrower while it is evicted.  Poisoned locks
+//! are recovered (`PoisonError::into_inner`): a panicking worker must not
+//! take every other session down, and `restore` rebuilds a
+//! definitely-consistent engine from the journal if a panic left the live
+//! one suspect.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use gdr_cfd::RuleSet;
@@ -62,8 +76,14 @@ use gdr_relation::{Table, Value};
 use gdr_repair::{Cell, Feedback};
 
 use crate::journal::{
-    engine_digest, session_dir_name, DiskJournal, JournalConfig, RecoveryReport, SnapshotMarker,
+    engine_digest, fnv1a64, session_dir_name, DiskJournal, JournalConfig, RecoveryReport,
+    SnapshotMarker,
 };
+
+/// Number of independent session-map shards (a power of two, so routing is
+/// a mask).  Sixteen keeps per-shard maps small at every realistic live
+/// count while costing nothing when only a handful of sessions exist.
+pub const STORE_SHARDS: usize = 16;
 
 /// Everything needed to (re)build a session's engine — the journaled build
 /// inputs.
@@ -260,6 +280,70 @@ pub struct CompactionStats {
     pub validated: bool,
 }
 
+/// How to construct a [`Session`]: journal tunables plus optional on-disk
+/// durability, in one builder.  Replaces the old positional constructor
+/// family (`open` / `open_with` / `open_durable`), which survive as thin
+/// deprecated shims for one release.
+///
+/// ```
+/// use gdr_serve::store::SessionOptions;
+/// use gdr_serve::journal::JournalConfig;
+///
+/// // In-memory, default journal tunables (the old `Session::open`):
+/// let options = SessionOptions::new();
+/// // Durable under a directory, custom compaction cadence:
+/// let options = SessionOptions::new()
+///     .journal(JournalConfig { compact_every: 8, ..JournalConfig::default() })
+///     .durable("/tmp/gdr-doc-session");
+/// # let _ = options;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    journal: JournalConfig,
+    durable_dir: Option<PathBuf>,
+}
+
+impl SessionOptions {
+    /// Defaults: in-memory journal, default [`JournalConfig`].
+    pub fn new() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// Sets the journal tunables (auto-compaction cadence, validation,
+    /// segment size, fsync policy).
+    pub fn journal(mut self, config: JournalConfig) -> SessionOptions {
+        self.journal = config;
+        self
+    }
+
+    /// Also writes the journal to `dir` on disk.  The directory is claimed
+    /// atomically at open (a concurrent create of the same dir fails), the
+    /// spec record is fsync'd before the engine is built, and every
+    /// subsequent event is appended per the configured fsync policy.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> SessionOptions {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the engine from `spec` and opens the session.  Only the
+    /// durable path can fail (journal-directory claim or first write); an
+    /// in-memory open is infallible.
+    pub fn open(self, spec: OpenSpec) -> Result<Session, GdrError> {
+        let disk = match self.durable_dir {
+            Some(dir) => Some(DiskJournal::create(dir, &spec, self.journal)?),
+            None => None,
+        };
+        let journal = SessionJournal::new(spec);
+        Ok(Session {
+            engine: journal.spec.build(),
+            journal,
+            outstanding: false,
+            config: self.journal,
+            disk,
+        })
+    }
+}
+
 /// A live session: the engine, its journal, and (in durable mode) the
 /// on-disk journal every event is appended to.
 #[derive(Debug)]
@@ -277,42 +361,33 @@ pub struct Session {
 impl Session {
     /// Builds the engine from the spec and starts an empty in-memory
     /// journal (no disk attachment) with the default [`JournalConfig`].
+    #[deprecated(note = "use `SessionOptions::new().open(spec)`")]
     pub fn open(spec: OpenSpec) -> Session {
-        Session::open_with(spec, JournalConfig::default())
+        SessionOptions::new()
+            .open(spec)
+            .expect("in-memory open is infallible")
     }
 
-    /// [`Session::open`] with an explicit journal configuration
-    /// (auto-compaction cadence, validation).
+    /// [`SessionOptions::journal`] as a positional constructor.
+    #[deprecated(note = "use `SessionOptions::new().journal(config).open(spec)`")]
     pub fn open_with(spec: OpenSpec, config: JournalConfig) -> Session {
-        let journal = SessionJournal::new(spec);
-        Session {
-            engine: journal.spec.build(),
-            journal,
-            outstanding: false,
-            config,
-            disk: None,
-        }
+        SessionOptions::new()
+            .journal(config)
+            .open(spec)
+            .expect("in-memory open is infallible")
     }
 
-    /// Builds a session whose journal is also written to `dir` on disk.
-    /// The directory is claimed atomically (a concurrent create of the same
-    /// dir fails), the spec record is fsync'd before the engine is built,
-    /// and every subsequent event is appended per the configured fsync
-    /// policy.
+    /// [`SessionOptions::durable`] as a positional constructor.
+    #[deprecated(note = "use `SessionOptions::new().journal(config).durable(dir).open(spec)`")]
     pub fn open_durable(
         spec: OpenSpec,
         dir: impl Into<PathBuf>,
         config: JournalConfig,
     ) -> Result<Session, GdrError> {
-        let disk = DiskJournal::create(dir, &spec, config)?;
-        let journal = SessionJournal::new(spec);
-        Ok(Session {
-            engine: journal.spec.build(),
-            journal,
-            outstanding: false,
-            config,
-            disk: Some(disk),
-        })
+        SessionOptions::new()
+            .journal(config)
+            .durable(dir)
+            .open(spec)
     }
 
     /// Rebuilds a session from its on-disk journal: loads the spec and the
@@ -551,15 +626,31 @@ struct LiveEntry {
     last_used: u64,
 }
 
-/// A thread-safe map of sessions keyed by id.
+type Shard = Mutex<HashMap<String, LiveEntry>>;
+
+/// A thread-safe, sharded map of sessions keyed by id (see the
+/// [module docs](self) for the locking design).
 ///
-/// All verbs are `&self`: the store is shared across connection threads
-/// behind an `Arc` with no outer lock held while an engine runs.
-#[derive(Default)]
+/// All verbs are `&self`: the store is shared across server workers behind
+/// an `Arc` with no shard lock held while an engine runs.
 pub struct SessionStore {
-    sessions: Mutex<HashMap<String, LiveEntry>>,
+    shards: Vec<Shard>,
     durability: Option<DurabilityConfig>,
     clock: AtomicU64,
+    /// Sessions live in RAM across all shards — the eviction budget's
+    /// source of truth, maintained under the owning shard's lock.
+    live: AtomicUsize,
+}
+
+impl Default for SessionStore {
+    fn default() -> SessionStore {
+        SessionStore {
+            shards: (0..STORE_SHARDS).map(|_| Shard::default()).collect(),
+            durability: None,
+            clock: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl fmt::Debug for SessionStore {
@@ -588,9 +679,8 @@ impl SessionStore {
             ),
         })?;
         Ok(SessionStore {
-            sessions: Mutex::new(HashMap::new()),
             durability: Some(config),
-            clock: AtomicU64::new(0),
+            ..SessionStore::default()
         })
     }
 
@@ -599,10 +689,16 @@ impl SessionStore {
         self.durability.as_ref()
     }
 
+    /// The shard owning `id` — a stable FNV-1a hash of the id, masked down
+    /// (the `shard_of_ids` routing idea applied to session ids).
+    fn shard(&self, id: &str) -> &Shard {
+        &self.shards[fnv1a64(id.as_bytes()) as usize & (STORE_SHARDS - 1)]
+    }
+
     /// Number of sessions currently live in RAM (evicted durable sessions
     /// are not counted; they come back on their next verb).
     pub fn len(&self) -> usize {
-        lock_recovering(&self.sessions).len()
+        self.live.load(Ordering::Acquire)
     }
 
     /// Whether no session is live in RAM.
@@ -620,12 +716,30 @@ impl SessionStore {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Inserts an already-built session into `id`'s shard, bumping the live
+    /// counter under the shard lock; fails if the id was inserted meanwhile.
+    fn insert(&self, id: &str, session: Arc<Mutex<Session>>) -> Result<(), StoreError> {
+        let mut sessions = lock_recovering(self.shard(id));
+        if sessions.contains_key(id) {
+            return Err(StoreError::DuplicateSession(id.to_string()));
+        }
+        sessions.insert(
+            id.to_string(),
+            LiveEntry {
+                session,
+                last_used: self.stamp(),
+            },
+        );
+        self.live.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
     /// Creates a session under `id`.
     pub fn open(&self, id: &str, spec: OpenSpec) -> Result<Arc<Mutex<Session>>, StoreError> {
         // Cheap duplicate pre-check so a racing re-open does not pay for a
         // doomed engine build.  For durable stores the check covers disk
         // too: an evicted session is still *the* session under its id.
-        if lock_recovering(&self.sessions).contains_key(id) {
+        if lock_recovering(self.shard(id)).contains_key(id) {
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
         if let Some(dir) = self.session_dir(id) {
@@ -634,39 +748,30 @@ impl SessionStore {
             }
         }
         // Build the engine (violation detection, suggestion generation —
-        // potentially large) *outside* the map lock so concurrent requests
-        // on other sessions are never stalled behind an open.  In durable
-        // mode the journal directory is claimed atomically first, so a
-        // racing open of the same id loses at the filesystem.
-        let session = match (&self.durability, self.session_dir(id)) {
-            (Some(config), Some(dir)) => Arc::new(Mutex::new(
-                Session::open_durable(spec, dir, config.journal)
-                    .map_err(|err| duplicate_or_journal(id, err))?,
-            )),
-            _ => Arc::new(Mutex::new(Session::open(spec))),
-        };
-        let mut sessions = lock_recovering(&self.sessions);
-        if sessions.contains_key(id) {
-            // Lost a race with another open of the same id.
-            return Err(StoreError::DuplicateSession(id.to_string()));
+        // potentially large) *outside* any shard lock so concurrent
+        // requests — even on sessions of the same shard — are never stalled
+        // behind an open.  In durable mode the journal directory is claimed
+        // atomically first, so a racing open of the same id loses at the
+        // filesystem.
+        let mut options = SessionOptions::new();
+        if let (Some(config), Some(dir)) = (&self.durability, self.session_dir(id)) {
+            options = options.journal(config.journal).durable(dir);
         }
-        sessions.insert(
-            id.to_string(),
-            LiveEntry {
-                session: session.clone(),
-                last_used: self.stamp(),
-            },
-        );
-        let victims = self.evict_locked(&mut sessions);
-        drop(sessions);
-        drop(victims); // Session drops (final journal sync) outside the map lock.
+        let session = Arc::new(Mutex::new(
+            options
+                .open(spec)
+                .map_err(|err| duplicate_or_journal(id, err))?,
+        ));
+        self.insert(id, session.clone())?;
+        // Session drops (final journal sync) happen here, outside any lock.
+        drop(self.evict_over_budget());
         Ok(session)
     }
 
     /// Looks up a session by id, rehydrating it from its on-disk journal
     /// when the store is durable and the session is not live in RAM.
     pub fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, StoreError> {
-        if let Some(entry) = lock_recovering(&self.sessions).get_mut(id) {
+        if let Some(entry) = lock_recovering(self.shard(id)).get_mut(id) {
             entry.last_used = self.stamp();
             return Ok(entry.session.clone());
         }
@@ -677,37 +782,37 @@ impl SessionStore {
         if !DiskJournal::exists(&dir) {
             return Err(StoreError::UnknownSession(id.to_string()));
         }
-        // Rehydrate outside the map lock: replay can be expensive and must
-        // not stall every other session.  A concurrent rehydrate of the
-        // same id is resolved below — first insert wins, the loser's copy
-        // is dropped (its append handle wrote nothing).
+        // Rehydrate outside the shard lock: replay can be expensive and
+        // must not stall every other session.  A concurrent rehydrate of
+        // the same id is resolved below — first insert wins, the loser's
+        // copy is dropped (its append handle wrote nothing).
         let (session, _recovery) = Session::rehydrate(&dir, config.journal)?;
         let session = Arc::new(Mutex::new(session));
-        let mut sessions = lock_recovering(&self.sessions);
-        if let Some(entry) = sessions.get_mut(id) {
-            entry.last_used = self.stamp();
-            return Ok(entry.session.clone());
+        if self.insert(id, session.clone()).is_err() {
+            // Lost the rehydration race; serve the winner's copy.
+            let sessions = lock_recovering(self.shard(id));
+            if let Some(entry) = sessions.get(id) {
+                return Ok(entry.session.clone());
+            }
+            // Winner already evicted again — extraordinarily unlikely, but
+            // our fully-replayed copy is just as correct, so retry-insert
+            // is not needed; hand it out untracked.
+            return Ok(session);
         }
-        sessions.insert(
-            id.to_string(),
-            LiveEntry {
-                session: session.clone(),
-                last_used: self.stamp(),
-            },
-        );
-        let victims = self.evict_locked(&mut sessions);
-        drop(sessions);
-        drop(victims);
+        drop(self.evict_over_budget());
         Ok(session)
     }
 
-    /// LRU-evicts idle sessions while the map exceeds `max_live_sessions`.
-    /// Only sessions no other thread currently holds are eligible — the
-    /// `Arc::strong_count == 1` check happens under the map lock, and every
-    /// borrower clones its `Arc` under that same lock, so an eligible
-    /// session cannot gain a borrower while we evict it.  Returns the
-    /// evicted entries; the caller drops them after releasing the lock.
-    fn evict_locked(&self, sessions: &mut HashMap<String, LiveEntry>) -> Vec<Arc<Mutex<Session>>> {
+    /// LRU-evicts idle sessions while the store exceeds the global
+    /// `max_live_sessions` budget.  Victim selection scans all shards (one
+    /// lock at a time) for the least-recently-used session nobody holds;
+    /// the eviction itself is re-validated under the victim's shard lock —
+    /// the `Arc::strong_count == 1` check and the removal happen under that
+    /// lock, and every borrower clones its `Arc` under the same lock, so an
+    /// observed-idle session cannot gain a borrower while it is evicted.
+    /// Returns the evicted entries; the caller drops them after every lock
+    /// is released (a durable session's drop syncs its journal).
+    fn evict_over_budget(&self) -> Vec<Arc<Mutex<Session>>> {
         let Some(config) = &self.durability else {
             return Vec::new(); // In-memory stores never evict: RAM is all there is.
         };
@@ -715,20 +820,34 @@ impl SessionStore {
             return Vec::new();
         }
         let mut evicted = Vec::new();
-        while sessions.len() > config.max_live_sessions {
-            let victim = sessions
-                .iter()
-                .filter(|(_, entry)| Arc::strong_count(&entry.session) == 1)
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(id, _)| id.clone());
-            match victim {
-                Some(id) => {
-                    if let Some(entry) = sessions.remove(&id) {
-                        evicted.push(entry.session);
+        while self.live.load(Ordering::Acquire) > config.max_live_sessions {
+            let mut victim: Option<(usize, String, u64)> = None;
+            for (index, shard) in self.shards.iter().enumerate() {
+                let sessions = lock_recovering(shard);
+                for (id, entry) in sessions.iter() {
+                    let idle = Arc::strong_count(&entry.session) == 1;
+                    if idle && victim.as_ref().is_none_or(|(_, _, t)| entry.last_used < *t) {
+                        victim = Some((index, id.clone(), entry.last_used));
                     }
                 }
-                None => break, // Everything over the cap is currently borrowed.
             }
+            let Some((index, id, last_used)) = victim else {
+                break; // Everything over the cap is currently borrowed.
+            };
+            let mut sessions = lock_recovering(&self.shards[index]);
+            // Re-validate under the shard lock: the candidate may have been
+            // borrowed, touched, or removed since the scan observed it.
+            let still_idle = sessions.get(&id).is_some_and(|entry| {
+                entry.last_used == last_used && Arc::strong_count(&entry.session) == 1
+            });
+            if still_idle {
+                if let Some(entry) = sessions.remove(&id) {
+                    self.live.fetch_sub(1, Ordering::AcqRel);
+                    evicted.push(entry.session);
+                }
+            }
+            // Not idle any more: loop and rescan — either the budget is
+            // back under (someone else evicted) or a different victim wins.
         }
         evicted
     }
@@ -736,8 +855,11 @@ impl SessionStore {
     /// Removes a session — from RAM and, in durable mode, from disk.
     /// Returns whether it existed anywhere.
     pub fn remove(&self, id: &str) -> bool {
-        let entry = lock_recovering(&self.sessions).remove(id);
+        let entry = lock_recovering(self.shard(id)).remove(id);
         let lived = entry.is_some();
+        if lived {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
         drop(entry);
         match self.session_dir(id) {
             Some(dir) if DiskJournal::exists(&dir) => fs::remove_dir_all(&dir).is_ok() || lived,

@@ -1,10 +1,69 @@
-//! The line-delimited JSON wire format.
+//! The wire protocol specification: framing, correlation, versioning.
 //!
-//! One request per line, one reply per line; see the crate docs for the
-//! complete message reference.  This module is the typed boundary: it maps
-//! [`Request`]/[`Response`] values to [`Json`] lines and back, and maps the
-//! engine's [`GdrError`] onto structured error replies a client can match
-//! on without string inspection.
+//! This module is the typed boundary of the protocol — it maps
+//! [`Request`]/[`Response`] values to [`Json`] lines and back — and its
+//! docs are the protocol's normative spec.
+//!
+//! # Framing
+//!
+//! A connection carries a byte stream in each direction.  Each direction is
+//! a sequence of *frames*; a frame is one JSON object encoded on one line,
+//! terminated by `\n`.  A frame never contains a raw newline (the JSON
+//! string escapes cover payloads).  Blank lines are ignored on receipt.
+//! A line that is not a JSON object, or that violates the schemas below, is
+//! answered with a `bad_request` error reply on the same connection; the
+//! connection itself survives every protocol violation.
+//!
+//! Client → server frames carry `"op"` naming the verb, `"session"` naming
+//! the target session (every verb except `hello`), the verb's own fields,
+//! and optionally `"seq"` (see *Correlation*).  Server → client frames
+//! carry either `"ok"` (success, named by kind) or `"err"` (structured
+//! error, named by kind), the reply's own fields, and `"seq"` when the
+//! request carried one.
+//!
+//! # Correlation and pipelining (`seq`)
+//!
+//! * A request **without** `seq` keeps the legacy contract: the server
+//!   processes it in arrival order relative to other `seq`-less requests on
+//!   the same connection and delivers its reply before theirs — strict
+//!   in-order request → reply, exactly the pre-pipelining protocol.
+//! * A request **with** `seq` (a client-chosen `u64`) may be answered **out
+//!   of order**: the server echoes `seq` verbatim on the reply, and the
+//!   client matches replies to requests by that echo, never by arrival
+//!   order.  One connection can therefore keep many requests — typically
+//!   verbs for many different sessions — in flight at once.
+//! * `seq` values need not be unique or monotonic as far as the server is
+//!   concerned (the echo is verbatim); a client that pipelines must make
+//!   them unique among its own in-flight requests or it cannot match
+//!   replies.  [`crate::client::MuxClient`] allocates them monotonically.
+//!
+//! # Version negotiation (`hello`)
+//!
+//! `{"op":"hello","version":v}` (version optional, default 1) is the only
+//! verb with no `session`.  The server answers
+//! `{"ok":"hello","version":V,"pipelining":b,"compact":b}`: `V` is the
+//! protocol version it speaks ([`PROTOCOL_VERSION`]), `pipelining` whether
+//! `seq` correlation is supported, `compact` whether the `compact` verb is.
+//! A client that never sends `hello` gets legacy (version 1) behaviour —
+//! the handshake is advisory, not mandatory.  Servers answer `hello` at any
+//! point, not just first.
+//!
+//! # Error replies
+//!
+//! Errors are structured replies, never connection teardowns.  The kinds:
+//!
+//! * `stale_work`, `work_mismatch`, `no_outstanding_work` — the engine's
+//!   typed protocol errors, **retryable**: engine state is untouched, the
+//!   client re-pulls `next` and continues ([`WireError`] mirrors
+//!   [`GdrError`] one-to-one so remote recovery equals local recovery).
+//! * `unknown_session`, `duplicate_session` — store-level id errors.
+//! * `bad_request` — the frame itself was malformed (carries `seq` when one
+//!   was decodable from the offending frame).
+//! * `busy` — backpressure: the connection has `max_outstanding` requests
+//!   already in flight and the server refused this one *without running
+//!   it*.  Retryable after draining replies; carries the cap.
+//! * `engine`, `journal` — rendered engine/durability errors; a `journal`
+//!   error means the verb applied but may not be durable yet.
 //!
 //! Every constructor in this module is total over its input: a malformed
 //! line decodes to an `Err(String)` (which the server answers with a
@@ -18,9 +77,21 @@ use gdr_repair::Feedback;
 
 use crate::json::Json;
 
+/// The protocol version this build speaks.  Version 1 is the pre-`seq`
+/// in-order protocol; version 2 adds `seq` correlation, `hello`, and the
+/// `busy` backpressure reply.  Both are served by the same endpoint — a
+/// frame's behaviour depends only on whether *it* carries `seq`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiate: ask the server for its protocol version and capability
+    /// flags.  The only verb without a session; touches nothing.
+    Hello {
+        /// The highest protocol version the client speaks.
+        version: u32,
+    },
     /// Create a session: the build inputs travel with the request (table and
     /// optional ground truth as CSV documents, rules in the `gdr-cfd` line
     /// syntax) and are journaled verbatim for replay-based restore.
@@ -135,6 +206,15 @@ pub struct WireEval {
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// `hello`: the server's protocol version and capabilities.
+    Hello {
+        /// Protocol version the server speaks ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Whether `seq`-correlated pipelined frames are supported.
+        pipelining: bool,
+        /// Whether the `compact` journal verb is supported.
+        compact: bool,
+    },
     /// The session was created.
     Opened {
         /// Echo of the session id.
@@ -256,6 +336,13 @@ pub enum WireError {
     BadRequest {
         /// What was wrong with it.
         detail: String,
+    },
+    /// Backpressure: the connection already has its maximum number of
+    /// requests in flight and this one was refused **without being run**.
+    /// Retryable once replies have been drained.
+    Busy {
+        /// The per-connection outstanding-request cap that was hit.
+        max_outstanding: usize,
     },
     /// An engine-side error (repair substrate).
     Engine {
@@ -419,9 +506,36 @@ fn u64_json(value: u64) -> Json {
     }
 }
 
-/// Encodes a request as one JSON line (no trailing newline).
+/// Appends a `seq` correlation member to an (object) frame.
+fn with_seq(json: Json, seq: Option<u64>) -> Json {
+    match (json, seq) {
+        (Json::Object(mut members), Some(seq)) => {
+            members.push(("seq".to_string(), u64_json(seq)));
+            Json::Object(members)
+        }
+        (json, _) => json,
+    }
+}
+
+/// Encodes a request as one JSON line (no trailing newline, no `seq`) —
+/// the legacy in-order frame.
 pub fn encode_request(request: &Request) -> String {
-    let json = match request {
+    encode_request_frame(request, None)
+}
+
+/// Encodes a request frame, tagging it with a `seq` correlation id when one
+/// is given (see the module docs: a `seq`-tagged frame may be answered out
+/// of order, with `seq` echoed on the reply).
+pub fn encode_request_frame(request: &Request, seq: Option<u64>) -> String {
+    with_seq(request_json(request), seq).encode()
+}
+
+fn request_json(request: &Request) -> Json {
+    match request {
+        Request::Hello { version } => obj(vec![
+            ("op", Json::str("hello")),
+            ("version", Json::Int(*version as i64)),
+        ]),
         Request::Open {
             session,
             table_csv,
@@ -497,8 +611,7 @@ pub fn encode_request(request: &Request) -> String {
             ("op", Json::str("compact")),
             ("session", Json::str(session.clone())),
         ]),
-    };
-    json.encode()
+    }
 }
 
 fn target_json(target: &WireTarget) -> Json {
@@ -512,10 +625,30 @@ fn target_json(target: &WireTarget) -> Json {
     }
 }
 
-/// Encodes a response as one JSON line (no trailing newline).  Success
-/// replies carry `"ok": <kind>`; error replies carry `"err": <kind>`.
+/// Encodes a response as one JSON line (no trailing newline, no `seq`).
+/// Success replies carry `"ok": <kind>`; error replies carry `"err": <kind>`.
 pub fn encode_response(response: &Response) -> String {
-    let json = match response {
+    encode_response_frame(response, None)
+}
+
+/// Encodes a response frame, echoing the request's `seq` when one was
+/// present.
+pub fn encode_response_frame(response: &Response, seq: Option<u64>) -> String {
+    with_seq(response_json(response), seq).encode()
+}
+
+fn response_json(response: &Response) -> Json {
+    match response {
+        Response::Hello {
+            version,
+            pipelining,
+            compact,
+        } => obj(vec![
+            ("ok", Json::str("hello")),
+            ("version", Json::Int(*version as i64)),
+            ("pipelining", Json::Bool(*pipelining)),
+            ("compact", Json::Bool(*compact)),
+        ]),
         Response::Opened {
             session,
             dirty_tuples,
@@ -649,6 +782,10 @@ pub fn encode_response(response: &Response) -> String {
                 ("err", Json::str("bad_request")),
                 ("detail", Json::str(detail.clone())),
             ]),
+            WireError::Busy { max_outstanding } => obj(vec![
+                ("err", Json::str("busy")),
+                ("max_outstanding", Json::Int(*max_outstanding as i64)),
+            ]),
             WireError::Engine { detail } => obj(vec![
                 ("err", Json::str("engine")),
                 ("detail", Json::str(detail.clone())),
@@ -658,8 +795,7 @@ pub fn encode_response(response: &Response) -> String {
                 ("detail", Json::str(detail.clone())),
             ]),
         },
-    };
-    json.encode()
+    }
 }
 
 // ---- decoding -------------------------------------------------------------
@@ -705,28 +841,63 @@ fn value_field(json: &Json, key: &str) -> Result<Value, String> {
         .ok_or_else(|| format!("field `{key}` must be null, an integer, or a string"))
 }
 
-/// Decodes one request line.
+/// The optional `seq` correlation id of a frame (absent or `null` → none).
+fn seq_of(json: &Json) -> Result<Option<u64>, String> {
+    match json.get("seq") {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => u64_field(json, "seq").map(Some),
+    }
+}
+
+/// Decodes one request line, ignoring any `seq` tag.
 pub fn decode_request(line: &str) -> Result<Request, String> {
-    let json = Json::parse(line).map_err(|e| e.to_string())?;
-    let op = str_field(&json, "op")?;
-    let session = str_field(&json, "session")?;
+    decode_request_frame(line).1
+}
+
+/// Decodes one request frame: the `seq` correlation id (when one was
+/// decodable — returned even for malformed requests, so the error reply can
+/// echo it) and the request itself.
+pub fn decode_request_frame(line: &str) -> (Option<u64>, Result<Request, String>) {
+    let json = match Json::parse(line) {
+        Ok(json) => json,
+        Err(err) => return (None, Err(err.to_string())),
+    };
+    let seq = match seq_of(&json) {
+        Ok(seq) => seq,
+        Err(err) => return (None, Err(err)),
+    };
+    (seq, decode_request_json(&json))
+}
+
+fn decode_request_json(json: &Json) -> Result<Request, String> {
+    let op = str_field(json, "op")?;
+    if op == "hello" {
+        let version = match json.get("version") {
+            None | Some(Json::Null) => 1,
+            Some(_) => u64_field(json, "version")?
+                .try_into()
+                .map_err(|_| "field `version` must fit in 32 bits".to_string())?,
+        };
+        return Ok(Request::Hello { version });
+    }
+    let session = str_field(json, "session")?;
     match op.as_str() {
         "open" => {
-            let strategy_text = str_field(&json, "strategy")?;
+            let strategy_text = str_field(json, "strategy")?;
             let strategy = strategy_from_token(&strategy_text)
                 .ok_or_else(|| format!("unknown strategy `{strategy_text}`"))?;
             let seed = match json.get("seed") {
                 None | Some(Json::Null) => None,
-                Some(_) => Some(u64_field(&json, "seed")?),
+                Some(_) => Some(u64_field(json, "seed")?),
             };
             let ground_truth_csv = match json.get("ground_truth_csv") {
                 None | Some(Json::Null) => None,
-                Some(_) => Some(str_field(&json, "ground_truth_csv")?),
+                Some(_) => Some(str_field(json, "ground_truth_csv")?),
             };
             Ok(Request::Open {
                 session,
-                table_csv: str_field(&json, "table_csv")?,
-                rules: str_field(&json, "rules")?,
+                table_csv: str_field(json, "table_csv")?,
+                rules: str_field(json, "rules")?,
                 strategy,
                 seed,
                 ground_truth_csv,
@@ -734,25 +905,25 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
         }
         "next" => Ok(Request::Next { session }),
         "answer" => {
-            let feedback_text = str_field(&json, "feedback")?;
+            let feedback_text = str_field(json, "feedback")?;
             let feedback = feedback_from_token(&feedback_text)
                 .ok_or_else(|| format!("unknown feedback `{feedback_text}`"))?;
             Ok(Request::Answer {
                 session,
-                id: u64_field(&json, "id")?,
+                id: u64_field(json, "id")?,
                 feedback,
             })
         }
         "supply" => Ok(Request::Supply {
             session,
-            tuple: usize_field(&json, "tuple")?,
-            attr: usize_field(&json, "attr")?,
-            value: value_field(&json, "value")?,
+            tuple: usize_field(json, "tuple")?,
+            attr: usize_field(json, "attr")?,
+            value: value_field(json, "value")?,
         }),
         "skip" => Ok(Request::Skip {
             session,
-            tuple: usize_field(&json, "tuple")?,
-            attr: usize_field(&json, "attr")?,
+            tuple: usize_field(json, "tuple")?,
+            attr: usize_field(json, "attr")?,
         }),
         "finish" => Ok(Request::Finish { session }),
         "report" => Ok(Request::Report { session }),
@@ -773,50 +944,79 @@ fn decode_target(json: &Json) -> Result<WireTarget, String> {
     }
 }
 
-/// Decodes one response line.
+/// Decodes one response line, ignoring any `seq` echo.
 pub fn decode_response(line: &str) -> Result<Response, String> {
+    decode_response_frame(line).map(|(_, response)| response)
+}
+
+/// Decodes one response frame: the echoed `seq` (when present) and the
+/// response itself.
+pub fn decode_response_frame(line: &str) -> Result<(Option<u64>, Response), String> {
     let json = Json::parse(line).map_err(|e| e.to_string())?;
+    let seq = seq_of(&json)?;
+    decode_response_json(&json).map(|response| (seq, response))
+}
+
+fn decode_response_json(json: &Json) -> Result<Response, String> {
     if let Some(err) = json.get("err") {
         let kind = err
             .as_str()
             .ok_or_else(|| "field `err` must be a string".to_string())?;
         let error = match kind {
             "stale_work" => WireError::StaleWork {
-                got: u64_field(&json, "got")?,
-                outstanding: u64_field(&json, "outstanding")?,
+                got: u64_field(json, "got")?,
+                outstanding: u64_field(json, "outstanding")?,
             },
             "work_mismatch" => WireError::WorkMismatch {
-                verb: str_field(&json, "verb")?,
-                got: decode_target(field(&json, "got")?)?,
-                outstanding: decode_target(field(&json, "outstanding")?)?,
+                verb: str_field(json, "verb")?,
+                got: decode_target(field(json, "got")?)?,
+                outstanding: decode_target(field(json, "outstanding")?)?,
             },
             "no_outstanding_work" => WireError::NoOutstandingWork {
-                verb: str_field(&json, "verb")?,
+                verb: str_field(json, "verb")?,
             },
             "unknown_session" => WireError::UnknownSession {
-                session: str_field(&json, "session")?,
+                session: str_field(json, "session")?,
             },
             "duplicate_session" => WireError::DuplicateSession {
-                session: str_field(&json, "session")?,
+                session: str_field(json, "session")?,
             },
             "bad_request" => WireError::BadRequest {
-                detail: str_field(&json, "detail")?,
+                detail: str_field(json, "detail")?,
+            },
+            "busy" => WireError::Busy {
+                max_outstanding: usize_field(json, "max_outstanding")?,
             },
             "engine" => WireError::Engine {
-                detail: str_field(&json, "detail")?,
+                detail: str_field(json, "detail")?,
             },
             "journal" => WireError::Journal {
-                detail: str_field(&json, "detail")?,
+                detail: str_field(json, "detail")?,
             },
             other => return Err(format!("unknown error kind `{other}`")),
         };
         return Ok(Response::Error(error));
     }
-    let ok = str_field(&json, "ok")?;
+    let ok = str_field(json, "ok")?;
     match ok.as_str() {
+        "hello" => {
+            let version = u64_field(json, "version")?
+                .try_into()
+                .map_err(|_| "field `version` must fit in 32 bits".to_string())?;
+            let bool_field = |key: &str| {
+                field(json, key)?
+                    .as_bool()
+                    .ok_or_else(|| format!("field `{key}` must be a boolean"))
+            };
+            Ok(Response::Hello {
+                version,
+                pipelining: bool_field("pipelining")?,
+                compact: bool_field("compact")?,
+            })
+        }
         "opened" => Ok(Response::Opened {
-            session: str_field(&json, "session")?,
-            dirty_tuples: usize_field(&json, "dirty_tuples")?,
+            session: str_field(json, "session")?,
+            dirty_tuples: usize_field(json, "dirty_tuples")?,
         }),
         "ask" => {
             let group = match json.get("group") {
@@ -831,33 +1031,33 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                 }),
             };
             Ok(Response::Ask {
-                id: u64_field(&json, "id")?,
-                tuple: usize_field(&json, "tuple")?,
-                attr: usize_field(&json, "attr")?,
-                current: value_field(&json, "current")?,
-                value: value_field(&json, "value")?,
-                score: f64_field(&json, "score")?,
-                uncertainty: f64_field(&json, "uncertainty")?,
+                id: u64_field(json, "id")?,
+                tuple: usize_field(json, "tuple")?,
+                attr: usize_field(json, "attr")?,
+                current: value_field(json, "current")?,
+                value: value_field(json, "value")?,
+                score: f64_field(json, "score")?,
+                uncertainty: f64_field(json, "uncertainty")?,
                 group,
             })
         }
         "need_value" => Ok(Response::NeedValue {
-            tuple: usize_field(&json, "tuple")?,
-            attr: usize_field(&json, "attr")?,
-            current: value_field(&json, "current")?,
+            tuple: usize_field(json, "tuple")?,
+            attr: usize_field(json, "attr")?,
+            current: value_field(json, "current")?,
         }),
         "done" => {
-            let reason_text = str_field(&json, "reason")?;
+            let reason_text = str_field(json, "reason")?;
             Ok(Response::Done {
                 reason: done_from_token(&reason_text)
                     .ok_or_else(|| format!("unknown done reason `{reason_text}`"))?,
             })
         }
         "answered" => Ok(Response::Answered {
-            verifications: usize_field(&json, "verifications")?,
+            verifications: usize_field(json, "verifications")?,
         }),
         "supplied" => Ok(Response::Supplied {
-            verifications: usize_field(&json, "verifications")?,
+            verifications: usize_field(json, "verifications")?,
         }),
         "skipped" => Ok(Response::Skipped),
         "report" => {
@@ -872,18 +1072,18 @@ pub fn decode_response(line: &str) -> Result<Response, String> {
                 }),
             };
             Ok(Response::Report {
-                verifications: usize_field(&json, "verifications")?,
-                learner_decisions: usize_field(&json, "learner_decisions")?,
-                dirty_tuples: usize_field(&json, "dirty_tuples")?,
+                verifications: usize_field(json, "verifications")?,
+                learner_decisions: usize_field(json, "learner_decisions")?,
+                dirty_tuples: usize_field(json, "dirty_tuples")?,
                 eval,
             })
         }
         "restored" => Ok(Response::Restored {
-            replayed: usize_field(&json, "replayed")?,
+            replayed: usize_field(json, "replayed")?,
         }),
         "compacted" => Ok(Response::Compacted {
-            events: usize_field(&json, "events")?,
-            tail: usize_field(&json, "tail")?,
+            events: usize_field(json, "events")?,
+            tail: usize_field(json, "tail")?,
         }),
         other => Err(format!("unknown ok kind `{other}`")),
     }
@@ -1167,6 +1367,58 @@ mod tests {
         ] {
             assert!(decode_request(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn hello_and_busy_round_trip() {
+        request_round_trip(Request::Hello { version: 2 });
+        response_round_trip(Response::Hello {
+            version: PROTOCOL_VERSION,
+            pipelining: true,
+            compact: true,
+        });
+        response_round_trip(Response::Error(WireError::Busy {
+            max_outstanding: 64,
+        }));
+        // A bare hello defaults to version 1 (the legacy protocol).
+        assert_eq!(
+            decode_request(r#"{"op":"hello"}"#).unwrap(),
+            Request::Hello { version: 1 }
+        );
+    }
+
+    #[test]
+    fn seq_tags_ride_requests_and_are_echoed_on_responses() {
+        let request = Request::Next {
+            session: "s".into(),
+        };
+        // No seq: the encoded frame has none and decodes to none.
+        assert_eq!(
+            decode_request_frame(&encode_request_frame(&request, None)),
+            (None, Ok(request.clone()))
+        );
+        // Tagged: the seq survives the round trip, u64 extremes included.
+        for seq in [0, 7, u64::MAX] {
+            let line = encode_request_frame(&request, Some(seq));
+            assert_eq!(
+                decode_request_frame(&line),
+                (Some(seq), Ok(request.clone()))
+            );
+        }
+        let response = Response::Skipped;
+        let line = encode_response_frame(&response, Some(41));
+        assert_eq!(decode_response_frame(&line).unwrap(), (Some(41), response));
+        // Legacy decoders ignore the tag entirely.
+        assert_eq!(decode_response(&line).unwrap(), Response::Skipped);
+
+        // A malformed request still surrenders its seq, so the error reply
+        // can be correlated; a malformed seq is itself a bad request.
+        let (seq, decoded) = decode_request_frame(r#"{"op":"frob","session":"s","seq":9}"#);
+        assert_eq!(seq, Some(9));
+        assert!(decoded.is_err());
+        let (seq, decoded) = decode_request_frame(r#"{"op":"next","session":"s","seq":-1}"#);
+        assert_eq!(seq, None);
+        assert!(decoded.is_err());
     }
 
     #[test]

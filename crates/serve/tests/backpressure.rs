@@ -1,0 +1,170 @@
+//! Backpressure and slow clients: a connection that floods requests past
+//! its outstanding cap gets structured `busy` refusals (never unbounded
+//! queueing), and a wedged session on one connection never blocks another
+//! connection's progress.
+
+mod common;
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use gdr_core::fixture;
+use gdr_core::oracle::GroundTruthOracle;
+use gdr_core::strategy::Strategy;
+use gdr_relation::csv::to_csv;
+use gdr_serve::client::{Client, MuxClient, OpenOptions};
+use gdr_serve::server::ServerConfig;
+use gdr_serve::store::SessionStore;
+use gdr_serve::wire::{Request, Response, WireError};
+
+fn figure1_options() -> OpenOptions {
+    OpenOptions {
+        strategy: Strategy::GdrNoLearning,
+        seed: None,
+        ground_truth_csv: Some(to_csv(&fixture::figure1_instance().1)),
+    }
+}
+
+/// Floods one connection with more in-flight verbs than its cap while the
+/// target session's mutex is held (so nothing can complete), and drives a
+/// second connection to completion in the meantime.
+///
+/// Worker arithmetic: the cap is 2 and the pool has 3 workers, so at most
+/// two workers can ever be parked on the wedged session's mutex — the
+/// third keeps serving the healthy connection.
+#[test]
+fn over_cap_requests_get_busy_and_other_connections_keep_serving() {
+    let config = ServerConfig::new()
+        .workers(3)
+        .max_outstanding(2)
+        .max_connections(Some(2));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let store: Arc<SessionStore> = config.build_store().expect("store");
+    let server = {
+        let store = store.clone();
+        let config = config.clone();
+        thread::spawn(move || config.serve(listener, store))
+    };
+
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+
+    // Connection A opens the session that is about to wedge.
+    let mut mux = MuxClient::connect(TcpStream::connect(addr).expect("connect")).expect("mux");
+    let open_seq = mux
+        .send(&Request::Open {
+            session: "jam".to_string(),
+            table_csv: to_csv(&dirty),
+            rules: fixture::figure1_rules_text().to_string(),
+            strategy: Strategy::GdrNoLearning,
+            seed: None,
+            ground_truth_csv: None,
+        })
+        .expect("send open");
+    let (seq, response) = mux.recv().expect("open reply");
+    assert_eq!(seq, open_seq);
+    assert!(matches!(response, Response::Opened { .. }));
+
+    // Wedge it: hold the session mutex from outside the server, so every
+    // dispatched verb for "jam" parks on the lock and never completes.
+    let jam = store.get("jam").expect("session in store");
+    let jam_guard = jam.lock().expect("hold session lock");
+
+    // Flood: 8 pipelined `next` verbs against a cap of 2.
+    let seqs: Vec<u64> = (0..8)
+        .map(|_| {
+            mux.send(&Request::Next {
+                session: "jam".to_string(),
+            })
+            .expect("send next")
+        })
+        .collect();
+
+    // The 6 over-cap requests are refused immediately with `busy`, naming
+    // the cap; the 2 in-flight ones stay parked on the mutex.
+    let mut busy = Vec::new();
+    for _ in 0..6 {
+        let (seq, response) = mux.recv().expect("busy reply");
+        match response {
+            Response::Error(WireError::Busy { max_outstanding }) => {
+                assert_eq!(max_outstanding, 2);
+                busy.push(seq);
+            }
+            other => panic!("expected busy, got {other:?} (seq {seq})"),
+        }
+    }
+    assert_eq!(busy, seqs[2..].to_vec(), "refusals hit the over-cap tail");
+
+    // Meanwhile, the OTHER connection is fully live: open and drive a
+    // session to completion while "jam" is still wedged.
+    let mut healthy =
+        Client::connect(TcpStream::connect(addr).expect("connect"), "healthy").expect("client");
+    healthy
+        .open(
+            to_csv(&dirty),
+            fixture::figure1_rules_text(),
+            figure1_options(),
+        )
+        .expect("open healthy");
+    let oracle = GroundTruthOracle::new(clean);
+    healthy
+        .drive(&oracle, None)
+        .expect("drive healthy to completion while the other connection is wedged");
+    drop(healthy);
+
+    // Unwedge: the two parked verbs complete and reply (same session, same
+    // pull — the second re-serves the outstanding item).
+    drop(jam_guard);
+    drop(jam);
+    for _ in 0..2 {
+        let (seq, response) = mux.recv().expect("parked reply");
+        assert!(seqs[..2].contains(&seq), "late reply for unknown seq {seq}");
+        assert!(
+            matches!(response, Response::Ask { .. }),
+            "next must serve figure 1's first question, got {response:?}"
+        );
+    }
+
+    drop(mux);
+    server.join().expect("server thread").expect("serve");
+}
+
+/// A client that goes silent mid-pipeline does not leak server memory
+/// forever: its connection is bounded by the cap, and once it hangs up the
+/// server finishes cleanly.
+#[test]
+fn hangup_with_requests_in_flight_shuts_down_cleanly() {
+    let config = ServerConfig::new()
+        .workers(1)
+        .max_outstanding(4)
+        .max_connections(Some(1));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let store = config.build_store().expect("store");
+    let server = thread::spawn(move || config.serve(listener, store));
+
+    let mut mux = MuxClient::connect(TcpStream::connect(addr).expect("connect")).expect("mux");
+    let (dirty, _clean, _rules) = fixture::figure1_instance();
+    mux.send(&Request::Open {
+        session: "abandoned".to_string(),
+        table_csv: to_csv(&dirty),
+        rules: fixture::figure1_rules_text().to_string(),
+        strategy: Strategy::GdrNoLearning,
+        seed: None,
+        ground_truth_csv: None,
+    })
+    .expect("send open");
+    mux.send(&Request::Next {
+        session: "abandoned".to_string(),
+    })
+    .expect("send next");
+    // Hang up without reading a single reply.
+    drop(mux);
+
+    // The server must notice the hangup, discard the undeliverable
+    // replies, and return — not spin or leak the connection.  Reaching
+    // this join within the test timeout is the real assertion.
+    let joined = server.join().expect("server thread");
+    joined.expect("serve must exit cleanly after client hangup");
+}

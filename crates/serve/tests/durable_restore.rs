@@ -16,7 +16,7 @@ use gdr_core::strategy::Strategy;
 use gdr_relation::Value;
 use gdr_repair::Feedback;
 use gdr_serve::journal::{DiskJournal, FsyncPolicy, JournalConfig};
-use gdr_serve::store::{Session, SessionJournal, TranscriptEvent};
+use gdr_serve::store::{Session, SessionJournal, SessionOptions, TranscriptEvent};
 
 fn journal_config() -> JournalConfig {
     JournalConfig {
@@ -77,7 +77,11 @@ fn every_event_kind_rehydrates_bit_identically_at_every_boundary() {
     // Record the reference session on disk.
     let recorded = TempDir::new("durable-ref");
     let spec = figure1_spec(Strategy::GdrNoLearning, true);
-    let mut live = Session::open_durable(spec, recorded.path(), journal_config()).expect("open");
+    let mut live = SessionOptions::new()
+        .journal(journal_config())
+        .durable(recorded.path())
+        .open(spec)
+        .expect("open");
     record_scripted_session(&mut live);
     let final_fp = fingerprint(live.engine());
     drop(live);

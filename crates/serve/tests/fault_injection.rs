@@ -30,7 +30,7 @@ use gdr_core::oracle::GroundTruthOracle;
 use gdr_core::strategy::Strategy as GdrStrategy;
 use gdr_serve::journal::fault::{FaultMode, FaultyWriter};
 use gdr_serve::journal::{DiskJournal, FsyncPolicy, JournalConfig};
-use gdr_serve::store::{Session, SessionJournal, TranscriptEvent};
+use gdr_serve::store::{Session, SessionJournal, SessionOptions, TranscriptEvent};
 use proptest::prelude::*;
 
 type Fingerprint = (Vec<(usize, u64, u64)>, usize, usize, String);
@@ -72,8 +72,11 @@ fn reference() -> &'static Reference {
         let dir = TempDir::new("fault-ref");
         let spec = figure1_spec(GdrStrategy::GdrNoLearning, true);
         let oracle = GroundTruthOracle::new(spec.ground_truth.clone().expect("truth"));
-        let mut session =
-            Session::open_durable(spec, dir.path(), journal_config()).expect("open durable");
+        let mut session = SessionOptions::new()
+            .journal(journal_config())
+            .durable(dir.path())
+            .open(spec)
+            .expect("open durable");
         while drive_one(&mut session, &oracle) {}
         session.finish().expect("finish");
         let final_fp = fingerprint(session.engine());

@@ -1,0 +1,229 @@
+//! Pipelined multiplexing over one connection: `hello` negotiation, `seq`
+//! correlation, out-of-order replies, and the acceptance criterion — N
+//! interleaved sessions driven through one [`MuxClient`] land bit-identical
+//! (`f64::to_bits` fingerprints) to the same sessions driven over N
+//! separate connections.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use gdr_core::fixture;
+use gdr_core::oracle::GroundTruthOracle;
+use gdr_core::strategy::Strategy;
+use gdr_relation::csv::to_csv;
+use gdr_serve::client::{Client, MuxClient, OpenOptions};
+use gdr_serve::server::ServerConfig;
+use gdr_serve::store::SessionStore;
+use gdr_serve::wire::{
+    decode_response_frame, encode_request_frame, Request, Response, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+use common::fingerprint;
+
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    Arc<SessionStore>,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let store = config.build_store().expect("in-memory store");
+    let server = {
+        let store = store.clone();
+        thread::spawn(move || config.serve(listener, store))
+    };
+    (addr, store, server)
+}
+
+fn figure1_options() -> OpenOptions {
+    OpenOptions {
+        strategy: Strategy::GdrNoLearning,
+        seed: None,
+        ground_truth_csv: Some(to_csv(&fixture::figure1_instance().1)),
+    }
+}
+
+/// One session's bit-exact state: per-cell `to_bits` triples, counters, and
+/// the rendered table (see `common::fingerprint`).
+type Fingerprint = (Vec<(usize, u64, u64)>, usize, usize, String);
+
+/// The fingerprints of `sessions` as they sit in a store after serving.
+fn store_fingerprints(store: &SessionStore, sessions: &[String]) -> Vec<Fingerprint> {
+    sessions
+        .iter()
+        .map(|id| {
+            let handle = store.get(id).expect("session exists");
+            let guard = handle.lock().expect("session lock");
+            fingerprint(guard.engine())
+        })
+        .collect()
+}
+
+/// Drives `n` sessions to completion over ONE connection with a
+/// [`MuxClient`] and returns their fingerprints.
+fn drive_muxed(n: usize) -> Vec<Fingerprint> {
+    let (addr, store, server) = spawn_server(ServerConfig::new().max_connections(Some(1)));
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+    let sessions: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+
+    let mut mux = MuxClient::connect(TcpStream::connect(addr).expect("connect")).expect("mux");
+    let hello = mux.hello().expect("hello");
+    assert!(hello.pipelining, "event-loop server must offer pipelining");
+
+    // Pipeline all opens before reading a single reply.
+    let mut opens = Vec::new();
+    for session in &sessions {
+        let seq = mux
+            .send(&Request::Open {
+                session: session.clone(),
+                table_csv: to_csv(&dirty),
+                rules: fixture::figure1_rules_text().to_string(),
+                strategy: Strategy::GdrNoLearning,
+                seed: None,
+                ground_truth_csv: Some(to_csv(&clean)),
+            })
+            .expect("send open");
+        opens.push(seq);
+    }
+    for _ in 0..n {
+        let (seq, response) = mux.recv().expect("open reply");
+        assert!(opens.contains(&seq), "unknown open seq {seq}");
+        assert!(
+            matches!(response, Response::Opened { .. }),
+            "open failed: {response:?}"
+        );
+    }
+
+    let oracle = GroundTruthOracle::new(clean);
+    let reasons = mux.drive_all(&sessions, &oracle, None).expect("drive_all");
+    assert_eq!(reasons.len(), n);
+
+    drop(mux);
+    server.join().expect("server thread").expect("serve");
+    store_fingerprints(&store, &sessions)
+}
+
+/// Drives the same `n` sessions over `n` separate in-order connections
+/// and returns their fingerprints.
+fn drive_separate(n: usize) -> Vec<Fingerprint> {
+    let (addr, store, server) = spawn_server(ServerConfig::new().max_connections(Some(n)));
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+    let sessions: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let oracle = GroundTruthOracle::new(clean);
+    for session in &sessions {
+        let mut client =
+            Client::connect(TcpStream::connect(addr).expect("connect"), session).expect("client");
+        client
+            .open(
+                to_csv(&dirty),
+                fixture::figure1_rules_text(),
+                figure1_options(),
+            )
+            .expect("open");
+        client.drive(&oracle, None).expect("drive");
+    }
+    server.join().expect("server thread").expect("serve");
+    store_fingerprints(&store, &sessions)
+}
+
+#[test]
+fn hello_reports_protocol_version_and_capabilities() {
+    let (addr, _store, server) = spawn_server(ServerConfig::new().max_connections(Some(1)));
+    let mut client =
+        Client::connect(TcpStream::connect(addr).expect("connect"), "unused").expect("client");
+    let hello = client.hello().expect("hello");
+    assert_eq!(hello.version, PROTOCOL_VERSION);
+    assert!(hello.pipelining);
+    assert!(hello.compact);
+    drop(client);
+    server.join().expect("server thread").expect("serve");
+}
+
+/// With one worker the pool is FIFO, which makes reply overtaking
+/// deterministic: a `seq`-tagged request sent *after* a queued legacy
+/// request completes *before* it, because legacy requests are serialized
+/// one-in-flight while tagged ones dispatch immediately.
+#[test]
+fn seq_tagged_reply_overtakes_a_queued_legacy_request() {
+    let (addr, _store, server) =
+        spawn_server(ServerConfig::new().workers(1).max_connections(Some(1)));
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let hello = |seq: Option<u64>| {
+        encode_request_frame(
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            seq,
+        )
+    };
+    // Two legacy frames, then a tagged one, in a single write: the first
+    // legacy dispatches, the second waits its turn, the tagged frame jumps
+    // straight to the (single) worker's queue.
+    let batch = format!("{}\n{}\n{}\n", hello(None), hello(None), hello(Some(42)));
+    writer.write_all(batch.as_bytes()).expect("write batch");
+    writer.flush().expect("flush");
+
+    let mut read_reply = || {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
+        decode_response_frame(line.trim()).expect("decode reply")
+    };
+    let replies = [read_reply(), read_reply(), read_reply()];
+    let seqs: Vec<Option<u64>> = replies.iter().map(|(seq, _)| *seq).collect();
+    assert_eq!(
+        seqs.iter().filter(|seq| seq.is_none()).count(),
+        2,
+        "both legacy replies must arrive untagged: {seqs:?}"
+    );
+    // The tagged request was sent LAST but must not be answered last: the
+    // second legacy request cannot dispatch until the first completes,
+    // while the tagged one goes straight to the worker queue.
+    assert_ne!(
+        seqs[2],
+        Some(42),
+        "tagged reply must overtake the queued legacy request: {seqs:?}"
+    );
+    assert!(seqs.contains(&Some(42)), "tagged reply missing: {seqs:?}");
+    for (_, response) in replies {
+        assert!(matches!(response, Response::Hello { .. }));
+    }
+    drop(writer);
+    drop(reader);
+    server.join().expect("server thread").expect("serve");
+}
+
+/// The acceptance criterion: 16 sessions interleaved over one connection,
+/// bit-identical to the same 16 sessions on separate connections.
+#[test]
+fn sixteen_interleaved_sessions_match_separate_connections() {
+    let muxed = drive_muxed(16);
+    let separate = drive_separate(16);
+    assert_eq!(muxed.len(), 16);
+    for (i, (m, s)) in muxed.iter().zip(&separate).enumerate() {
+        assert_eq!(m, s, "session s{i} diverged under multiplexing");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// N interleaved sessions over one connection stay bit-identical to N
+    /// separate connections for arbitrary small N.
+    #[test]
+    fn mux_matches_separate_connections(n in 1usize..=6) {
+        let muxed = drive_muxed(n);
+        let separate = drive_separate(n);
+        prop_assert_eq!(muxed, separate);
+    }
+}

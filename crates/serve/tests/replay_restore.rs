@@ -12,7 +12,7 @@ use gdr_core::step::{GdrEngine, WorkId, WorkPlan};
 use gdr_core::strategy::Strategy;
 use gdr_relation::Value;
 use gdr_repair::Feedback;
-use gdr_serve::store::{OpenSpec, Session, SessionStore, TranscriptEvent};
+use gdr_serve::store::{OpenSpec, Session, SessionOptions, SessionStore, TranscriptEvent};
 
 fn figure1_spec(strategy: Strategy, with_truth: bool) -> OpenSpec {
     let (dirty, clean, rules) = fixture::figure1_instance();
@@ -98,7 +98,9 @@ fn drive_one(session: &mut Session, oracle: &GroundTruthOracle) -> bool {
 fn restore_is_bit_identical_at_every_interruption_point() {
     for strategy in [Strategy::GdrNoLearning, Strategy::Gdr, Strategy::Greedy] {
         let oracle = GroundTruthOracle::new(fixture::figure1_instance().1);
-        let mut session = Session::open(figure1_spec(strategy, true));
+        let mut session = SessionOptions::new()
+            .open(figure1_spec(strategy, true))
+            .expect("open");
         let mut steps = 0usize;
         loop {
             // Restore after every single protocol step: the replayed engine
@@ -121,7 +123,9 @@ fn restore_is_bit_identical_at_every_interruption_point() {
 
 #[test]
 fn restore_with_an_outstanding_question_reserves_the_same_plan_and_id() {
-    let mut session = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut session = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
     let oracle = GroundTruthOracle::new(fixture::figure1_instance().1);
     for _ in 0..2 {
         assert!(drive_one(&mut session, &oracle));
@@ -142,7 +146,9 @@ fn restore_with_an_outstanding_question_reserves_the_same_plan_and_id() {
 
 #[test]
 fn restore_discards_unjournaled_protocol_errors() {
-    let mut session = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut session = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
     let WorkPlan::AskUser { id, .. } = session.next().expect("next") else {
         panic!("expected AskUser");
     };
@@ -163,8 +169,12 @@ fn replayed_journal_matches_an_untouched_twin_run() {
     // Drive one session with restores sprinkled in, a twin without any;
     // both must land on the same final state (restore is side-effect-free).
     let oracle = GroundTruthOracle::new(fixture::figure1_instance().1);
-    let mut restored = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
-    let mut untouched = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut restored = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
+    let mut untouched = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
     let mut step = 0usize;
     loop {
         if step % 3 == 1 {
@@ -192,7 +202,9 @@ fn sweep_events_replay_supplies_and_skips() {
     // Reject everything to force the supply sweep, then skip/supply; the
     // journal must carry Supplied/Skipped events and replay them.
     let truth = fixture::figure1_instance().1;
-    let mut session = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut session = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
     let mut saw_sweep = false;
     let mut guard = 0usize;
     loop {
@@ -265,7 +277,7 @@ fn finish_right_after_a_boundary_pull_restores_bit_identical() {
         spec.strategy = Strategy::Gdr;
         spec.config = GdrConfig::fast();
         spec.ground_truth = Some(data.clean.clone());
-        let mut session = Session::open(spec);
+        let mut session = SessionOptions::new().open(spec).expect("open");
         let mut answered = 0usize;
         let mut guard = 0usize;
         while answered < answers_before_finish {
@@ -319,4 +331,21 @@ fn store_keeps_sessions_independent() {
     assert!(!store.remove("a"));
     assert!(store.get("a").is_err());
     assert_eq!(store.len(), 1);
+}
+
+/// The deprecated positional constructors must keep working for one
+/// release as shims over `SessionOptions`, producing identical engines.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructor_shims_match_the_builder() {
+    let mut old = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut new = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
+    let oracle = GroundTruthOracle::new(fixture::figure1_instance().1);
+    for _ in 0..3 {
+        drive_one(&mut old, &oracle);
+        drive_one(&mut new, &oracle);
+    }
+    assert_eq!(fingerprint(old.engine()), fingerprint(new.engine()));
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use common::{drive_one, figure1_spec, fingerprint, TempDir};
 use gdr_core::oracle::GroundTruthOracle;
 use gdr_core::strategy::Strategy;
-use gdr_serve::store::{DurabilityConfig, Session, SessionStore, StoreError};
+use gdr_serve::store::{DurabilityConfig, SessionOptions, SessionStore, StoreError};
 
 fn durable_store(root: &TempDir, max_live: usize) -> SessionStore {
     let mut config = DurabilityConfig::new(root.path());
@@ -61,7 +61,9 @@ fn idle_sessions_evict_at_the_cap_and_rehydrate_bit_identically() {
     );
 
     // A twin that was never stored (never evicted, never rehydrated).
-    let mut twin = Session::open(figure1_spec(Strategy::GdrNoLearning, true));
+    let mut twin = SessionOptions::new()
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open");
     for _ in 0..2 {
         assert!(drive_one(&mut twin, &oracle));
     }

@@ -28,7 +28,7 @@ use gdr_core::strategy::Strategy;
 use gdr_relation::csv::to_csv;
 use gdr_repair::Update;
 use gdr_serve::client::{Client, OpenOptions, RetryPolicy};
-use gdr_serve::server::serve_listener;
+use gdr_serve::server::ServerConfig;
 use gdr_serve::store::{DurabilityConfig, SessionStore};
 use gdr_serve::wire::Response;
 
@@ -41,13 +41,15 @@ fn boot(
     SocketAddr,
     thread::JoinHandle<std::io::Result<()>>,
 ) {
-    let store =
-        Arc::new(SessionStore::durable(DurabilityConfig::new(root)).expect("durable store"));
+    let config = ServerConfig::new()
+        .durability(DurabilityConfig::new(root))
+        .max_connections(Some(connections));
+    let store = config.build_store().expect("durable store");
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     let server = {
         let store = store.clone();
-        thread::spawn(move || serve_listener(listener, store, Some(connections)))
+        thread::spawn(move || config.serve(listener, store))
     };
     (store, addr, server)
 }

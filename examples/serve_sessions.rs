@@ -18,7 +18,6 @@
 //!    paper's quality figures computed server-side.
 
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
 use std::thread;
 
 use gdr_core::fixture;
@@ -27,18 +26,21 @@ use gdr_core::strategy::Strategy;
 use gdr_relation::csv::to_csv;
 use gdr_repair::{Feedback, Update};
 use gdr_serve::client::{Client, ClientError, OpenOptions};
-use gdr_serve::server::serve_listener;
-use gdr_serve::store::SessionStore;
+use gdr_serve::server::ServerConfig;
 use gdr_serve::wire::{Response, WireError};
 
 fn main() {
     // -- server side --------------------------------------------------------
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
-    let store = Arc::new(SessionStore::new());
+    let config = ServerConfig::new()
+        .workers(2)
+        .max_outstanding(32)
+        .max_connections(Some(1));
+    let store = config.build_store().expect("in-memory store");
     let server = {
         let store = store.clone();
-        thread::spawn(move || serve_listener(listener, store, Some(1)))
+        thread::spawn(move || config.serve(listener, store))
     };
     println!("session server listening on {addr}");
 
@@ -46,6 +48,11 @@ fn main() {
     let (dirty, clean, _rules) = fixture::figure1_instance();
     let mut client =
         Client::connect(TcpStream::connect(addr).expect("connect"), "customer-42").expect("client");
+    let hello = client.hello().expect("hello");
+    println!(
+        "server speaks protocol v{} (pipelining: {}, compact: {})",
+        hello.version, hello.pipelining, hello.compact
+    );
     let Response::Opened { dirty_tuples, .. } = client
         .open(
             to_csv(&dirty),
