@@ -92,6 +92,8 @@ fn mux_drive_once() -> f64 {
             strategy: Strategy::GdrNoLearning,
             seed: None,
             ground_truth_csv: Some(to_csv(&clean)),
+            policy: None,
+            lease_ttl: None,
         })
         .expect("send open");
     }
@@ -134,6 +136,7 @@ fn separate_drive_once() -> f64 {
                     strategy: Strategy::GdrNoLearning,
                     seed: None,
                     ground_truth_csv: Some(to_csv(&clean)),
+                    ..OpenOptions::default()
                 },
             )
             .expect("open");

@@ -80,6 +80,7 @@ pub mod quality;
 pub mod session;
 pub mod step;
 pub mod strategy;
+pub mod team;
 pub mod voi;
 
 pub use config::GdrConfig;
@@ -94,6 +95,7 @@ pub use step::{
     Answer, DoneReason, EvalHooks, GdrEngine, GroupContext, SessionBuilder, WorkId, WorkPlan,
 };
 pub use strategy::Strategy;
+pub use team::{ConflictPolicy, Resolution, TeamConfig, TeamPlan, TeamSession};
 pub use voi::{
     group_benefit, single_update_benefit, update_benefit_term, BenefitCache, BenefitCacheSnapshot,
     BenefitKey, VoiRanker,

@@ -362,6 +362,19 @@ impl GdrEngine {
         }
     }
 
+    /// The candidate updates of the currently selected group, in ranking
+    /// order — including the served pick, which stays in the list until it
+    /// is answered.  Empty outside a group (pool strategy, supply sweep,
+    /// done).  A multi-reviewer coordinator (see [`crate::team`]) leases
+    /// only from this list plus the outstanding plan: work the strategy has
+    /// already committed to asking about.
+    pub fn group_candidates(&self) -> &[Update] {
+        match &self.phase {
+            Phase::InGroup(progress) => &progress.remaining,
+            _ => &[],
+        }
+    }
+
     /// Pulls the next unit of work.
     ///
     /// Idempotent while an item is outstanding: calling `next_work` again

@@ -25,6 +25,14 @@
 //! keeping one verb in flight per session and absorbing `busy` refusals by
 //! re-sending — the replies interleave in whatever order the server's
 //! workers finish.
+//!
+//! [`ReviewTeam`] is the multi-reviewer driver: N named reviewers working
+//! **one** session over one pipelined connection, each running its own
+//! `lease` → `answer_as` loop concurrently.  `wait` replies re-lease,
+//! `busy` refusals re-send, stale leases re-lease, and a reviewer that
+//! draws work after the shared budget is spent releases its lease instead
+//! of answering — the conflict policy chosen at `open` decides how
+//! overlapping answers resolve server-side.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -36,6 +44,7 @@ use std::time::Duration;
 use gdr_core::oracle::UserOracle;
 use gdr_core::step::DoneReason;
 use gdr_core::strategy::Strategy;
+use gdr_core::team::ConflictPolicy;
 use gdr_relation::Value;
 use gdr_repair::{Feedback, Update};
 
@@ -44,7 +53,8 @@ use crate::wire::{
     Response, WireError, PROTOCOL_VERSION,
 };
 
-/// The server's `hello` reply: protocol version plus capability flags.
+/// The server's `hello` reply: protocol version, capability flags, and the
+/// limits a client self-configures from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerHello {
     /// Protocol version the server speaks.
@@ -53,6 +63,13 @@ pub struct ServerHello {
     pub pipelining: bool,
     /// Whether the `compact` verb is supported.
     pub compact: bool,
+    /// Whether the multi-reviewer lease verbs are supported.
+    pub leases: bool,
+    /// Per-connection in-flight request cap (`0` = not reported): keep
+    /// fewer requests than this in flight to avoid `busy` refusals.
+    pub max_outstanding: usize,
+    /// Default lease TTL in coordinator operations (`0` = not reported).
+    pub lease_ttl: u64,
 }
 
 /// A client-side error: transport failure, an undecodable reply, or a
@@ -94,6 +111,12 @@ pub struct OpenOptions {
     pub seed: Option<u64>,
     /// Optional ground truth CSV (enables server-side evaluation).
     pub ground_truth_csv: Option<String>,
+    /// Optional conflict policy for multi-reviewer sessions (`None` =
+    /// server default, first-wins).
+    pub policy: Option<ConflictPolicy>,
+    /// Optional lease TTL override in coordinator operations (`None` =
+    /// server default, reported by `hello`).
+    pub lease_ttl: Option<u64>,
 }
 
 impl Default for OpenOptions {
@@ -102,6 +125,8 @@ impl Default for OpenOptions {
             strategy: Strategy::Gdr,
             seed: None,
             ground_truth_csv: None,
+            policy: None,
+            lease_ttl: None,
         }
     }
 }
@@ -277,6 +302,8 @@ impl<R: Read, W: Write> Client<R, W> {
             strategy: options.strategy,
             seed: options.seed,
             ground_truth_csv: options.ground_truth_csv,
+            policy: options.policy,
+            lease_ttl: options.lease_ttl,
         };
         self.expect_ok(&request)
     }
@@ -381,10 +408,16 @@ impl<R: Read, W: Write> Client<R, W> {
                 version,
                 pipelining,
                 compact,
+                leases,
+                max_outstanding,
+                lease_ttl,
             } => Ok(ServerHello {
                 version,
                 pipelining,
                 compact,
+                leases,
+                max_outstanding,
+                lease_ttl,
             }),
             other => Err(ClientError::Protocol(format!(
                 "hello expected a hello reply, got {other:?}"
@@ -649,10 +682,16 @@ impl<R: Read, W: Write> MuxClient<R, W> {
                 version,
                 pipelining,
                 compact,
+                leases,
+                max_outstanding,
+                lease_ttl,
             } => Ok(ServerHello {
                 version,
                 pipelining,
                 compact,
+                leases,
+                max_outstanding,
+                lease_ttl,
             }),
             Response::Error(err) => Err(ClientError::Server(err)),
             other => Err(ClientError::Protocol(format!(
@@ -836,4 +875,261 @@ fn advance_lane<R: Read, W: Write>(
             "reply routed to a finished session".to_string(),
         )),
     }
+}
+
+/// Where one reviewer stands in its `lease` → `answer_as` loop.
+enum ReviewerState {
+    /// `lease` is in flight; expecting a team plan.
+    AwaitLease,
+    /// `answer_as`/`supply_as`/`skip_as`/`release` is in flight.
+    AwaitAck,
+    /// This reviewer stopped (session done, or budget spent).
+    Retired,
+}
+
+/// One reviewer being driven by [`ReviewTeam::drive`].
+struct ReviewerLane {
+    name: String,
+    answers: usize,
+    state: ReviewerState,
+    /// The request currently in flight, kept for `busy` re-sends.
+    pending: Option<Request>,
+}
+
+/// What [`ReviewTeam::drive`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReviewOutcome {
+    /// Why the session ended.
+    pub reason: DoneReason,
+    /// Per-reviewer answer counts, in constructor order.
+    pub answers: Vec<(String, usize)>,
+}
+
+/// A team of named reviewers driving **one** multi-reviewer session over
+/// one pipelined [`MuxClient`] connection.
+///
+/// Each reviewer runs the `lease` → decide → `answer_as` loop the wire
+/// protocol describes, all N loops interleaved on the one connection: one
+/// verb in flight per reviewer, replies consumed in server completion
+/// order.  The session must already be open (see
+/// [`OpenOptions::policy`] for choosing its conflict policy).
+pub struct ReviewTeam {
+    session: String,
+    reviewers: Vec<String>,
+}
+
+impl ReviewTeam {
+    /// A team of `reviewers` (ids sent on the wire) for `session`.
+    pub fn new<S: Into<String>>(
+        session: impl Into<String>,
+        reviewers: impl IntoIterator<Item = S>,
+    ) -> ReviewTeam {
+        ReviewTeam {
+            session: session.into(),
+            reviewers: reviewers.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The session id this team addresses.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Drives every reviewer until the session is done or the shared
+    /// answer budget (`None` = unlimited) is spent, answering leased work
+    /// from `user`.  A reviewer that draws a lease after the budget is
+    /// spent releases it; once every reviewer has retired without seeing
+    /// `done`, one `finish` closes the session.  Returns the done reason
+    /// and per-reviewer answer counts.
+    pub fn drive<R: Read, W: Write>(
+        &self,
+        mux: &mut MuxClient<R, W>,
+        user: &dyn UserOracle,
+        budget: Option<usize>,
+    ) -> Result<ReviewOutcome, ClientError> {
+        let mut lanes: Vec<ReviewerLane> = self
+            .reviewers
+            .iter()
+            .map(|name| ReviewerLane {
+                name: name.clone(),
+                answers: 0,
+                state: ReviewerState::AwaitLease,
+                pending: None,
+            })
+            .collect();
+        let mut routes: HashMap<u64, usize> = HashMap::new();
+        let mut total = 0usize;
+        let mut session_done: Option<DoneReason> = None;
+        for (index, lane) in lanes.iter_mut().enumerate() {
+            let seq = send_lease(mux, &self.session, lane)?;
+            routes.insert(seq, index);
+        }
+        let mut live = lanes.len();
+        while live > 0 {
+            let (seq, response) = mux.recv()?;
+            let index = routes
+                .remove(&seq)
+                .ok_or_else(|| ClientError::Protocol(format!("reply for unknown seq {seq}")))?;
+            let lane = &mut lanes[index];
+            if let Response::Error(err) = &response {
+                if matches!(err, WireError::Busy { .. }) {
+                    // Refused without running — safe to re-send verbatim.
+                    let request = lane.pending.clone().ok_or_else(|| {
+                        ClientError::Protocol("busy reply with no request in flight".to_string())
+                    })?;
+                    let seq = mux.send(&request)?;
+                    routes.insert(seq, index);
+                    continue;
+                }
+            }
+            let spent = budget.is_some_and(|b| total >= b);
+            let next_seq = match lane.state {
+                ReviewerState::AwaitLease => match response {
+                    Response::Leased { id, .. } | Response::Fix { id, .. } if spent => {
+                        // Budget ran out while the lease was in flight:
+                        // hand the item back for nobody instead of
+                        // answering over budget.
+                        let request = Request::Release {
+                            session: self.session.clone(),
+                            reviewer: lane.name.clone(),
+                            id,
+                        };
+                        lane.state = ReviewerState::AwaitAck;
+                        let seq = mux.send(&request)?;
+                        lane.pending = Some(request);
+                        Some(seq)
+                    }
+                    Response::Leased {
+                        id,
+                        tuple,
+                        attr,
+                        current,
+                        value,
+                        score,
+                    } => {
+                        let update = Update::new(tuple, attr, value, score);
+                        let feedback = user.feedback(&update, &current);
+                        lane.answers += 1;
+                        total += 1;
+                        let request = Request::AnswerAs {
+                            session: self.session.clone(),
+                            reviewer: lane.name.clone(),
+                            id,
+                            feedback,
+                        };
+                        lane.state = ReviewerState::AwaitAck;
+                        let seq = mux.send(&request)?;
+                        lane.pending = Some(request);
+                        Some(seq)
+                    }
+                    Response::Fix {
+                        id,
+                        tuple,
+                        attr,
+                        current,
+                    } => {
+                        lane.answers += 1;
+                        total += 1;
+                        let request = match user.correct_value(tuple, attr) {
+                            Some(value) if value != current => Request::SupplyAs {
+                                session: self.session.clone(),
+                                reviewer: lane.name.clone(),
+                                id,
+                                value,
+                            },
+                            _ => Request::SkipAs {
+                                session: self.session.clone(),
+                                reviewer: lane.name.clone(),
+                                id,
+                            },
+                        };
+                        lane.state = ReviewerState::AwaitAck;
+                        let seq = mux.send(&request)?;
+                        lane.pending = Some(request);
+                        Some(seq)
+                    }
+                    Response::Wait if spent => None,
+                    // Every servable item is leased to other reviewers:
+                    // receiving this reply drained the socket, so ask again.
+                    Response::Wait => Some(send_lease(mux, &self.session, lane)?),
+                    Response::Done { reason } => {
+                        session_done.get_or_insert(reason);
+                        None
+                    }
+                    Response::Error(err) if is_retryable(&err) => {
+                        Some(send_lease(mux, &self.session, lane)?)
+                    }
+                    Response::Error(err) => return Err(ClientError::Server(err)),
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "lease expected a team plan, got {other:?}"
+                        )))
+                    }
+                },
+                ReviewerState::AwaitAck => match response {
+                    Response::Error(err) if !is_retryable(&err) => {
+                        return Err(ClientError::Server(err))
+                    }
+                    // An ack (or a retryable error — the lease died and the
+                    // work will be re-served): lease again while budget
+                    // remains.
+                    _ if spent => None,
+                    _ => Some(send_lease(mux, &self.session, lane)?),
+                },
+                ReviewerState::Retired => {
+                    return Err(ClientError::Protocol(
+                        "reply routed to a retired reviewer".to_string(),
+                    ))
+                }
+            };
+            match next_seq {
+                Some(seq) => {
+                    routes.insert(seq, index);
+                }
+                None => {
+                    lane.state = ReviewerState::Retired;
+                    lane.pending = None;
+                    live -= 1;
+                }
+            }
+        }
+        let reason = match session_done {
+            Some(reason) => reason,
+            // Budget stop: nobody saw `done`, so close the session.
+            None => match mux.call(&Request::Finish {
+                session: self.session.clone(),
+            })? {
+                Response::Done { reason } => reason,
+                Response::Error(err) => return Err(ClientError::Server(err)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "finish expected a done reply, got {other:?}"
+                    )))
+                }
+            },
+        };
+        Ok(ReviewOutcome {
+            reason,
+            answers: lanes
+                .into_iter()
+                .map(|lane| (lane.name, lane.answers))
+                .collect(),
+        })
+    }
+}
+
+/// Sends one `lease` for a reviewer and returns the in-flight seq.
+fn send_lease<R: Read, W: Write>(
+    mux: &mut MuxClient<R, W>,
+    session: &str,
+    lane: &mut ReviewerLane,
+) -> Result<u64, ClientError> {
+    let request = Request::Lease {
+        session: session.to_string(),
+        reviewer: lane.name.clone(),
+    };
+    lane.state = ReviewerState::AwaitLease;
+    let seq = mux.send(&request)?;
+    lane.pending = Some(request);
+    Ok(seq)
 }

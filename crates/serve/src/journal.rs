@@ -45,6 +45,7 @@ use std::path::{Path, PathBuf};
 use gdr_cfd::{parser, RuleSet};
 use gdr_core::config::GdrConfig;
 use gdr_core::step::GdrEngine;
+use gdr_core::team::{Resolution, TeamConfig, TeamSession};
 use gdr_learn::{ForestConfig, TreeConfig};
 use gdr_relation::csv::{parse_csv, to_csv};
 use gdr_relation::Value;
@@ -52,8 +53,8 @@ use gdr_relation::Value;
 use crate::json::Json;
 use crate::store::{OpenSpec, TranscriptEvent};
 use crate::wire::{
-    feedback_from_token, feedback_token, strategy_from_token, strategy_token, value_from_json,
-    value_to_json,
+    feedback_from_token, feedback_token, policy_from_token, policy_token, strategy_from_token,
+    strategy_token, value_from_json, value_to_json,
 };
 
 // ---- checksum -------------------------------------------------------------
@@ -317,6 +318,71 @@ pub fn encode_event(event: &TranscriptEvent) -> String {
             ("attr", Json::Int(cell.1 as i64)),
         ]),
         TranscriptEvent::Finished => obj(vec![("ev", Json::str("finished"))]),
+        TranscriptEvent::Leased { reviewer, id } => obj(vec![
+            ("ev", Json::str("leased")),
+            ("reviewer", Json::str(reviewer)),
+            ("id", u64_json(*id)),
+        ]),
+        TranscriptEvent::Waited { reviewer } => obj(vec![
+            ("ev", Json::str("waited")),
+            ("reviewer", Json::str(reviewer)),
+        ]),
+        TranscriptEvent::AnsweredAs {
+            reviewer,
+            id,
+            feedback,
+        } => obj(vec![
+            ("ev", Json::str("answer_as")),
+            ("reviewer", Json::str(reviewer)),
+            ("id", u64_json(*id)),
+            ("feedback", Json::str(feedback_token(*feedback))),
+        ]),
+        TranscriptEvent::SuppliedAs {
+            reviewer,
+            id,
+            value,
+        } => obj(vec![
+            ("ev", Json::str("supply_as")),
+            ("reviewer", Json::str(reviewer)),
+            ("id", u64_json(*id)),
+            ("value", value_to_json(value)),
+        ]),
+        TranscriptEvent::SkippedAs { reviewer, id } => obj(vec![
+            ("ev", Json::str("skip_as")),
+            ("reviewer", Json::str(reviewer)),
+            ("id", u64_json(*id)),
+        ]),
+        TranscriptEvent::Released { reviewer, id } => obj(vec![
+            ("ev", Json::str("released")),
+            ("reviewer", Json::str(reviewer)),
+            ("id", u64_json(*id)),
+        ]),
+        TranscriptEvent::Resolved { index, resolution } => {
+            let mut members = vec![
+                ("ev", Json::str("resolved")),
+                ("index", Json::Int(*index as i64)),
+            ];
+            match resolution {
+                Resolution::Answer { cell, feedback } => {
+                    members.push(("kind", Json::str("answer")));
+                    members.push(("tuple", Json::Int(cell.0 as i64)));
+                    members.push(("attr", Json::Int(cell.1 as i64)));
+                    members.push(("feedback", Json::str(feedback_token(*feedback))));
+                }
+                Resolution::Supply { cell, value } => {
+                    members.push(("kind", Json::str("supply")));
+                    members.push(("tuple", Json::Int(cell.0 as i64)));
+                    members.push(("attr", Json::Int(cell.1 as i64)));
+                    members.push(("value", value_to_json(value)));
+                }
+                Resolution::Skip { cell } => {
+                    members.push(("kind", Json::str("skip")));
+                    members.push(("tuple", Json::Int(cell.0 as i64)));
+                    members.push(("attr", Json::Int(cell.1 as i64)));
+                }
+            }
+            obj(members)
+        }
     };
     json.encode()
 }
@@ -341,6 +407,58 @@ pub fn decode_event(payload: &str) -> Result<TranscriptEvent, String> {
             usize_field(&json, "attr")?,
         ))),
         "finished" => Ok(TranscriptEvent::Finished),
+        "leased" => Ok(TranscriptEvent::Leased {
+            reviewer: str_field(&json, "reviewer")?,
+            id: u64_field(&json, "id")?,
+        }),
+        "waited" => Ok(TranscriptEvent::Waited {
+            reviewer: str_field(&json, "reviewer")?,
+        }),
+        "answer_as" => {
+            let token = str_field(&json, "feedback")?;
+            let feedback =
+                feedback_from_token(&token).ok_or_else(|| format!("unknown feedback `{token}`"))?;
+            Ok(TranscriptEvent::AnsweredAs {
+                reviewer: str_field(&json, "reviewer")?,
+                id: u64_field(&json, "id")?,
+                feedback,
+            })
+        }
+        "supply_as" => Ok(TranscriptEvent::SuppliedAs {
+            reviewer: str_field(&json, "reviewer")?,
+            id: u64_field(&json, "id")?,
+            value: value_field(&json, "value")?,
+        }),
+        "skip_as" => Ok(TranscriptEvent::SkippedAs {
+            reviewer: str_field(&json, "reviewer")?,
+            id: u64_field(&json, "id")?,
+        }),
+        "released" => Ok(TranscriptEvent::Released {
+            reviewer: str_field(&json, "reviewer")?,
+            id: u64_field(&json, "id")?,
+        }),
+        "resolved" => {
+            let cell = (usize_field(&json, "tuple")?, usize_field(&json, "attr")?);
+            let kind = str_field(&json, "kind")?;
+            let resolution = match kind.as_str() {
+                "answer" => {
+                    let token = str_field(&json, "feedback")?;
+                    let feedback = feedback_from_token(&token)
+                        .ok_or_else(|| format!("unknown feedback `{token}`"))?;
+                    Resolution::Answer { cell, feedback }
+                }
+                "supply" => Resolution::Supply {
+                    cell,
+                    value: value_field(&json, "value")?,
+                },
+                "skip" => Resolution::Skip { cell },
+                other => return Err(format!("unknown resolution kind `{other}`")),
+            };
+            Ok(TranscriptEvent::Resolved {
+                index: usize_field(&json, "index")?,
+                resolution,
+            })
+        }
         other => Err(format!("unknown event kind `{other}`")),
     }
 }
@@ -435,6 +553,8 @@ pub fn encode_spec(spec: &OpenSpec) -> String {
         ("weights", Json::Array(weights)),
         ("strategy", Json::str(strategy_token(spec.strategy))),
         ("config", config_to_json(&spec.config)),
+        ("policy", Json::str(policy_token(spec.team.policy))),
+        ("lease_ttl", u64_json(spec.team.lease_ttl)),
     ];
     if let Some(truth) = &spec.ground_truth {
         members.push(("truth_name", Json::str(truth.name())));
@@ -483,10 +603,23 @@ pub fn decode_spec(payload: &str) -> Result<OpenSpec, String> {
             )
         }
     };
+    // Specs written before the team verbs existed carry no coordinator
+    // fields; they decode to the defaults (the same optional-field pattern
+    // as `ground_truth_csv`).
+    let mut team = TeamConfig::default();
+    if let Some(Json::Str(token)) = json.get("policy") {
+        team.policy =
+            policy_from_token(token).ok_or_else(|| format!("unknown policy `{token}`"))?;
+    }
+    match json.get("lease_ttl") {
+        None | Some(Json::Null) => {}
+        Some(_) => team.lease_ttl = u64_field(&json, "lease_ttl")?,
+    }
     let mut spec = OpenSpec::new(dirty, rules);
     spec.strategy = strategy;
     spec.config = config;
     spec.ground_truth = ground_truth;
+    spec.team = team;
     Ok(spec)
 }
 
@@ -549,6 +682,18 @@ pub fn engine_digest(engine: &GdrEngine) -> u64 {
             ));
         }
     }
+    fnv1a64(text.as_bytes())
+}
+
+/// [`engine_digest`] extended with the multi-reviewer coordinator: the
+/// lease table, collected answers, escalations, buffered and applied
+/// resolutions, and the logical clock (via
+/// [`TeamSession::digest_text`]).  This is the digest compaction markers
+/// record and recovery validates for team-served sessions — two sessions
+/// with equal digests serve every reviewer identically.
+pub fn team_digest(team: &TeamSession) -> u64 {
+    let mut text = format!("{:016x}\n", engine_digest(team.engine()));
+    text.push_str(&team.digest_text());
     fnv1a64(text.as_bytes())
 }
 
@@ -1010,6 +1155,49 @@ mod tests {
             TranscriptEvent::Supplied((0, 0), Value::Int(-46360)),
             TranscriptEvent::Supplied((2, 5), Value::Null),
             TranscriptEvent::Skipped((9, 2)),
+            TranscriptEvent::Leased {
+                reviewer: "alice \"の\" reviewer".to_string(),
+                id: u64::MAX,
+            },
+            TranscriptEvent::Waited {
+                reviewer: String::new(),
+            },
+            TranscriptEvent::AnsweredAs {
+                reviewer: "bob".to_string(),
+                id: 3,
+                feedback: Feedback::Retain,
+            },
+            TranscriptEvent::SuppliedAs {
+                reviewer: "carol".to_string(),
+                id: 4,
+                value: Value::from("Fort Wayne"),
+            },
+            TranscriptEvent::SkippedAs {
+                reviewer: "dave".to_string(),
+                id: 5,
+            },
+            TranscriptEvent::Released {
+                reviewer: "erin".to_string(),
+                id: 6,
+            },
+            TranscriptEvent::Resolved {
+                index: 0,
+                resolution: gdr_core::team::Resolution::Answer {
+                    cell: (1, 2),
+                    feedback: Feedback::Confirm,
+                },
+            },
+            TranscriptEvent::Resolved {
+                index: 9000,
+                resolution: gdr_core::team::Resolution::Supply {
+                    cell: (0, 4),
+                    value: Value::Null,
+                },
+            },
+            TranscriptEvent::Resolved {
+                index: 1,
+                resolution: gdr_core::team::Resolution::Skip { cell: (7, 7) },
+            },
             TranscriptEvent::Finished,
         ]
     }
@@ -1036,7 +1224,12 @@ mod tests {
         spec.config.seed = u64::MAX - 3;
         spec.config.forest.tree.features_per_split = Some(2);
         spec.ground_truth = Some(clean);
+        spec.team = TeamConfig {
+            policy: gdr_core::team::ConflictPolicy::Majority { k: 3 },
+            lease_ttl: 7,
+        };
         let decoded = decode_spec(&encode_spec(&spec)).expect("decode spec");
+        assert_eq!(decoded.team, spec.team);
         assert_eq!(decoded.dirty.name(), spec.dirty.name());
         assert_eq!(
             format!("{}", decoded.dirty),
@@ -1069,7 +1262,7 @@ mod tests {
             let journal = crate::store::SessionJournal::new(decoded);
             journal.replay().unwrap()
         };
-        assert_eq!(engine_digest(&a), engine_digest(&b));
+        assert_eq!(team_digest(&a), team_digest(&b));
     }
 
     #[test]

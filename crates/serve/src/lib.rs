@@ -49,8 +49,8 @@
 //!
 //! | op | fields | success reply |
 //! |----|--------|---------------|
-//! | `hello` | `version`? | `{"ok":"hello","version":2,"pipelining":true,"compact":true}` |
-//! | `open` | `table_csv`, `rules`, `strategy`, `seed`?, `ground_truth_csv`? | `{"ok":"opened","session":…,"dirty_tuples":n}` |
+//! | `hello` | `version`? | `{"ok":"hello","version":2,"pipelining":true,"compact":true,"leases":true,"max_outstanding":n,"lease_ttl":n}` |
+//! | `open` | `table_csv`, `rules`, `strategy`, `seed`?, `ground_truth_csv`?, `policy`?, `lease_ttl`? | `{"ok":"opened","session":…,"dirty_tuples":n}` |
 //! | `next` | — | `ask` / `need_value` / `done` (below) |
 //! | `answer` | `id`, `feedback` ∈ `confirm\|reject\|retain` | `{"ok":"answered","verifications":n}` |
 //! | `supply` | `tuple`, `attr`, `value` | `{"ok":"supplied","verifications":n}` |
@@ -59,6 +59,19 @@
 //! | `report` | — | `{"ok":"report",…,"eval":{…}?}` |
 //! | `restore` | — | `{"ok":"restored","replayed":n}` |
 //! | `compact` | — | `{"ok":"compacted","events":n,"tail":n}` |
+//! | `lease` | `reviewer` | `leased` / `fix` / `wait` / `done` (see [`wire`]) |
+//! | `answer_as` | `reviewer`, `id`, `feedback` | `{"ok":"answered","verifications":n}` |
+//! | `supply_as` | `reviewer`, `id`, `value` | `{"ok":"supplied","verifications":n}` |
+//! | `skip_as` | `reviewer`, `id` | `{"ok":"skipped"}` |
+//! | `release` | `reviewer`, `id` | `{"ok":"released","held":b}` |
+//!
+//! The last five are the **multi-reviewer** verbs (the `leases` capability
+//! on `hello`): `lease` hands each named reviewer a distinct work item
+//! under a TTL'd lease, disagreeing answers to the same cell resolve under
+//! the `open`-time conflict policy (`first_wins`, `majority-<k>`, or
+//! `escalate`), and the final state is equivalent to some serial
+//! one-reviewer order.  [`client::ReviewTeam`] drives N reviewers over one
+//! pipelined connection.
 //!
 //! `next` replies with one of:
 //!
@@ -200,10 +213,17 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError, MuxClient, OpenOptions, RetryPolicy, ServerHello};
-pub use journal::{DiskJournal, FsyncPolicy, JournalConfig, JournalError, RecoveryReport};
+pub use client::{
+    Client, ClientError, MuxClient, OpenOptions, RetryPolicy, ReviewOutcome, ReviewTeam,
+    ServerHello,
+};
+pub use journal::{
+    team_digest, DiskJournal, FsyncPolicy, JournalConfig, JournalError, RecoveryReport,
+};
 pub use json::{Json, JsonError};
-pub use server::{dispatch, serve_connection, serve_listener, ServerConfig};
+pub use server::{
+    dispatch, dispatch_with, serve_connection, serve_listener, ServerConfig, ServerLimits,
+};
 pub use store::{
     CompactionStats, DurabilityConfig, OpenSpec, Session, SessionJournal, SessionOptions,
     SessionStore, StoreError, TranscriptEvent, STORE_SHARDS,

@@ -48,29 +48,64 @@ use gdr_core::error::GdrError;
 use gdr_core::step::WorkId;
 use gdr_relation::csv::parse_csv;
 
+use gdr_core::team::{TeamConfig, TeamPlan};
+
 use crate::store::{DurabilityConfig, OpenSpec, SessionStore, StoreError};
 use crate::wire::{
     decode_request_frame, encode_response_frame, Request, Response, WireError, WireEval, WireGroup,
     PROTOCOL_VERSION,
 };
 
+/// The limits a server advertises on its `hello` reply so clients can
+/// self-configure (pipelining window, default lease TTL).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLimits {
+    /// Per-connection in-flight request cap behind the `busy` reply.
+    pub max_outstanding: usize,
+    /// Default lease TTL (coordinator operations) sessions open with.
+    pub lease_ttl: u64,
+}
+
+impl Default for ServerLimits {
+    fn default() -> ServerLimits {
+        ServerLimits {
+            max_outstanding: ServerConfig::default().max_outstanding,
+            lease_ttl: TeamConfig::default().lease_ttl,
+        }
+    }
+}
+
 /// Handles one decoded request against the store, producing the reply.
 ///
 /// This is the entire server semantics; the transport loops below only
-/// frame lines around it.
+/// frame lines around it.  `hello` advertises [`ServerLimits::default`];
+/// transports with tuned limits use [`dispatch_with`].
 pub fn dispatch(store: &SessionStore, request: Request) -> Response {
-    match handle(store, request) {
+    dispatch_with(store, request, &ServerLimits::default())
+}
+
+/// [`dispatch`] with explicit `hello` limits (the event loop passes its
+/// configured `max_outstanding` here).
+pub fn dispatch_with(store: &SessionStore, request: Request, limits: &ServerLimits) -> Response {
+    match handle(store, request, limits) {
         Ok(response) => response,
         Err(error) => Response::Error(error),
     }
 }
 
-fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError> {
+fn handle(
+    store: &SessionStore,
+    request: Request,
+    limits: &ServerLimits,
+) -> Result<Response, WireError> {
     match request {
         Request::Hello { version: _ } => Ok(Response::Hello {
             version: PROTOCOL_VERSION,
             pipelining: true,
             compact: true,
+            leases: true,
+            max_outstanding: limits.max_outstanding,
+            lease_ttl: limits.lease_ttl,
         }),
         Request::Open {
             session,
@@ -79,14 +114,20 @@ fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError>
             strategy,
             seed,
             ground_truth_csv,
+            policy,
+            lease_ttl,
         } => {
-            let spec = build_spec(
+            let mut spec = build_spec(
                 &table_csv,
                 &rules,
                 strategy,
                 seed,
                 ground_truth_csv.as_deref(),
             )?;
+            if let Some(policy) = policy {
+                spec.team.policy = policy;
+            }
+            spec.team.lease_ttl = lease_ttl.unwrap_or(limits.lease_ttl);
             let handle = store.open(&session, spec).map_err(store_error)?;
             let dirty_tuples = {
                 let guard = handle
@@ -169,6 +210,84 @@ fn handle(store: &SessionStore, request: Request) -> Result<Response, WireError>
                 tail,
             })
             .map_err(store_error),
+        Request::Lease { session, reviewer } => store
+            .with_session(&session, |s| {
+                let plan = s.lease(&reviewer)?;
+                Ok(team_plan_response(s, plan))
+            })
+            .map_err(store_error),
+        Request::AnswerAs {
+            session,
+            reviewer,
+            id,
+            feedback,
+        } => store
+            .with_session(&session, |s| {
+                s.answer_as(&reviewer, WorkId::from_raw(id), feedback)
+            })
+            .map(|verifications| Response::Answered { verifications })
+            .map_err(store_error),
+        Request::SupplyAs {
+            session,
+            reviewer,
+            id,
+            value,
+        } => store
+            .with_session(&session, |s| {
+                s.supply_as(&reviewer, WorkId::from_raw(id), value)
+            })
+            .map(|verifications| Response::Supplied { verifications })
+            .map_err(store_error),
+        Request::SkipAs {
+            session,
+            reviewer,
+            id,
+        } => store
+            .with_session(&session, |s| s.skip_as(&reviewer, WorkId::from_raw(id)))
+            .map(|()| Response::Skipped)
+            .map_err(store_error),
+        Request::Release {
+            session,
+            reviewer,
+            id,
+        } => store
+            .with_session(&session, |s| {
+                s.release_lease(&reviewer, WorkId::from_raw(id))
+            })
+            .map(|held| Response::Released { held })
+            .map_err(store_error),
+    }
+}
+
+/// Maps a team plan onto its wire reply.  `leased` carries the cell's
+/// current value (like `ask`) so a remote reviewer can decide without a
+/// second round trip.
+fn team_plan_response(session: &crate::store::Session, plan: TeamPlan) -> Response {
+    match plan {
+        TeamPlan::Ask { id, update } => {
+            let current = session
+                .engine()
+                .state()
+                .table()
+                .cell(update.tuple, update.attr)
+                .clone();
+            Response::Leased {
+                id: id.raw(),
+                tuple: update.tuple,
+                attr: update.attr,
+                current,
+                value: update.value,
+                score: update.score,
+            }
+        }
+        TeamPlan::Fix { id, cell, current } => Response::Fix {
+            id: id.raw(),
+            tuple: cell.0,
+            attr: cell.1,
+            current,
+        },
+        TeamPlan::Wait => Response::Wait,
+        TeamPlan::Done(reason) => Response::Done { reason },
     }
 }
 
@@ -469,7 +588,7 @@ impl WorkQueue {
     }
 }
 
-fn worker_loop(store: Arc<SessionStore>, queue: Arc<WorkQueue>) {
+fn worker_loop(store: Arc<SessionStore>, queue: Arc<WorkQueue>, limits: ServerLimits) {
     loop {
         let job = {
             let mut state = queue
@@ -491,12 +610,14 @@ fn worker_loop(store: Arc<SessionStore>, queue: Arc<WorkQueue>) {
         };
         // A panicking verb must cost its requester an error reply, never
         // the worker thread (a dead worker would silently shrink the pool).
-        let response = catch_unwind(AssertUnwindSafe(|| dispatch(&store, job.request)))
-            .unwrap_or_else(|_| {
-                Response::Error(WireError::Engine {
-                    detail: "panic while serving request".to_string(),
-                })
-            });
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            dispatch_with(&store, job.request, &limits)
+        }))
+        .unwrap_or_else(|_| {
+            Response::Error(WireError::Engine {
+                detail: "panic while serving request".to_string(),
+            })
+        });
         // Queue the reply BEFORE releasing the outstanding slot / legacy
         // flag: observers that see the slot free (Acquire) must find the
         // reply already in the buffer, or in-order delivery breaks.
@@ -776,13 +897,17 @@ fn run_event_loop(
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let queue = Arc::new(WorkQueue::new());
+    let limits = ServerLimits {
+        max_outstanding: config.max_outstanding,
+        ..ServerLimits::default()
+    };
     let workers: Vec<_> = (0..config.workers)
         .map(|i| {
             let store = store.clone();
             let queue = queue.clone();
             thread::Builder::new()
                 .name(format!("gdr-serve-worker-{i}"))
-                .spawn(move || worker_loop(store, queue))
+                .spawn(move || worker_loop(store, queue, limits))
                 .expect("spawn gdr-serve worker")
         })
         .collect();

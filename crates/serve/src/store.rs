@@ -14,6 +14,15 @@
 //! a pull that merely re-serves the outstanding item is pure and is not.
 //! Protocol errors mutate nothing, so they are never journaled.
 //!
+//! Multi-reviewer sessions journal the same way: every state-changing
+//! coordinator operation — a lease grant, a clock-ticking wait, an accepted
+//! `answer_as`/`supply_as`/`skip_as`, a release that held — is one event,
+//! and the [`gdr_core::team::TeamSession`] coordinator is deterministic, so
+//! replaying the operation sequence reproduces leases, conflict state, and
+//! the applied-resolution log bit-for-bit.  Committed resolutions are
+//! additionally journaled as [`TranscriptEvent::Resolved`] checkpoints that
+//! replay cross-checks against its recomputed log.
+//!
 //! ## Compaction
 //!
 //! Replaying from the `open` verb makes restore cost grow with session
@@ -49,10 +58,12 @@
 //! mutex — sessions never block one another, and under the multiplexed
 //! server many connections resolve ids concurrently.  LRU eviction keeps a
 //! **global** budget ([`DurabilityConfig::max_live_sessions`], tracked by
-//! an atomic live counter) but commits each eviction under a single shard
-//! lock: a scan finds the globally least-recently-used idle session, then
-//! its shard is re-locked and the candidate re-validated (still present,
-//! still idle, not touched since) before removal — borrowers clone the
+//! an atomic live counter) over **per-shard accounting**: each shard
+//! maintains its own LRU index (`stamp → id`, stamps from one monotone
+//! store clock) under its lock, victim selection takes the oldest of each
+//! shard's idle candidate instead of scanning every live session, and the
+//! eviction commits under the victim's shard lock after re-validation
+//! (still present, still idle, not touched since) — borrowers clone the
 //! session `Arc` under the shard lock, so a session observed idle under
 //! that lock cannot gain a borrower while it is evicted.  Poisoned locks
 //! are recovered (`PoisonError::into_inner`): a panicking worker must not
@@ -60,7 +71,7 @@
 //! definitely-consistent engine from the journal if a panic left the live
 //! one suspect.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -72,11 +83,12 @@ use gdr_core::config::GdrConfig;
 use gdr_core::error::GdrError;
 use gdr_core::step::{GdrEngine, SessionBuilder, WorkId, WorkPlan};
 use gdr_core::strategy::Strategy;
+use gdr_core::team::{Resolution, TeamConfig, TeamPlan, TeamSession};
 use gdr_relation::{Table, Value};
 use gdr_repair::{Cell, Feedback};
 
 use crate::journal::{
-    engine_digest, fnv1a64, session_dir_name, DiskJournal, JournalConfig, RecoveryReport,
+    fnv1a64, session_dir_name, team_digest, DiskJournal, JournalConfig, RecoveryReport,
     SnapshotMarker,
 };
 
@@ -100,11 +112,16 @@ pub struct OpenSpec {
     /// Optional ground truth: installs evaluation hooks, enabling loss
     /// checkpoints and the accuracy figures in `report`.
     pub ground_truth: Option<Table>,
+    /// Multi-reviewer coordination (conflict policy, lease TTL).  Sessions
+    /// driven by a single reviewer never notice it; the team verbs
+    /// ([`Session::lease`] and friends) serve under it.
+    pub team: TeamConfig,
 }
 
 impl OpenSpec {
     /// A spec from the two required inputs, defaulting the rest (strategy
-    /// [`Strategy::Gdr`], default config, no ground truth).
+    /// [`Strategy::Gdr`], default config, no ground truth, default
+    /// [`TeamConfig`]).
     pub fn new(dirty: Table, rules: RuleSet) -> OpenSpec {
         OpenSpec {
             dirty,
@@ -112,17 +129,19 @@ impl OpenSpec {
             strategy: Strategy::Gdr,
             config: GdrConfig::default(),
             ground_truth: None,
+            team: TeamConfig::default(),
         }
     }
 
-    fn build(&self) -> GdrEngine {
+    fn build(&self) -> TeamSession {
         let builder = SessionBuilder::new(self.dirty.clone(), &self.rules)
             .strategy(self.strategy)
             .config(self.config.clone());
-        match &self.ground_truth {
+        let engine = match &self.ground_truth {
             Some(truth) => builder.ground_truth(truth.clone()).build(),
             None => builder.build(),
-        }
+        };
+        TeamSession::new(engine, self.team)
     }
 }
 
@@ -147,13 +166,74 @@ pub enum TranscriptEvent {
     Skipped(Cell),
     /// `finish()` concluded the session.
     Finished,
+    /// A state-changing [`TeamSession::next_work_for`] granted lease `id`
+    /// to `reviewer`.  Replay re-runs the pull and validates the recomputed
+    /// grant against the recorded id — the coordinator is deterministic, so
+    /// a mismatch means the journal was edited.
+    Leased {
+        /// The pulling reviewer.
+        reviewer: String,
+        /// The granted lease id ([`WorkId::raw`]).
+        id: u64,
+    },
+    /// A state-changing [`TeamSession::next_work_for`] returned
+    /// [`TeamPlan::Wait`] for `reviewer`.  Journaled because even a `Wait`
+    /// ticks the coordinator clock (it is how abandoned leases age out).
+    Waited {
+        /// The pulling reviewer.
+        reviewer: String,
+    },
+    /// `answer_as(reviewer, id, feedback)` was applied.
+    AnsweredAs {
+        /// The answering reviewer.
+        reviewer: String,
+        /// The lease id answered.
+        id: u64,
+        /// The reviewer's feedback.
+        feedback: Feedback,
+    },
+    /// `supply_as(reviewer, id, value)` was applied.
+    SuppliedAs {
+        /// The supplying reviewer.
+        reviewer: String,
+        /// The lease id supplied.
+        id: u64,
+        /// The typed value.
+        value: Value,
+    },
+    /// `skip_as(reviewer, id)` was applied.
+    SkippedAs {
+        /// The declining reviewer.
+        reviewer: String,
+        /// The lease id skipped.
+        id: u64,
+    },
+    /// `release(reviewer, id)` returned a lease to the pool.
+    Released {
+        /// The releasing reviewer.
+        reviewer: String,
+        /// The released lease id.
+        id: u64,
+    },
+    /// Validation checkpoint: entry `index` of the cumulative
+    /// [`TeamSession::resolutions`] log resolved to `resolution`.  Not a
+    /// replay *input* (replay recomputes the log from the operation events);
+    /// replay cross-checks the recomputed entry against the recorded one, so
+    /// a divergence surfaces as a typed error instead of silent drift.
+    Resolved {
+        /// Index into the cumulative resolution log.
+        index: usize,
+        /// The recorded resolution at that index.
+        resolution: Resolution,
+    },
 }
 
 /// The replay base a compaction installs: a validated clone of the live
-/// engine, standing in for the `events` transcript entries it absorbed.
+/// session (engine plus coordinator), standing in for the `events`
+/// transcript entries it absorbed.
 #[derive(Debug, Clone)]
 struct JournalSnapshot {
-    engine: GdrEngine,
+    team: TeamSession,
     events: usize,
     ends_finished: bool,
 }
@@ -216,11 +296,11 @@ impl SessionJournal {
         }
     }
 
-    /// Installs `engine` — which must embody every journaled event — as the
+    /// Installs `team` — which must embody every journaled event — as the
     /// new replay base and drops the tail it absorbed.
-    fn adopt_snapshot(&mut self, engine: GdrEngine) {
+    fn adopt_snapshot(&mut self, team: TeamSession) {
         let snapshot = JournalSnapshot {
-            engine,
+            team,
             events: self.events_total(),
             ends_finished: self.ends_finished(),
         };
@@ -228,44 +308,110 @@ impl SessionJournal {
         self.tail.clear();
     }
 
-    /// Rebuilds an engine — from the compaction snapshot when one exists,
+    /// Rebuilds the session — from the compaction snapshot when one exists,
     /// from scratch otherwise — and replays the tail through the public
-    /// pull API.  Determinism makes the result bit-identical to the engine
+    /// pull API.  Determinism makes the result bit-identical to the session
     /// the transcript was recorded from; a divergence (e.g. a journal
     /// edited by hand) surfaces as a typed [`GdrError`] because the
-    /// replayed work ids no longer line up.
-    pub fn replay(&self) -> Result<GdrEngine, GdrError> {
-        let mut engine = match &self.snapshot {
-            Some(snapshot) => snapshot.engine.clone(),
+    /// replayed work ids or resolutions no longer line up.
+    pub fn replay(&self) -> Result<TeamSession, GdrError> {
+        let mut team = match &self.snapshot {
+            Some(snapshot) => snapshot.team.clone(),
             None => self.spec.build(),
         };
         for event in &self.tail {
             match event {
                 TranscriptEvent::Pulled => {
-                    engine.next_work()?;
+                    team.engine_mut().next_work()?;
                 }
                 // Each verb re-pulls before applying; its serving pull is
                 // already in the transcript as `Pulled`, so this extra call
                 // is a pure re-serve of the outstanding item — it keeps the
                 // replay robust even against a journal with missing pulls.
                 TranscriptEvent::Answered(raw, feedback) => {
+                    let engine = team.engine_mut();
                     engine.next_work()?;
                     engine.answer(WorkId::from_raw(*raw), *feedback)?;
                 }
                 TranscriptEvent::Supplied(cell, value) => {
+                    let engine = team.engine_mut();
                     engine.next_work()?;
                     engine.supply_value(*cell, value.clone())?;
                 }
                 TranscriptEvent::Skipped(cell) => {
+                    let engine = team.engine_mut();
                     engine.next_work()?;
                     engine.skip_value(*cell)?;
                 }
                 TranscriptEvent::Finished => {
-                    engine.finish()?;
+                    team.finish()?;
+                }
+                TranscriptEvent::Leased { reviewer, id } => {
+                    let granted = match team.next_work_for(reviewer)? {
+                        TeamPlan::Ask { id, .. } | TeamPlan::Fix { id, .. } => Some(id.raw()),
+                        TeamPlan::Wait | TeamPlan::Done(_) => None,
+                    };
+                    if granted != Some(*id) {
+                        return Err(GdrError::Journal {
+                            detail: format!(
+                                "replayed lease for `{reviewer}` granted {granted:?}, \
+                                 journal recorded {id}"
+                            ),
+                        });
+                    }
+                }
+                TranscriptEvent::Waited { reviewer } => {
+                    let plan = team.next_work_for(reviewer)?;
+                    if plan != TeamPlan::Wait {
+                        return Err(GdrError::Journal {
+                            detail: format!(
+                                "replayed pull for `{reviewer}` served {plan:?}, \
+                                 journal recorded a wait"
+                            ),
+                        });
+                    }
+                }
+                TranscriptEvent::AnsweredAs {
+                    reviewer,
+                    id,
+                    feedback,
+                } => {
+                    team.answer_as(reviewer, WorkId::from_raw(*id), *feedback)?;
+                }
+                TranscriptEvent::SuppliedAs {
+                    reviewer,
+                    id,
+                    value,
+                } => {
+                    team.supply_as(reviewer, WorkId::from_raw(*id), value.clone())?;
+                }
+                TranscriptEvent::SkippedAs { reviewer, id } => {
+                    team.skip_as(reviewer, WorkId::from_raw(*id))?;
+                }
+                TranscriptEvent::Released { reviewer, id } => {
+                    if !team.release(reviewer, WorkId::from_raw(*id))? {
+                        return Err(GdrError::Journal {
+                            detail: format!(
+                                "replayed release of lease {id} by `{reviewer}` was a no-op; \
+                                 the journal only records releases that held"
+                            ),
+                        });
+                    }
+                }
+                TranscriptEvent::Resolved { index, resolution } => {
+                    let recomputed = team.resolutions().get(*index);
+                    if recomputed != Some(resolution) {
+                        return Err(GdrError::Journal {
+                            detail: format!(
+                                "resolution {index} diverged on replay: journal recorded \
+                                 {resolution:?}, replay produced {recomputed:?}"
+                            ),
+                        });
+                    }
                 }
             }
         }
-        Ok(engine)
+        Ok(team)
     }
 }
 
@@ -335,25 +481,30 @@ impl SessionOptions {
         };
         let journal = SessionJournal::new(spec);
         Ok(Session {
-            engine: journal.spec.build(),
+            team: journal.spec.build(),
             journal,
             outstanding: false,
+            resolved_logged: 0,
             config: self.journal,
             disk,
         })
     }
 }
 
-/// A live session: the engine, its journal, and (in durable mode) the
-/// on-disk journal every event is appended to.
+/// A live session: the engine under its multi-reviewer coordinator, its
+/// journal, and (in durable mode) the on-disk journal every event is
+/// appended to.
 #[derive(Debug)]
 pub struct Session {
-    engine: GdrEngine,
+    team: TeamSession,
     journal: SessionJournal,
     /// Whether a served work item is currently outstanding — the line
     /// between pure pulls (re-serves, not journaled) and state-advancing
     /// pulls (journaled as [`TranscriptEvent::Pulled`]).
     outstanding: bool,
+    /// How many entries of the cumulative resolution log already have a
+    /// [`TranscriptEvent::Resolved`] checkpoint in the journal.
+    resolved_logged: usize,
     config: JournalConfig,
     disk: Option<DiskJournal>,
 }
@@ -402,21 +553,23 @@ impl Session {
         let (disk, loaded) = DiskJournal::open(dir, config)?;
         let mut recovery = loaded.recovery;
         let journal = SessionJournal::from_events(loaded.spec, loaded.events);
-        let engine = journal.replay()?;
+        let team = journal.replay()?;
         if let Some(marker) = loaded.snapshot {
             // The marker is an integrity checkpoint, not a replay input: if
-            // it covers the whole recovered transcript, the rebuilt engine
+            // it covers the whole recovered transcript, the rebuilt session
             // must digest-match it.  A mismatch means the marker is from a
             // diverged history — ignore it, full replay is authoritative.
-            if marker.events == journal.events_total() && engine_digest(&engine) != marker.digest {
+            if marker.events == journal.events_total() && team_digest(&team) != marker.digest {
                 recovery.snapshot_ignored = true;
             }
         }
+        let resolved_logged = team.resolutions().len();
         Ok((
             Session {
-                engine,
+                team,
                 journal,
                 outstanding: false,
+                resolved_logged,
                 config,
                 disk: Some(disk),
             },
@@ -426,7 +579,12 @@ impl Session {
 
     /// The live engine.
     pub fn engine(&self) -> &GdrEngine {
-        &self.engine
+        self.team.engine()
+    }
+
+    /// The live multi-reviewer coordinator (the engine's owner).
+    pub fn team(&self) -> &TeamSession {
+        &self.team
     }
 
     /// The journal (build inputs + snapshot + transcript tail).
@@ -466,8 +624,8 @@ impl Session {
     // stream of distinct items — it re-serves until answered).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<WorkPlan, GdrError> {
-        let advancing = !self.outstanding && self.engine.done().is_none();
-        let plan = self.engine.next_work()?;
+        let advancing = !self.outstanding && self.team.engine().done().is_none();
+        let plan = self.team.engine_mut().next_work()?;
         self.outstanding = !matches!(plan, WorkPlan::Done(_));
         if advancing {
             self.journal_event(TranscriptEvent::Pulled)?;
@@ -477,24 +635,24 @@ impl Session {
 
     /// Answers the outstanding `AskUser` item; journals on success.
     pub fn answer(&mut self, id: WorkId, feedback: Feedback) -> Result<usize, GdrError> {
-        self.engine.answer(id, feedback)?;
+        self.team.engine_mut().answer(id, feedback)?;
         self.outstanding = false;
         self.journal_event(TranscriptEvent::Answered(id.raw(), feedback))?;
-        Ok(self.engine.verifications())
+        Ok(self.team.engine().verifications())
     }
 
     /// Supplies a value for the outstanding `NeedsValue` cell; journals on
     /// success.
     pub fn supply(&mut self, cell: Cell, value: Value) -> Result<usize, GdrError> {
-        self.engine.supply_value(cell, value.clone())?;
+        self.team.engine_mut().supply_value(cell, value.clone())?;
         self.outstanding = false;
         self.journal_event(TranscriptEvent::Supplied(cell, value))?;
-        Ok(self.engine.verifications())
+        Ok(self.team.engine().verifications())
     }
 
     /// Skips the outstanding `NeedsValue` cell; journals on success.
     pub fn skip(&mut self, cell: Cell) -> Result<(), GdrError> {
-        self.engine.skip_value(cell)?;
+        self.team.engine_mut().skip_value(cell)?;
         self.outstanding = false;
         self.journal_event(TranscriptEvent::Skipped(cell))?;
         Ok(())
@@ -502,13 +660,139 @@ impl Session {
 
     /// Finishes the session; journals on success.
     pub fn finish(&mut self) -> Result<gdr_core::step::DoneReason, GdrError> {
-        let reason = self.engine.finish()?;
+        let reason = self.team.finish()?;
         self.outstanding = false;
         // finish() is idempotent; journal it once so replay stays aligned.
         if !self.journal.ends_finished() {
             self.journal_event(TranscriptEvent::Finished)?;
         }
         Ok(reason)
+    }
+
+    // ---- team verbs -------------------------------------------------------
+
+    /// Every team verb pulls the engine internally, and that pull can be
+    /// state-advancing (the session's first pull, the one that closes a
+    /// group, the one that seals the conclusion) even when the verb itself
+    /// then fails or journals nothing — e.g. a stale `answer_as`, or a
+    /// `lease` that observes the conclusion.  Journaling the advancing pull
+    /// *before* the coordinator runs keeps the transcript complete: after
+    /// this, the verb's own engine pull is a pure re-serve.
+    fn sync_pull(&mut self) -> Result<(), GdrError> {
+        if !self.outstanding && self.team.engine().done().is_none() {
+            self.team.engine_mut().next_work()?;
+            self.outstanding = self.team.engine().done().is_none();
+            self.journal_event(TranscriptEvent::Pulled)?;
+        }
+        Ok(())
+    }
+
+    /// Serves (or re-serves) work to `reviewer` under a lease.  A pure
+    /// re-serve (the reviewer already holds a live lease on valid work)
+    /// journals nothing; a state-changing pull — a grant or a clock-ticking
+    /// [`TeamPlan::Wait`] — is journaled so replay re-runs it.
+    pub fn lease(&mut self, reviewer: &str) -> Result<TeamPlan, GdrError> {
+        self.sync_pull()?;
+        let before = self.team.clock();
+        let plan = self.team.next_work_for(reviewer)?;
+        if self.team.clock() != before {
+            let event = match &plan {
+                TeamPlan::Ask { id, .. } | TeamPlan::Fix { id, .. } => TranscriptEvent::Leased {
+                    reviewer: reviewer.to_string(),
+                    id: id.raw(),
+                },
+                TeamPlan::Wait => TranscriptEvent::Waited {
+                    reviewer: reviewer.to_string(),
+                },
+                TeamPlan::Done(_) => unreachable!("a done pull never ticks the clock"),
+            };
+            self.journal_event(event)?;
+        }
+        self.outstanding = !matches!(plan, TeamPlan::Done(_));
+        Ok(plan)
+    }
+
+    /// Applies `reviewer`'s feedback to the leased item `id`; journals on
+    /// success, including a [`TranscriptEvent::Resolved`] checkpoint for
+    /// every resolution the conflict policy committed to the engine.
+    pub fn answer_as(
+        &mut self,
+        reviewer: &str,
+        id: WorkId,
+        feedback: Feedback,
+    ) -> Result<usize, GdrError> {
+        self.sync_pull()?;
+        self.team.answer_as(reviewer, id, feedback)?;
+        self.outstanding = self.team.engine().done().is_none();
+        self.journal_event(TranscriptEvent::AnsweredAs {
+            reviewer: reviewer.to_string(),
+            id: id.raw(),
+            feedback,
+        })?;
+        self.journal_resolutions()?;
+        Ok(self.team.engine().verifications())
+    }
+
+    /// Applies `reviewer`'s typed value to the leased fix item `id`;
+    /// journals on success, as [`Session::answer_as`].
+    pub fn supply_as(
+        &mut self,
+        reviewer: &str,
+        id: WorkId,
+        value: Value,
+    ) -> Result<usize, GdrError> {
+        self.sync_pull()?;
+        self.team.supply_as(reviewer, id, value.clone())?;
+        self.outstanding = self.team.engine().done().is_none();
+        self.journal_event(TranscriptEvent::SuppliedAs {
+            reviewer: reviewer.to_string(),
+            id: id.raw(),
+            value,
+        })?;
+        self.journal_resolutions()?;
+        Ok(self.team.engine().verifications())
+    }
+
+    /// Declines the leased fix item `id` as `reviewer`; journals on
+    /// success, as [`Session::answer_as`].
+    pub fn skip_as(&mut self, reviewer: &str, id: WorkId) -> Result<(), GdrError> {
+        self.sync_pull()?;
+        self.team.skip_as(reviewer, id)?;
+        self.outstanding = self.team.engine().done().is_none();
+        self.journal_event(TranscriptEvent::SkippedAs {
+            reviewer: reviewer.to_string(),
+            id: id.raw(),
+        })?;
+        self.journal_resolutions()?;
+        Ok(())
+    }
+
+    /// Releases `reviewer`'s lease `id` back to the pool.  Only a release
+    /// that actually held (returned `true`) changes state and is journaled;
+    /// a stale release is a no-op on both the session and the journal.
+    pub fn release_lease(&mut self, reviewer: &str, id: WorkId) -> Result<bool, GdrError> {
+        self.sync_pull()?;
+        let held = self.team.release(reviewer, id)?;
+        if held {
+            self.journal_event(TranscriptEvent::Released {
+                reviewer: reviewer.to_string(),
+                id: id.raw(),
+            })?;
+        }
+        self.outstanding = self.team.engine().done().is_none();
+        Ok(held)
+    }
+
+    /// Journals a [`TranscriptEvent::Resolved`] checkpoint for every
+    /// resolution committed since the last one logged.
+    fn journal_resolutions(&mut self) -> Result<(), GdrError> {
+        while self.resolved_logged < self.team.resolutions().len() {
+            let index = self.resolved_logged;
+            let resolution = self.team.resolutions()[index].clone();
+            self.resolved_logged += 1;
+            self.journal_event(TranscriptEvent::Resolved { index, resolution })?;
+        }
+        Ok(())
     }
 
     /// Compacts the journal: installs a clone of the live engine as the
@@ -523,8 +807,8 @@ impl Session {
         let dropped = self.journal.tail.len();
         if self.config.validate_compaction {
             let replayed = self.journal.replay()?;
-            let live = engine_digest(&self.engine);
-            let rebuilt = engine_digest(&replayed);
+            let live = team_digest(&self.team);
+            let rebuilt = team_digest(&replayed);
             if rebuilt != live {
                 return Err(GdrError::Journal {
                     detail: format!(
@@ -534,11 +818,11 @@ impl Session {
                 });
             }
         }
-        self.journal.adopt_snapshot(self.engine.clone());
+        self.journal.adopt_snapshot(self.team.clone());
         if let Some(disk) = &mut self.disk {
             disk.record_snapshot(SnapshotMarker {
                 events,
-                digest: engine_digest(&self.engine),
+                digest: team_digest(&self.team),
             })?;
         }
         Ok(CompactionStats {
@@ -552,11 +836,12 @@ impl Session {
     /// (snapshot + tail when compacted, from scratch otherwise).  Returns
     /// the number of tail events replayed.
     pub fn restore(&mut self) -> Result<usize, GdrError> {
-        self.engine = self.journal.replay()?;
+        self.team = self.journal.replay()?;
         // Conservatively treat nothing as outstanding: if the replayed
         // engine does hold a served item, the next pull re-serves it purely
         // and journals one extra `Pulled`, which replays as a no-op.
         self.outstanding = false;
+        self.resolved_logged = self.resolved_logged.max(self.team.resolutions().len());
         Ok(self.journal.tail.len())
     }
 }
@@ -626,7 +911,63 @@ struct LiveEntry {
     last_used: u64,
 }
 
-type Shard = Mutex<HashMap<String, LiveEntry>>;
+/// One shard's sessions plus its own LRU index (`stamp → id`, stamps from
+/// the store-global monotone clock, so they are unique across shards and
+/// each index's first idle entry is that shard's least-recently-used
+/// session).  The index is maintained on every insert/touch/remove under
+/// the shard lock, so victim selection reads one candidate per shard
+/// instead of scanning every live session.
+#[derive(Default)]
+struct ShardMap {
+    sessions: HashMap<String, LiveEntry>,
+    lru: BTreeMap<u64, String>,
+}
+
+impl ShardMap {
+    /// Re-stamps `id` as most-recently-used and hands out its session.
+    fn touch(&mut self, id: &str, stamp: u64) -> Option<Arc<Mutex<Session>>> {
+        let entry = self.sessions.get_mut(id)?;
+        self.lru.remove(&entry.last_used);
+        entry.last_used = stamp;
+        self.lru.insert(stamp, id.to_string());
+        Some(entry.session.clone())
+    }
+
+    /// Inserts `id` with use-stamp `stamp`, indexing it for eviction.
+    fn insert(&mut self, id: &str, session: Arc<Mutex<Session>>, stamp: u64) {
+        self.sessions.insert(
+            id.to_string(),
+            LiveEntry {
+                session,
+                last_used: stamp,
+            },
+        );
+        self.lru.insert(stamp, id.to_string());
+    }
+
+    /// Removes `id` from the map and the LRU index.
+    fn remove(&mut self, id: &str) -> Option<LiveEntry> {
+        let entry = self.sessions.remove(id)?;
+        self.lru.remove(&entry.last_used);
+        Some(entry)
+    }
+
+    /// This shard's LRU *idle* session (`(stamp, id)`): the oldest entry of
+    /// the index nobody currently borrows.  Scans only as many entries as
+    /// there are borrowed sessions older than the answer — usually zero.
+    fn idle_candidate(&self) -> Option<(u64, String)> {
+        self.lru
+            .iter()
+            .find(|(_, id)| {
+                self.sessions
+                    .get(id.as_str())
+                    .is_some_and(|entry| Arc::strong_count(&entry.session) == 1)
+            })
+            .map(|(stamp, id)| (*stamp, id.clone()))
+    }
+}
+
+type Shard = Mutex<ShardMap>;
 
 /// A thread-safe, sharded map of sessions keyed by id (see the
 /// [module docs](self) for the locking design).
@@ -719,17 +1060,11 @@ impl SessionStore {
     /// Inserts an already-built session into `id`'s shard, bumping the live
     /// counter under the shard lock; fails if the id was inserted meanwhile.
     fn insert(&self, id: &str, session: Arc<Mutex<Session>>) -> Result<(), StoreError> {
-        let mut sessions = lock_recovering(self.shard(id));
-        if sessions.contains_key(id) {
+        let mut shard = lock_recovering(self.shard(id));
+        if shard.sessions.contains_key(id) {
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
-        sessions.insert(
-            id.to_string(),
-            LiveEntry {
-                session,
-                last_used: self.stamp(),
-            },
-        );
+        shard.insert(id, session, self.stamp());
         self.live.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
@@ -739,7 +1074,7 @@ impl SessionStore {
         // Cheap duplicate pre-check so a racing re-open does not pay for a
         // doomed engine build.  For durable stores the check covers disk
         // too: an evicted session is still *the* session under its id.
-        if lock_recovering(self.shard(id)).contains_key(id) {
+        if lock_recovering(self.shard(id)).sessions.contains_key(id) {
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
         if let Some(dir) = self.session_dir(id) {
@@ -771,9 +1106,9 @@ impl SessionStore {
     /// Looks up a session by id, rehydrating it from its on-disk journal
     /// when the store is durable and the session is not live in RAM.
     pub fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, StoreError> {
-        if let Some(entry) = lock_recovering(self.shard(id)).get_mut(id) {
-            entry.last_used = self.stamp();
-            return Ok(entry.session.clone());
+        let stamp = self.stamp();
+        if let Some(session) = lock_recovering(self.shard(id)).touch(id, stamp) {
+            return Ok(session);
         }
         let Some(config) = &self.durability else {
             return Err(StoreError::UnknownSession(id.to_string()));
@@ -790,8 +1125,8 @@ impl SessionStore {
         let session = Arc::new(Mutex::new(session));
         if self.insert(id, session.clone()).is_err() {
             // Lost the rehydration race; serve the winner's copy.
-            let sessions = lock_recovering(self.shard(id));
-            if let Some(entry) = sessions.get(id) {
+            let shard = lock_recovering(self.shard(id));
+            if let Some(entry) = shard.sessions.get(id) {
                 return Ok(entry.session.clone());
             }
             // Winner already evicted again — extraordinarily unlikely, but
@@ -804,9 +1139,11 @@ impl SessionStore {
     }
 
     /// LRU-evicts idle sessions while the store exceeds the global
-    /// `max_live_sessions` budget.  Victim selection scans all shards (one
-    /// lock at a time) for the least-recently-used session nobody holds;
-    /// the eviction itself is re-validated under the victim's shard lock —
+    /// `max_live_sessions` budget.  Victim selection asks each shard for
+    /// its own LRU idle candidate — one ordered-index lookup per shard
+    /// under that shard's lock, no scan of the live sessions — and takes
+    /// the globally oldest of the (at most) [`STORE_SHARDS`] candidates.
+    /// The eviction itself is re-validated under the victim's shard lock —
     /// the `Arc::strong_count == 1` check and the removal happen under that
     /// lock, and every borrower clones its `Arc` under the same lock, so an
     /// observed-idle session cannot gain a borrower while it is evicted.
@@ -823,30 +1160,28 @@ impl SessionStore {
         while self.live.load(Ordering::Acquire) > config.max_live_sessions {
             let mut victim: Option<(usize, String, u64)> = None;
             for (index, shard) in self.shards.iter().enumerate() {
-                let sessions = lock_recovering(shard);
-                for (id, entry) in sessions.iter() {
-                    let idle = Arc::strong_count(&entry.session) == 1;
-                    if idle && victim.as_ref().is_none_or(|(_, _, t)| entry.last_used < *t) {
-                        victim = Some((index, id.clone(), entry.last_used));
+                if let Some((stamp, id)) = lock_recovering(shard).idle_candidate() {
+                    if victim.as_ref().is_none_or(|(_, _, t)| stamp < *t) {
+                        victim = Some((index, id, stamp));
                     }
                 }
             }
             let Some((index, id, last_used)) = victim else {
                 break; // Everything over the cap is currently borrowed.
             };
-            let mut sessions = lock_recovering(&self.shards[index]);
+            let mut shard = lock_recovering(&self.shards[index]);
             // Re-validate under the shard lock: the candidate may have been
-            // borrowed, touched, or removed since the scan observed it.
-            let still_idle = sessions.get(&id).is_some_and(|entry| {
+            // borrowed, touched, or removed since its shard reported it.
+            let still_idle = shard.sessions.get(&id).is_some_and(|entry| {
                 entry.last_used == last_used && Arc::strong_count(&entry.session) == 1
             });
             if still_idle {
-                if let Some(entry) = sessions.remove(&id) {
+                if let Some(entry) = shard.remove(&id) {
                     self.live.fetch_sub(1, Ordering::AcqRel);
                     evicted.push(entry.session);
                 }
             }
-            // Not idle any more: loop and rescan — either the budget is
+            // Not idle any more: loop and re-ask — either the budget is
             // back under (someone else evicted) or a different victim wins.
         }
         evicted

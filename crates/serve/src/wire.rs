@@ -41,12 +41,49 @@
 //!
 //! `{"op":"hello","version":v}` (version optional, default 1) is the only
 //! verb with no `session`.  The server answers
-//! `{"ok":"hello","version":V,"pipelining":b,"compact":b}`: `V` is the
-//! protocol version it speaks ([`PROTOCOL_VERSION`]), `pipelining` whether
-//! `seq` correlation is supported, `compact` whether the `compact` verb is.
-//! A client that never sends `hello` gets legacy (version 1) behaviour —
-//! the handshake is advisory, not mandatory.  Servers answer `hello` at any
+//! `{"ok":"hello","version":V,"pipelining":b,"compact":b,"leases":b,
+//! "max_outstanding":n,"lease_ttl":n}`: `V` is the protocol version it
+//! speaks ([`PROTOCOL_VERSION`]), `pipelining` whether `seq` correlation is
+//! supported, `compact` whether the `compact` verb is, and `leases` whether
+//! the multi-reviewer verbs below are.  The two limits let a client
+//! self-configure: `max_outstanding` is the per-connection in-flight cap
+//! behind the `busy` reply, and `lease_ttl` is the default lease
+//! time-to-live (in coordinator operations) a session opens with.  A client
+//! that never sends `hello` gets legacy (version 1) behaviour — the
+//! handshake is advisory, not mandatory.  Servers answer `hello` at any
 //! point, not just first.
+//!
+//! # Multi-reviewer verbs (the `leases` capability)
+//!
+//! Every session is a multi-reviewer session; the single-user verbs are the
+//! degenerate one-reviewer case.  `open` takes two optional fields:
+//! `policy` (a conflict-policy token, see [`policy_token`]; default
+//! `first_wins`) and `lease_ttl` (coordinator operations a lease survives;
+//! default server-chosen).  The verbs, each carrying the reviewer's
+//! self-chosen id in `"reviewer"`:
+//!
+//! * `lease` — `{"op":"lease","session":s,"reviewer":r}` asks for a work
+//!   item this reviewer may decide.  Replies: `leased` (verify a suggested
+//!   update; answer with `answer_as` naming the returned lease `id`), `fix`
+//!   (type the correct value for a cell; answer with `supply_as` /
+//!   `skip_as`), `wait` (other reviewers hold every currently-servable
+//!   item — drain a reply and re-`lease`), or `done`.
+//! * `answer_as` — `{"op":"answer_as","session":s,"reviewer":r,"id":i,
+//!   "feedback":f}` answers a `leased` item; replies `answered`.
+//! * `supply_as` / `skip_as` — answer a `fix` item with a typed value (or
+//!   decline); replies `supplied` / `skipped`.
+//! * `release` — `{"op":"release","session":s,"reviewer":r,"id":i}` hands a
+//!   lease back unanswered (reviewer navigating away); replies
+//!   `{"ok":"released","held":b}` where `held` says whether the lease was
+//!   still live.  Releasing an expired or foreign lease is a no-op, not an
+//!   error.
+//!
+//! A lease also dies on its own once its TTL elapses; the work is then
+//! re-served to the next `lease` caller, and a late `answer_as` on the dead
+//! lease gets the usual retryable `stale_work` reply.  Conflicting answers
+//! to the same cell resolve under the session's policy before the engine
+//! sees them, so the observable repair equals some serial one-reviewer
+//! order.
 //!
 //! # Error replies
 //!
@@ -72,6 +109,7 @@
 use gdr_core::error::{GdrError, WorkTarget};
 use gdr_core::step::DoneReason;
 use gdr_core::strategy::Strategy;
+use gdr_core::team::ConflictPolicy;
 use gdr_relation::Value;
 use gdr_repair::Feedback;
 
@@ -109,6 +147,12 @@ pub enum Request {
         /// Optional ground truth (CSV): installs evaluation hooks so
         /// `report` carries loss/accuracy — the simulated-user setting.
         ground_truth_csv: Option<String>,
+        /// Optional conflict policy for multi-reviewer sessions (see
+        /// [`policy_token`]); absent → `first_wins`.
+        policy: Option<ConflictPolicy>,
+        /// Optional lease TTL in coordinator operations; absent → the
+        /// server's default (reported by `hello`).
+        lease_ttl: Option<u64>,
     },
     /// Pull the next work item (idempotent while one is outstanding).
     Next {
@@ -167,6 +211,53 @@ pub enum Request {
         /// Target session.
         session: String,
     },
+    /// Lease a work item for one named reviewer (the multi-reviewer pull).
+    Lease {
+        /// Target session.
+        session: String,
+        /// The reviewer's self-chosen id.
+        reviewer: String,
+    },
+    /// Answer a `leased` item as a named reviewer.
+    AnswerAs {
+        /// Target session.
+        session: String,
+        /// The reviewer's self-chosen id.
+        reviewer: String,
+        /// The raw lease id from the `leased` reply.
+        id: u64,
+        /// The reviewer's verdict.
+        feedback: Feedback,
+    },
+    /// Supply the correct value for a `fix` item as a named reviewer.
+    SupplyAs {
+        /// Target session.
+        session: String,
+        /// The reviewer's self-chosen id.
+        reviewer: String,
+        /// The raw lease id from the `fix` reply.
+        id: u64,
+        /// The correct value.
+        value: Value,
+    },
+    /// Decline a `fix` item as a named reviewer.
+    SkipAs {
+        /// Target session.
+        session: String,
+        /// The reviewer's self-chosen id.
+        reviewer: String,
+        /// The raw lease id from the `fix` reply.
+        id: u64,
+    },
+    /// Hand a lease back unanswered so another reviewer can take the item.
+    Release {
+        /// Target session.
+        session: String,
+        /// The reviewer's self-chosen id.
+        reviewer: String,
+        /// The raw lease id being released.
+        id: u64,
+    },
 }
 
 /// Group provenance on an `ask` reply (mirror of
@@ -206,7 +297,7 @@ pub struct WireEval {
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// `hello`: the server's protocol version and capabilities.
+    /// `hello`: the server's protocol version, capabilities, and limits.
     Hello {
         /// Protocol version the server speaks ([`PROTOCOL_VERSION`]).
         version: u32,
@@ -214,6 +305,14 @@ pub enum Response {
         pipelining: bool,
         /// Whether the `compact` journal verb is supported.
         compact: bool,
+        /// Whether the multi-reviewer lease verbs are supported.
+        leases: bool,
+        /// Per-connection in-flight request cap (the `busy` threshold);
+        /// `0` when the server did not report one.
+        max_outstanding: usize,
+        /// Default lease TTL (coordinator operations) sessions open with;
+        /// `0` when the server did not report one.
+        lease_ttl: u64,
     },
     /// The session was created.
     Opened {
@@ -290,6 +389,42 @@ pub enum Response {
         events: usize,
         /// Events still held as the replayable tail after compaction.
         tail: usize,
+    },
+    /// `lease`: verify this suggested update (answer with `answer_as`).
+    Leased {
+        /// Raw lease id to pass back with `answer_as`.
+        id: u64,
+        /// Tuple of the suggested update.
+        tuple: usize,
+        /// Attribute of the suggested update.
+        attr: usize,
+        /// The cell's current value.
+        current: Value,
+        /// The suggested new value.
+        value: Value,
+        /// Update-evaluation score `s ∈ [0, 1]`.
+        score: f64,
+    },
+    /// `lease`: type the correct value for this cell (answer with
+    /// `supply_as` or `skip_as`).
+    Fix {
+        /// Raw lease id to pass back with `supply_as`/`skip_as`.
+        id: u64,
+        /// Tuple of the cell.
+        tuple: usize,
+        /// Attribute of the cell.
+        attr: usize,
+        /// The cell's current value.
+        current: Value,
+    },
+    /// `lease`: every currently-servable item is leased to other
+    /// reviewers — drain a reply and ask again.
+    Wait,
+    /// `release` was processed.
+    Released {
+        /// Whether the lease was still live when released (`false` for an
+        /// already-expired, already-answered, or foreign lease).
+        held: bool,
     },
     /// Any request may fail with a structured error instead.
     Error(WireError),
@@ -441,6 +576,36 @@ pub fn feedback_from_token(token: &str) -> Option<Feedback> {
         .find(|&f| feedback_token(f) == token)
 }
 
+/// The wire token of a conflict policy: `first_wins`, `majority-<k>`
+/// (e.g. `majority-3`), or `escalate`.
+pub fn policy_token(policy: ConflictPolicy) -> String {
+    match policy {
+        ConflictPolicy::FirstWins => "first_wins".to_string(),
+        ConflictPolicy::Majority { k } => format!("majority-{k}"),
+        ConflictPolicy::EscalateToNeedsValue => "escalate".to_string(),
+    }
+}
+
+/// Inverse of [`policy_token`].  Strict: `majority-<k>` takes a plain
+/// decimal `k` (no sign, no leading zeros beyond `0` itself).
+pub fn policy_from_token(token: &str) -> Option<ConflictPolicy> {
+    match token {
+        "first_wins" => Some(ConflictPolicy::FirstWins),
+        "escalate" => Some(ConflictPolicy::EscalateToNeedsValue),
+        other => {
+            let digits = other.strip_prefix("majority-")?;
+            let plain_decimal = !digits.is_empty()
+                && digits.bytes().all(|b| b.is_ascii_digit())
+                && (digits.len() == 1 || !digits.starts_with('0'));
+            if !plain_decimal {
+                return None;
+            }
+            let k = digits.parse::<usize>().ok()?;
+            Some(ConflictPolicy::Majority { k })
+        }
+    }
+}
+
 /// The wire token of a completion reason.
 pub fn done_token(reason: DoneReason) -> &'static str {
     match reason {
@@ -543,6 +708,8 @@ fn request_json(request: &Request) -> Json {
             strategy,
             seed,
             ground_truth_csv,
+            policy,
+            lease_ttl,
         } => {
             let mut members = vec![
                 ("op", Json::str("open")),
@@ -556,6 +723,12 @@ fn request_json(request: &Request) -> Json {
             }
             if let Some(truth) = ground_truth_csv {
                 members.push(("ground_truth_csv", Json::str(truth.clone())));
+            }
+            if let Some(policy) = policy {
+                members.push(("policy", Json::str(policy_token(*policy))));
+            }
+            if let Some(ttl) = lease_ttl {
+                members.push(("lease_ttl", u64_json(*ttl)));
             }
             obj(members)
         }
@@ -611,6 +784,55 @@ fn request_json(request: &Request) -> Json {
             ("op", Json::str("compact")),
             ("session", Json::str(session.clone())),
         ]),
+        Request::Lease { session, reviewer } => obj(vec![
+            ("op", Json::str("lease")),
+            ("session", Json::str(session.clone())),
+            ("reviewer", Json::str(reviewer.clone())),
+        ]),
+        Request::AnswerAs {
+            session,
+            reviewer,
+            id,
+            feedback,
+        } => obj(vec![
+            ("op", Json::str("answer_as")),
+            ("session", Json::str(session.clone())),
+            ("reviewer", Json::str(reviewer.clone())),
+            ("id", u64_json(*id)),
+            ("feedback", Json::str(feedback_token(*feedback))),
+        ]),
+        Request::SupplyAs {
+            session,
+            reviewer,
+            id,
+            value,
+        } => obj(vec![
+            ("op", Json::str("supply_as")),
+            ("session", Json::str(session.clone())),
+            ("reviewer", Json::str(reviewer.clone())),
+            ("id", u64_json(*id)),
+            ("value", value_to_json(value)),
+        ]),
+        Request::SkipAs {
+            session,
+            reviewer,
+            id,
+        } => obj(vec![
+            ("op", Json::str("skip_as")),
+            ("session", Json::str(session.clone())),
+            ("reviewer", Json::str(reviewer.clone())),
+            ("id", u64_json(*id)),
+        ]),
+        Request::Release {
+            session,
+            reviewer,
+            id,
+        } => obj(vec![
+            ("op", Json::str("release")),
+            ("session", Json::str(session.clone())),
+            ("reviewer", Json::str(reviewer.clone())),
+            ("id", u64_json(*id)),
+        ]),
     }
 }
 
@@ -643,11 +865,17 @@ fn response_json(response: &Response) -> Json {
             version,
             pipelining,
             compact,
+            leases,
+            max_outstanding,
+            lease_ttl,
         } => obj(vec![
             ("ok", Json::str("hello")),
             ("version", Json::Int(*version as i64)),
             ("pipelining", Json::Bool(*pipelining)),
             ("compact", Json::Bool(*compact)),
+            ("leases", Json::Bool(*leases)),
+            ("max_outstanding", Json::Int(*max_outstanding as i64)),
+            ("lease_ttl", u64_json(*lease_ttl)),
         ]),
         Response::Opened {
             session,
@@ -749,6 +977,39 @@ fn response_json(response: &Response) -> Json {
             ("ok", Json::str("compacted")),
             ("events", Json::Int(*events as i64)),
             ("tail", Json::Int(*tail as i64)),
+        ]),
+        Response::Leased {
+            id,
+            tuple,
+            attr,
+            current,
+            value,
+            score,
+        } => obj(vec![
+            ("ok", Json::str("leased")),
+            ("id", u64_json(*id)),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+            ("current", value_to_json(current)),
+            ("value", value_to_json(value)),
+            ("score", Json::Float(*score)),
+        ]),
+        Response::Fix {
+            id,
+            tuple,
+            attr,
+            current,
+        } => obj(vec![
+            ("ok", Json::str("fix")),
+            ("id", u64_json(*id)),
+            ("tuple", Json::Int(*tuple as i64)),
+            ("attr", Json::Int(*attr as i64)),
+            ("current", value_to_json(current)),
+        ]),
+        Response::Wait => obj(vec![("ok", Json::str("wait"))]),
+        Response::Released { held } => obj(vec![
+            ("ok", Json::str("released")),
+            ("held", Json::Bool(*held)),
         ]),
         Response::Error(error) => match error {
             WireError::StaleWork { got, outstanding } => obj(vec![
@@ -894,6 +1155,20 @@ fn decode_request_json(json: &Json) -> Result<Request, String> {
                 None | Some(Json::Null) => None,
                 Some(_) => Some(str_field(json, "ground_truth_csv")?),
             };
+            let policy = match json.get("policy") {
+                None | Some(Json::Null) => None,
+                Some(_) => {
+                    let token = str_field(json, "policy")?;
+                    Some(
+                        policy_from_token(&token)
+                            .ok_or_else(|| format!("unknown policy `{token}`"))?,
+                    )
+                }
+            };
+            let lease_ttl = match json.get("lease_ttl") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(u64_field(json, "lease_ttl")?),
+            };
             Ok(Request::Open {
                 session,
                 table_csv: str_field(json, "table_csv")?,
@@ -901,6 +1176,8 @@ fn decode_request_json(json: &Json) -> Result<Request, String> {
                 strategy,
                 seed,
                 ground_truth_csv,
+                policy,
+                lease_ttl,
             })
         }
         "next" => Ok(Request::Next { session }),
@@ -929,6 +1206,37 @@ fn decode_request_json(json: &Json) -> Result<Request, String> {
         "report" => Ok(Request::Report { session }),
         "restore" => Ok(Request::Restore { session }),
         "compact" => Ok(Request::Compact { session }),
+        "lease" => Ok(Request::Lease {
+            session,
+            reviewer: str_field(json, "reviewer")?,
+        }),
+        "answer_as" => {
+            let feedback_text = str_field(json, "feedback")?;
+            let feedback = feedback_from_token(&feedback_text)
+                .ok_or_else(|| format!("unknown feedback `{feedback_text}`"))?;
+            Ok(Request::AnswerAs {
+                session,
+                reviewer: str_field(json, "reviewer")?,
+                id: u64_field(json, "id")?,
+                feedback,
+            })
+        }
+        "supply_as" => Ok(Request::SupplyAs {
+            session,
+            reviewer: str_field(json, "reviewer")?,
+            id: u64_field(json, "id")?,
+            value: value_field(json, "value")?,
+        }),
+        "skip_as" => Ok(Request::SkipAs {
+            session,
+            reviewer: str_field(json, "reviewer")?,
+            id: u64_field(json, "id")?,
+        }),
+        "release" => Ok(Request::Release {
+            session,
+            reviewer: str_field(json, "reviewer")?,
+            id: u64_field(json, "id")?,
+        }),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -1008,10 +1316,27 @@ fn decode_response_json(json: &Json) -> Result<Response, String> {
                     .as_bool()
                     .ok_or_else(|| format!("field `{key}` must be a boolean"))
             };
+            // Capability and limit fields added after v2 shipped decode
+            // tolerantly: a server that predates them reports none.
+            let leases = match json.get("leases") {
+                None | Some(Json::Null) => false,
+                Some(_) => bool_field("leases")?,
+            };
+            let max_outstanding = match json.get("max_outstanding") {
+                None | Some(Json::Null) => 0,
+                Some(_) => usize_field(json, "max_outstanding")?,
+            };
+            let lease_ttl = match json.get("lease_ttl") {
+                None | Some(Json::Null) => 0,
+                Some(_) => u64_field(json, "lease_ttl")?,
+            };
             Ok(Response::Hello {
                 version,
                 pipelining: bool_field("pipelining")?,
                 compact: bool_field("compact")?,
+                leases,
+                max_outstanding,
+                lease_ttl,
             })
         }
         "opened" => Ok(Response::Opened {
@@ -1085,6 +1410,26 @@ fn decode_response_json(json: &Json) -> Result<Response, String> {
             events: usize_field(json, "events")?,
             tail: usize_field(json, "tail")?,
         }),
+        "leased" => Ok(Response::Leased {
+            id: u64_field(json, "id")?,
+            tuple: usize_field(json, "tuple")?,
+            attr: usize_field(json, "attr")?,
+            current: value_field(json, "current")?,
+            value: value_field(json, "value")?,
+            score: f64_field(json, "score")?,
+        }),
+        "fix" => Ok(Response::Fix {
+            id: u64_field(json, "id")?,
+            tuple: usize_field(json, "tuple")?,
+            attr: usize_field(json, "attr")?,
+            current: value_field(json, "current")?,
+        }),
+        "wait" => Ok(Response::Wait),
+        "released" => Ok(Response::Released {
+            held: field(json, "held")?
+                .as_bool()
+                .ok_or_else(|| "field `held` must be a boolean".to_string())?,
+        }),
         other => Err(format!("unknown ok kind `{other}`")),
     }
 }
@@ -1115,6 +1460,8 @@ mod tests {
             strategy: Strategy::Gdr,
             seed: Some(u64::MAX),
             ground_truth_csv: None,
+            policy: None,
+            lease_ttl: Some(u64::MAX),
         });
         request_round_trip(Request::Answer {
             session: "s".into(),
@@ -1145,6 +1492,8 @@ mod tests {
             strategy: Strategy::GdrNoLearning,
             seed: Some(42),
             ground_truth_csv: Some("A,B\nx,y\n".into()),
+            policy: Some(ConflictPolicy::Majority { k: 3 }),
+            lease_ttl: Some(16),
         });
         request_round_trip(Request::Open {
             session: "s".into(),
@@ -1153,6 +1502,8 @@ mod tests {
             strategy: Strategy::ActiveLearningOnly,
             seed: None,
             ground_truth_csv: None,
+            policy: None,
+            lease_ttl: None,
         });
         request_round_trip(Request::Next {
             session: "s".into(),
@@ -1376,6 +1727,9 @@ mod tests {
             version: PROTOCOL_VERSION,
             pipelining: true,
             compact: true,
+            leases: true,
+            max_outstanding: 64,
+            lease_ttl: 32,
         });
         response_round_trip(Response::Error(WireError::Busy {
             max_outstanding: 64,
@@ -1385,6 +1739,114 @@ mod tests {
             decode_request(r#"{"op":"hello"}"#).unwrap(),
             Request::Hello { version: 1 }
         );
+        // A hello reply from before the capability/limit fields decodes
+        // tolerantly: no leases, no reported limits.
+        assert_eq!(
+            decode_response(r#"{"ok":"hello","version":2,"pipelining":true,"compact":true}"#)
+                .unwrap(),
+            Response::Hello {
+                version: 2,
+                pipelining: true,
+                compact: true,
+                leases: false,
+                max_outstanding: 0,
+                lease_ttl: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn every_lease_verb_round_trips() {
+        request_round_trip(Request::Lease {
+            session: "s".into(),
+            reviewer: "alice".into(),
+        });
+        request_round_trip(Request::Lease {
+            session: "s".into(),
+            reviewer: "名前 with spaces \"and quotes\"".into(),
+        });
+        request_round_trip(Request::AnswerAs {
+            session: "s".into(),
+            reviewer: "bob".into(),
+            id: u64::MAX,
+            feedback: Feedback::Reject,
+        });
+        request_round_trip(Request::SupplyAs {
+            session: "s".into(),
+            reviewer: "carol".into(),
+            id: 7,
+            value: Value::from("Michigan City"),
+        });
+        request_round_trip(Request::SupplyAs {
+            session: "s".into(),
+            reviewer: String::new(),
+            id: 0,
+            value: Value::Null,
+        });
+        request_round_trip(Request::SkipAs {
+            session: "s".into(),
+            reviewer: "dave".into(),
+            id: 3,
+        });
+        request_round_trip(Request::Release {
+            session: "s".into(),
+            reviewer: "alice".into(),
+            id: 2,
+        });
+        response_round_trip(Response::Leased {
+            id: 9,
+            tuple: 3,
+            attr: 1,
+            current: Value::from("Michigan Cty"),
+            value: Value::from("Michigan City"),
+            score: 0.25,
+        });
+        response_round_trip(Response::Fix {
+            id: 10,
+            tuple: 6,
+            attr: 2,
+            current: Value::Null,
+        });
+        response_round_trip(Response::Wait);
+        response_round_trip(Response::Released { held: true });
+        response_round_trip(Response::Released { held: false });
+        // Missing reviewer is a bad request, not a default.
+        assert!(decode_request(r#"{"op":"lease","session":"s"}"#).is_err());
+        assert!(
+            decode_request(r#"{"op":"answer_as","session":"s","id":1,"feedback":"confirm"}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn policy_tokens_round_trip_and_reject_garbage() {
+        for policy in [
+            ConflictPolicy::FirstWins,
+            ConflictPolicy::EscalateToNeedsValue,
+            ConflictPolicy::Majority { k: 1 },
+            ConflictPolicy::Majority { k: 3 },
+            ConflictPolicy::Majority { k: 0 },
+        ] {
+            assert_eq!(policy_from_token(&policy_token(policy)), Some(policy));
+        }
+        for bad in [
+            "",
+            "majority",
+            "majority-",
+            "majority--1",
+            "majority-+3",
+            "majority-03",
+            "majority-three",
+            "first-wins",
+            "escalate-2",
+        ] {
+            assert_eq!(policy_from_token(bad), None, "`{bad}` should fail");
+        }
+        // An open with a bad policy token is a bad request.
+        assert!(decode_request(
+            r#"{"op":"open","session":"s","table_csv":"A\n1\n","rules":"","strategy":"gdr","policy":"majority-0x3"}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn figure1_options() -> OpenOptions {
         strategy: Strategy::GdrNoLearning,
         seed: None,
         ground_truth_csv: Some(to_csv(&fixture::figure1_instance().1)),
+        ..OpenOptions::default()
     }
 }
 
@@ -60,6 +61,8 @@ fn over_cap_requests_get_busy_and_other_connections_keep_serving() {
             strategy: Strategy::GdrNoLearning,
             seed: None,
             ground_truth_csv: None,
+            policy: None,
+            lease_ttl: None,
         })
         .expect("send open");
     let (seq, response) = mux.recv().expect("open reply");
@@ -153,6 +156,8 @@ fn hangup_with_requests_in_flight_shuts_down_cleanly() {
         strategy: Strategy::GdrNoLearning,
         seed: None,
         ground_truth_csv: None,
+        policy: None,
+        lease_ttl: None,
     })
     .expect("send open");
     mux.send(&Request::Next {

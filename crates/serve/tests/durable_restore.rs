@@ -150,7 +150,7 @@ fn every_event_kind_rehydrates_bit_identically_at_every_boundary() {
         let rehydrated_fp = fingerprint(session.engine());
         assert_eq!(
             rehydrated_fp,
-            fingerprint(&twin),
+            fingerprint(twin.engine()),
             "boundary {boundary}: disk and in-memory replay diverged"
         );
 

@@ -261,7 +261,7 @@ fn rehydrated_session_continues_bit_identically() {
         .expect("in-memory replay");
         assert_eq!(
             fingerprint(session.engine()),
-            fingerprint(&twin),
+            fingerprint(twin.engine()),
             "boundary {boundary}: disk rehydrate must equal in-memory replay"
         );
 

@@ -44,6 +44,7 @@ fn figure1_options() -> OpenOptions {
         strategy: Strategy::GdrNoLearning,
         seed: None,
         ground_truth_csv: Some(to_csv(&fixture::figure1_instance().1)),
+        ..OpenOptions::default()
     }
 }
 
@@ -237,6 +238,8 @@ fn protocol_garbage_gets_error_replies_and_the_connection_survives() {
         strategy: Strategy::GdrNoLearning,
         seed: None,
         ground_truth_csv: None,
+        policy: None,
+        lease_ttl: None,
     });
     assert!(ask(&open).contains("\"ok\":\"opened\""));
     // Duplicate open is a typed error too.

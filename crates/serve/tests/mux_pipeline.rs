@@ -47,6 +47,7 @@ fn figure1_options() -> OpenOptions {
         strategy: Strategy::GdrNoLearning,
         seed: None,
         ground_truth_csv: Some(to_csv(&fixture::figure1_instance().1)),
+        ..OpenOptions::default()
     }
 }
 
@@ -88,6 +89,8 @@ fn drive_muxed(n: usize) -> Vec<Fingerprint> {
                 strategy: Strategy::GdrNoLearning,
                 seed: None,
                 ground_truth_csv: Some(to_csv(&clean)),
+                policy: None,
+                lease_ttl: None,
             })
             .expect("send open");
         opens.push(seq);

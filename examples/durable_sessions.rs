@@ -74,6 +74,7 @@ fn main() {
                 strategy: Strategy::GdrNoLearning,
                 seed: None,
                 ground_truth_csv: Some(to_csv(&clean)),
+                ..OpenOptions::default()
             },
         )
         .expect("open");

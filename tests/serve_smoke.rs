@@ -40,6 +40,7 @@ fn serve_sessions_loopback_drives_one_session_to_done() {
                 strategy: Strategy::GdrNoLearning,
                 seed: None,
                 ground_truth_csv: Some(to_csv(&clean)),
+                ..OpenOptions::default()
             },
         )
         .expect("open");
