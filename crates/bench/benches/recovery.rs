@@ -5,13 +5,17 @@
 //! verbs (every answer journals `Pulled`/`Leased`/`AnsweredAs`/`Resolved`
 //! records, so the transcript is several times longer than the answer
 //! count), with auto-compaction disabled so every rebuild replays the full
-//! stream.  Two paths are timed:
+//! stream.  Three paths are timed:
 //!
 //! * `live_rehydrate/full` — [`Session::restore`]: the in-memory journal
 //!   replays onto a fresh engine (the `restore` verb / compaction
 //!   validation path).
 //! * `cold_restore/full` — [`Session::rehydrate`]: segments are read back
 //!   from disk, decoded, and replayed (the crash-recovery path).
+//! * `cold_restore/checkpointed` — the same recovery after one
+//!   [`Session::compact`] persisted a `snap-NNNNNN.gdrs` checkpoint:
+//!   rehydrate decodes the serialised session and replays only the journal
+//!   tail (empty here, since the compact covered the whole transcript).
 //!
 //! `median_ns` is ns per full rebuild; events replayed/sec is printed.
 //! Written as `BENCH_recovery.json` in the criterion-shim schema and gated
@@ -191,9 +195,36 @@ fn main() {
             elapsed
         })
         .collect();
+
+    // Checkpointed cold restore: one compaction persists the serialised
+    // session as a `snap-NNNNNN.gdrs` checkpoint covering the whole
+    // transcript, so recovery decodes it instead of replaying.
+    {
+        let (mut session, recovery) =
+            Session::rehydrate(&dir, journal_config()).expect("rehydrate for compact");
+        assert!(recovery.clean(), "{recovery:?}");
+        session.compact().expect("compact");
+        assert_eq!(session.journal().snapshot_events(), events);
+    }
+    let ckpt_samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let (session, recovery) =
+                Session::rehydrate(&dir, journal_config()).expect("rehydrate");
+            let elapsed = start.elapsed().as_secs_f64() * 1e9;
+            assert!(recovery.clean(), "{recovery:?}");
+            assert_eq!(session.journal().snapshot_events(), events);
+            assert_eq!(session.journal().events_total(), events);
+            elapsed
+        })
+        .collect();
     fs::remove_dir_all(&dir).expect("remove scratch dir");
 
-    for (label, samples) in [("live", &live_samples), ("cold", &cold_samples)] {
+    for (label, samples) in [
+        ("live", &live_samples),
+        ("cold", &cold_samples),
+        ("cold checkpointed", &ckpt_samples),
+    ] {
         let med = {
             let mut m = samples.clone();
             median(&mut m)
@@ -206,6 +237,7 @@ fn main() {
     let rows = vec![
         row("live_rehydrate/full", live_samples),
         row("cold_restore/full", cold_samples),
+        row("cold_restore/checkpointed", ckpt_samples),
     ];
     write_json(&rows);
 }

@@ -43,6 +43,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::pool::{partition, shard_of_ids};
 use gdr_relation::{AttrId, SmallKey, Table, ThreadPool, TupleId, Value, ValueId};
 
@@ -794,7 +795,10 @@ impl ViolationEngine {
         let new_id = table.intern_value_ref(attr, value);
         // The round trip leaves every statistic exactly as it found it, so
         // no generation stamp may move — hypothetical evaluation must never
-        // invalidate generation-keyed caches.
+        // invalidate generation-keyed caches.  The table's modification
+        // counter is rewound for the same reason: how many hypotheticals
+        // were evaluated is not part of the table's logical state.
+        let version = table.version();
         self.suppress_generations = true;
         let keys_before: Vec<Option<SmallKey>> = self.involving[attr]
             .iter()
@@ -817,6 +821,7 @@ impl ViolationEngine {
             .collect();
         self.apply_cell_change_id(table, tuple, attr, old_id);
         self.suppress_generations = false;
+        table.rewind_version(version);
 
         let touched_groups = self.involving[attr]
             .iter()
@@ -860,6 +865,7 @@ impl ViolationEngine {
         );
         let new_id = table.intern_value_ref(attr, value);
         self.refresh_resolution(table);
+        let version = table.version();
         self.suppress_generations = true;
         let key_of = |engine: &ViolationEngine| match &engine.states[rule] {
             RuleState::Variable(state) => state.tuple_key.get(&tuple).cloned(),
@@ -875,6 +881,7 @@ impl ViolationEngine {
         table.set_cell_id(tuple, attr, old_id);
         self.add_tuple(rule, table, tuple);
         self.suppress_generations = false;
+        table.rewind_version(version);
 
         let mut guards: Vec<(SmallKey, u64)> = Vec::new();
         for key in [key_before, key_after].into_iter().flatten() {
@@ -1227,6 +1234,214 @@ impl ViolationEngine {
             }
         }
     }
+
+    /// Serialises the engine's canonical state into `enc`.
+    ///
+    /// Hash-map iteration order is randomised per process, so every map and
+    /// set is written in sorted key order — two engines that are behaviourally
+    /// identical produce byte-identical encodings.  Derivable state (resolved
+    /// pattern ids, the per-attribute rule index, the what-if suppression
+    /// flag) is omitted and rebuilt on decode.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("vioeng", 1);
+        self.ruleset.encode_state(enc);
+        enc.usize(self.involving.len());
+        enc.usize(self.n_rows);
+        enc.usize(self.states.len());
+        for state in &self.states {
+            match state {
+                RuleState::Constant(c) => {
+                    enc.u8(0);
+                    let mut violating: Vec<TupleId> = c.violating.iter().copied().collect();
+                    violating.sort_unstable();
+                    enc.usize(violating.len());
+                    for t in violating {
+                        enc.usize(t);
+                    }
+                    enc.usize(c.context);
+                }
+                RuleState::Variable(v) => {
+                    enc.u8(1);
+                    let mut keys: Vec<(TupleId, &SmallKey)> =
+                        v.tuple_key.iter().map(|(&t, k)| (t, k)).collect();
+                    keys.sort_unstable_by_key(|(t, _)| *t);
+                    enc.usize(keys.len());
+                    for (tuple, key) in keys {
+                        enc.usize(tuple);
+                        key.encode_state(enc);
+                    }
+                    let mut groups: Vec<(&SmallKey, &Group)> = v.groups.iter().collect();
+                    groups.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+                    enc.usize(groups.len());
+                    for (key, group) in groups {
+                        key.encode_state(enc);
+                        let mut buckets: Vec<(ValueId, &HashSet<TupleId>)> =
+                            group.members_by_rhs.iter().map(|(&r, m)| (r, m)).collect();
+                        buckets.sort_unstable_by_key(|(rhs, _)| *rhs);
+                        enc.usize(buckets.len());
+                        for (rhs, members) in buckets {
+                            enc.u32(rhs.raw());
+                            let mut sorted: Vec<TupleId> = members.iter().copied().collect();
+                            sorted.sort_unstable();
+                            enc.usize(sorted.len());
+                            for t in sorted {
+                                enc.usize(t);
+                            }
+                        }
+                        enc.usize(group.total);
+                    }
+                    enc.usize(v.total_vio);
+                    enc.usize(v.satisfying_in_context);
+                    enc.usize(v.context);
+                    let mut gens: Vec<(&SmallKey, u64)> =
+                        v.group_generation.iter().map(|(k, &g)| (k, g)).collect();
+                    gens.sort_unstable_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+                    enc.usize(gens.len());
+                    for (key, stamp) in gens {
+                        key.encode_state(enc);
+                        enc.u64(stamp);
+                    }
+                }
+            }
+        }
+        for &stamp in &self.stats_generation {
+            enc.u64(stamp);
+        }
+        enc.usize(self.row_generation.len());
+        for &stamp in &self.row_generation {
+            enc.u64(stamp);
+        }
+        enc.u64(self.generation_counter);
+    }
+
+    /// Rebuilds an engine written by [`ViolationEngine::encode_state`].
+    ///
+    /// Pattern-constant resolution is left empty (`resolved_at_generation:
+    /// None`): every read and mutation path refreshes it lazily against the
+    /// live table before use, so decoding never needs the table.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ViolationEngine> {
+        dec.section("vioeng")?;
+        let ruleset = RuleSet::decode_state(dec)?;
+        let arity = dec.usize()?;
+        let n_rows = dec.usize()?;
+        let n_states = dec.seq_len(1)?;
+        if n_states != ruleset.len() {
+            return Err(CodecError::new(format!(
+                "rule-state count {n_states} does not match {} rules",
+                ruleset.len()
+            )));
+        }
+        let mut states = Vec::with_capacity(n_states);
+        for rule_id in 0..n_states {
+            let tag = dec.u8()?;
+            let constant = ruleset.rule(rule_id).is_constant();
+            match (tag, constant) {
+                (0, true) => {
+                    let n = dec.seq_len(8)?;
+                    let mut violating = HashSet::with_capacity(n);
+                    for _ in 0..n {
+                        if !violating.insert(dec.usize()?) {
+                            return Err(CodecError::new("duplicate violating tuple"));
+                        }
+                    }
+                    let context = dec.usize()?;
+                    states.push(RuleState::Constant(ConstState { violating, context }));
+                }
+                (1, false) => {
+                    let n_keys = dec.seq_len(9)?;
+                    let mut tuple_key = HashMap::with_capacity(n_keys);
+                    for _ in 0..n_keys {
+                        let tuple = dec.usize()?;
+                        let key = SmallKey::decode_state(dec)?;
+                        if tuple_key.insert(tuple, key).is_some() {
+                            return Err(CodecError::new("duplicate tuple key"));
+                        }
+                    }
+                    let n_groups = dec.seq_len(9)?;
+                    let mut groups = HashMap::with_capacity(n_groups);
+                    for _ in 0..n_groups {
+                        let key = SmallKey::decode_state(dec)?;
+                        let n_buckets = dec.seq_len(12)?;
+                        let mut members_by_rhs = HashMap::with_capacity(n_buckets);
+                        for _ in 0..n_buckets {
+                            let rhs = ValueId::from_index(dec.u32()? as usize);
+                            let n_members = dec.seq_len(8)?;
+                            let mut members = HashSet::with_capacity(n_members);
+                            for _ in 0..n_members {
+                                if !members.insert(dec.usize()?) {
+                                    return Err(CodecError::new("duplicate group member"));
+                                }
+                            }
+                            if members_by_rhs.insert(rhs, members).is_some() {
+                                return Err(CodecError::new("duplicate rhs bucket"));
+                            }
+                        }
+                        let total = dec.usize()?;
+                        if groups
+                            .insert(
+                                key,
+                                Group {
+                                    members_by_rhs,
+                                    total,
+                                },
+                            )
+                            .is_some()
+                        {
+                            return Err(CodecError::new("duplicate agreement group"));
+                        }
+                    }
+                    let total_vio = dec.usize()?;
+                    let satisfying_in_context = dec.usize()?;
+                    let context = dec.usize()?;
+                    let n_gens = dec.seq_len(12)?;
+                    let mut group_generation = HashMap::with_capacity(n_gens);
+                    for _ in 0..n_gens {
+                        let key = SmallKey::decode_state(dec)?;
+                        let stamp = dec.u64()?;
+                        if group_generation.insert(key, stamp).is_some() {
+                            return Err(CodecError::new("duplicate group generation"));
+                        }
+                    }
+                    states.push(RuleState::Variable(VarState {
+                        tuple_key,
+                        groups,
+                        total_vio,
+                        satisfying_in_context,
+                        context,
+                        group_generation,
+                    }));
+                }
+                (tag, _) => {
+                    return Err(CodecError::new(format!(
+                        "rule-state tag {tag} does not match rule {rule_id}'s kind"
+                    )));
+                }
+            }
+        }
+        let mut stats_generation = Vec::with_capacity(n_states);
+        for _ in 0..n_states {
+            stats_generation.push(dec.u64()?);
+        }
+        let n_row_gen = dec.seq_len(8)?;
+        let mut row_generation = Vec::with_capacity(n_row_gen);
+        for _ in 0..n_row_gen {
+            row_generation.push(dec.u64()?);
+        }
+        let generation_counter = dec.u64()?;
+        let involving = (0..arity).map(|a| ruleset.rules_involving(a)).collect();
+        Ok(ViolationEngine {
+            ruleset,
+            states,
+            resolved: Vec::new(),
+            resolved_at_generation: None,
+            involving,
+            n_rows,
+            stats_generation,
+            row_generation,
+            generation_counter,
+            suppress_generations: false,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1285,6 +1500,57 @@ STR, CT -> ZIP : _, Fort Wayne || _
         let (_, _, engine) = build_fixture();
         assert_eq!(engine.dirty_tuples(), vec![1, 2, 3]);
         assert_eq!(engine.row_count(), 5);
+    }
+
+    fn encode(engine: &ViolationEngine) -> Vec<u8> {
+        let mut enc = Enc::new();
+        engine.encode_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn codec_round_trip_is_behaviourally_identical() {
+        let (mut table, _, mut engine) = build_fixture();
+        // Mutate a little first so generation stamps are non-trivial.
+        engine
+            .apply_cell_change(&mut table, 1, 2, Value::from("Michigan City"))
+            .unwrap();
+
+        let bytes = encode(&engine);
+        let mut dec = Dec::new(&bytes);
+        let mut restored = ViolationEngine::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        // Re-encoding the restored engine is byte-identical.
+        assert_eq!(encode(&restored), bytes);
+        assert_eq!(restored.dirty_tuples(), engine.dirty_tuples());
+        assert_eq!(restored.total_violations(), engine.total_violations());
+        for rule in 0..engine.ruleset().len() {
+            assert_eq!(restored.rule_stats(rule), engine.rule_stats(rule));
+        }
+
+        // The restored engine tracks further mutations exactly like the
+        // original: identical stamps, identical stats, identical bytes.
+        let mut table2 = table.clone();
+        engine
+            .apply_cell_change(&mut table, 3, 4, Value::from("46825"))
+            .unwrap();
+        restored
+            .apply_cell_change(&mut table2, 3, 4, Value::from("46825"))
+            .unwrap();
+        assert_eq!(encode(&restored), encode(&engine));
+        assert!(restored.agrees_with_rebuild(&table2));
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_engine_payloads() {
+        let (_, _, engine) = build_fixture();
+        let bytes = encode(&engine);
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut]);
+            let result = ViolationEngine::decode_state(&mut dec).and_then(|_| dec.finish());
+            assert!(result.is_err(), "truncation at {cut} must not decode");
+        }
     }
 
     #[test]
@@ -1423,14 +1689,16 @@ STR, CT -> ZIP : _, Fort Wayne || _
         assert_eq!(rule0.violations, 0);
         assert_eq!(rule0.satisfying, 5);
 
-        // Nothing stuck: stats and table content identical to before (version
-        // counter does advance because the what-if applies and reverts).
+        // Nothing stuck: stats and table content identical to before, and the
+        // version counter is rewound across the apply/revert round trip so
+        // version-watermarked caches and state snapshots never observe how
+        // many hypotheticals were evaluated.
         let after_stats: Vec<RuleStats> = (0..engine.ruleset().len())
             .map(|r| engine.rule_stats(r))
             .collect();
         assert_eq!(before_stats, after_stats);
         assert_eq!(table.cell(1, 2), &Value::from("Westville"));
-        assert!(table.version() >= before_version);
+        assert_eq!(table.version(), before_version);
         assert!(engine.agrees_with_rebuild(&table));
     }
 

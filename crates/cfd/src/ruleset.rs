@@ -9,11 +9,31 @@
 
 use std::fmt;
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::Table;
 
 use crate::error::CfdError;
+use crate::pattern::PatternValue;
 use crate::rule::{Cfd, RuleId};
 use crate::Result;
+
+fn encode_pattern(enc: &mut Enc, pattern: &PatternValue) {
+    match pattern {
+        PatternValue::Wildcard => enc.u8(0),
+        PatternValue::Const(value) => {
+            enc.u8(1);
+            enc.value(value);
+        }
+    }
+}
+
+fn decode_pattern(dec: &mut Dec<'_>) -> codec::Result<PatternValue> {
+    match dec.u8()? {
+        0 => Ok(PatternValue::Wildcard),
+        1 => Ok(PatternValue::Const(dec.value()?)),
+        tag => Err(CodecError::new(format!("invalid pattern tag {tag}"))),
+    }
+}
 
 /// An ordered collection of normal-form CFDs with per-rule weights.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,6 +140,54 @@ impl RuleSet {
         self.rules.push(rule);
         self.weights.push(weight);
         id
+    }
+
+    /// Serialises the rule set (rules and weights) into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("rules", 1);
+        enc.usize(self.rules.len());
+        for rule in &self.rules {
+            enc.str(rule.name());
+            enc.usize(rule.lhs().len());
+            for (&attr, pattern) in rule.lhs().iter().zip(rule.lhs_pattern()) {
+                enc.usize(attr);
+                encode_pattern(enc, pattern);
+            }
+            enc.usize(rule.rhs());
+            encode_pattern(enc, rule.rhs_pattern());
+        }
+        for &w in &self.weights {
+            enc.f64(w);
+        }
+    }
+
+    /// Rebuilds a rule set written by [`RuleSet::encode_state`].  Each rule is
+    /// re-validated through [`Cfd::new`], so a payload that decodes but does
+    /// not describe a well-formed CFD is rejected rather than trusted.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<RuleSet> {
+        dec.section("rules")?;
+        let n = dec.seq_len(4)?;
+        let mut rules = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = dec.str()?;
+            let arity = dec.seq_len(9)?;
+            let mut lhs = Vec::with_capacity(arity);
+            let mut lhs_pattern = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                lhs.push(dec.usize()?);
+                lhs_pattern.push(decode_pattern(dec)?);
+            }
+            let rhs = dec.usize()?;
+            let rhs_pattern = decode_pattern(dec)?;
+            let rule = Cfd::new(name, lhs, lhs_pattern, rhs, rhs_pattern)
+                .map_err(|e| CodecError::new(format!("invalid rule in snapshot: {e}")))?;
+            rules.push(rule);
+        }
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            weights.push(dec.f64()?);
+        }
+        Ok(RuleSet { rules, weights })
     }
 }
 
@@ -241,5 +309,50 @@ mod tests {
         let text = set.to_string();
         assert!(text.contains("2 rules"));
         assert!(text.contains("phi1"));
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_rules_and_weights() {
+        let schema = Schema::new(&["STR", "CT", "ZIP"]);
+        let parsed = parse_rules(
+            &schema,
+            "ZIP -> CT : 46360 || Michigan City\nSTR, CT -> ZIP : _, Fort Wayne || _\n",
+        )
+        .unwrap();
+        let mut set = RuleSet::with_weights(parsed, vec![0.25, 1.75]);
+        set.weights_from_context(&{
+            let mut t = Table::new("addr", schema);
+            t.push_text_row(&["Main St", "Michigan City", "46360"])
+                .unwrap();
+            t.push_text_row(&["Oak Ave", "Fort Wayne", "46825"])
+                .unwrap();
+            t
+        });
+
+        let mut enc = gdr_relation::Enc::new();
+        set.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = gdr_relation::Dec::new(&bytes);
+        let restored = RuleSet::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored, set);
+
+        // Re-encoding the restored set is byte-identical.
+        let mut enc2 = gdr_relation::Enc::new();
+        restored.encode_state(&mut enc2);
+        assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_rule_payloads() {
+        let set = RuleSet::new(rules());
+        let mut enc = gdr_relation::Enc::new();
+        set.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = gdr_relation::Dec::new(&bytes[..cut]);
+            let result = RuleSet::decode_state(&mut dec).and_then(|_| dec.finish());
+            assert!(result.is_err(), "truncation at {cut} must not decode");
+        }
     }
 }

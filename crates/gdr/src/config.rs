@@ -1,6 +1,7 @@
 //! Configuration of a GDR session.
 
 use gdr_learn::ForestConfig;
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 
 /// Tunable parameters of the interactive repair session.
 #[derive(Debug, Clone)]
@@ -75,6 +76,48 @@ impl GdrConfig {
             full_walk_refresh: false,
             parallelism: 1,
         }
+    }
+
+    /// Serialises the configuration into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("config", 1);
+        enc.usize(self.ns_batch);
+        enc.usize(self.min_verifications_per_group);
+        enc.usize(self.learner_min_training);
+        self.forest.encode_state(enc);
+        enc.u64(self.seed);
+        enc.usize(self.checkpoint_every);
+        enc.bool(self.full_walk_refresh);
+        enc.usize(self.parallelism);
+    }
+
+    /// Rebuilds a configuration written by [`GdrConfig::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<GdrConfig> {
+        dec.section("config")?;
+        let ns_batch = dec.usize()?;
+        let min_verifications_per_group = dec.usize()?;
+        let learner_min_training = dec.usize()?;
+        let forest = ForestConfig::decode_state(dec)?;
+        let seed = dec.u64()?;
+        let checkpoint_every = dec.usize()?;
+        let full_walk_refresh = dec.bool()?;
+        let parallelism = dec.usize()?;
+        if checkpoint_every == 0 {
+            return Err(CodecError::new("checkpoint_every must be positive"));
+        }
+        if parallelism == 0 {
+            return Err(CodecError::new("parallelism must be positive"));
+        }
+        Ok(GdrConfig {
+            ns_batch,
+            min_verifications_per_group,
+            learner_min_training,
+            forest,
+            seed,
+            checkpoint_every,
+            full_walk_refresh,
+            parallelism,
+        })
     }
 }
 

@@ -95,7 +95,7 @@ pub use step::{
     Answer, DoneReason, EvalHooks, GdrEngine, GroupContext, SessionBuilder, WorkId, WorkPlan,
 };
 pub use strategy::Strategy;
-pub use team::{ConflictPolicy, Resolution, TeamConfig, TeamPlan, TeamSession};
+pub use team::{ConflictPolicy, LeaseInfo, Resolution, TeamConfig, TeamPlan, TeamSession};
 pub use voi::{
     group_benefit, single_update_benefit, update_benefit_term, BenefitCache, BenefitCacheSnapshot,
     BenefitKey, VoiRanker,

@@ -14,6 +14,7 @@
 //! by the active-learning ordering.
 
 use gdr_learn::{ActiveLearner, FeatureValue, ForestConfig};
+use gdr_relation::codec::{self, Dec, Enc};
 use gdr_relation::Table;
 use gdr_repair::{value_similarity, Feedback, Update};
 
@@ -156,6 +157,37 @@ impl ModelStore {
     pub fn uncertainty(&self, table: &Table, update: &Update) -> f64 {
         let features = self.features_for(table, update);
         self.learners[update.attr].uncertainty(&features)
+    }
+
+    /// Serialises every per-attribute learner (datasets, trained forests,
+    /// seed schedules) into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("models", 1);
+        enc.usize(self.learners.len());
+        for learner in &self.learners {
+            learner.encode_state(enc);
+        }
+        for &pending in &self.pending_since_retrain {
+            enc.usize(pending);
+        }
+    }
+
+    /// Rebuilds a store written by [`ModelStore::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ModelStore> {
+        dec.section("models")?;
+        let arity = dec.seq_len(8)?;
+        let mut learners = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            learners.push(ActiveLearner::decode_state(dec)?);
+        }
+        let mut pending_since_retrain = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            pending_since_retrain.push(dec.usize()?);
+        }
+        Ok(ModelStore {
+            learners,
+            pending_since_retrain,
+        })
     }
 }
 

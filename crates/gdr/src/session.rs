@@ -32,6 +32,7 @@
 //! assert!(report.final_loss <= report.initial_loss);
 //! ```
 
+use gdr_relation::codec::{self, Dec, Enc};
 use gdr_relation::Value;
 use gdr_repair::{Feedback, RepairState};
 
@@ -50,6 +51,24 @@ pub struct Checkpoint {
     pub loss: f64,
     /// Quality improvement in percent relative to the initial instance.
     pub improvement_pct: f64,
+}
+
+impl Checkpoint {
+    /// Serialises the checkpoint into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.verifications);
+        enc.f64(self.loss);
+        enc.f64(self.improvement_pct);
+    }
+
+    /// Rebuilds a checkpoint written by [`Checkpoint::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Checkpoint> {
+        Ok(Checkpoint {
+            verifications: dec.usize()?,
+            loss: dec.f64()?,
+            improvement_pct: dec.f64()?,
+        })
+    }
 }
 
 /// Summary of one session run.

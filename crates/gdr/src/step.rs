@@ -52,6 +52,7 @@
 //! suggestion) — and records the final checkpoint.
 
 use gdr_cfd::RuleSet;
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::{AttrId, Table, Value};
 use gdr_repair::{
     run_heuristic_repair, Cell, ChangeSource, Feedback, FeedbackOutcome, HeuristicConfig,
@@ -123,6 +124,29 @@ pub enum DoneReason {
     Finished,
 }
 
+impl DoneReason {
+    /// Serialises the reason into `enc`.
+    pub fn encode_state(self, enc: &mut Enc) {
+        enc.u8(match self {
+            DoneReason::Exhausted => 0,
+            DoneReason::Stalled => 1,
+            DoneReason::AutomaticComplete => 2,
+            DoneReason::Finished => 3,
+        });
+    }
+
+    /// Rebuilds a reason written by [`DoneReason::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<DoneReason> {
+        match dec.u8()? {
+            0 => Ok(DoneReason::Exhausted),
+            1 => Ok(DoneReason::Stalled),
+            2 => Ok(DoneReason::AutomaticComplete),
+            3 => Ok(DoneReason::Finished),
+            tag => Err(CodecError::new(format!("invalid done-reason tag {tag}"))),
+        }
+    }
+}
+
 /// Where an [`WorkPlan::AskUser`] item sits in the strategy's plan: the
 /// group it was drawn from and how far the group's verification quota has
 /// progressed.  Absent for the ungrouped pool strategy.
@@ -141,6 +165,30 @@ pub struct GroupContext {
     pub quota: usize,
     /// Answers already given inside this group.
     pub asked: usize,
+}
+
+impl GroupContext {
+    /// Serialises the context into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.attr);
+        enc.value(&self.value);
+        enc.f64(self.benefit);
+        enc.usize(self.size);
+        enc.usize(self.quota);
+        enc.usize(self.asked);
+    }
+
+    /// Rebuilds a context written by [`GroupContext::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<GroupContext> {
+        Ok(GroupContext {
+            attr: dec.usize()?,
+            value: dec.value()?,
+            benefit: dec.f64()?,
+            size: dec.usize()?,
+            quota: dec.usize()?,
+            asked: dec.usize()?,
+        })
+    }
 }
 
 /// One unit of work pulled from the engine.
@@ -171,6 +219,52 @@ pub enum WorkPlan {
     /// The session is over; [`GdrEngine::finish`] and (with eval hooks)
     /// `report()` summarise it.
     Done(DoneReason),
+}
+
+impl WorkPlan {
+    /// Serialises the plan into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            WorkPlan::AskUser {
+                id,
+                update,
+                group_context,
+                uncertainty,
+            } => {
+                enc.u8(0);
+                enc.u64(id.raw());
+                update.encode_state(enc);
+                enc.option(group_context.as_ref(), |e, context| context.encode_state(e));
+                enc.f64(*uncertainty);
+            }
+            WorkPlan::NeedsValue { cell } => {
+                enc.u8(1);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+            }
+            WorkPlan::Done(reason) => {
+                enc.u8(2);
+                reason.encode_state(enc);
+            }
+        }
+    }
+
+    /// Rebuilds a plan written by [`WorkPlan::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<WorkPlan> {
+        match dec.u8()? {
+            0 => Ok(WorkPlan::AskUser {
+                id: WorkId::from_raw(dec.u64()?),
+                update: Update::decode_state(dec)?,
+                group_context: dec.option(GroupContext::decode_state)?,
+                uncertainty: dec.f64()?,
+            }),
+            1 => Ok(WorkPlan::NeedsValue {
+                cell: (dec.usize()?, dec.usize()?),
+            }),
+            2 => Ok(WorkPlan::Done(DoneReason::decode_state(dec)?)),
+            tag => Err(CodecError::new(format!("invalid work-plan tag {tag}"))),
+        }
+    }
 }
 
 /// Evaluation-only state: everything that needs the ground truth.
@@ -250,6 +344,44 @@ impl EvalHooks {
     fn accuracy(&self, repaired: &Table) -> RepairAccuracy {
         RepairAccuracy::compute(&self.initial_dirty, repaired, &self.truth)
     }
+
+    /// Serialises the hooks into `enc`.  Only the canonical inputs travel —
+    /// the ground truth, the initial dirty instance, and the recorded
+    /// checkpoints; the evaluator and the incremental loss cache are pure
+    /// functions of those plus the rules and are re-derived on decode.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("eval", 1);
+        self.truth.encode_state(enc);
+        self.initial_dirty.encode_state(enc);
+        enc.usize(self.checkpoints.len());
+        for checkpoint in &self.checkpoints {
+            checkpoint.encode_state(enc);
+        }
+    }
+
+    /// Rebuilds hooks written by [`EvalHooks::encode_state`].  `rules` must
+    /// be the rule set of the engine the hooks belong to (the evaluator's
+    /// `|D_opt ⊨ φ|` terms are recomputed from it); the fresh
+    /// [`LossTracker`] starts all-dirty, so its first read recomputes every
+    /// term — bit-identical to the from-scratch oracle by construction.
+    pub fn decode_state(dec: &mut Dec<'_>, rules: &RuleSet) -> codec::Result<EvalHooks> {
+        dec.section("eval")?;
+        let truth = std::sync::Arc::new(Table::decode_state(dec)?);
+        let initial_dirty = Table::decode_state(dec)?;
+        let n = dec.seq_len(24)?;
+        let mut checkpoints = Vec::with_capacity(n);
+        for _ in 0..n {
+            checkpoints.push(Checkpoint::decode_state(dec)?);
+        }
+        let evaluator = QualityEvaluator::new(&truth, rules, &initial_dirty);
+        Ok(EvalHooks {
+            evaluator,
+            loss: LossTracker::new(rules.len()),
+            truth,
+            initial_dirty,
+            checkpoints,
+        })
+    }
 }
 
 /// Verification progress through one selected group (`process_group`'s loop
@@ -272,12 +404,91 @@ struct GroupProgress {
     served: Option<usize>,
 }
 
+impl GroupProgress {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.attr);
+        enc.value(&self.value);
+        enc.f64(self.benefit);
+        enc.usize(self.size);
+        enc.usize(self.quota);
+        enc.usize(self.verified);
+        enc.usize(self.actions);
+        enc.usize(self.remaining.len());
+        for update in &self.remaining {
+            update.encode_state(enc);
+        }
+        enc.option(self.served.as_ref(), |e, &index| e.usize(index));
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<GroupProgress> {
+        let attr = dec.usize()?;
+        let value = dec.value()?;
+        let benefit = dec.f64()?;
+        let size = dec.usize()?;
+        let quota = dec.usize()?;
+        let verified = dec.usize()?;
+        let actions = dec.usize()?;
+        let n = dec.seq_len(26)?;
+        let mut remaining = Vec::with_capacity(n);
+        for _ in 0..n {
+            remaining.push(Update::decode_state(dec)?);
+        }
+        let served = dec.option(|d| d.usize())?;
+        if let Some(index) = served {
+            if index >= remaining.len() {
+                return Err(CodecError::new(format!(
+                    "served index {index} out of range ({} remaining)",
+                    remaining.len()
+                )));
+            }
+        }
+        Ok(GroupProgress {
+            attr,
+            value,
+            benefit,
+            size,
+            quota,
+            verified,
+            actions,
+            remaining,
+            served,
+        })
+    }
+}
+
 /// Iteration state of the §4.2 user-supplies-a-value sweep over the dirty
 /// cells (taken when the generator runs out of admissible suggestions).
 #[derive(Debug, Clone)]
 struct SupplySweep {
     cells: Vec<Cell>,
     pos: usize,
+}
+
+impl SupplySweep {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.cells.len());
+        for &(tuple, attr) in &self.cells {
+            enc.usize(tuple);
+            enc.usize(attr);
+        }
+        enc.usize(self.pos);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<SupplySweep> {
+        let n = dec.seq_len(16)?;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            cells.push((dec.usize()?, dec.usize()?));
+        }
+        let pos = dec.usize()?;
+        if pos > cells.len() {
+            return Err(CodecError::new(format!(
+                "sweep position {pos} out of range ({} cells)",
+                cells.len()
+            )));
+        }
+        Ok(SupplySweep { cells, pos })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -293,6 +504,38 @@ enum Phase {
     Supplying(SupplySweep),
     /// The session is over.
     Done(DoneReason),
+}
+
+impl Phase {
+    fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            Phase::Boot => enc.u8(0),
+            Phase::SelectGroup => enc.u8(1),
+            Phase::InGroup(progress) => {
+                enc.u8(2);
+                progress.encode_state(enc);
+            }
+            Phase::Supplying(sweep) => {
+                enc.u8(3);
+                sweep.encode_state(enc);
+            }
+            Phase::Done(reason) => {
+                enc.u8(4);
+                reason.encode_state(enc);
+            }
+        }
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Phase> {
+        match dec.u8()? {
+            0 => Ok(Phase::Boot),
+            1 => Ok(Phase::SelectGroup),
+            2 => Ok(Phase::InGroup(GroupProgress::decode_state(dec)?)),
+            3 => Ok(Phase::Supplying(SupplySweep::decode_state(dec)?)),
+            4 => Ok(Phase::Done(DoneReason::decode_state(dec)?)),
+            tag => Err(CodecError::new(format!("invalid phase tag {tag}"))),
+        }
+    }
 }
 
 /// The resumable, caller-driven GDR engine.
@@ -1011,6 +1254,115 @@ impl GdrEngine {
         self.next_work_id += 1;
         WorkId(self.next_work_id)
     }
+
+    // ---- serialisable snapshots -------------------------------------------
+
+    /// Serialises every canonical piece of the engine into `enc`.
+    ///
+    /// The [`VoiRanker`] is deliberately absent: its group index, benefit
+    /// memos, and generation watermarks are caches over the repair state's
+    /// journal, rebuilt by the first `sync` after decode, and the Eq. 6
+    /// arithmetic is pinned bit-identical between the cached and
+    /// from-scratch paths — so a restored engine ranks exactly as the
+    /// original would.  Everything else (down to the rng stream position
+    /// and the outstanding work plan) travels explicitly.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("engine", 1);
+        self.config.encode_state(enc);
+        self.strategy.encode_state(enc);
+        self.state.encode_state(enc);
+        self.models.encode_state(enc);
+        for word in self.rng.state() {
+            enc.u64(word);
+        }
+        enc.usize(self.verifications);
+        enc.usize(self.learner_decisions);
+        enc.usize(self.initial_dirty_tuples);
+        enc.option(self.eval.as_ref(), |e, hooks| hooks.encode_state(e));
+        self.phase.encode_state(enc);
+        enc.option(self.pending.as_ref(), |e, plan| plan.encode_state(e));
+        enc.u64(self.next_work_id);
+        enc.usize(self.stalled_rounds);
+    }
+
+    /// Rebuilds an engine written by [`GdrEngine::encode_state`].  The
+    /// thread pool is runtime configuration, recreated from the decoded
+    /// [`GdrConfig::parallelism`] (parallelism is pinned bit-identical to
+    /// sequential execution, so the pool size carries no state).
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<GdrEngine> {
+        dec.section("engine")?;
+        let config = GdrConfig::decode_state(dec)?;
+        let strategy = Strategy::decode_state(dec)?;
+        let threads = gdr_relation::ThreadPool::new(config.parallelism);
+        let state = RepairState::decode_state(dec, threads)?;
+        let models = ModelStore::decode_state(dec)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = dec.u64()?;
+        }
+        let verifications = dec.usize()?;
+        let learner_decisions = dec.usize()?;
+        let initial_dirty_tuples = dec.usize()?;
+        let eval = dec.option(|d| EvalHooks::decode_state(d, state.ruleset()))?;
+        let phase = Phase::decode_state(dec)?;
+        let pending = dec.option(WorkPlan::decode_state)?;
+        let next_work_id = dec.u64()?;
+        let stalled_rounds = dec.usize()?;
+        Ok(GdrEngine {
+            state,
+            models,
+            ranker: VoiRanker::new(),
+            strategy,
+            config,
+            rng: StdRng::from_state(rng_state),
+            verifications,
+            learner_decisions,
+            initial_dirty_tuples,
+            eval,
+            phase,
+            pending,
+            next_work_id,
+            stalled_rounds,
+        })
+    }
+
+    /// The engine as one framed `S1 <len> <fnv64-hex> <payload>` snapshot
+    /// record — the binary sibling of the `J1` journal frame, checksummed so
+    /// a torn or bit-flipped file is detected before decoding begins.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.encode_state(&mut enc);
+        codec::frame_snapshot(enc.as_bytes())
+    }
+
+    /// Decodes an engine from a framed snapshot produced by
+    /// [`GdrEngine::to_snapshot_bytes`] / [`GdrEngine::write_snapshot`].
+    /// Every failure — bad frame, checksum mismatch, malformed payload,
+    /// trailing bytes — is a typed [`CodecError`], never a panic, so
+    /// recovery code can fall back to an older snapshot or a full replay.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> codec::Result<GdrEngine> {
+        let payload = codec::unframe_snapshot(bytes)?;
+        let mut dec = Dec::new(payload);
+        let engine = GdrEngine::decode_state(&mut dec)?;
+        dec.finish()?;
+        Ok(engine)
+    }
+
+    /// Writes the framed snapshot to `writer` (one shot; callers owning a
+    /// file decide about syncing and atomic-rename placement).
+    pub fn write_snapshot<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(&self.to_snapshot_bytes())
+    }
+
+    /// Reads a framed snapshot back from `reader`; I/O failures surface as
+    /// [`CodecError`]s so callers have one failure channel to degrade on.
+    pub fn read_snapshot<R: std::io::Read>(mut reader: R) -> codec::Result<GdrEngine> {
+        let mut bytes = Vec::new();
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|e| CodecError::new(format!("snapshot read failed: {e}")))?;
+        GdrEngine::from_snapshot_bytes(&bytes)
+    }
 }
 
 /// Builder of [`GdrEngine`]s (and, via [`SessionBuilder::simulated`], of the
@@ -1344,6 +1696,88 @@ mod tests {
             panic!("expected AskUser");
         };
         assert!(group_context.is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_and_live() {
+        // GDR-S-Learning exercises every snapshotted axis: the learner, the
+        // rng stream (within-group sampling), grouping, and eval hooks.
+        let mut e = engine(Strategy::GdrSLearning);
+        for _ in 0..3 {
+            match e.next_work().unwrap() {
+                WorkPlan::AskUser { id, .. } => e.answer(id, Feedback::Confirm).unwrap(),
+                WorkPlan::NeedsValue { cell } => e.skip_value(cell).unwrap(),
+                WorkPlan::Done(_) => break,
+            }
+        }
+        // Snapshot with an outstanding plan, mid-group.
+        let outstanding = e.next_work().unwrap();
+        let bytes = e.to_snapshot_bytes();
+        let mut restored = GdrEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+        assert_eq!(restored.next_work().unwrap(), outstanding);
+        // Drive both to completion in lockstep: every served plan and every
+        // intermediate snapshot must stay bit-identical.
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            assert!(guard < 500, "session did not progress");
+            let plan = e.next_work().unwrap();
+            assert_eq!(restored.next_work().unwrap(), plan);
+            match plan {
+                WorkPlan::AskUser { id, .. } => {
+                    e.answer(id, Feedback::Confirm).unwrap();
+                    restored.answer(id, Feedback::Confirm).unwrap();
+                }
+                WorkPlan::NeedsValue { cell } => {
+                    e.skip_value(cell).unwrap();
+                    restored.skip_value(cell).unwrap();
+                }
+                WorkPlan::Done(_) => break,
+            }
+            assert_eq!(restored.to_snapshot_bytes(), e.to_snapshot_bytes());
+        }
+        let (a, b) = (e.report().unwrap(), restored.report().unwrap());
+        assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits());
+        assert_eq!(a.verifications, b.verifications);
+        assert_eq!(a.learner_decisions, b.learner_decisions);
+    }
+
+    #[test]
+    fn snapshot_of_a_fresh_engine_round_trips() {
+        let e = engine(Strategy::Gdr);
+        let bytes = e.to_snapshot_bytes();
+        let restored = GdrEngine::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+        assert!(restored.done().is_none());
+        assert_eq!(restored.verifications(), 0);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_with_typed_errors() {
+        let e = engine(Strategy::GdrNoLearning);
+        let bytes = e.to_snapshot_bytes();
+        // Truncation anywhere never decodes (and never panics).
+        for cut in [0, 1, 2, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                GdrEngine::from_snapshot_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // A flipped payload byte fails the frame checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(GdrEngine::from_snapshot_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn snapshot_writes_and_reads_through_io() {
+        let e = engine(Strategy::GdrNoLearning);
+        let mut buffer = Vec::new();
+        e.write_snapshot(&mut buffer).unwrap();
+        let restored = GdrEngine::read_snapshot(&buffer[..]).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), e.to_snapshot_bytes());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! pulling [`TeamSession::next_work_for`] again — duplicate deliveries are
 //! absorbed exactly like the single-reviewer verbs absorb them.
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::Value;
 use gdr_repair::{Cell, Feedback, Update};
 
@@ -79,6 +80,30 @@ impl ConflictPolicy {
             ConflictPolicy::EscalateToNeedsValue => 2,
         }
     }
+
+    /// Serialises the policy into `enc`.
+    pub fn encode_state(self, enc: &mut Enc) {
+        match self {
+            ConflictPolicy::FirstWins => enc.u8(0),
+            ConflictPolicy::Majority { k } => {
+                enc.u8(1);
+                enc.usize(k);
+            }
+            ConflictPolicy::EscalateToNeedsValue => enc.u8(2),
+        }
+    }
+
+    /// Rebuilds a policy written by [`ConflictPolicy::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ConflictPolicy> {
+        match dec.u8()? {
+            0 => Ok(ConflictPolicy::FirstWins),
+            1 => Ok(ConflictPolicy::Majority { k: dec.usize()? }),
+            2 => Ok(ConflictPolicy::EscalateToNeedsValue),
+            tag => Err(CodecError::new(format!(
+                "invalid conflict-policy tag {tag}"
+            ))),
+        }
+    }
 }
 
 /// Coordinator configuration: the conflict policy and the lease TTL.
@@ -98,6 +123,22 @@ impl Default for TeamConfig {
             policy: ConflictPolicy::FirstWins,
             lease_ttl: 32,
         }
+    }
+}
+
+impl TeamConfig {
+    /// Serialises the configuration into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        self.policy.encode_state(enc);
+        enc.u64(self.lease_ttl);
+    }
+
+    /// Rebuilds a configuration written by [`TeamConfig::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<TeamConfig> {
+        Ok(TeamConfig {
+            policy: ConflictPolicy::decode_state(dec)?,
+            lease_ttl: dec.u64()?,
+        })
     }
 }
 
@@ -158,6 +199,59 @@ pub enum Resolution {
     },
 }
 
+fn encode_feedback(enc: &mut Enc, feedback: Feedback) {
+    enc.u8(feedback.index() as u8);
+}
+
+fn decode_feedback(dec: &mut Dec<'_>) -> codec::Result<Feedback> {
+    let tag = dec.u8()?;
+    Feedback::from_index(tag as usize)
+        .ok_or_else(|| CodecError::new(format!("invalid feedback tag {tag}")))
+}
+
+impl Resolution {
+    /// Serialises the resolution into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            Resolution::Answer { cell, feedback } => {
+                enc.u8(0);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+                encode_feedback(enc, *feedback);
+            }
+            Resolution::Supply { cell, value } => {
+                enc.u8(1);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+                enc.value(value);
+            }
+            Resolution::Skip { cell } => {
+                enc.u8(2);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+            }
+        }
+    }
+
+    /// Rebuilds a resolution written by [`Resolution::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Resolution> {
+        match dec.u8()? {
+            0 => Ok(Resolution::Answer {
+                cell: (dec.usize()?, dec.usize()?),
+                feedback: decode_feedback(dec)?,
+            }),
+            1 => Ok(Resolution::Supply {
+                cell: (dec.usize()?, dec.usize()?),
+                value: dec.value()?,
+            }),
+            2 => Ok(Resolution::Skip {
+                cell: (dec.usize()?, dec.usize()?),
+            }),
+            tag => Err(CodecError::new(format!("invalid resolution tag {tag}"))),
+        }
+    }
+}
+
 /// The work item a lease covers.
 #[derive(Debug, Clone, PartialEq)]
 enum ItemKey {
@@ -177,6 +271,37 @@ impl ItemKey {
             ItemKey::Ask { cell, .. } | ItemKey::Fix { cell, .. } => *cell,
         }
     }
+
+    fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            ItemKey::Ask { cell, value } => {
+                enc.u8(0);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+                enc.value(value);
+            }
+            ItemKey::Fix { cell, suggestion } => {
+                enc.u8(1);
+                enc.usize(cell.0);
+                enc.usize(cell.1);
+                enc.option(suggestion.as_ref(), |e, v| e.value(v));
+            }
+        }
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ItemKey> {
+        match dec.u8()? {
+            0 => Ok(ItemKey::Ask {
+                cell: (dec.usize()?, dec.usize()?),
+                value: dec.value()?,
+            }),
+            1 => Ok(ItemKey::Fix {
+                cell: (dec.usize()?, dec.usize()?),
+                suggestion: dec.option(|d| d.value())?,
+            }),
+            tag => Err(CodecError::new(format!("invalid item-key tag {tag}"))),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -187,11 +312,59 @@ struct Lease {
     granted_at: u64,
 }
 
+impl Lease {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u64(self.id.raw());
+        enc.str(&self.reviewer);
+        self.item.encode_state(enc);
+        enc.u64(self.granted_at);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Lease> {
+        Ok(Lease {
+            id: WorkId::from_raw(dec.u64()?),
+            reviewer: dec.str()?.to_string(),
+            item: ItemKey::decode_state(dec)?,
+            granted_at: dec.u64()?,
+        })
+    }
+}
+
+/// A read-only view of one live lease, for inspection transports (the
+/// `leases` wire verb): who holds which work item, and for how long.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseInfo {
+    /// The lease's work id (what the reviewer answers with).
+    pub id: WorkId,
+    /// The reviewer holding the lease.
+    pub reviewer: String,
+    /// The cell the leased item targets.
+    pub cell: Cell,
+    /// Age of the lease in coordinator clock ticks (`clock - granted_at`).
+    pub age: u64,
+}
+
 #[derive(Debug, Clone)]
 struct AnswerRec {
     item: ItemKey,
     reviewer: String,
     feedback: Feedback,
+}
+
+impl AnswerRec {
+    fn encode_state(&self, enc: &mut Enc) {
+        self.item.encode_state(enc);
+        enc.str(&self.reviewer);
+        encode_feedback(enc, self.feedback);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> codec::Result<AnswerRec> {
+        Ok(AnswerRec {
+            item: ItemKey::decode_state(dec)?,
+            reviewer: dec.str()?.to_string(),
+            feedback: decode_feedback(dec)?,
+        })
+    }
 }
 
 /// A multi-reviewer coordinator over one [`GdrEngine`].
@@ -268,6 +441,24 @@ impl TeamSession {
             .iter()
             .filter(|lease| clock - lease.granted_at < ttl)
             .count()
+    }
+
+    /// A read-only view of every currently live lease, in grant order — the
+    /// lease table the `leases` wire verb exposes.  Purely observational:
+    /// consulting it ticks no clock and expires nothing.
+    pub fn lease_table(&self) -> Vec<LeaseInfo> {
+        let clock = self.clock;
+        let ttl = self.ttl();
+        self.leases
+            .iter()
+            .filter(|lease| clock - lease.granted_at < ttl)
+            .map(|lease| LeaseInfo {
+                id: lease.id,
+                reviewer: lease.reviewer.clone(),
+                cell: lease.item.cell(),
+                age: clock - lease.granted_at,
+            })
+            .collect()
     }
 
     /// Serves (or re-serves) work to `reviewer`.
@@ -495,6 +686,126 @@ impl TeamSession {
             let _ = writeln!(out, "resolved {resolution:?}");
         }
         out
+    }
+
+    /// Serialises the whole session — the wrapped engine and every piece of
+    /// coordinator state (clock, lease table, collected answers,
+    /// escalations, buffered resolutions, and the resolution transcript) —
+    /// into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("team", 1);
+        self.engine.encode_state(enc);
+        self.config.encode_state(enc);
+        enc.u64(self.clock);
+        enc.u64(self.next_lease_id);
+        enc.usize(self.leases.len());
+        for lease in &self.leases {
+            lease.encode_state(enc);
+        }
+        enc.usize(self.answers.len());
+        for answer in &self.answers {
+            answer.encode_state(enc);
+        }
+        enc.usize(self.escalations.len());
+        for (cell, suggestion) in &self.escalations {
+            enc.usize(cell.0);
+            enc.usize(cell.1);
+            enc.value(suggestion);
+        }
+        enc.usize(self.buffered.len());
+        for (cell, value, feedback) in &self.buffered {
+            enc.usize(cell.0);
+            enc.usize(cell.1);
+            enc.value(value);
+            encode_feedback(enc, *feedback);
+        }
+        enc.usize(self.resolutions.len());
+        for resolution in &self.resolutions {
+            resolution.encode_state(enc);
+        }
+    }
+
+    /// Rebuilds a session written by [`TeamSession::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<TeamSession> {
+        dec.section("team")?;
+        let engine = GdrEngine::decode_state(dec)?;
+        let config = TeamConfig::decode_state(dec)?;
+        let clock = dec.u64()?;
+        let next_lease_id = dec.u64()?;
+        let n_leases = dec.seq_len(18)?;
+        let mut leases = Vec::with_capacity(n_leases);
+        for _ in 0..n_leases {
+            leases.push(Lease::decode_state(dec)?);
+        }
+        let n_answers = dec.seq_len(11)?;
+        let mut answers = Vec::with_capacity(n_answers);
+        for _ in 0..n_answers {
+            answers.push(AnswerRec::decode_state(dec)?);
+        }
+        let n_escalations = dec.seq_len(17)?;
+        let mut escalations = Vec::with_capacity(n_escalations);
+        for _ in 0..n_escalations {
+            escalations.push(((dec.usize()?, dec.usize()?), dec.value()?));
+        }
+        let n_buffered = dec.seq_len(18)?;
+        let mut buffered = Vec::with_capacity(n_buffered);
+        for _ in 0..n_buffered {
+            buffered.push((
+                (dec.usize()?, dec.usize()?),
+                dec.value()?,
+                decode_feedback(dec)?,
+            ));
+        }
+        let n_resolutions = dec.seq_len(17)?;
+        let mut resolutions = Vec::with_capacity(n_resolutions);
+        for _ in 0..n_resolutions {
+            resolutions.push(Resolution::decode_state(dec)?);
+        }
+        Ok(TeamSession {
+            engine,
+            config,
+            clock,
+            next_lease_id,
+            leases,
+            answers,
+            escalations,
+            buffered,
+            resolutions,
+        })
+    }
+
+    /// The session as one framed `S1 <len> <fnv64-hex> <payload>` snapshot
+    /// record (see [`crate::step::GdrEngine::to_snapshot_bytes`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.encode_state(&mut enc);
+        codec::frame_snapshot(enc.as_bytes())
+    }
+
+    /// Decodes a session from a framed snapshot produced by
+    /// [`TeamSession::to_snapshot_bytes`].  Every failure is a typed
+    /// [`CodecError`] so callers can degrade to replay.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> codec::Result<TeamSession> {
+        let payload = codec::unframe_snapshot(bytes)?;
+        let mut dec = Dec::new(payload);
+        let session = TeamSession::decode_state(&mut dec)?;
+        dec.finish()?;
+        Ok(session)
+    }
+
+    /// Writes the framed snapshot to `writer`.
+    pub fn write_snapshot<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(&self.to_snapshot_bytes())
+    }
+
+    /// Reads a framed snapshot back from `reader`; I/O failures surface as
+    /// [`CodecError`]s so callers have one failure channel to degrade on.
+    pub fn read_snapshot<R: std::io::Read>(mut reader: R) -> codec::Result<TeamSession> {
+        let mut bytes = Vec::new();
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|e| CodecError::new(format!("snapshot read failed: {e}")))?;
+        TeamSession::from_snapshot_bytes(&bytes)
     }
 
     // ---- internals --------------------------------------------------------
@@ -1041,5 +1352,80 @@ mod tests {
             TeamPlan::Done(DoneReason::Finished)
         ));
         assert_eq!(t.live_leases(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_every_coordinator_axis() {
+        // Escalation is the busiest coordinator state: a disagreement leaves
+        // collected answers dropped, an escalation queued, and the next pull
+        // becomes a Fix lease — snapshot in the middle of all of it.
+        let mut t = team(ConflictPolicy::EscalateToNeedsValue, 64);
+        let (id_a, _) = lease_of(t.next_work_for("alice").unwrap());
+        let (id_b, _) = lease_of(t.next_work_for("bob").unwrap());
+        t.answer_as("alice", id_a, Feedback::Confirm).unwrap();
+        t.answer_as("bob", id_b, Feedback::Reject).unwrap();
+        let plan = t.next_work_for("carol").unwrap();
+        let TeamPlan::Fix { id, cell, .. } = plan else {
+            panic!("expected an escalated fix, got {plan:?}");
+        };
+
+        let bytes = t.to_snapshot_bytes();
+        let mut restored = TeamSession::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+        assert_eq!(restored.digest_text(), t.digest_text());
+        let (live, mirrored) = (t.lease_table(), restored.lease_table());
+        assert_eq!(live.len(), mirrored.len());
+        for (a, b) in live.iter().zip(&mirrored) {
+            assert_eq!(
+                (a.id, &a.reviewer, a.cell, a.age),
+                (b.id, &b.reviewer, b.cell, b.age)
+            );
+        }
+
+        // Both sessions keep working identically after the restore.
+        let value = t.engine().state().table().cell(cell.0, cell.1).clone();
+        t.supply_as("carol", id, value.clone()).unwrap();
+        restored.supply_as("carol", id, value).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), t.to_snapshot_bytes());
+        assert_eq!(restored.digest_text(), t.digest_text());
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut t = team(ConflictPolicy::FirstWins, 64);
+        let (id, _) = lease_of(t.next_work_for("alice").unwrap());
+        t.answer_as("alice", id, Feedback::Confirm).unwrap();
+        let bytes = t.to_snapshot_bytes();
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TeamSession::from_snapshot_bytes(&bytes[..cut]).is_err());
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(TeamSession::from_snapshot_bytes(&flipped).is_err());
+        // The io-level surface round-trips the same bytes.
+        let mut buffer = Vec::new();
+        t.write_snapshot(&mut buffer).unwrap();
+        let restored = TeamSession::read_snapshot(&buffer[..]).unwrap();
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn lease_table_reports_grant_order_and_ages_without_ticking() {
+        let mut t = team(ConflictPolicy::FirstWins, 64);
+        let (id_a, _) = lease_of(t.next_work_for("alice").unwrap());
+        let (id_b, _) = lease_of(t.next_work_for("bob").unwrap());
+        let table = t.lease_table();
+        assert_eq!(table.len(), 2);
+        assert_eq!((table[0].id, table[0].reviewer.as_str()), (id_a, "alice"));
+        assert_eq!((table[1].id, table[1].reviewer.as_str()), (id_b, "bob"));
+        // Bob's pull ticked the clock after alice's grant.
+        assert_eq!(table[0].age, 1);
+        assert_eq!(table[1].age, 0);
+        // Observation ticks nothing: ages are stable across reads.
+        let again = t.lease_table();
+        assert_eq!(again[0].age, 1);
+        assert_eq!(again[1].age, 0);
+        assert_eq!(t.clock(), 2);
     }
 }

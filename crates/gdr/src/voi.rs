@@ -776,8 +776,9 @@ mod tests {
         assert_eq!(fresh.to_bits(), miss.to_bits());
         assert_eq!(cache.len(), 1);
 
-        // A hit performs no what-if: the table's version counter (which the
-        // apply/revert round trip advances) must not move.
+        // Neither a hit nor a miss may move the table's version counter: a
+        // hit performs no what-if at all, and the what-if round trip itself
+        // is version-neutral (it rewinds the counter on revert).
         let version = state.table().version();
         let hit = cache.update_benefit(&mut state, &update, 0.7).unwrap();
         assert_eq!(state.table().version(), version);

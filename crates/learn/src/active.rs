@@ -10,6 +10,8 @@
 //! GDR keeps one learner per attribute of the relation and retrains it after
 //! every batch of user feedback.
 
+use gdr_relation::codec::{self, Dec, Enc};
+
 use crate::dataset::{Dataset, Example, FeatureValue};
 use crate::forest::{ForestConfig, RandomForest};
 
@@ -96,6 +98,37 @@ impl ActiveLearner {
             Some(forest) => forest.uncertainty(features),
             None => 1.0,
         }
+    }
+
+    /// Serialises the learner into `enc`.
+    ///
+    /// The forest is written explicitly rather than re-derived from the
+    /// dataset on decode: examples may have been added since the last
+    /// retrain, so "dataset + retrain" would not reproduce this forest.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("learner", 1);
+        self.dataset.encode_state(enc);
+        self.config.encode_state(enc);
+        enc.option(self.forest.as_ref(), |e, f| f.encode_state(e));
+        enc.u64(self.seed);
+        enc.usize(self.retrains);
+    }
+
+    /// Rebuilds a learner written by [`ActiveLearner::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ActiveLearner> {
+        dec.section("learner")?;
+        let dataset = Dataset::decode_state(dec)?;
+        let config = ForestConfig::decode_state(dec)?;
+        let forest = dec.option(RandomForest::decode_state)?;
+        let seed = dec.u64()?;
+        let retrains = dec.usize()?;
+        Ok(ActiveLearner {
+            dataset,
+            config,
+            forest,
+            seed,
+            retrains,
+        })
     }
 
     /// Orders the indices of an unlabeled pool by decreasing uncertainty —
@@ -217,6 +250,65 @@ mod tests {
             vec![cat("c"), FeatureValue::Numeric(0.0)],
         ];
         assert_eq!(l.rank_by_uncertainty(&pool), vec![0, 1, 2]);
+    }
+
+    fn encode(learner: &ActiveLearner) -> Vec<u8> {
+        let mut enc = Enc::new();
+        learner.encode_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_learner_behaviour() {
+        let mut l = learner();
+        feed_pattern(&mut l, 30);
+        l.retrain();
+        // One example added after the retrain: the forest must come back
+        // as-trained, not as "retrain of the current dataset".
+        l.add_example(vec![cat("H9"), FeatureValue::Missing], 0);
+
+        let bytes = encode(&l);
+        let mut dec = Dec::new(&bytes);
+        let mut restored = ActiveLearner::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(encode(&restored), bytes);
+        assert_eq!(restored.training_size(), l.training_size());
+        assert_eq!(restored.retrain_count(), l.retrain_count());
+        let probe = [cat("H2"), FeatureValue::Numeric(1.0)];
+        assert_eq!(restored.predict(&probe), l.predict(&probe));
+        assert_eq!(
+            restored.forest().unwrap().votes(&probe),
+            l.forest().unwrap().votes(&probe)
+        );
+
+        // Future retrains diverge identically: the seed schedule survives.
+        l.retrain();
+        restored.retrain();
+        assert_eq!(encode(&restored), encode(&l));
+    }
+
+    #[test]
+    fn codec_round_trips_untrained_learner() {
+        let l = learner();
+        let bytes = encode(&l);
+        let mut dec = Dec::new(&bytes);
+        let restored = ActiveLearner::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert!(!restored.is_trained());
+        assert_eq!(restored.training_size(), 0);
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_learner_payloads() {
+        let mut l = learner();
+        feed_pattern(&mut l, 12);
+        l.retrain();
+        let bytes = encode(&l);
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut]);
+            let result = ActiveLearner::decode_state(&mut dec).and_then(|_| dec.finish());
+            assert!(result.is_err(), "truncation at {cut} must not decode");
+        }
     }
 
     #[test]

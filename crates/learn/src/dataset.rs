@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
+
 /// One feature of an example: categorical, symbolic, numeric, or missing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FeatureValue {
@@ -63,6 +65,36 @@ impl FeatureValue {
     /// Returns `true` for [`FeatureValue::Missing`].
     pub fn is_missing(&self) -> bool {
         matches!(self, FeatureValue::Missing)
+    }
+
+    /// Serialises the feature into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            FeatureValue::Missing => enc.u8(0),
+            FeatureValue::Categorical(s) => {
+                enc.u8(1);
+                enc.str(s);
+            }
+            FeatureValue::Symbol(s) => {
+                enc.u8(2);
+                enc.u32(*s);
+            }
+            FeatureValue::Numeric(x) => {
+                enc.u8(3);
+                enc.f64(*x);
+            }
+        }
+    }
+
+    /// Rebuilds a feature written by [`FeatureValue::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<FeatureValue> {
+        match dec.u8()? {
+            0 => Ok(FeatureValue::Missing),
+            1 => Ok(FeatureValue::Categorical(dec.str()?)),
+            2 => Ok(FeatureValue::Symbol(dec.u32()?)),
+            3 => Ok(FeatureValue::Numeric(dec.f64()?)),
+            tag => Err(CodecError::new(format!("invalid feature tag {tag}"))),
+        }
     }
 }
 
@@ -183,6 +215,50 @@ impl Dataset {
             .enumerate()
             .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(&a.0)))
             .map(|(label, _)| label)
+    }
+
+    /// Serialises the dataset (arity and every example, in order) into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("dataset", 1);
+        enc.usize(self.feature_count);
+        enc.usize(self.label_count);
+        enc.usize(self.examples.len());
+        for example in &self.examples {
+            for feature in &example.features {
+                feature.encode_state(enc);
+            }
+            enc.usize(example.label);
+        }
+    }
+
+    /// Rebuilds a dataset written by [`Dataset::encode_state`].  Labels are
+    /// range-checked so a corrupt payload fails decoding instead of tripping
+    /// the [`Dataset::push`] assertions.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Dataset> {
+        dec.section("dataset")?;
+        let feature_count = dec.usize()?;
+        let label_count = dec.usize()?;
+        if feature_count > (1 << 20) || label_count > (1 << 20) {
+            return Err(CodecError::new(format!(
+                "implausible dataset arity ({feature_count} features, {label_count} labels)"
+            )));
+        }
+        let n = dec.seq_len(feature_count + 8)?;
+        let mut dataset = Dataset::new(feature_count, label_count);
+        for _ in 0..n {
+            let mut features = Vec::with_capacity(feature_count);
+            for _ in 0..feature_count {
+                features.push(FeatureValue::decode_state(dec)?);
+            }
+            let label = dec.usize()?;
+            if label >= label_count {
+                return Err(CodecError::new(format!(
+                    "label {label} out of range (label_count = {label_count})"
+                )));
+            }
+            dataset.push(Example::new(features, label));
+        }
+        Ok(dataset)
     }
 
     /// The distinct labels present in the dataset.

@@ -7,6 +7,7 @@
 //! then learn a decision tree with the set S."  The paper uses the WEKA
 //! implementation with `k = 10`; this module reproduces that behaviour.
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -34,6 +35,24 @@ impl Default for ForestConfig {
             sample_fraction: 0.8,
             tree: TreeConfig::default(),
         }
+    }
+}
+
+impl ForestConfig {
+    /// Serialises the configuration into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.trees);
+        enc.f64(self.sample_fraction);
+        self.tree.encode_state(enc);
+    }
+
+    /// Rebuilds a configuration written by [`ForestConfig::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ForestConfig> {
+        Ok(ForestConfig {
+            trees: dec.usize()?,
+            sample_fraction: dec.f64()?,
+            tree: TreeConfig::decode_state(dec)?,
+        })
     }
 }
 
@@ -121,6 +140,36 @@ impl RandomForest {
     /// `[0, 1]`.
     pub fn uncertainty(&self, features: &[FeatureValue]) -> f64 {
         committee_entropy(&self.votes(features), self.label_count)
+    }
+
+    /// Serialises the trained forest (every tree, in committee order) into
+    /// `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("forest", 1);
+        enc.usize(self.label_count);
+        enc.usize(self.trees.len());
+        for tree in &self.trees {
+            tree.encode_state(enc);
+        }
+    }
+
+    /// Rebuilds a forest written by [`RandomForest::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<RandomForest> {
+        dec.section("forest")?;
+        let label_count = dec.usize()?;
+        let n = dec.seq_len(8)?;
+        let mut trees = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tree = DecisionTree::decode_state(dec)?;
+            if tree.label_count() != label_count {
+                return Err(CodecError::new(format!(
+                    "tree label count {} disagrees with forest label count {label_count}",
+                    tree.label_count()
+                )));
+            }
+            trees.push(tree);
+        }
+        Ok(RandomForest { trees, label_count })
     }
 
     /// Classification accuracy over a labelled dataset.

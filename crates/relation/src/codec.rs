@@ -1,0 +1,568 @@
+//! The versioned state codec: byte-level primitives shared by every
+//! state-bearing layer.
+//!
+//! A GDR engine is deterministic, so the journal layers above persist it by
+//! **replay**.  Replay cost grows with session length, though, and the
+//! durable tier wants checkpoints it can load in O(state) instead.  This
+//! module is the foundation of those checkpoints: a small, dependency-free
+//! binary encoding ([`Enc`]/[`Dec`]) that every crate in the stack uses to
+//! serialise its *canonical* state (dictionaries, columns, violation
+//! statistics, forests, repair journals) while derivable caches are rebuilt
+//! on decode.
+//!
+//! ## Encoding rules
+//!
+//! * Fixed-width little-endian integers; `f64` travels as raw
+//!   [`f64::to_bits`] so restored floats are **bit-identical** (NaN payloads
+//!   and signed zeros included).
+//! * Strings and byte blobs are length-prefixed.
+//! * Every struct opens a *section*: an ASCII tag plus a `u16` version
+//!   ([`Enc::section`] / [`Dec::section`]).  Decoders reject unknown tags
+//!   and future versions with a typed [`CodecError`] instead of
+//!   misinterpreting bytes.
+//! * Hash maps and sets are encoded in **sorted key order** (behaviour never
+//!   depends on map iteration order — replay equivalence across processes
+//!   already proves that) and rebuilt into fresh maps on decode.
+//! * Collection lengths are validated against the remaining payload
+//!   ([`Dec::seq_len`]) before any allocation, so a corrupt length cannot
+//!   balloon memory — it fails the decode, and recovery falls back to
+//!   replay.
+//!
+//! ## `S1` framing
+//!
+//! A complete snapshot payload is framed as `S1 <len> <fnv64-hex> ` followed
+//! by exactly `len` payload bytes — the same magic/length/checksum shape as
+//! the `J1` journal record framing, except length-delimited because the
+//! payload is binary.  [`frame_snapshot`] / [`unframe_snapshot`] implement
+//! the frame; a checksum mismatch or short file is a [`CodecError`], never a
+//! panic.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Magic token opening a framed snapshot (the binary sibling of the `J1`
+/// journal record magic).
+pub const SNAPSHOT_MAGIC: &str = "S1";
+
+/// 64-bit FNV-1a over a byte slice — the workspace's standard integrity
+/// hash (journal record checksums, store sharding, snapshot frames).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A decode failure: truncated payload, bad checksum, unknown section,
+/// unsupported version, or an out-of-range value.  Always an error, never a
+/// panic — the recovery layers degrade to journal replay on any of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable description of what failed to decode.
+    pub detail: String,
+}
+
+impl CodecError {
+    /// A new error with the given detail.
+    pub fn new(detail: impl Into<String>) -> CodecError {
+        CodecError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot codec: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// The byte-oriented encoder.  Infallible: encoding canonical state cannot
+/// fail, only decoding foreign bytes can.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Opens a versioned section: tag + version, checked by
+    /// [`Dec::section`] on the way back in.
+    pub fn section(&mut self, tag: &str, version: u16) {
+        self.str(tag);
+        self.u16(version);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A `usize`, widened to `u64` for a platform-independent encoding.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// An `f64` as raw bits — restored values are bit-identical.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// A length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A cell [`Value`] (tag + payload).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Int(i) => {
+                self.u8(1);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u8(2);
+                self.str(s);
+            }
+        }
+    }
+
+    /// An `Option<T>` via a presence byte and a closure for the payload.
+    pub fn option<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Enc, &T)) {
+        match v {
+            Some(inner) => {
+                self.bool(true);
+                f(self, inner);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// The byte-oriented decoder over a borrowed payload.  Every read is
+/// bounds-checked and returns a [`CodecError`] on malformed input.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over the full payload.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::new(format!(
+                "{} trailing bytes after the last section",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "truncated payload: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Opens a section: checks the tag matches and returns the version.
+    /// Callers reject versions above what they understand.
+    pub fn section(&mut self, tag: &str) -> Result<u16> {
+        let got = self.str()?;
+        if got != tag {
+            return Err(CodecError::new(format!(
+                "expected section `{tag}`, found `{got}`"
+            )));
+        }
+        self.u16()
+    }
+
+    /// Opens a section and rejects any version above `max_version`.
+    pub fn section_at_most(&mut self, tag: &str, max_version: u16) -> Result<u16> {
+        let version = self.section(tag)?;
+        if version > max_version {
+            return Err(CodecError::new(format!(
+                "section `{tag}` has version {version}, this build understands <= {max_version}"
+            )));
+        }
+        Ok(version)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `usize` (encoded as `u64`; fails if it does not fit this platform).
+    pub fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| CodecError::new("usize value exceeds this platform"))
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// An `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A boolean (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::new(format!("invalid boolean byte {other}"))),
+        }
+    }
+
+    /// A collection length, validated against the remaining payload assuming
+    /// at least `min_elem_bytes` per element — a corrupt length fails here
+    /// instead of driving a huge allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.usize()?;
+        let need = n.checked_mul(min_elem_bytes.max(1));
+        if need.is_none() || need.unwrap() > self.remaining() {
+            return Err(CodecError::new(format!(
+                "implausible collection length {n} with {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.seq_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::new("string payload is not valid UTF-8"))
+    }
+
+    /// A length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.seq_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// A cell [`Value`].
+    pub fn value(&mut self) -> Result<Value> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Str(self.str()?)),
+            tag => Err(CodecError::new(format!("invalid value tag {tag}"))),
+        }
+    }
+
+    /// An `Option<T>` via a presence byte and a closure for the payload.
+    pub fn option<T>(&mut self, mut f: impl FnMut(&mut Dec<'a>) -> Result<T>) -> Result<Option<T>> {
+        if self.bool()? {
+            Ok(Some(f(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Frames a snapshot payload as `S1 <len> <fnv64-hex> ` + payload — the
+/// binary, length-delimited sibling of the `J1` journal record frame.
+pub fn frame_snapshot(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{SNAPSHOT_MAGIC} {} {:016x} ",
+        payload.len(),
+        fnv1a64(payload)
+    );
+    let mut framed = Vec::with_capacity(header.len() + payload.len());
+    framed.extend_from_slice(header.as_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Validates an `S1` frame and returns the payload slice.  Any defect —
+/// wrong magic, malformed header, short payload, trailing garbage, checksum
+/// mismatch — is a [`CodecError`].
+pub fn unframe_snapshot(bytes: &[u8]) -> Result<&[u8]> {
+    // Header fields are ASCII and space-terminated; the payload is binary
+    // and starts right after the third space.
+    let mut fields = Vec::with_capacity(3);
+    let mut start = 0usize;
+    for _ in 0..3 {
+        let rest = &bytes[start..];
+        let space = rest
+            .iter()
+            .position(|&b| b == b' ')
+            .ok_or_else(|| CodecError::new("snapshot frame header is truncated"))?;
+        let field = std::str::from_utf8(&rest[..space])
+            .map_err(|_| CodecError::new("snapshot frame header is not ASCII"))?;
+        fields.push(field);
+        start += space + 1;
+    }
+    if fields[0] != SNAPSHOT_MAGIC {
+        return Err(CodecError::new(format!(
+            "bad snapshot magic `{}`",
+            fields[0].escape_default()
+        )));
+    }
+    let len: usize = fields[1]
+        .parse()
+        .map_err(|_| CodecError::new(format!("bad snapshot length field `{}`", fields[1])))?;
+    if fields[2].len() != 16 || !fields[2].bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(CodecError::new(format!(
+            "bad snapshot checksum field `{}`",
+            fields[2]
+        )));
+    }
+    let checksum = u64::from_str_radix(fields[2], 16)
+        .map_err(|_| CodecError::new("bad snapshot checksum field"))?;
+    let payload = &bytes[start..];
+    if payload.len() != len {
+        return Err(CodecError::new(format!(
+            "snapshot payload is {} bytes, frame declares {len}",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(CodecError::new(format!(
+            "snapshot checksum mismatch: frame says {checksum:016x}, payload hashes to \
+             {actual:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Enc::new();
+        enc.section("test", 3);
+        enc.u8(7);
+        enc.u16(300);
+        enc.u32(70_000);
+        enc.u64(u64::MAX);
+        enc.usize(12);
+        enc.i64(-5);
+        enc.f64(-0.0);
+        enc.f64(f64::NAN);
+        enc.bool(true);
+        enc.str("héllo");
+        enc.bytes(&[1, 2, 3]);
+        enc.value(&Value::Null);
+        enc.value(&Value::Int(-9));
+        enc.value(&Value::Str("x".into()));
+        enc.option(Some(&42u64), |e, v| e.u64(*v));
+        enc.option::<u64>(None, |e, v| e.u64(*v));
+        let bytes = enc.into_bytes();
+
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.section("test").unwrap(), 3);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u16().unwrap(), 300);
+        assert_eq!(dec.u32().unwrap(), 70_000);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert_eq!(dec.usize().unwrap(), 12);
+        assert_eq!(dec.i64().unwrap(), -5);
+        assert_eq!(dec.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.f64().unwrap().is_nan());
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.str().unwrap(), "héllo");
+        assert_eq!(dec.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.value().unwrap(), Value::Null);
+        assert_eq!(dec.value().unwrap(), Value::Int(-9));
+        assert_eq!(dec.value().unwrap(), Value::Str("x".into()));
+        assert_eq!(dec.option(|d| d.u64()).unwrap(), Some(42));
+        assert_eq!(dec.option(|d| d.u64()).unwrap(), None);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut enc = Enc::new();
+        enc.str("hello world");
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Dec::new(&bytes[..cut]);
+            assert!(dec.str().is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected_before_allocation() {
+        let mut enc = Enc::new();
+        enc.usize(usize::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert!(dec.seq_len(1).is_err());
+        let mut dec = Dec::new(&bytes);
+        assert!(dec.str().is_err());
+        let mut dec = Dec::new(&bytes);
+        assert!(dec.bytes().is_err());
+    }
+
+    #[test]
+    fn section_mismatches_are_typed_errors() {
+        let mut enc = Enc::new();
+        enc.section("alpha", 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        assert!(dec.section("beta").is_err());
+        let mut dec = Dec::new(&bytes);
+        assert!(dec.section_at_most("alpha", 1).is_err());
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.section_at_most("alpha", 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let mut dec = Dec::new(&[9]);
+        assert!(dec.bool().is_err());
+        let mut dec = Dec::new(&[9]);
+        assert!(dec.value().is_err());
+        let mut dec = Dec::new(&[1]); // value tag Int but no payload
+        assert!(dec.value().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut dec = Dec::new(&[0, 1]);
+        dec.u8().unwrap();
+        assert!(dec.finish().is_err());
+        dec.u8().unwrap();
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_frame_round_trips_binary_payloads() {
+        for payload in [
+            &b""[..],
+            &b"hello"[..],
+            &[0u8, 255, 10, 32, 13][..], // newline/space/NUL-ish bytes
+        ] {
+            let framed = frame_snapshot(payload);
+            assert_eq!(unframe_snapshot(&framed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn snapshot_frame_rejects_every_single_byte_flip() {
+        let framed = frame_snapshot(b"payload bytes here");
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            assert!(unframe_snapshot(&bad).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn snapshot_frame_rejects_truncation_and_extension() {
+        let framed = frame_snapshot(b"data");
+        for cut in 0..framed.len() {
+            assert!(unframe_snapshot(&framed[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = framed.clone();
+        long.push(b'x');
+        assert!(unframe_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

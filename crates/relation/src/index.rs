@@ -33,6 +33,7 @@
 
 use std::collections::HashMap;
 
+use crate::codec::{self, CodecError, Dec, Enc};
 use crate::intern::{SmallKey, ValueId};
 use crate::pool::{partition, shard_of_ids, ThreadPool};
 use crate::schema::AttrId;
@@ -278,6 +279,89 @@ impl AttrSetIndex {
     /// apply/revert round trips that left every projection unchanged.
     pub fn is_stale(&self, table: &Table) -> bool {
         table.version() != self.built_at_version
+    }
+
+    /// Serialises the index **faithfully**, not as a rebuild recipe:
+    /// incremental maintenance (`swap_remove` + append) leaves each group's
+    /// member order dependent on the write history, and `by_values` keeps
+    /// keys whose group has emptied, so both are canonical state.  Map
+    /// entries are written in sorted key order (iteration order is a hash
+    /// artefact, never behaviour).
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("asidx", 1);
+        enc.usize(self.attrs.len());
+        for &attr in &self.attrs {
+            enc.usize(attr);
+        }
+        let mut keys: Vec<&SmallKey> = self.groups.keys().collect();
+        keys.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        enc.usize(keys.len());
+        for key in keys {
+            key.encode_state(enc);
+            let members = &self.groups[key];
+            enc.usize(members.len());
+            for &member in members {
+                enc.usize(member);
+            }
+        }
+        let mut decoded: Vec<(&Vec<Value>, &SmallKey)> = self.by_values.iter().collect();
+        decoded.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        enc.usize(decoded.len());
+        for (values, key) in decoded {
+            enc.usize(values.len());
+            for value in values {
+                enc.value(value);
+            }
+            key.encode_state(enc);
+        }
+        enc.u64(self.built_at_version);
+    }
+
+    /// Rebuilds an index from [`AttrSetIndex::encode_state`] bytes,
+    /// preserving exact member order and emptied-group value keys.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<AttrSetIndex> {
+        dec.section_at_most("asidx", 1)?;
+        let n_attrs = dec.seq_len(8)?;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push(dec.usize()?);
+        }
+        let n_groups = dec.seq_len(8)?;
+        let mut groups = HashMap::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let key = SmallKey::decode_state(dec)?;
+            let n_members = dec.seq_len(8)?;
+            let mut members = Vec::with_capacity(n_members);
+            for _ in 0..n_members {
+                members.push(dec.usize()?);
+            }
+            if members.is_empty() {
+                return Err(CodecError::new("index payload contains an empty group"));
+            }
+            if groups.insert(key, members).is_some() {
+                return Err(CodecError::new("index payload repeats a group key"));
+            }
+        }
+        let n_decoded = dec.seq_len(8)?;
+        let mut by_values = HashMap::with_capacity(n_decoded);
+        for _ in 0..n_decoded {
+            let n_values = dec.seq_len(1)?;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(dec.value()?);
+            }
+            let key = SmallKey::decode_state(dec)?;
+            if by_values.insert(values, key).is_some() {
+                return Err(CodecError::new("index payload repeats a value key"));
+            }
+        }
+        let built_at_version = dec.u64()?;
+        Ok(AttrSetIndex {
+            attrs,
+            groups,
+            by_values,
+            built_at_version,
+        })
     }
 }
 
@@ -576,6 +660,45 @@ mod tests {
         idx.note_new_tuple(&t, id);
         assert_eq!(canonical(&idx), canonical(&AttrSetIndex::build(&t, &[1])));
         assert!(!idx.is_stale(&t));
+    }
+
+    #[test]
+    fn codec_preserves_maintenance_history_exactly() {
+        // Incremental writes leave within-group member order different from
+        // a rebuild (swap_remove + append) and keep emptied-group value
+        // keys; the codec must reproduce both faithfully.
+        let mut t = table();
+        let mut idx = AttrSetIndex::build(&t, &[1, 2]);
+        for (tuple, attr, value) in [
+            (0, 1, Value::from("Westville")),
+            (3, 2, Value::from("46825")),
+            (0, 1, Value::from("Fort Wayne")),
+        ] {
+            let old = t.set_cell(tuple, attr, value).unwrap();
+            let old_id = t.lookup_id(attr, &old).unwrap();
+            idx.note_cell_write(&t, tuple, attr, old_id);
+        }
+        let mut enc = crate::codec::Enc::new();
+        idx.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = crate::codec::Dec::new(&bytes);
+        let restored = AttrSetIndex::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored.attrs(), idx.attrs());
+        assert_eq!(restored.group_count(), idx.group_count());
+        assert!(!restored.is_stale(&t));
+        // Exact member order per group, not just set equality.
+        for (values, members) in idx.iter() {
+            assert_eq!(restored.get(values), members.as_slice());
+        }
+        // Emptied-group keys still answer (with no members) by value.
+        let emptied = vec![Value::from("Westville"), Value::from("46805")];
+        assert!(idx.get(&emptied).is_empty());
+        assert!(restored.get(&emptied).is_empty());
+        // Re-encoding the restored index is byte-identical.
+        let mut enc2 = crate::codec::Enc::new();
+        restored.encode_state(&mut enc2);
+        assert_eq!(enc2.into_bytes(), bytes);
     }
 
     #[test]

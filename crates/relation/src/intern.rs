@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use crate::codec::{self, CodecError, Dec, Enc};
 use crate::value::Value;
 
 /// Dense index of a distinct [`Value`] within one attribute's dictionary.
@@ -136,6 +137,36 @@ impl ValueInterner {
     pub fn generation(&self) -> u64 {
         self.generation
     }
+
+    /// Serialises the dictionary: the distinct values in id order.  The
+    /// reverse map and the generation counter are derivable (the dictionary
+    /// is append-only, so `generation == values.len()` invariantly) and are
+    /// rebuilt by [`ValueInterner::decode_state`].
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("dict", 1);
+        enc.usize(self.values.len());
+        for value in &self.values {
+            enc.value(value);
+        }
+    }
+
+    /// Rebuilds a dictionary from [`ValueInterner::encode_state`] bytes by
+    /// re-interning each value in order, which reproduces ids, the reverse
+    /// map, and the generation bit-identically.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ValueInterner> {
+        dec.section_at_most("dict", 1)?;
+        let n = dec.seq_len(1)?;
+        let mut interner = ValueInterner::new();
+        for _ in 0..n {
+            interner.intern(dec.value()?);
+        }
+        if interner.len() != n {
+            return Err(CodecError::new(
+                "dictionary payload contains duplicate values",
+            ));
+        }
+        Ok(interner)
+    }
 }
 
 /// Number of [`ValueId`]s a [`SmallKey`] stores without heap allocation.
@@ -223,6 +254,27 @@ impl SmallKey {
     /// Returns `true` for the empty key.
     pub fn is_empty(&self) -> bool {
         self.as_slice().is_empty()
+    }
+
+    /// Serialises the logical id slice.  Inline-versus-spilled is a
+    /// representation detail ([`SmallKey::from_slice`] re-chooses it by
+    /// length) and is not encoded.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        let ids = self.as_slice();
+        enc.usize(ids.len());
+        for id in ids {
+            enc.u32(id.raw());
+        }
+    }
+
+    /// Rebuilds a key from [`SmallKey::encode_state`] bytes.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<SmallKey> {
+        let n = dec.seq_len(4)?;
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(ValueId(dec.u32()?));
+        }
+        Ok(SmallKey::from_slice(&ids))
     }
 }
 

@@ -55,6 +55,8 @@
 //!   borrowed row views (reads),
 //! * [`Table`] — schema + interned columns with cell-level read/write access,
 //! * [`index`] — hash indices over one or more attributes,
+//! * [`codec`] — the versioned, checksummed state codec every layer uses to
+//!   serialise canonical state for checkpointed recovery,
 //! * [`csv`] — a minimal CSV reader/writer,
 //! * [`stats`] — per-attribute domain statistics (active domain, counts),
 //! * [`pool`] — a std-only scoped [`ThreadPool`] with deterministic
@@ -83,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod csv;
 pub mod error;
 pub mod index;
@@ -94,6 +97,7 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
+pub use codec::{CodecError, Dec, Enc};
 pub use error::RelationError;
 pub use index::{AttrSetIndex, ValueIndex};
 pub use intern::{SmallKey, ValueId, ValueInterner};

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::codec::{self, CodecError, Dec, Enc};
 use crate::error::RelationError;
 use crate::intern::{SmallKey, ValueId, ValueInterner};
 use crate::schema::{AttrId, Schema};
@@ -258,6 +259,23 @@ impl Table {
         self.columns[attr].set(id, new)
     }
 
+    /// Rewinds the modification counter to a previously observed value.
+    ///
+    /// For speculative apply/revert round trips that leave the table
+    /// logically unchanged (the violation engine's what-if evaluations):
+    /// reverted speculation must be invisible to version-watermarked caches
+    /// and to state serialisation, whose bytes are a pure function of
+    /// logical state — not of how many hypotheticals were evaluated against
+    /// it.  Callers must have restored every cell written since `version`
+    /// was observed.
+    pub fn rewind_version(&mut self, version: u64) {
+        debug_assert!(
+            version <= self.version,
+            "version counters only move forward outside a rewind"
+        );
+        self.version = version;
+    }
+
     /// Interns a value into an attribute's dictionary without touching any
     /// row, returning its id.  Used to resolve externally supplied values
     /// (candidate updates, prevented values) into id space once.
@@ -409,6 +427,77 @@ impl Table {
             weights: self.weights.clone(),
             version: 0,
         }
+    }
+
+    /// Serialises the table's canonical state: name, schema, per-column
+    /// dictionary and id column, row weights, and the version counter.  The
+    /// per-id occurrence counts are derivable (a recount over the id
+    /// columns) and are rebuilt by [`Table::decode_state`].
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("table", 1);
+        enc.str(&self.name);
+        enc.usize(self.schema.arity());
+        for attr in self.schema.attributes() {
+            enc.str(&attr.name);
+        }
+        enc.u64(self.version);
+        enc.usize(self.weights.len());
+        for &weight in &self.weights {
+            enc.f64(weight);
+        }
+        for column in &self.columns {
+            column.dict.encode_state(enc);
+            for &id in &column.ids {
+                enc.u32(id.raw());
+            }
+        }
+    }
+
+    /// Rebuilds a table from [`Table::encode_state`] bytes, validating every
+    /// id against its dictionary and recounting occurrences.
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Table> {
+        dec.section_at_most("table", 1)?;
+        let name = dec.str()?;
+        let arity = dec.seq_len(8)?;
+        let mut names = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            names.push(dec.str()?);
+        }
+        if names.len() != names.iter().collect::<std::collections::HashSet<_>>().len() {
+            return Err(CodecError::new("schema payload repeats an attribute name"));
+        }
+        let schema = Schema::new(&names);
+        let version = dec.u64()?;
+        let rows = dec.seq_len(8)?;
+        let mut weights = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            weights.push(dec.f64()?);
+        }
+        let mut columns = Vec::with_capacity(arity);
+        for attr in 0..arity {
+            let dict = ValueInterner::decode_state(dec)?;
+            let mut ids = Vec::with_capacity(rows);
+            let mut counts = vec![0u32; dict.len()];
+            for _ in 0..rows {
+                let id = dec.u32()? as usize;
+                if id >= dict.len() {
+                    return Err(CodecError::new(format!(
+                        "column {attr} references id {id} outside its {}-entry dictionary",
+                        dict.len()
+                    )));
+                }
+                counts[id] += 1;
+                ids.push(ValueId::from_index(id));
+            }
+            columns.push(Column { ids, dict, counts });
+        }
+        Ok(Table {
+            name,
+            schema,
+            columns,
+            weights,
+            version,
+        })
     }
 
     /// Counts the cells on which two instances of the same schema differ.
@@ -676,6 +765,42 @@ mod tests {
         assert_eq!(table.dict_generation(), g0);
         table.set_cell(0, 0, Value::from("Fort Wayne")).unwrap(); // new value
         assert!(table.dict_generation() > g0);
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical() {
+        let mut table = small_table();
+        table.set_cell(0, 0, Value::from("Westville")).unwrap(); // dead dict entry
+        table.set_weight(1, 2.5).unwrap();
+        let mut enc = crate::codec::Enc::new();
+        table.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = crate::codec::Dec::new(&bytes);
+        let restored = Table::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored, table);
+        assert_eq!(restored.version(), table.version());
+        assert_eq!(restored.dict_generation(), table.dict_generation());
+        for attr in table.schema().attr_ids() {
+            assert_eq!(restored.column_ids(attr), table.column_ids(attr));
+            assert_eq!(restored.dict_values(attr), table.dict_values(attr));
+            for i in 0..restored.dict_len(attr) {
+                let id = ValueId::from_index(i);
+                assert_eq!(restored.id_count(attr, id), table.id_count(attr, id));
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_payloads() {
+        let table = small_table();
+        let mut enc = crate::codec::Enc::new();
+        table.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = crate::codec::Dec::new(&bytes[..cut]);
+            assert!(Table::decode_state(&mut dec).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

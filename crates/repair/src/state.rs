@@ -4,6 +4,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use gdr_cfd::{RuleId, RuleSet, RuleStats, ViolationEngine};
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::{AttrId, Table, ThreadPool, TupleId, Value, ValueId};
 
 use crate::index_pool::AttrIndexPool;
@@ -40,10 +41,85 @@ pub struct ChangeJournal {
     pub suggestion_events: Vec<SuggestionEvent>,
 }
 
+impl SuggestionEvent {
+    /// Serialises the event into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        match self {
+            SuggestionEvent::Added(u) => {
+                enc.u8(0);
+                u.encode_state(enc);
+            }
+            SuggestionEvent::Removed(u) => {
+                enc.u8(1);
+                u.encode_state(enc);
+            }
+        }
+    }
+
+    /// Rebuilds an event written by [`SuggestionEvent::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<SuggestionEvent> {
+        match dec.u8()? {
+            0 => Ok(SuggestionEvent::Added(Update::decode_state(dec)?)),
+            1 => Ok(SuggestionEvent::Removed(Update::decode_state(dec)?)),
+            tag => Err(CodecError::new(format!(
+                "invalid suggestion-event tag {tag}"
+            ))),
+        }
+    }
+}
+
 impl ChangeJournal {
     /// `true` when nothing changed during the epoch.
     pub fn is_empty(&self) -> bool {
         self.changed_cells.is_empty() && self.suggestion_events.is_empty()
+    }
+
+    /// Serialises the journal into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("journal", 1);
+        enc.u64(self.epoch);
+        enc.usize(self.changed_cells.len());
+        for &(tuple, attr) in &self.changed_cells {
+            enc.usize(tuple);
+            enc.usize(attr);
+        }
+        enc.usize(self.perturbed_rules.len());
+        for &rule in &self.perturbed_rules {
+            enc.usize(rule);
+        }
+        enc.usize(self.suggestion_events.len());
+        for event in &self.suggestion_events {
+            event.encode_state(enc);
+        }
+    }
+
+    /// Rebuilds a journal written by [`ChangeJournal::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ChangeJournal> {
+        dec.section("journal")?;
+        let epoch = dec.u64()?;
+        let n_cells = dec.seq_len(16)?;
+        let mut changed_cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            changed_cells.push((dec.usize()?, dec.usize()?));
+        }
+        let n_rules = dec.seq_len(8)?;
+        let mut perturbed_rules = BTreeSet::new();
+        for _ in 0..n_rules {
+            if !perturbed_rules.insert(dec.usize()?) {
+                return Err(CodecError::new("duplicate perturbed rule"));
+            }
+        }
+        let n_events = dec.seq_len(1)?;
+        let mut suggestion_events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            suggestion_events.push(SuggestionEvent::decode_state(dec)?);
+        }
+        Ok(ChangeJournal {
+            epoch,
+            changed_cells,
+            perturbed_rules,
+            suggestion_events,
+        })
     }
 }
 
@@ -472,6 +548,136 @@ impl RepairState {
                 && self.table.cell(update.tuple, update.attr) != &update.value
         })
     }
+
+    /// Serialises the full repair context into `enc`.  Maps and sets are
+    /// written in sorted key order so behaviourally identical states encode
+    /// byte-identically across processes.  The worker pool is not state — the
+    /// caller supplies one on decode.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.section("repair", 1);
+        self.table.encode_state(enc);
+        self.engine.encode_state(enc);
+
+        let mut possible: Vec<(&Cell, &Update)> = self.possible.iter().collect();
+        possible.sort_unstable_by_key(|(cell, _)| **cell);
+        enc.usize(possible.len());
+        for (&(tuple, attr), update) in possible {
+            enc.usize(tuple);
+            enc.usize(attr);
+            update.encode_state(enc);
+        }
+
+        let mut prevented: Vec<(&Cell, &HashSet<ValueId>)> = self.prevented.iter().collect();
+        prevented.sort_unstable_by_key(|(cell, _)| **cell);
+        enc.usize(prevented.len());
+        for (&(tuple, attr), ids) in prevented {
+            enc.usize(tuple);
+            enc.usize(attr);
+            let mut sorted: Vec<ValueId> = ids.iter().copied().collect();
+            sorted.sort_unstable();
+            enc.usize(sorted.len());
+            for id in sorted {
+                enc.u32(id.raw());
+            }
+        }
+
+        let mut unchangeable: Vec<Cell> = self.unchangeable.iter().copied().collect();
+        unchangeable.sort_unstable();
+        enc.usize(unchangeable.len());
+        for (tuple, attr) in unchangeable {
+            enc.usize(tuple);
+            enc.usize(attr);
+        }
+
+        enc.usize(self.applied_log.len());
+        for change in &self.applied_log {
+            change.encode_state(enc);
+        }
+
+        self.journal.encode_state(enc);
+        self.pool.encode_state(enc);
+
+        enc.usize(self.revisit_queue.len());
+        for &(tuple, attr) in &self.revisit_queue {
+            enc.usize(tuple);
+            enc.usize(attr);
+        }
+    }
+
+    /// Rebuilds a repair context written by [`RepairState::encode_state`].
+    ///
+    /// `threads` replaces the worker pool, which is runtime configuration
+    /// rather than state (any worker count produces bit-identical repair
+    /// state, so the choice does not affect fidelity).
+    pub fn decode_state(dec: &mut Dec<'_>, threads: ThreadPool) -> codec::Result<RepairState> {
+        dec.section("repair")?;
+        let table = Table::decode_state(dec)?;
+        let engine = ViolationEngine::decode_state(dec)?;
+
+        let n_possible = dec.seq_len(16)?;
+        let mut possible = HashMap::with_capacity(n_possible);
+        for _ in 0..n_possible {
+            let cell = (dec.usize()?, dec.usize()?);
+            let update = Update::decode_state(dec)?;
+            if possible.insert(cell, update).is_some() {
+                return Err(CodecError::new("duplicate pending update"));
+            }
+        }
+
+        let n_prevented = dec.seq_len(16)?;
+        let mut prevented = HashMap::with_capacity(n_prevented);
+        for _ in 0..n_prevented {
+            let cell = (dec.usize()?, dec.usize()?);
+            let n_ids = dec.seq_len(4)?;
+            let mut ids = HashSet::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                if !ids.insert(ValueId::from_index(dec.u32()? as usize)) {
+                    return Err(CodecError::new("duplicate prevented value"));
+                }
+            }
+            if prevented.insert(cell, ids).is_some() {
+                return Err(CodecError::new("duplicate prevented cell"));
+            }
+        }
+
+        let n_unchangeable = dec.seq_len(16)?;
+        let mut unchangeable = HashSet::with_capacity(n_unchangeable);
+        for _ in 0..n_unchangeable {
+            if !unchangeable.insert((dec.usize()?, dec.usize()?)) {
+                return Err(CodecError::new("duplicate unchangeable cell"));
+            }
+        }
+
+        let n_applied = dec.seq_len(19)?;
+        let mut applied_log = Vec::with_capacity(n_applied);
+        for _ in 0..n_applied {
+            applied_log.push(AppliedChange::decode_state(dec)?);
+        }
+
+        let journal = ChangeJournal::decode_state(dec)?;
+        let pool = AttrIndexPool::decode_state(dec)?;
+
+        let n_revisit = dec.seq_len(16)?;
+        let mut revisit_queue = BTreeSet::new();
+        for _ in 0..n_revisit {
+            if !revisit_queue.insert((dec.usize()?, dec.usize()?)) {
+                return Err(CodecError::new("duplicate revisit cell"));
+            }
+        }
+
+        Ok(RepairState {
+            table,
+            engine,
+            possible,
+            prevented,
+            unchangeable,
+            applied_log,
+            journal,
+            pool,
+            revisit_queue,
+            threads,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -646,6 +852,66 @@ mod tests {
             .map(|r| state.stats_generation(r))
             .collect();
         assert_eq!(gens, after);
+    }
+
+    fn encode(state: &RepairState) -> Vec<u8> {
+        let mut enc = Enc::new();
+        state.encode_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical_and_live() {
+        let mut state = fixture();
+        // Exercise every serialised component: a write, feedback bookkeeping,
+        // prevented/unchangeable flags, and an open ranking epoch.
+        state
+            .force_value(1, 2, Value::from("Michigan City"), ChangeSource::Heuristic)
+            .unwrap();
+        state.mark_prevented((3, 4), Value::from("46111"));
+        state.mark_unchangeable((0, 0));
+        state.take_journal();
+        let update = state.possible_updates_sorted().into_iter().next().unwrap();
+        state
+            .apply_feedback(&update, Feedback::Confirm, ChangeSource::UserConfirmed)
+            .unwrap();
+
+        let bytes = encode(&state);
+        let mut dec = Dec::new(&bytes);
+        let mut restored = RepairState::decode_state(&mut dec, ThreadPool::sequential()).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(encode(&restored), bytes);
+        assert!(restored.invariants_hold());
+        assert_eq!(restored.dirty_tuples(), state.dirty_tuples());
+        assert_eq!(
+            restored.possible_updates_sorted(),
+            state.possible_updates_sorted()
+        );
+        assert_eq!(restored.applied_log(), state.applied_log());
+        assert_eq!(restored.journal(), state.journal());
+
+        // Both continue identically through another feedback round.
+        for s in [&mut state, &mut restored] {
+            s.refresh_updates();
+            if let Some(u) = s.possible_updates_sorted().into_iter().next() {
+                s.apply_feedback(&u, Feedback::Reject, ChangeSource::UserConfirmed)
+                    .unwrap();
+                s.refresh_updates();
+            }
+        }
+        assert_eq!(encode(&restored), encode(&state));
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_repair_payloads() {
+        let state = fixture();
+        let bytes = encode(&state);
+        for cut in (0..bytes.len()).step_by(7) {
+            let mut dec = Dec::new(&bytes[..cut]);
+            let result = RepairState::decode_state(&mut dec, ThreadPool::sequential())
+                .and_then(|_| dec.finish());
+            assert!(result.is_err(), "truncation at {cut} must not decode");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use gdr_relation::codec::{self, CodecError, Dec, Enc};
 use gdr_relation::{AttrId, Schema, Table, TupleId, Value, ValueId};
 
 /// A cell position `(t, A)` — the unit the consistency manager tracks
@@ -80,6 +81,28 @@ impl Update {
     /// The `(tuple, attribute)` cell this update targets.
     pub fn cell(&self) -> Cell {
         (self.tuple, self.attr)
+    }
+
+    /// Serialises the update (including the cached interned id, so decoded
+    /// updates are representation-identical, not just logically equal) into
+    /// `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.tuple);
+        enc.usize(self.attr);
+        enc.value(&self.value);
+        enc.f64(self.score);
+        enc.option(self.value_id.as_ref(), |e, id| e.u32(id.raw()));
+    }
+
+    /// Rebuilds an update written by [`Update::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<Update> {
+        Ok(Update {
+            tuple: dec.usize()?,
+            attr: dec.usize()?,
+            value: dec.value()?,
+            score: dec.f64()?,
+            value_id: dec.option(|d| Ok(ValueId::from_index(d.u32()? as usize)))?,
+        })
     }
 
     /// Renders the update against a schema and table for human consumption.
@@ -165,6 +188,29 @@ pub enum ChangeSource {
     Heuristic,
 }
 
+impl ChangeSource {
+    /// Serialises the source into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            ChangeSource::UserConfirmed => 0,
+            ChangeSource::LearnerApplied => 1,
+            ChangeSource::CascadeForced => 2,
+            ChangeSource::Heuristic => 3,
+        });
+    }
+
+    /// Rebuilds a source written by [`ChangeSource::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<ChangeSource> {
+        match dec.u8()? {
+            0 => Ok(ChangeSource::UserConfirmed),
+            1 => Ok(ChangeSource::LearnerApplied),
+            2 => Ok(ChangeSource::CascadeForced),
+            3 => Ok(ChangeSource::Heuristic),
+            tag => Err(CodecError::new(format!("invalid change-source tag {tag}"))),
+        }
+    }
+}
+
 /// A cell change that has actually been applied to the database.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppliedChange {
@@ -178,6 +224,28 @@ pub struct AppliedChange {
     pub new: Value,
     /// Who decided the change.
     pub source: ChangeSource,
+}
+
+impl AppliedChange {
+    /// Serialises the change into `enc`.
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.tuple);
+        enc.usize(self.attr);
+        enc.value(&self.old);
+        enc.value(&self.new);
+        self.source.encode_state(enc);
+    }
+
+    /// Rebuilds a change written by [`AppliedChange::encode_state`].
+    pub fn decode_state(dec: &mut Dec<'_>) -> codec::Result<AppliedChange> {
+        Ok(AppliedChange {
+            tuple: dec.usize()?,
+            attr: dec.usize()?,
+            old: dec.value()?,
+            new: dec.value()?,
+            source: ChangeSource::decode_state(dec)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ use gdr_repair::{Feedback, Update};
 
 use crate::wire::{
     decode_response, decode_response_frame, encode_request, encode_request_frame, Request,
-    Response, WireError, PROTOCOL_VERSION,
+    Response, WireError, WireLease, PROTOCOL_VERSION,
 };
 
 /// The server's `hello` reply: protocol version, capability flags, and the
@@ -392,6 +392,19 @@ impl<R: Read, W: Write> Client<R, W> {
             Response::Compacted { events, tail } => Ok((events, tail)),
             other => Err(ClientError::Protocol(format!(
                 "compact expected a compacted reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads the session's live lease table (grant order).  Purely
+    /// observational: ticks no coordinator clock and expires nothing.
+    pub fn leases(&mut self) -> Result<Vec<WireLease>, ClientError> {
+        match self.expect_ok(&Request::Leases {
+            session: self.session.clone(),
+        })? {
+            Response::Leases { leases } => Ok(leases),
+            other => Err(ClientError::Protocol(format!(
+                "leases expected a leases reply, got {other:?}"
             ))),
         }
     }

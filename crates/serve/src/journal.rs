@@ -18,16 +18,23 @@
 //!   unbounded file and recovery IO is bounded per segment.  The build
 //!   inputs live in `spec.gdrj`, written and fsync'd once at open.
 //! * **Fsync policy.**  [`FsyncPolicy`] trades durability for latency:
-//!   every record, every N records, or never (for tests).  Segment rolls
-//!   always sync the sealed segment regardless of policy.
-//! * **Snapshot markers.**  Compaction (see
-//!   [`crate::store::Session::compact`]) records `snapshot.gdrj` — the event
-//!   count and engine digest of the validated in-memory snapshot — via
-//!   write-to-temp + atomic rename.  The marker is an integrity checkpoint:
-//!   a corrupt or missing marker is simply ignored and recovery falls back
-//!   to full journal replay.  (The engine itself is deliberately opaque — no
-//!   engine internals are serialised; **replay is the durability format**,
-//!   so cold recovery cost is one engine build plus one event replay.)
+//!   every record, every N records, group-committed by a background
+//!   flusher (appends that arrive while an fsync is in flight share the
+//!   next one), or never (for tests).  Segment rolls always sync the
+//!   sealed segment regardless of policy.
+//! * **Checkpoints.**  Compaction (see [`crate::store::Session::compact`])
+//!   persists the digest-validated engine snapshot itself — a
+//!   `snap-NNNNNN.gdrs` file holding the [`TeamSession`] state codec in its
+//!   `S1 <len> <fnv64-hex> <payload>` framing — alongside `snapshot.gdrj`,
+//!   a marker record with the event count and engine digest, both via
+//!   write-to-temp + atomic rename.  Recovery loads the newest decodable
+//!   snapshot and replays only the journal tail past it, so cold-restore
+//!   cost is one decode plus a bounded tail replay instead of a full
+//!   transcript replay.  A corrupt, digest-mismatched, or over-claiming
+//!   snapshot degrades to the next older one and ultimately to full
+//!   replay ([`RecoveryReport`] says which); the clean event prefix is
+//!   never lost, because snapshots are an accelerator — the journal
+//!   remains the durability format of record.
 //!
 //! ## Fidelity
 //!
@@ -41,6 +48,10 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
 
 use gdr_cfd::{parser, RuleSet};
 use gdr_core::config::GdrConfig;
@@ -706,9 +717,21 @@ pub enum FsyncPolicy {
     EveryRecord,
     /// fsync after every N appended records (and on segment rolls).
     EveryN(u32),
+    /// Group commit: appends hand durability to a per-journal background
+    /// flusher, and every record appended while an fsync is in flight is
+    /// covered by the next single fsync.  Under contention this performs
+    /// far fewer fsyncs than [`FsyncPolicy::EveryRecord`] while keeping the
+    /// durability lag bounded by one flush cycle (plus the
+    /// [`GROUP_COMMIT_WINDOW`] coalescing delay); [`DiskJournal::sync`] and
+    /// [`DiskJournal::wait_durable`] still force or await full durability.
+    GroupCommit,
     /// Never fsync explicitly (tests; the OS flushes eventually).
     Never,
 }
+
+/// How long the group-commit flusher waits after waking before it issues
+/// the fsync, so a burst of concurrent appends lands in one flush.
+pub const GROUP_COMMIT_WINDOW: Duration = Duration::from_millis(2);
 
 /// Per-journal tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -742,6 +765,12 @@ const SPEC_FILE: &str = "spec.gdrj";
 const SNAPSHOT_FILE: &str = "snapshot.gdrj";
 const SEGMENT_PREFIX: &str = "seg-";
 const SEGMENT_SUFFIX: &str = ".gdrj";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".gdrs";
+/// How many snapshot payload files a compaction leaves on disk: the one it
+/// just wrote plus one older fallback, so a corrupt newest snapshot still
+/// degrades to a checkpointed restore instead of a full replay.
+const SNAPSHOTS_KEPT: usize = 2;
 
 fn segment_name(index: u64) -> String {
     format!("{SEGMENT_PREFIX}{index:06}{SEGMENT_SUFFIX}")
@@ -752,6 +781,30 @@ fn segment_index(name: &str) -> Option<u64> {
         .strip_suffix(SEGMENT_SUFFIX)?
         .parse()
         .ok()
+}
+
+/// Name of the snapshot payload file covering the first `events` transcript
+/// events: `snap-NNNNNN.gdrs`, the serialised [`TeamSession`] in its `S1`
+/// framing.
+pub fn snapshot_name(events: u64) -> String {
+    format!("{SNAP_PREFIX}{events:06}{SNAP_SUFFIX}")
+}
+
+fn snapshot_events(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?
+        .strip_suffix(SNAP_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Event counts of every snapshot payload file in `dir`, newest first.
+fn snapshot_files(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut snaps: Vec<u64> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| snapshot_events(&entry.file_name().to_string_lossy()))
+        .collect();
+    snaps.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(snaps)
 }
 
 /// Maps an arbitrary session id onto a filesystem-safe directory name:
@@ -771,6 +824,16 @@ pub fn session_dir_name(id: &str) -> String {
     out
 }
 
+/// The two-hex-digit shard prefix a session's journal directory lives
+/// under: new sessions are created at
+/// `<root>/<session_shard(id)>/<session_dir_name(id)>/`, spreading large
+/// stores over 256 subdirectories so one root directory never holds every
+/// session.  (Pre-sharding stores used `<root>/<session_dir_name(id)>/`;
+/// the store still discovers that flat layout on load.)
+pub fn session_shard(id: &str) -> String {
+    format!("{:02x}", fnv1a64(id.as_bytes()) & 0xff)
+}
+
 /// What the loader found (and repaired) while reading a journal directory.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -783,6 +846,11 @@ pub struct RecoveryReport {
     /// The snapshot marker existed but was unreadable and was ignored
     /// (recovery falls back to full journal replay).
     pub snapshot_ignored: bool,
+    /// Snapshot payload files that were unreadable, undecodable,
+    /// digest-mismatched against the marker, or claimed more events than
+    /// the recovered prefix holds; each was deleted and recovery degraded
+    /// to the next older snapshot (ultimately to full replay).
+    pub snapshots_skipped: usize,
 }
 
 impl RecoveryReport {
@@ -792,6 +860,7 @@ impl RecoveryReport {
             && self.dropped_segments == 0
             && self.corruption.is_none()
             && !self.snapshot_ignored
+            && self.snapshots_skipped == 0
     }
 }
 
@@ -804,8 +873,113 @@ pub struct LoadedJournal {
     pub events: Vec<TranscriptEvent>,
     /// The snapshot marker, when present and intact.
     pub snapshot: Option<SnapshotMarker>,
+    /// The newest valid checkpoint: the decoded snapshot session and the
+    /// number of leading transcript events it covers.  Restore clones this
+    /// and replays only `events[checkpoint.0..]`; `None` (no snapshot
+    /// files, or none survived validation) means full replay.
+    pub checkpoint: Option<(usize, TeamSession)>,
     /// What recovery had to repair.
     pub recovery: RecoveryReport,
+}
+
+/// Shared state between appenders and the group-commit flusher thread.
+#[derive(Debug)]
+struct FlushShared {
+    state: Mutex<FlushState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct FlushState {
+    /// A clone of the active segment's handle (swapped on rolls).
+    file: Option<File>,
+    /// Records appended so far (across segments).
+    written: u64,
+    /// Records known durable: sealed segments are synced on roll, and the
+    /// flusher advances this after each group fsync.
+    synced: u64,
+    shutdown: bool,
+}
+
+impl FlushShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlushState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The background fsync thread behind [`FsyncPolicy::GroupCommit`].
+#[derive(Debug)]
+struct GroupFlusher {
+    shared: Arc<FlushShared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl GroupFlusher {
+    fn spawn(file: File, syncs: Arc<AtomicU64>) -> GroupFlusher {
+        let shared = Arc::new(FlushShared {
+            state: Mutex::new(FlushState {
+                file: Some(file),
+                written: 0,
+                synced: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = thread::spawn(move || flusher_loop(&thread_shared, &syncs));
+        GroupFlusher {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for GroupFlusher {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn flusher_loop(shared: &FlushShared, syncs: &AtomicU64) {
+    loop {
+        let shutting_down = {
+            let mut state = shared.lock();
+            while !state.shutdown && state.synced >= state.written {
+                state = shared
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if state.synced >= state.written {
+                return; // shutdown with nothing pending
+            }
+            state.shutdown
+        };
+        if !shutting_down {
+            // The group window: records appended while this flush spins up
+            // (and while the fsync itself is in flight) ride the same sync.
+            thread::sleep(GROUP_COMMIT_WINDOW);
+        }
+        let (file, target) = {
+            let state = shared.lock();
+            let file = state.file.as_ref().and_then(|f| f.try_clone().ok());
+            (file, state.written)
+        };
+        if let Some(file) = file {
+            let _ = file.sync_all();
+        }
+        syncs.fetch_add(1, Ordering::Relaxed);
+        let mut state = shared.lock();
+        // `max`: a concurrent roll may already have marked everything
+        // durable (it syncs the sealed segment inline); never move back.
+        state.synced = state.synced.max(target);
+        drop(state);
+        shared.cv.notify_all();
+    }
 }
 
 /// The append side of one session's on-disk journal.
@@ -816,6 +990,9 @@ pub struct DiskJournal {
     active_index: u64,
     active_len: u64,
     unsynced: u32,
+    appended: u64,
+    syncs: Arc<AtomicU64>,
+    flusher: Option<GroupFlusher>,
     config: JournalConfig,
 }
 
@@ -849,12 +1026,34 @@ impl DiskJournal {
         spec_file.write_all(&frame_record(&encode_spec(spec)))?;
         spec_file.sync_all()?;
         let active = File::create(dir.join(segment_name(0)))?;
+        DiskJournal::assemble(dir, active, 0, 0, config)
+    }
+
+    /// Builds the append handle, spawning the group-commit flusher when the
+    /// policy asks for one.
+    fn assemble(
+        dir: PathBuf,
+        active: File,
+        active_index: u64,
+        active_len: u64,
+        config: JournalConfig,
+    ) -> Result<DiskJournal, JournalError> {
+        let syncs = Arc::new(AtomicU64::new(0));
+        let flusher = match config.fsync {
+            FsyncPolicy::GroupCommit => {
+                Some(GroupFlusher::spawn(active.try_clone()?, Arc::clone(&syncs)))
+            }
+            _ => None,
+        };
         Ok(DiskJournal {
             dir,
             active,
-            active_index: 0,
-            active_len: 0,
+            active_index,
+            active_len,
             unsynced: 0,
+            appended: 0,
+            syncs,
+            flusher,
             config,
         })
     }
@@ -948,10 +1147,41 @@ impl DiskJournal {
             }
         };
 
+        // Checkpoint payloads: the newest snapshot that reads back, decodes,
+        // covers no more events than the recovered prefix holds, and (when
+        // the marker speaks for it) matches the recorded digest becomes the
+        // replay base.  Anything else is deleted and counted, and recovery
+        // degrades to the next older snapshot — ultimately to full replay.
+        // The clean event prefix is untouched either way.
+        let mut checkpoint = None;
+        for covered in snapshot_files(dir)? {
+            let path = dir.join(snapshot_name(covered));
+            let decoded = fs::read(&path)
+                .ok()
+                .and_then(|bytes| TeamSession::from_snapshot_bytes(&bytes).ok());
+            let usable = decoded.filter(|team| {
+                covered as usize <= events.len()
+                    && snapshot.is_none_or(|m| {
+                        m.events != covered as usize || team_digest(team) == m.digest
+                    })
+            });
+            match usable {
+                Some(team) => {
+                    checkpoint = Some((covered as usize, team));
+                    break;
+                }
+                None => {
+                    recovery.snapshots_skipped += 1;
+                    fs::remove_file(&path).ok();
+                }
+            }
+        }
+
         Ok(LoadedJournal {
             spec,
             events,
             snapshot,
+            checkpoint,
             recovery,
         })
     }
@@ -976,17 +1206,8 @@ impl DiskJournal {
         let path = dir.join(segment_name(last_index));
         let active = OpenOptions::new().create(true).append(true).open(&path)?;
         let active_len = active.metadata()?.len();
-        Ok((
-            DiskJournal {
-                dir,
-                active,
-                active_index: last_index,
-                active_len,
-                unsynced: 0,
-                config,
-            },
-            loaded,
-        ))
+        let journal = DiskJournal::assemble(dir, active, last_index, active_len, config)?;
+        Ok((journal, loaded))
     }
 
     /// The journal's directory.
@@ -1008,22 +1229,29 @@ impl DiskJournal {
         {
             // Seal the active segment: sync it regardless of policy (a
             // segment boundary is a durability point), then start the next.
-            self.active.sync_all()?;
-            self.unsynced = 0;
+            self.sync()?;
             self.active_index += 1;
             self.active = File::create(self.dir.join(segment_name(self.active_index)))?;
             self.active_len = 0;
+            if let Some(flusher) = &self.flusher {
+                let clone = self.active.try_clone()?;
+                flusher.shared.lock().file = Some(clone);
+            }
         }
         self.active.write_all(&record)?;
         self.active_len += record.len() as u64;
         self.unsynced += 1;
+        self.appended += 1;
         let due = match self.config.fsync {
             FsyncPolicy::EveryRecord => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
-            FsyncPolicy::Never => false,
+            FsyncPolicy::GroupCommit | FsyncPolicy::Never => false,
         };
         if due {
             self.sync()?;
+        } else if let Some(flusher) = &self.flusher {
+            flusher.shared.lock().written += 1;
+            flusher.shared.cv.notify_all();
         }
         Ok(())
     }
@@ -1032,16 +1260,67 @@ impl DiskJournal {
     pub fn sync(&mut self) -> Result<(), JournalError> {
         self.active.sync_all()?;
         self.unsynced = 0;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        if let Some(flusher) = &self.flusher {
+            let mut state = flusher.shared.lock();
+            state.synced = state.written;
+            drop(state);
+            flusher.shared.cv.notify_all();
+        }
         Ok(())
     }
 
-    /// Persists a compaction checkpoint via write-to-temp + atomic rename.
-    pub fn record_snapshot(&mut self, marker: SnapshotMarker) -> Result<(), JournalError> {
+    /// Blocks until every appended record is on stable storage.  A no-op
+    /// outside [`FsyncPolicy::GroupCommit`], where [`DiskJournal::append`]
+    /// already applied the policy inline.
+    pub fn wait_durable(&self) {
+        if let Some(flusher) = &self.flusher {
+            let mut state = flusher.shared.lock();
+            while state.synced < state.written {
+                state = flusher
+                    .shared
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Records appended through this handle.
+    pub fn appends(&self) -> u64 {
+        self.appended
+    }
+
+    /// fsyncs issued through this handle (inline and group-committed).
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Persists a compaction checkpoint: the serialised session itself as
+    /// `snap-NNNNNN.gdrs`, then the `snapshot.gdrj` marker, each via
+    /// write-to-temp + atomic rename.  The payload lands first so a crash
+    /// between the two leaves a snapshot without a marker (still usable),
+    /// never a marker promising a payload that does not exist.  Older
+    /// payloads beyond [`SNAPSHOTS_KEPT`] are pruned.
+    pub fn record_snapshot(
+        &mut self,
+        marker: SnapshotMarker,
+        team: &TeamSession,
+    ) -> Result<(), JournalError> {
+        let name = snapshot_name(marker.events as u64);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let mut file = File::create(&tmp)?;
+        team.write_snapshot(&mut file)?;
+        file.sync_all()?;
+        fs::rename(&tmp, self.dir.join(&name))?;
         let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
         let mut file = File::create(&tmp)?;
         file.write_all(&frame_record(&encode_snapshot(marker)))?;
         file.sync_all()?;
         fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        for &events in snapshot_files(&self.dir)?.iter().skip(SNAPSHOTS_KEPT) {
+            fs::remove_file(self.dir.join(snapshot_name(events))).ok();
+        }
         Ok(())
     }
 }

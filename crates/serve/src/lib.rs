@@ -64,14 +64,16 @@
 //! | `supply_as` | `reviewer`, `id`, `value` | `{"ok":"supplied","verifications":n}` |
 //! | `skip_as` | `reviewer`, `id` | `{"ok":"skipped"}` |
 //! | `release` | `reviewer`, `id` | `{"ok":"released","held":b}` |
+//! | `leases` | — | `{"ok":"leases","leases":[{"id":…,"reviewer":…,"tuple":…,"attr":…,"age":…},…]}` |
 //!
-//! The last five are the **multi-reviewer** verbs (the `leases` capability
+//! The last six are the **multi-reviewer** verbs (the `leases` capability
 //! on `hello`): `lease` hands each named reviewer a distinct work item
 //! under a TTL'd lease, disagreeing answers to the same cell resolve under
 //! the `open`-time conflict policy (`first_wins`, `majority-<k>`, or
 //! `escalate`), and the final state is equivalent to some serial
-//! one-reviewer order.  [`client::ReviewTeam`] drives N reviewers over one
-//! pipelined connection.
+//! one-reviewer order.  `leases` is a read-only inspection of the live
+//! lease table (it ticks no clock and expires nothing).
+//! [`client::ReviewTeam`] drives N reviewers over one pipelined connection.
 //!
 //! `next` replies with one of:
 //!
@@ -125,20 +127,33 @@
 //! client that was mid-question resumes seamlessly.  Protocol errors mutate
 //! nothing and are never journaled.
 //!
-//! This trades replay CPU for zero snapshot machinery and gets auditability
-//! for free (the journal *is* the session history).  Replay cost is bounded
-//! by **compaction** ([`store::Session::compact`], auto-triggered every
-//! [`journal::JournalConfig::compact_every`] tail events, or on demand via
-//! the `compact` verb): a validated clone of the live engine becomes the
-//! replay base and the absorbed tail is dropped from RAM, so a live
-//! `restore` replays only the short tail.  Validation replays the full
+//! The journal *is* the session history, so auditability comes for free and
+//! the transcript stays the durability format of record.  Replay cost is
+//! bounded by **compaction** ([`store::Session::compact`], auto-triggered
+//! every [`journal::JournalConfig::compact_every`] tail events, or on
+//! demand via the `compact` verb): a validated clone of the live session
+//! becomes the replay base and the absorbed tail is dropped from RAM, so a
+//! live `restore` replays only the short tail.  Validation replays the full
 //! journal and compares engine digests before the snapshot is adopted; a
-//! divergence fails with a `journal` error and changes nothing.
+//! divergence fails with a `journal` error and changes nothing.  In durable
+//! mode the adopted snapshot is also *persisted*: the session serialises
+//! through the versioned, checksummed state codec that runs through every
+//! layer (`gdr_relation::codec`'s `S1` framing, surfaced as
+//! [`gdr_core::team::TeamSession::to_snapshot_bytes`] /
+//! [`gdr_core::team::TeamSession::from_snapshot_bytes`]) into a
+//! `snap-NNNNNN.gdrs` checkpoint file, and a cold restart becomes *load the
+//! newest valid checkpoint, replay only the journal tail* instead of
+//! replaying the whole transcript.
 //!
 //! ## Durable session tier
 //!
 //! A [`store::SessionStore::durable`] store writes every session's journal
-//! to disk under `root/<escaped-id>/` and survives process death:
+//! to disk under `root/<2-hex>/<escaped-id>/` — the two-hex-digit shard is
+//! a prefix of the id's FNV-1a 64 hash ([`journal::session_shard`]), so
+//! huge stores never pile thousands of directories into one listing — and
+//! survives process death.  Journals written by pre-sharding builds at the
+//! flat `root/<escaped-id>/` are still discovered, served, and
+//! duplicate-checked in place; no migration step exists or is needed.
 //!
 //! * **Segment format** — `spec.gdrj` holds the framed build inputs (its
 //!   `create_new` creation is the atomic claim on a session id); events
@@ -147,7 +162,13 @@
 //!   line, `J1 <len> <fnv64-hex> <payload>`, where the payload is a line of
 //!   this crate's JSON codec and the checksum is FNV-1a 64 over it.
 //! * **Fsync policy** — [`journal::FsyncPolicy`]: `EveryRecord` (default),
-//!   `EveryN(n)`, or `Never`; sealed segments are always synced.  Disk is
+//!   `EveryN(n)`, `GroupCommit`, or `Never`; sealed segments are always
+//!   synced.  `GroupCommit` hands fsyncs to a background flusher: appends
+//!   return after the buffered write, and every record that lands while an
+//!   fsync is in flight is folded into the next one (a ~2ms coalescing
+//!   window), so concurrent verbs cost far fewer fsyncs than `EveryRecord`;
+//!   [`journal::DiskJournal::wait_durable`] is the hard barrier that blocks
+//!   until everything appended so far is on stable storage.  Disk is
 //!   written *before* RAM, so the in-memory journal never claims more than
 //!   stable storage plus the configured fsync window.
 //! * **Corruption semantics** — recovery scans for the longest valid record
@@ -155,11 +176,20 @@
 //!   truncates its segment (persisted with `set_len`, so repair is
 //!   idempotent) and discards every later segment.  The session re-serves
 //!   from the last durable record; [`journal::RecoveryReport`] says what
-//!   was cut.  The `snapshot.gdrj` marker is an integrity *checkpoint*
-//!   (event count + engine digest), not a replay input: disk recovery is
-//!   always full replay, and a marker that disagrees with the replayed
-//!   digest is ignored.  The fault-injection suite drives recovery from
-//!   every kill/torn-write prefix of a recorded session and requires
+//!   was cut.
+//! * **Checkpointed recovery** — each compaction persists the serialised
+//!   session as `snap-NNNNNN.gdrs` (S1-framed, checksummed, written
+//!   tmp+fsync+rename *before* the `snapshot.gdrj` marker) and keeps the
+//!   newest two.  Recovery loads the newest checkpoint that decodes, is
+//!   covered by the surviving event prefix, and (when the marker vouches
+//!   for it) matches the marker digest — then replays only the journal
+//!   tail.  Damage degrades instead of failing: an unusable checkpoint is
+//!   deleted and counted in [`journal::RecoveryReport::snapshots_skipped`],
+//!   recovery falls back to the older checkpoint and finally to full
+//!   replay, and a marker that claims more events than survive is ignored.
+//!   The journal remains the format of record; checkpoints only cut the
+//!   replay.  The fault-injection suite drives recovery from every
+//!   kill/torn-write prefix of a recorded session and requires
 //!   bit-identical continuation.
 //! * **Idle eviction** — beyond
 //!   [`store::DurabilityConfig::max_live_sessions`] the least-recently-used

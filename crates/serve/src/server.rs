@@ -53,7 +53,7 @@ use gdr_core::team::{TeamConfig, TeamPlan};
 use crate::store::{DurabilityConfig, OpenSpec, SessionStore, StoreError};
 use crate::wire::{
     decode_request_frame, encode_response_frame, Request, Response, WireError, WireEval, WireGroup,
-    PROTOCOL_VERSION,
+    WireLease, PROTOCOL_VERSION,
 };
 
 /// The limits a server advertises on its `hello` reply so clients can
@@ -255,6 +255,22 @@ fn handle(
                 s.release_lease(&reviewer, WorkId::from_raw(id))
             })
             .map(|held| Response::Released { held })
+            .map_err(store_error),
+        Request::Leases { session } => store
+            .with_session(&session, |s| {
+                Ok(s.team()
+                    .lease_table()
+                    .into_iter()
+                    .map(|info| WireLease {
+                        id: info.id.raw(),
+                        reviewer: info.reviewer,
+                        tuple: info.cell.0,
+                        attr: info.cell.1,
+                        age: info.age,
+                    })
+                    .collect())
+            })
+            .map(|leases| Response::Leases { leases })
             .map_err(store_error),
     }
 }

@@ -88,8 +88,8 @@ use gdr_relation::{Table, Value};
 use gdr_repair::{Cell, Feedback};
 
 use crate::journal::{
-    fnv1a64, session_dir_name, team_digest, DiskJournal, JournalConfig, RecoveryReport,
-    SnapshotMarker,
+    fnv1a64, session_dir_name, session_shard, team_digest, DiskJournal, JournalConfig,
+    RecoveryReport, SnapshotMarker,
 };
 
 /// Number of independent session-map shards (a power of two, so routing is
@@ -264,6 +264,29 @@ impl SessionJournal {
             spec,
             snapshot: None,
             tail: events,
+        }
+    }
+
+    /// A journal seeded from a decoded on-disk checkpoint: `team` stands in
+    /// for the first `covered` events of the recovered transcript and only
+    /// the remainder stays as the replayable tail.  This is what makes cold
+    /// recovery *load snapshot + replay tail* instead of a full replay.
+    pub fn from_checkpoint(
+        spec: OpenSpec,
+        team: TeamSession,
+        covered: usize,
+        events: &[TranscriptEvent],
+    ) -> SessionJournal {
+        debug_assert!(covered <= events.len(), "checkpoint beyond the transcript");
+        let ends_finished = covered > 0 && events[covered - 1] == TranscriptEvent::Finished;
+        SessionJournal {
+            spec,
+            snapshot: Some(JournalSnapshot {
+                team,
+                events: covered,
+                ends_finished,
+            }),
+            tail: events[covered..].to_vec(),
         }
     }
 
@@ -541,19 +564,46 @@ impl Session {
             .open(spec)
     }
 
-    /// Rebuilds a session from its on-disk journal: loads the spec and the
+    /// Rebuilds a session from its on-disk journal: loads the spec, the
     /// recovered event prefix (truncating corrupt tails — see
-    /// [`DiskJournal::load`]), replays it through the public API, and
-    /// re-attaches the append handle.  Returns the session together with
-    /// what recovery had to repair.
+    /// [`DiskJournal::load`]) and the newest valid checkpoint, then replays
+    /// only the tail past the checkpoint through the public API (the whole
+    /// transcript when no checkpoint survived) and re-attaches the append
+    /// handle.  Returns the session together with what recovery had to
+    /// repair.  Determinism makes the checkpointed restore bit-identical to
+    /// a full replay; a checkpoint whose tail no longer replays (a diverged
+    /// history) is dropped and recovery degrades to full replay, so the
+    /// clean event prefix is never lost.
     pub fn rehydrate(
         dir: impl Into<PathBuf>,
         config: JournalConfig,
     ) -> Result<(Session, RecoveryReport), GdrError> {
         let (disk, loaded) = DiskJournal::open(dir, config)?;
         let mut recovery = loaded.recovery;
-        let journal = SessionJournal::from_events(loaded.spec, loaded.events);
-        let team = journal.replay()?;
+        let (journal, team) = match loaded.checkpoint {
+            Some((covered, team)) => {
+                let candidate = SessionJournal::from_checkpoint(
+                    loaded.spec.clone(),
+                    team,
+                    covered,
+                    &loaded.events,
+                );
+                match candidate.replay() {
+                    Ok(replayed) => (candidate, replayed),
+                    Err(_) => {
+                        recovery.snapshots_skipped += 1;
+                        let journal = SessionJournal::from_events(loaded.spec, loaded.events);
+                        let team = journal.replay()?;
+                        (journal, team)
+                    }
+                }
+            }
+            None => {
+                let journal = SessionJournal::from_events(loaded.spec, loaded.events);
+                let team = journal.replay()?;
+                (journal, team)
+            }
+        };
         if let Some(marker) = loaded.snapshot {
             // The marker is an integrity checkpoint, not a replay input: if
             // it covers the whole recovered transcript, the rebuilt session
@@ -595,6 +645,13 @@ impl Session {
     /// The on-disk journal directory, when this session is durable.
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk.as_ref().map(|d| d.dir())
+    }
+
+    /// The on-disk journal itself, when this session is durable — for
+    /// durability waits and fsync accounting ([`DiskJournal::wait_durable`],
+    /// [`DiskJournal::appends`], [`DiskJournal::syncs`]).
+    pub fn disk(&self) -> Option<&DiskJournal> {
+        self.disk.as_ref()
     }
 
     /// Appends an applied event to the journals — disk first (so the
@@ -797,11 +854,14 @@ impl Session {
 
     /// Compacts the journal: installs a clone of the live engine as the
     /// replay base, drops the absorbed tail from RAM, and (in durable mode)
-    /// records the checkpoint marker on disk.  When
-    /// [`JournalConfig::validate_compaction`] is set the snapshot is only
-    /// adopted after a full replay of the current journal digest-matches
-    /// the live engine — a divergence (which would make the snapshot lie)
-    /// fails with [`GdrError::Journal`] and leaves the journal untouched.
+    /// persists the checkpoint on disk — the serialised session itself as a
+    /// `snap-NNNNNN.gdrs` payload plus the `snapshot.gdrj` marker — so a
+    /// cold restart loads the snapshot and replays only the journal tail.
+    /// When [`JournalConfig::validate_compaction`] is set the snapshot is
+    /// only adopted after a full replay of the current journal
+    /// digest-matches the live engine — a divergence (which would make the
+    /// snapshot lie) fails with [`GdrError::Journal`] and leaves the
+    /// journal untouched.
     pub fn compact(&mut self) -> Result<CompactionStats, GdrError> {
         let events = self.journal.events_total();
         let dropped = self.journal.tail.len();
@@ -820,10 +880,13 @@ impl Session {
         }
         self.journal.adopt_snapshot(self.team.clone());
         if let Some(disk) = &mut self.disk {
-            disk.record_snapshot(SnapshotMarker {
-                events,
-                digest: team_digest(&self.team),
-            })?;
+            disk.record_snapshot(
+                SnapshotMarker {
+                    events,
+                    digest: team_digest(&self.team),
+                },
+                &self.team,
+            )?;
         }
         Ok(CompactionStats {
             events,
@@ -885,7 +948,9 @@ impl From<GdrError> for StoreError {
 /// How a [`SessionStore`] persists and bounds its sessions.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
-    /// Root directory; each session gets `root/<escaped-id>/`.
+    /// Root directory; each new session gets
+    /// `root/<2-hex-shard>/<escaped-id>/` (the flat pre-sharding layout
+    /// `root/<escaped-id>/` is still discovered on load).
     pub root: PathBuf,
     /// Journal tunables applied to every session.
     pub journal: JournalConfig,
@@ -1047,10 +1112,29 @@ impl SessionStore {
         self.len() == 0
     }
 
+    /// Where a *new* session's journal is created: the sharded layout
+    /// `<root>/<2-hex fnv64 prefix>/<escaped id>/`.
     fn session_dir(&self, id: &str) -> Option<PathBuf> {
         self.durability
             .as_ref()
-            .map(|d| d.root.join(session_dir_name(id)))
+            .map(|d| d.root.join(session_shard(id)).join(session_dir_name(id)))
+    }
+
+    /// Where `id`'s journal already lives, if anywhere: the sharded layout
+    /// wins; the pre-sharding flat layout (`<root>/<escaped id>/`) is still
+    /// discovered, so stores written by older builds keep serving without a
+    /// migration step.
+    fn existing_session_dir(&self, id: &str) -> Option<PathBuf> {
+        let config = self.durability.as_ref()?;
+        let sharded = config
+            .root
+            .join(session_shard(id))
+            .join(session_dir_name(id));
+        if DiskJournal::exists(&sharded) {
+            return Some(sharded);
+        }
+        let flat = config.root.join(session_dir_name(id));
+        DiskJournal::exists(&flat).then_some(flat)
     }
 
     fn stamp(&self) -> u64 {
@@ -1077,10 +1161,8 @@ impl SessionStore {
         if lock_recovering(self.shard(id)).sessions.contains_key(id) {
             return Err(StoreError::DuplicateSession(id.to_string()));
         }
-        if let Some(dir) = self.session_dir(id) {
-            if DiskJournal::exists(&dir) {
-                return Err(StoreError::DuplicateSession(id.to_string()));
-            }
+        if self.existing_session_dir(id).is_some() {
+            return Err(StoreError::DuplicateSession(id.to_string()));
         }
         // Build the engine (violation detection, suggestion generation —
         // potentially large) *outside* any shard lock so concurrent
@@ -1113,10 +1195,9 @@ impl SessionStore {
         let Some(config) = &self.durability else {
             return Err(StoreError::UnknownSession(id.to_string()));
         };
-        let dir = config.root.join(session_dir_name(id));
-        if !DiskJournal::exists(&dir) {
+        let Some(dir) = self.existing_session_dir(id) else {
             return Err(StoreError::UnknownSession(id.to_string()));
-        }
+        };
         // Rehydrate outside the shard lock: replay can be expensive and
         // must not stall every other session.  A concurrent rehydrate of
         // the same id is resolved below — first insert wins, the loser's
@@ -1196,9 +1277,9 @@ impl SessionStore {
             self.live.fetch_sub(1, Ordering::AcqRel);
         }
         drop(entry);
-        match self.session_dir(id) {
-            Some(dir) if DiskJournal::exists(&dir) => fs::remove_dir_all(&dir).is_ok() || lived,
-            _ => lived,
+        match self.existing_session_dir(id) {
+            Some(dir) => fs::remove_dir_all(&dir).is_ok() || lived,
+            None => lived,
         }
     }
 

@@ -77,6 +77,11 @@
 //!   `{"ok":"released","held":b}` where `held` says whether the lease was
 //!   still live.  Releasing an expired or foreign lease is a no-op, not an
 //!   error.
+//! * `leases` — `{"op":"leases","session":s}` inspects the live lease table
+//!   without ticking the coordinator clock or expiring anything; replies
+//!   `{"ok":"leases","leases":[{"id":i,"reviewer":r,"tuple":t,"attr":a,
+//!   "age":n},..]}` in grant order, where `age` counts coordinator
+//!   operations since the grant.
 //!
 //! A lease also dies on its own once its TTL elapses; the work is then
 //! re-served to the next `lease` caller, and a late `answer_as` on the dead
@@ -258,6 +263,13 @@ pub enum Request {
         /// The raw lease id being released.
         id: u64,
     },
+    /// Inspect the session's live lease table.  Read-only: ticks no
+    /// coordinator clock and expires nothing, so an operator can watch who
+    /// holds what without perturbing the session.
+    Leases {
+        /// Target session.
+        session: String,
+    },
 }
 
 /// Group provenance on an `ask` reply (mirror of
@@ -276,6 +288,22 @@ pub struct WireGroup {
     pub quota: usize,
     /// Answers already given inside the group.
     pub asked: usize,
+}
+
+/// One live lease on a `leases` reply (mirror of
+/// [`gdr_core::team::LeaseInfo`], flattened for the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLease {
+    /// The lease's raw work id (what the holder answers with).
+    pub id: u64,
+    /// The reviewer holding the lease.
+    pub reviewer: String,
+    /// Tuple of the leased cell.
+    pub tuple: usize,
+    /// Attribute of the leased cell.
+    pub attr: usize,
+    /// Age of the lease in coordinator clock ticks.
+    pub age: u64,
 }
 
 /// Evaluation figures on a `report` reply (present only when the session
@@ -425,6 +453,11 @@ pub enum Response {
         /// Whether the lease was still live when released (`false` for an
         /// already-expired, already-answered, or foreign lease).
         held: bool,
+    },
+    /// `leases`: the session's live lease table, in grant order.
+    Leases {
+        /// Every currently live lease.
+        leases: Vec<WireLease>,
     },
     /// Any request may fail with a structured error instead.
     Error(WireError),
@@ -833,6 +866,10 @@ fn request_json(request: &Request) -> Json {
             ("reviewer", Json::str(reviewer.clone())),
             ("id", u64_json(*id)),
         ]),
+        Request::Leases { session } => obj(vec![
+            ("op", Json::str("leases")),
+            ("session", Json::str(session.clone())),
+        ]),
     }
 }
 
@@ -1010,6 +1047,26 @@ fn response_json(response: &Response) -> Json {
         Response::Released { held } => obj(vec![
             ("ok", Json::str("released")),
             ("held", Json::Bool(*held)),
+        ]),
+        Response::Leases { leases } => obj(vec![
+            ("ok", Json::str("leases")),
+            (
+                "leases",
+                Json::Array(
+                    leases
+                        .iter()
+                        .map(|lease| {
+                            obj(vec![
+                                ("id", u64_json(lease.id)),
+                                ("reviewer", Json::str(lease.reviewer.clone())),
+                                ("tuple", Json::Int(lease.tuple as i64)),
+                                ("attr", Json::Int(lease.attr as i64)),
+                                ("age", u64_json(lease.age)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
         Response::Error(error) => match error {
             WireError::StaleWork { got, outstanding } => obj(vec![
@@ -1237,6 +1294,7 @@ fn decode_request_json(json: &Json) -> Result<Request, String> {
             reviewer: str_field(json, "reviewer")?,
             id: u64_field(json, "id")?,
         }),
+        "leases" => Ok(Request::Leases { session }),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -1430,6 +1488,22 @@ fn decode_response_json(json: &Json) -> Result<Response, String> {
                 .as_bool()
                 .ok_or_else(|| "field `held` must be a boolean".to_string())?,
         }),
+        "leases" => {
+            let entries = field(json, "leases")?
+                .as_array()
+                .ok_or_else(|| "field `leases` must be an array".to_string())?;
+            let mut leases = Vec::with_capacity(entries.len());
+            for entry in entries {
+                leases.push(WireLease {
+                    id: u64_field(entry, "id")?,
+                    reviewer: str_field(entry, "reviewer")?,
+                    tuple: usize_field(entry, "tuple")?,
+                    attr: usize_field(entry, "attr")?,
+                    age: u64_field(entry, "age")?,
+                });
+            }
+            Ok(Response::Leases { leases })
+        }
         other => Err(format!("unknown ok kind `{other}`")),
     }
 }
@@ -1810,6 +1884,33 @@ mod tests {
         response_round_trip(Response::Wait);
         response_round_trip(Response::Released { held: true });
         response_round_trip(Response::Released { held: false });
+        request_round_trip(Request::Leases {
+            session: "s".into(),
+        });
+        response_round_trip(Response::Leases { leases: Vec::new() });
+        response_round_trip(Response::Leases {
+            leases: vec![
+                WireLease {
+                    id: 4,
+                    reviewer: "alice".into(),
+                    tuple: 7,
+                    attr: 1,
+                    age: 0,
+                },
+                WireLease {
+                    id: u64::MAX,
+                    reviewer: "bob".into(),
+                    tuple: 0,
+                    attr: 3,
+                    age: u64::MAX,
+                },
+            ],
+        });
+        // A lease entry missing a field is a decode error, not a default.
+        assert!(decode_response(
+            r#"{"ok":"leases","leases":[{"id":1,"reviewer":"a","tuple":0,"age":2}]}"#
+        )
+        .is_err());
         // Missing reviewer is a bad request, not a default.
         assert!(decode_request(r#"{"op":"lease","session":"s"}"#).is_err());
         assert!(

@@ -443,6 +443,143 @@ fn duplicate_answer_as_over_the_wire_is_absorbed() {
     }
 }
 
+/// Satellite: the `leases` verb reads the live lease table — who holds
+/// what, how old each grant is — without ticking the coordinator clock,
+/// expiring anything, or otherwise perturbing the session.
+#[test]
+fn leases_verb_inspects_without_perturbing() {
+    let store = SessionStore::new();
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+    let opened = dispatch(
+        &store,
+        Request::Open {
+            session: "s".to_string(),
+            table_csv: to_csv(&dirty),
+            rules: fixture::figure1_rules_text().to_string(),
+            strategy: Strategy::GdrNoLearning,
+            seed: None,
+            ground_truth_csv: Some(to_csv(&clean)),
+            policy: Some(ConflictPolicy::Majority { k: 2 }),
+            lease_ttl: Some(8),
+        },
+    );
+    assert!(matches!(opened, Response::Opened { .. }), "{opened:?}");
+
+    // An empty table before anyone leases.
+    let empty = dispatch(
+        &store,
+        Request::Leases {
+            session: "s".into(),
+        },
+    );
+    assert_eq!(empty, Response::Leases { leases: Vec::new() });
+
+    // Two reviewers take work; the table lists both grants in order.
+    let mut granted = Vec::new();
+    for reviewer in ["a", "b"] {
+        match dispatch(
+            &store,
+            Request::Lease {
+                session: "s".to_string(),
+                reviewer: reviewer.to_string(),
+            },
+        ) {
+            Response::Leased {
+                id, tuple, attr, ..
+            }
+            | Response::Fix {
+                id, tuple, attr, ..
+            } => granted.push((id, reviewer, tuple, attr)),
+            other => panic!("{reviewer}: expected a grant, got {other:?}"),
+        }
+    }
+    let digest = {
+        let handle = store.get("s").expect("session exists");
+        let guard = handle.lock().expect("session lock");
+        team_digest(guard.team())
+    };
+    let listed = dispatch(
+        &store,
+        Request::Leases {
+            session: "s".into(),
+        },
+    );
+    let Response::Leases { leases } = listed else {
+        panic!("expected a leases reply: {listed:?}");
+    };
+    assert_eq!(leases.len(), granted.len(), "{leases:?}");
+    for (lease, &(id, reviewer, tuple, attr)) in leases.iter().zip(&granted) {
+        assert_eq!(lease.id, id);
+        assert_eq!(lease.reviewer, reviewer);
+        assert_eq!((lease.tuple, lease.attr), (tuple, attr));
+        assert!(lease.age < 8, "a fresh grant within the TTL: {lease:?}");
+    }
+
+    // Read-only: repeated inspection returns the same ages (no clock tick,
+    // so nothing creeps toward expiry) and an identical coordinator digest.
+    let again = dispatch(
+        &store,
+        Request::Leases {
+            session: "s".into(),
+        },
+    );
+    assert_eq!(again, Response::Leases { leases });
+    assert_eq!(digest, {
+        let handle = store.get("s").expect("session exists");
+        let guard = handle.lock().expect("session lock");
+        team_digest(guard.team())
+    });
+
+    // An unknown session is the usual structured store error.
+    let missing = dispatch(
+        &store,
+        Request::Leases {
+            session: "nope".into(),
+        },
+    );
+    assert!(
+        matches!(missing, Response::Error(WireError::UnknownSession { .. })),
+        "{missing:?}"
+    );
+}
+
+/// `Client::leases` reads the same table over a real connection.
+#[test]
+fn leases_verb_round_trips_through_the_client() {
+    let (addr, _store, server) = spawn_server(ServerConfig::new().max_connections(Some(1)));
+    let (dirty, clean, _rules) = fixture::figure1_instance();
+    let mut client =
+        Client::connect(TcpStream::connect(addr).expect("connect"), "s").expect("client");
+    client
+        .open(
+            to_csv(&dirty),
+            fixture::figure1_rules_text(),
+            OpenOptions {
+                strategy: Strategy::GdrNoLearning,
+                seed: None,
+                ground_truth_csv: Some(to_csv(&clean)),
+                ..OpenOptions::default()
+            },
+        )
+        .expect("open");
+    assert!(client.leases().expect("empty table").is_empty());
+    let granted = client
+        .call(&Request::Lease {
+            session: "s".to_string(),
+            reviewer: "a".to_string(),
+        })
+        .expect("lease");
+    assert!(
+        matches!(granted, Response::Leased { .. } | Response::Fix { .. }),
+        "{granted:?}"
+    );
+    let leases = client.leases().expect("leases");
+    assert_eq!(leases.len(), 1, "{leases:?}");
+    assert_eq!(leases[0].reviewer, "a");
+    drop(client);
+    server.join().expect("server thread").expect("serve");
+}
+
 // ---- durable restore of team events ---------------------------------------
 
 fn journal_config() -> JournalConfig {

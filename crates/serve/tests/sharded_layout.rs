@@ -1,0 +1,138 @@
+//! Journal-root sharding: new durable sessions live under
+//! `<root>/<2-hex-hash-prefix>/<escaped-id>/` so huge stores never pile
+//! thousands of directories into one listing — while journals written by
+//! pre-sharding builds (flat `<root>/<escaped-id>/`) keep being discovered,
+//! served, duplicate-checked, and removed without any migration step.
+
+mod common;
+
+use common::{drive_one, figure1_spec, fingerprint, TempDir};
+use gdr_core::oracle::GroundTruthOracle;
+use gdr_core::strategy::Strategy;
+use gdr_serve::journal::{session_dir_name, session_shard, DiskJournal};
+use gdr_serve::store::{DurabilityConfig, SessionOptions, SessionStore, StoreError};
+
+fn durable_store(root: &TempDir) -> SessionStore {
+    SessionStore::durable(DurabilityConfig::new(root.path())).expect("durable store")
+}
+
+fn oracle() -> GroundTruthOracle {
+    GroundTruthOracle::new(
+        figure1_spec(Strategy::GdrNoLearning, true)
+            .ground_truth
+            .expect("truth"),
+    )
+}
+
+#[test]
+fn new_sessions_land_in_their_hash_shard() {
+    let root = TempDir::new("shard-new");
+    let store = durable_store(&root);
+    let ids = ["alpha", "beta", "weird id/with: stuff", "Δ-unicode"];
+    for id in ids {
+        drop(
+            store
+                .open(id, figure1_spec(Strategy::GdrNoLearning, true))
+                .expect("open"),
+        );
+        let expected = root
+            .path()
+            .join(session_shard(id))
+            .join(session_dir_name(id));
+        assert!(
+            DiskJournal::exists(&expected),
+            "{id}: no journal at {}",
+            expected.display()
+        );
+        store
+            .with_session(id, |s| {
+                assert_eq!(s.disk_dir(), Some(expected.as_path()));
+                Ok(())
+            })
+            .expect("inspect");
+        // The shard prefix really is two lowercase hex digits.
+        let shard = session_shard(id);
+        assert_eq!(shard.len(), 2, "{id}: shard {shard}");
+        assert!(shard.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+    }
+    // Sharding is deterministic: a second store over the same root finds
+    // every session again.
+    drop(store);
+    let reopened = durable_store(&root);
+    for id in ids {
+        assert!(reopened.get(id).is_ok(), "{id} lost after reopen");
+    }
+}
+
+#[test]
+fn flat_pre_sharding_journals_keep_working() {
+    let root = TempDir::new("shard-flat");
+    let oracle = oracle();
+
+    // A journal laid out the way pre-sharding builds wrote it: directly
+    // under the root, no shard prefix.
+    let flat_dir = root.path().join(session_dir_name("legacy"));
+    let mut recorded = SessionOptions::new()
+        .durable(&flat_dir)
+        .open(figure1_spec(Strategy::GdrNoLearning, true))
+        .expect("open flat");
+    for _ in 0..3 {
+        assert!(drive_one(&mut recorded, &oracle));
+    }
+    let recorded_fp = fingerprint(recorded.engine());
+    drop(recorded);
+
+    // The sharded store discovers the flat journal: it is *the* session
+    // under its id — lookups rehydrate it and duplicate opens are refused.
+    let store = durable_store(&root);
+    assert!(matches!(
+        store.open("legacy", figure1_spec(Strategy::GdrNoLearning, true)),
+        Err(StoreError::DuplicateSession(_))
+    ));
+    store
+        .with_session("legacy", |s| {
+            assert_eq!(s.disk_dir(), Some(flat_dir.as_path()));
+            assert_eq!(fingerprint(s.engine()), recorded_fp);
+            // It keeps journaling in place: drive it to completion.
+            while drive_one(s, &oracle) {}
+            s.finish()?;
+            Ok(())
+        })
+        .expect("drive legacy");
+
+    // `remove` deletes whichever layout holds the journal.
+    assert!(store.remove("legacy"));
+    assert!(!flat_dir.exists(), "flat journal not removed");
+    assert!(store.get("legacy").is_err());
+    assert!(!store.remove("legacy"));
+}
+
+#[test]
+fn sharded_and_flat_duplicate_checks_cover_both_layouts() {
+    let root = TempDir::new("shard-dup");
+
+    // A sharded journal left by a previous store instance (nothing in RAM).
+    {
+        let store = durable_store(&root);
+        drop(
+            store
+                .open("kept", figure1_spec(Strategy::GdrNoLearning, true))
+                .expect("open"),
+        );
+    }
+    let store = durable_store(&root);
+    assert!(
+        matches!(
+            store.open("kept", figure1_spec(Strategy::GdrNoLearning, true)),
+            Err(StoreError::DuplicateSession(_))
+        ),
+        "sharded on-disk journal must refuse a duplicate open"
+    );
+    // Removing it frees the id for a fresh open.
+    assert!(store.remove("kept"));
+    drop(
+        store
+            .open("kept", figure1_spec(Strategy::GdrNoLearning, true))
+            .expect("re-open after remove"),
+    );
+}

@@ -13,9 +13,12 @@
 //!    a fourth question outstanding — then the whole server (store,
 //!    listener, every connection) is dropped on the floor;
 //! 2. **Life two**: a fresh store pointed at the same journal root knows
-//!    nothing until the first verb **rehydrates** the session by replaying
-//!    its journal — the outstanding question comes back with the same work
-//!    id, and the retry-hardened driver finishes the repair.
+//!    nothing until the first verb **rehydrates** the session — and because
+//!    the compact persisted the serialised session as a `snap-NNNNNN.gdrs`
+//!    checkpoint, recovery decodes that and replays only the journal tail
+//!    instead of the whole transcript (asserted below).  The outstanding
+//!    question comes back with the same work id, and the retry-hardened
+//!    driver finishes the repair.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -52,6 +55,27 @@ fn boot(
         thread::spawn(move || config.serve(listener, store))
     };
     (store, addr, server)
+}
+
+/// The newest `snap-NNNNNN.gdrs` checkpoint anywhere under the journal root.
+fn find_checkpoint(root: &Path) -> Option<std::path::PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|ext| ext == "gdrs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut found = Vec::new();
+    walk(root, &mut found);
+    found.sort();
+    found.pop()
 }
 
 fn main() {
@@ -118,6 +142,12 @@ fn main() {
     server.join().expect("server thread").expect("serve");
     drop(store);
 
+    // The compact persisted the serialised session next to its journal —
+    // that file is what makes the restart checkpointed rather than a full
+    // replay.
+    let checkpoint = find_checkpoint(&root).expect("compact must persist a snap checkpoint");
+    println!("checkpoint survives the crash: {}", checkpoint.display());
+
     // -- life two -----------------------------------------------------------
     let (store, addr, server) = boot(&root, 1);
     println!("\nlife two: fresh server on {addr}, same journal root");
@@ -131,6 +161,23 @@ fn main() {
     println!("first verb rehydrated the session from its journal");
     assert_eq!(reserved, pending, "the crash must not lose the question");
     println!("outstanding question re-served with the same id: w{reserved}");
+
+    // And the rehydration was *checkpointed*: the session's replay base is
+    // the decoded snapshot (covered events > 0), not a from-scratch replay.
+    store
+        .with_session("customer-42", |s| {
+            let covered = s.journal().snapshot_events();
+            assert!(
+                covered > 0,
+                "restart must recover from the snap checkpoint, not full replay"
+            );
+            println!(
+                "recovery decoded the checkpoint ({} events covered) and replayed only the tail",
+                covered
+            );
+            Ok(())
+        })
+        .expect("inspect rehydrated session");
 
     // Finish with the transport-hardened driver: on a flaky link it would
     // reconnect with capped exponential backoff; here it simply completes.

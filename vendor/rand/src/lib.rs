@@ -207,6 +207,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing.  Restoring via
+        /// [`StdRng::from_state`] resumes the stream exactly where this
+        /// generator left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(state: [u64; 4]) -> StdRng {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.state;
